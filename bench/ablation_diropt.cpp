@@ -1,0 +1,57 @@
+// Ablation: the Generic-Switch thresholds of direction-optimizing BFS.
+//
+// DESIGN.md calls out the switch heuristic as the key design choice carried
+// over from Beamer et al.; this sweep shows how α (push→pull when frontier
+// out-edges exceed m/α) and β (pull→push when the frontier shrinks below
+// n/β) move the runtime on a social and a road graph — and that the chosen
+// defaults sit in the flat basin.
+#include "bench_common.hpp"
+#include "core/bfs.hpp"
+
+using namespace pushpull;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int scale = static_cast<int>(cli.get_int("scale", -1));
+  const int repeats = static_cast<int>(cli.get_int("repeats", 3));
+  cli.check();
+
+  bench::print_banner(
+      "Ablation — direction-optimizing BFS switch thresholds (α, β)",
+      "switching helps social graphs at almost any α; on road graphs the "
+      "controller must simply never leave push");
+
+  for (const std::string& name : {std::string("orc"), std::string("rca")}) {
+    const Csr g = analog_by_name(name, scale);
+    bench::print_graph_line(name + "*", g);
+
+    const double push_ms = bench::time_s([&] { bfs_push(g, 0); }, repeats) * 1e3;
+    const double pull_ms = bench::time_s([&] { bfs_pull(g, 0); }, repeats) * 1e3;
+    std::printf("fixed directions: push %.3f ms, pull %.3f ms\n", push_ms, pull_ms);
+
+    Table table({"alpha", "beta", "time [ms]", "pull levels used"});
+    for (double alpha : {2.0, 8.0, 14.0, 32.0, 128.0}) {
+      for (double beta : {4.0, 24.0, 96.0}) {
+        DirOptParams p;
+        p.alpha = alpha;
+        p.beta = beta;
+        int pull_levels = 0;
+        const double ms = bench::time_s(
+                              [&] {
+                                const BfsResult r = bfs_direction_optimizing(g, 0, p);
+                                pull_levels = 0;
+                                for (Direction d : r.level_dirs) {
+                                  pull_levels += d == Direction::Pull;
+                                }
+                              },
+                              repeats) *
+                          1e3;
+        table.add_row({Table::num(alpha, 0), Table::num(beta, 0), Table::num(ms, 3),
+                       std::to_string(pull_levels)});
+      }
+    }
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation: Partition-Awareness vs partition count and graph family.
+//
+// PA's benefit is bounded by the local-arc fraction of the 1D partition
+// (§5: between 0 atomics for component-aligned partitions and 2m for
+// bipartite-adversarial ones). This sweep reports, per graph and partition
+// count, the local fraction, the lock savings, and the measured time
+// against plain pushing — making the dense-vs-sparse tradeoff of Figure 6
+// inspectable.
+#include "bench_common.hpp"
+#include "core/pagerank.hpp"
+#include "graph/partition_aware.hpp"
+#include "perf/instr.hpp"
+
+using namespace pushpull;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int scale = static_cast<int>(cli.get_int("scale", -1));
+  const int iters = static_cast<int>(cli.get_int("pr-iters", 6));
+  cli.check();
+
+  bench::print_banner(
+      "Ablation — Partition-Awareness: local-arc fraction and PR speedup",
+      "PA pays off in proportion to the local fraction; remote-heavy "
+      "partitions approach plain pushing plus a barrier");
+
+  for (const std::string& name : analog_names()) {
+    const Csr g = analog_by_name(name, scale);
+    bench::print_graph_line(name + "*", g);
+    PageRankOptions opt;
+    opt.iterations = iters;
+    const double push_ms =
+        bench::time_s([&] { pagerank_push(g, opt); }, 2) / iters * 1e3;
+
+    Table table({"parts", "local arcs %", "locks/iter (PA)", "PA [ms/iter]",
+                 "vs push"});
+    for (int parts : {2, 4, 8, 16, 64}) {
+      const PartitionAwareCsr pa(g, Partition1D(g.n(), parts));
+      const double local_pct = 100.0 * static_cast<double>(pa.num_local_arcs()) /
+                               static_cast<double>(g.num_arcs());
+      // Lock count is exactly one per remote arc per iteration.
+      const auto locks = static_cast<unsigned long long>(pa.num_remote_arcs());
+      // Time it with the matching thread count (capped by the partition
+      // structure: PA threads == partitions).
+      const int run_threads = std::min(parts, 8);
+      omp_set_num_threads(run_threads);
+      const PartitionAwareCsr pa_run(g, Partition1D(g.n(), run_threads));
+      const double pa_ms =
+          bench::time_s([&] { pagerank_push_pa(g, pa_run, opt); }, 2) / iters * 1e3;
+      table.add_row({std::to_string(parts), Table::num(local_pct, 1),
+                     Table::count(locks), Table::num(pa_ms, 3),
+                     Table::num(push_ms / pa_ms, 2) + "x"});
+      omp_set_num_threads(2);
+    }
+    table.print();
+    std::printf("plain push: %.3f ms/iter (locks/iter = %s)\n\n", push_ms,
+                Table::count(static_cast<unsigned long long>(g.num_arcs())).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Shared plumbing for the paper-reproduction benchmark binaries.
+//
+// Every binary regenerates one table or figure of Besta et al., HPDC'17 (see
+// DESIGN.md §4 for the experiment index and EXPERIMENTS.md for measured
+// results). Graphs are the seeded synthetic analogs of the paper's SNAP
+// datasets; `--scale=K` shifts every analog by K powers of two so runtimes
+// can be tuned to the machine (negative = smaller).
+#pragma once
+
+#include <omp.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/analogs.hpp"
+#include "graph/csr.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace pushpull::bench {
+
+inline void print_banner(const std::string& experiment, const std::string& claim) {
+  std::printf("==========================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper claim: %s\n", claim.c_str());
+  std::printf("Threads: %d (2-core container; see EXPERIMENTS.md for caveats)\n",
+              omp_get_max_threads());
+  std::printf("==========================================================================\n");
+}
+
+inline void print_graph_line(const std::string& name, const Csr& g) {
+  std::printf("graph %-5s n=%d arcs=%lld d_avg=%.2f d_max=%d\n", name.c_str(),
+              g.n(), static_cast<long long>(g.num_arcs()), g.avg_degree(),
+              g.max_degree());
+}
+
+// Median-of-repeats timing helper.
+template <class F>
+double time_s(F&& fn, int repeats = 1) {
+  double best = 1e100;
+  for (int r = 0; r < repeats; ++r) {
+    WallTimer t;
+    fn();
+    best = std::min(best, t.elapsed_s());
+  }
+  return best;
+}
+
+}  // namespace pushpull::bench

@@ -1,0 +1,80 @@
+// Figure 2: Δ-Stepping SSSP shared-memory analysis.
+//   (a) per-epoch time on the orc analog (dense social graph),
+//   (b) per-epoch time on the am analog (sparse purchase graph),
+//   (c) total time vs Δ on the orc analog,
+// plus the §6.1 BFS summary (push beats pull, most visibly on rca).
+//
+// Paper results: pushing wins most epochs; the gap shrinks (and can flip)
+// once the frontier is large; larger Δ shrinks the push/pull difference.
+#include "bench_common.hpp"
+#include "core/bfs.hpp"
+#include "core/sssp_delta.hpp"
+
+using namespace pushpull;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int scale = static_cast<int>(cli.get_int("scale", -1));
+  const double delta0 = cli.get_double("delta", 16.0);
+  cli.check();
+
+  bench::print_banner(
+      "Figure 2 — SSSP-Δ per-epoch times, Δ sweep; §6.1 BFS summary",
+      "push wins most epochs; larger Δ shrinks the push/pull gap; "
+      "push-BFS wins, most visibly on the road network");
+
+  // (a)+(b): per-epoch times.
+  for (const std::string& name : {std::string("orc"), std::string("am")}) {
+    const Csr g = analog_by_name(name, scale, /*weighted=*/true);
+    bench::print_graph_line(name + "*", g);
+    const auto push = sssp_delta_push(g, 0, static_cast<weight_t>(delta0));
+    const auto pull = sssp_delta_pull(g, 0, static_cast<weight_t>(delta0));
+    Table table({"epoch", "Pushing [ms]", "Pulling [ms]"});
+    const std::size_t rows = std::max(push.epoch_times.size(), pull.epoch_times.size());
+    for (std::size_t i = 0; i < rows; ++i) {
+      auto cell = [&](const DeltaSteppingResult& r) {
+        return i < r.epoch_times.size() ? Table::num(r.epoch_times[i] * 1e3, 3)
+                                        : std::string("-");
+      };
+      table.add_row({std::to_string(i + 1), cell(push), cell(pull)});
+    }
+    table.print();
+    std::printf("inner iterations: push=%d pull=%d\n\n", push.inner_iterations,
+                pull.inner_iterations);
+  }
+
+  // (c): Δ sweep on orc.
+  {
+    const Csr g = analog_by_name("orc", scale, /*weighted=*/true);
+    Table table({"Delta", "Pushing [s]", "Pulling [s]", "push/pull"});
+    for (double d : {1.0, 4.0, 16.0, 64.0, 256.0, 4096.0, 1e6}) {
+      const double push_s =
+          bench::time_s([&] { sssp_delta_push(g, 0, static_cast<weight_t>(d)); });
+      const double pull_s =
+          bench::time_s([&] { sssp_delta_pull(g, 0, static_cast<weight_t>(d)); });
+      table.add_row({Table::num(d, 0), Table::num(push_s, 4), Table::num(pull_s, 4),
+                     Table::num(push_s / pull_s, 2)});
+    }
+    std::printf("Delta sweep on orc* (total time; paper Fig. 2c: the larger Δ is, "
+                "the smaller the push/pull difference):\n");
+    table.print();
+  }
+
+  // §6.1 BFS: push vs pull vs direction-optimizing on all analogs.
+  {
+    std::printf("\nBFS (total time, root 0; paper: push wins in most cases, most "
+                "visibly on rca):\n");
+    Table table({"Graph", "Push [ms]", "Pull [ms]", "Dir-opt [ms]"});
+    for (const std::string& name : analog_names()) {
+      const Csr g = analog_by_name(name, scale);
+      const double push_s = bench::time_s([&] { bfs_push(g, 0); }, 3);
+      const double pull_s = bench::time_s([&] { bfs_pull(g, 0); }, 3);
+      const double diropt_s =
+          bench::time_s([&] { bfs_direction_optimizing(g, 0); }, 3);
+      table.add_row({name + "*", Table::num(push_s * 1e3, 3),
+                     Table::num(pull_s * 1e3, 3), Table::num(diropt_s * 1e3, 3)});
+    }
+    table.print();
+  }
+  return 0;
+}

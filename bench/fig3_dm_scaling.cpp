@@ -1,0 +1,109 @@
+// Figure 3: distributed-memory strong scaling — PR on orc/ljn/rmat and TC on
+// orc/ljn for Pushing-RMA, Pulling-RMA and Msg-Passing.
+//
+// Ranks are emulated in-process (DESIGN.md §3); reported "time" is the
+// modeled critical path: slowest rank's compute proxy (edge ops × a
+// calibrated per-edge cost) + its modeled communication (per-op costs, with
+// MPI_Accumulate's float lock-protocol ≫ integer FAA fast path).
+//
+// Paper shape: for PR, Msg-Passing wins by >10x and Pushing-RMA is slowest;
+// for TC, the RMA variants beat Msg-Passing and pull ≥ push.
+#include "bench_common.hpp"
+#include "core/pagerank.hpp"
+#include "dist/pr_dist.hpp"
+#include "dist/tc_dist.hpp"
+#include "graph/generators.hpp"
+
+using namespace pushpull;
+using namespace pushpull::dist;
+
+namespace {
+
+// Calibrates the per-edge compute cost from a single-rank run.
+double calibrate_edge_cost_us(const Csr& g) {
+  PageRankOptions opt;
+  opt.iterations = 3;
+  const double s = pushpull::bench::time_s([&] { pagerank_pull(g, opt); });
+  return s * 1e6 / (3.0 * static_cast<double>(g.num_arcs()));
+}
+
+void pr_scaling(const std::string& label, const Csr& g, int iters,
+                const std::vector<int>& ranks, double edge_us) {
+  std::printf("\nPR strong scaling, %s (modeled seconds; %d iterations):\n",
+              label.c_str(), iters);
+  Table table({"P", "Pushing-RMA", "Pulling-RMA", "Msg-Passing", "MP speedup vs push"});
+  const CommCosts costs;
+  for (int r : ranks) {
+    double modeled[3] = {0, 0, 0};
+    const DistVariant variants[3] = {DistVariant::PushRma, DistVariant::PullRma,
+                                     DistVariant::MsgPassing};
+    for (int i = 0; i < 3; ++i) {
+      const DistPrResult res = pagerank_dist(g, r, iters, 0.85, variants[i], costs);
+      modeled[i] = (static_cast<double>(res.max_rank_edge_ops) * edge_us +
+                    res.max_comm_us) /
+                   1e6;
+    }
+    table.add_row({std::to_string(r), Table::num(modeled[0], 4),
+                   Table::num(modeled[1], 4), Table::num(modeled[2], 4),
+                   Table::num(modeled[0] / modeled[2], 1) + "x"});
+  }
+  table.print();
+}
+
+void tc_scaling(const std::string& label, const Csr& g,
+                const std::vector<int>& ranks, double edge_us) {
+  std::printf("\nTC strong scaling, %s (modeled seconds):\n", label.c_str());
+  Table table({"P", "Pushing-RMA", "Pulling-RMA", "Msg-Passing"});
+  for (int r : ranks) {
+    double modeled[3] = {0, 0, 0};
+    const DistVariant variants[3] = {DistVariant::PushRma, DistVariant::PullRma,
+                                     DistVariant::MsgPassing};
+    for (int i = 0; i < 3; ++i) {
+      DistTcOptions opt;
+      opt.variant = variants[i];
+      const DistTcResult res = triangle_count_dist(g, r, opt);
+      modeled[i] = (static_cast<double>(res.max_rank_edge_ops) * edge_us +
+                    res.max_comm_us) /
+                   1e6;
+    }
+    table.add_row({std::to_string(r), Table::num(modeled[0], 4),
+                   Table::num(modeled[1], 4), Table::num(modeled[2], 4)});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int scale = static_cast<int>(cli.get_int("scale", -3));
+  const int iters = static_cast<int>(cli.get_int("pr-iters", 3));
+  const int max_ranks = static_cast<int>(cli.get_int("max-ranks", 16));
+  cli.check();
+
+  bench::print_banner(
+      "Figure 3 — DM strong scaling: PR & TC under Pushing-RMA / Pulling-RMA / MP",
+      "PR: MP wins by >10x, push-RMA slowest (float accumulate = lock protocol); "
+      "TC: RMA wins (int FAA fast path), MP slowest");
+
+  std::vector<int> ranks;
+  for (int r = 1; r <= max_ranks; r *= 2) ranks.push_back(r);
+
+  {
+    const Csr orc = analog_by_name("orc", scale);
+    bench::print_graph_line("orc*", orc);
+    const double edge_us = calibrate_edge_cost_us(orc);
+    std::printf("calibrated compute cost: %.4f us/edge\n", edge_us);
+    pr_scaling("orc*", orc, iters, ranks, edge_us);
+
+    const Csr ljn = analog_by_name("ljn", scale);
+    pr_scaling("ljn*", ljn, iters, ranks, edge_us);
+
+    const Csr rmat = make_undirected(vid_t{1} << 13, rmat_edges(13, 8, 42));
+    pr_scaling("rmat (2^13, d=16)", rmat, iters, ranks, edge_us);
+
+    tc_scaling("orc*", analog_by_name("orc", scale - 1), ranks, edge_us);
+    tc_scaling("ljn*", analog_by_name("ljn", scale - 1), ranks, edge_us);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 4: Boruvka MST — per-iteration times of the three dominant phases:
+// Find Minimum (FM), Build Merge Tree (BMT), Merge (M), push vs pull.
+//
+// Paper result: push is faster in BMT and comparable in M, but slower in the
+// computationally dominant FM (write conflicts); overall pull wins ≈20%.
+#include "bench_common.hpp"
+#include "core/mst_boruvka.hpp"
+
+using namespace pushpull;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int scale = static_cast<int>(cli.get_int("scale", -1));
+  cli.check();
+
+  bench::print_banner(
+      "Figure 4 — Boruvka MST phase times per iteration (FM / BMT / M)",
+      "pull wins the dominant Find-Minimum phase (no CAS minimum updates); "
+      "overall pull faster");
+
+  const Csr g = analog_by_name("orc", scale, /*weighted=*/true);
+  bench::print_graph_line("orc*", g);
+
+  const BoruvkaResult push = mst_boruvka_push(g);
+  const BoruvkaResult pull = mst_boruvka_pull(g);
+
+  Table table({"iter", "FM push [ms]", "FM pull [ms]", "BMT push [ms]",
+               "BMT pull [ms]", "M push [ms]", "M pull [ms]"});
+  const std::size_t rows = std::max(push.phase_times.size(), pull.phase_times.size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    auto cell = [&](const BoruvkaResult& r, double BoruvkaPhaseTimes::*field) {
+      return i < r.phase_times.size() ? Table::num(r.phase_times[i].*field * 1e3, 3)
+                                      : std::string("-");
+    };
+    table.add_row({std::to_string(i + 1),
+                   cell(push, &BoruvkaPhaseTimes::find_minimum_s),
+                   cell(pull, &BoruvkaPhaseTimes::find_minimum_s),
+                   cell(push, &BoruvkaPhaseTimes::build_merge_tree_s),
+                   cell(pull, &BoruvkaPhaseTimes::build_merge_tree_s),
+                   cell(push, &BoruvkaPhaseTimes::merge_s),
+                   cell(pull, &BoruvkaPhaseTimes::merge_s)});
+  }
+  table.print();
+
+  double push_total = 0, pull_total = 0;
+  for (const auto& p : push.phase_times) {
+    push_total += p.find_minimum_s + p.build_merge_tree_s + p.merge_s;
+  }
+  for (const auto& p : pull.phase_times) {
+    pull_total += p.find_minimum_s + p.build_merge_tree_s + p.merge_s;
+  }
+  std::printf("\ntotal: push=%.3fs pull=%.3fs (pull speedup %.2fx); "
+              "MST weight push=%.1f pull=%.1f (must match)\n",
+              push_total, pull_total, push_total / pull_total, push.total_weight,
+              pull.total_weight);
+  return 0;
+}

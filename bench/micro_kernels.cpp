@@ -1,0 +1,168 @@
+// Micro-benchmarks (google-benchmark) for the primitive operations whose
+// costs drive every push/pull tradeoff in the paper: plain vs atomic vs
+// lock-accounted updates, frontier machinery, and single iterations of the
+// core kernels in both directions.
+#include <benchmark/benchmark.h>
+#include <omp.h>
+
+#include "core/bfs.hpp"
+#include "core/frontier.hpp"
+#include "core/pagerank.hpp"
+#include "graph/analogs.hpp"
+#include "graph/partition_aware.hpp"
+#include "sync/atomics.hpp"
+#include "sync/spinlock.hpp"
+
+namespace pushpull {
+namespace {
+
+// --- update primitives (the §4.9 sync-cost hierarchy) -----------------------
+
+void BM_PlainAdd(benchmark::State& state) {
+  std::vector<double> data(1024, 0.0);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    data[i++ & 1023] += 1.0;
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_PlainAdd);
+
+void BM_AtomicFaaInt(benchmark::State& state) {
+  std::vector<std::int64_t> data(1024, 0);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    faa(data[i++ & 1023], std::int64_t{1});
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_AtomicFaaInt);
+
+void BM_CasLoopFloatAdd(benchmark::State& state) {
+  std::vector<double> data(1024, 0.0);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    atomic_add(data[i++ & 1023], 1.0);
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_CasLoopFloatAdd);
+
+void BM_SpinlockAdd(benchmark::State& state) {
+  std::vector<double> data(1024, 0.0);
+  Spinlock lock;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    SpinGuard guard(lock);
+    data[i++ & 1023] += 1.0;
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_SpinlockAdd);
+
+void BM_AtomicMinFloat(benchmark::State& state) {
+  std::vector<float> data(1024, 1e30f);
+  std::size_t i = 0;
+  float v = 1e29f;
+  for (auto _ : state) {
+    atomic_min(data[i++ & 1023], v);
+    v *= 0.999999f;
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_AtomicMinFloat);
+
+// --- frontier machinery (the k-filter) ---------------------------------------
+
+void BM_FrontierMerge(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    FrontierBuffers buffers(omp_get_max_threads());
+#pragma omp parallel for schedule(static)
+    for (int i = 0; i < n; ++i) buffers.push_local(i);
+    std::vector<vid_t> out;
+    state.ResumeTiming();
+    buffers.merge_into(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FrontierMerge)->Arg(1 << 12)->Arg(1 << 16);
+
+// --- one PR iteration in each direction --------------------------------------
+
+const Csr& micro_graph() {
+  static const Csr g = pok_analog(-2);
+  return g;
+}
+
+void BM_PrIterationPull(benchmark::State& state) {
+  const Csr& g = micro_graph();
+  PageRankOptions opt;
+  opt.iterations = 1;
+  for (auto _ : state) {
+    auto pr = pagerank_pull(g, opt);
+    benchmark::DoNotOptimize(pr.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_PrIterationPull);
+
+void BM_PrIterationPush(benchmark::State& state) {
+  const Csr& g = micro_graph();
+  PageRankOptions opt;
+  opt.iterations = 1;
+  for (auto _ : state) {
+    auto pr = pagerank_push(g, opt);
+    benchmark::DoNotOptimize(pr.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_PrIterationPush);
+
+void BM_PrIterationPushPa(benchmark::State& state) {
+  const Csr& g = micro_graph();
+  static const PartitionAwareCsr pa(g, Partition1D(g.n(), omp_get_max_threads()));
+  PageRankOptions opt;
+  opt.iterations = 1;
+  for (auto _ : state) {
+    auto pr = pagerank_push_pa(g, pa, opt);
+    benchmark::DoNotOptimize(pr.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_PrIterationPushPa);
+
+// --- one full BFS in each direction --------------------------------------------
+
+void BM_BfsPush(benchmark::State& state) {
+  const Csr& g = micro_graph();
+  for (auto _ : state) {
+    auto r = bfs_push(g, 0);
+    benchmark::DoNotOptimize(r.dist.data());
+  }
+}
+BENCHMARK(BM_BfsPush);
+
+void BM_BfsPull(benchmark::State& state) {
+  const Csr& g = micro_graph();
+  for (auto _ : state) {
+    auto r = bfs_pull(g, 0);
+    benchmark::DoNotOptimize(r.dist.data());
+  }
+}
+BENCHMARK(BM_BfsPull);
+
+void BM_BfsDirOpt(benchmark::State& state) {
+  const Csr& g = micro_graph();
+  for (auto _ : state) {
+    auto r = bfs_direction_optimizing(g, 0);
+    benchmark::DoNotOptimize(r.dist.data());
+  }
+}
+BENCHMARK(BM_BfsDirOpt);
+
+}  // namespace
+}  // namespace pushpull
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Micro-benchmarks for the linear-algebra abstraction (§7.1): CSR (pull) vs
+// CSC (push) SpMV, and SpMSpV's frontier-sparsity advantage.
+#include <benchmark/benchmark.h>
+
+#include "graph/analogs.hpp"
+#include "la/semiring.hpp"
+#include "la/spmv.hpp"
+
+namespace pushpull {
+namespace {
+
+const Csr& la_graph() {
+  static const Csr g = ljn_analog(-1);
+  return g;
+}
+
+void BM_SpmvPull(benchmark::State& state) {
+  const Csr& g = la_graph();
+  std::vector<double> x(static_cast<std::size_t>(g.n()), 1.0);
+  std::vector<double> y(x.size());
+  for (auto _ : state) {
+    la::spmv_pull<la::PlusTimes<double>>(g, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_SpmvPull);
+
+void BM_SpmvPush(benchmark::State& state) {
+  const Csr& g = la_graph();
+  std::vector<double> x(static_cast<std::size_t>(g.n()), 1.0);
+  std::vector<double> y(x.size());
+  for (auto _ : state) {
+    std::fill(y.begin(), y.end(), 0.0);
+    la::spmv_push<la::PlusTimes<double>>(g, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_SpmvPush);
+
+// SpMSpV with a frontier of `range(0)` nonzeros: push skips empty columns,
+// so time should scale with the frontier, not with n (the §7.1 argument for
+// CSC in BFS-like computations).
+void BM_SpmspvPushSparse(benchmark::State& state) {
+  const Csr& g = la_graph();
+  const std::size_t nnz = static_cast<std::size_t>(state.range(0));
+  la::SparseVec<double> x;
+  for (std::size_t k = 0; k < nnz; ++k) {
+    x.idx.push_back(static_cast<vid_t>((k * 2654435761u) % g.n()));
+    x.val.push_back(1.0);
+  }
+  std::vector<double> y(static_cast<std::size_t>(g.n()), 0.0);
+  std::vector<vid_t> touched;
+  for (auto _ : state) {
+    std::fill(y.begin(), y.end(), 0.0);
+    la::spmspv_push<la::PlusTimes<double>>(g, x, y, touched);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_SpmspvPushSparse)->Arg(16)->Arg(256)->Arg(4096);
+
+// Dense pull SpMV at matching "frontier" sizes cannot exploit the sparsity —
+// compare against BM_SpmspvPushSparse rows.
+void BM_SpmvPullDenseBaseline(benchmark::State& state) {
+  const Csr& g = la_graph();
+  std::vector<double> x(static_cast<std::size_t>(g.n()), 0.0);
+  const std::size_t nnz = static_cast<std::size_t>(state.range(0));
+  for (std::size_t k = 0; k < nnz; ++k) {
+    x[(k * 2654435761u) % x.size()] = 1.0;
+  }
+  std::vector<double> y(x.size());
+  for (auto _ : state) {
+    la::spmv_pull<la::PlusTimes<double>>(g, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_SpmvPullDenseBaseline)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_SpmvMinPlusPull(benchmark::State& state) {
+  static const Csr g = ljn_analog(-1, /*weighted=*/true);
+  std::vector<float> x(static_cast<std::size_t>(g.n()), 1.0f);
+  std::vector<float> y(x.size());
+  for (auto _ : state) {
+    la::spmv_pull<la::MinPlus<float>>(g, x, y, /*use_weights=*/true);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_SpmvMinPlusPull);
+
+}  // namespace
+}  // namespace pushpull
+
+BENCHMARK_MAIN();

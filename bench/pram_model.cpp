@@ -1,0 +1,110 @@
+// §4 cross-check: the executable PRAM cost model vs measured operation
+// counts from the instrumentation layer.
+//
+// For each algorithm the model predicts which variant needs atomics/locks
+// and how conflicts scale; the table prints predicted profiles next to
+// measured counts on the same graph so the shape claims of §4.9 are
+// verifiable numbers, not prose.
+#include "bench_common.hpp"
+#include "core/bfs.hpp"
+#include "core/pagerank.hpp"
+#include "core/sssp_delta.hpp"
+#include "core/triangle_count.hpp"
+#include "graph/stats.hpp"
+#include "perf/instr.hpp"
+#include "pram/model.hpp"
+
+using namespace pushpull;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int scale = static_cast<int>(cli.get_int("scale", -3));
+  cli.check();
+
+  bench::print_banner(
+      "PRAM model (§4) vs measured operation counts",
+      "pull removes atomics/locks everywhere; push conflict counts scale as "
+      "the model predicts");
+
+  const Csr g = analog_by_name("pok", scale);
+  const Csr wg = analog_by_name("pok", scale, /*weighted=*/true);
+  bench::print_graph_line("pok*", g);
+
+  pram::Params params;
+  params.n = g.n();
+  params.m = static_cast<double>(g.num_arcs());  // the model counts arcs
+  params.d_max = g.max_degree();
+  params.P = omp_get_max_threads();
+
+  Table table({"Algorithm", "dir", "model atomics", "meas atomics", "model locks",
+               "meas locks", "model writes/conflicts", "meas writes"});
+
+  auto add = [&](const std::string& algo, pram::Dir dir, const pram::Profile& prof,
+                 const CounterBlock& meas) {
+    table.add_row({algo, dir == pram::Dir::Push ? "push" : "pull",
+                   Table::count(static_cast<unsigned long long>(prof.atomics)),
+                   Table::count(meas.atomics),
+                   Table::count(static_cast<unsigned long long>(prof.locks)),
+                   Table::count(meas.locks),
+                   Table::count(static_cast<unsigned long long>(prof.write_conflicts)),
+                   Table::count(meas.writes)});
+  };
+
+  const int L = 4;
+  {
+    PerfCounters pc(omp_get_max_threads());
+    PageRankOptions opt;
+    opt.iterations = L;
+    pagerank_push(g, opt, CountingInstr(pc));
+    add("PR (L=4)", pram::Dir::Push, pram::pr_profile(params, L, pram::Dir::Push),
+        pc.total());
+    pc.reset();
+    pagerank_pull(g, opt, CountingInstr(pc));
+    add("PR (L=4)", pram::Dir::Pull, pram::pr_profile(params, L, pram::Dir::Pull),
+        pc.total());
+  }
+  {
+    PerfCounters pc(omp_get_max_threads());
+    bfs_push(g, 0, CountingInstr(pc));
+    add("BFS", pram::Dir::Push, pram::bfs_profile(params, 9, pram::Dir::Push),
+        pc.total());
+    pc.reset();
+    bfs_pull(g, 0, CountingInstr(pc));
+    add("BFS", pram::Dir::Pull, pram::bfs_profile(params, 9, pram::Dir::Pull),
+        pc.total());
+  }
+  {
+    PerfCounters pc(omp_get_max_threads());
+    sssp_delta_push(wg, 0, 8.0f, CountingInstr(pc));
+    add("SSSP-D", pram::Dir::Push,
+        pram::sssp_profile(params, 8, 2, pram::Dir::Push), pc.total());
+    pc.reset();
+    sssp_delta_pull(wg, 0, 8.0f, CountingInstr(pc));
+    add("SSSP-D", pram::Dir::Pull,
+        pram::sssp_profile(params, 8, 2, pram::Dir::Pull), pc.total());
+  }
+  table.print();
+
+  std::printf("\nTime/work predictions (CRCW-CB vs CREW; the §4.9 log-factor "
+              "claim for pushing):\n");
+  Table cost({"Algorithm", "model", "push time", "pull time", "push work", "pull work"});
+  struct Entry {
+    const char* name;
+    pram::Cost (*fn)(const pram::Params&, double, pram::Model, pram::Dir);
+    double arg;
+  };
+  const Entry entries[] = {{"PR (L=20)", &pram::pr_cost, 20.0},
+                           {"BFS (D=9)", &pram::bfs_cost, 9.0},
+                           {"BGC (L=50)", &pram::bgc_cost, 50.0}};
+  for (const Entry& e : entries) {
+    for (pram::Model model : {pram::Model::CRCW_CB, pram::Model::CREW}) {
+      const pram::Cost push = e.fn(params, e.arg, model, pram::Dir::Push);
+      const pram::Cost pull = e.fn(params, e.arg, model, pram::Dir::Pull);
+      cost.add_row({e.name, model == pram::Model::CRCW_CB ? "CRCW-CB" : "CREW",
+                    Table::num(push.time, 0), Table::num(pull.time, 0),
+                    Table::num(push.work, 0), Table::num(pull.work, 0)});
+    }
+  }
+  cost.print();
+  return 0;
+}

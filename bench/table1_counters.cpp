@@ -1,0 +1,171 @@
+// Table 1: PAPI-style event counts per algorithm variant.
+//
+// Operation rows (atomics, locks, reads, writes, branches) are *exact*
+// software counts from parallel runs; cache/TLB rows come from the cache
+// simulator fed by the same kernels in a single-threaded run (DESIGN.md §3).
+// PR and BGC report the average per iteration; TC and SSSP-Δ the total, as
+// in the paper.
+//
+// Paper shape to verify: PR/TC/BGC/SSSP pull issues 0 atomics; PR push
+// issues O(Lm) lock(-accounted) float updates; pull has more reads and more
+// cache misses on dense graphs; push+PA trims atomics and L misses on dense
+// graphs but backfires on sparse ones.
+#include <functional>
+
+#include "bench_common.hpp"
+#include "core/coloring.hpp"
+#include "core/pagerank.hpp"
+#include "core/sssp_delta.hpp"
+#include "core/triangle_count.hpp"
+#include "graph/partition_aware.hpp"
+#include "perf/cache_sim.hpp"
+#include "perf/instr.hpp"
+
+using namespace pushpull;
+
+namespace {
+
+struct Column {
+  std::string label;
+  EventRecord events;
+  double per = 1.0;  // divisor (iterations for PR/BGC, 1 for totals)
+};
+
+// Runs a kernel twice: parallel with CountingInstr (op rows) and
+// single-threaded with CacheSimInstr (miss rows).
+template <class CountRun, class SimRun>
+Column measure(const std::string& label, double per, CountRun count_run,
+               SimRun sim_run) {
+  Column col;
+  col.label = label;
+  col.per = per;
+
+  PerfCounters pc(omp_get_max_threads());
+  count_run(CountingInstr(pc));
+  col.events.ops = pc.total();
+
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(1);
+  PerfCounters pc1(1);
+  CacheHierarchy cache;
+  sim_run(CacheSimInstr(pc1, cache));
+  col.events.cache = cache.stats();
+  omp_set_num_threads(saved);
+  return col;
+}
+
+void print_event_table(const std::string& title, const std::vector<Column>& cols) {
+  std::printf("\n--- %s ---\n", title.c_str());
+  std::vector<std::string> header = {"Event"};
+  for (const Column& c : cols) header.push_back(c.label);
+  Table table(header);
+  using Getter = std::function<double(const Column&)>;
+  const std::vector<std::pair<std::string, Getter>> rows = {
+      {"L1 misses", [](const Column& c) { return double(c.events.cache.l1_misses) / c.per; }},
+      {"L2 misses", [](const Column& c) { return double(c.events.cache.l2_misses) / c.per; }},
+      {"L3 misses", [](const Column& c) { return double(c.events.cache.l3_misses) / c.per; }},
+      {"TLB misses (data)", [](const Column& c) { return double(c.events.cache.dtlb_misses) / c.per; }},
+      {"TLB misses (inst)", [](const Column& c) { return double(c.events.cache.itlb_misses) / c.per; }},
+      {"atomics", [](const Column& c) { return double(c.events.ops.atomics) / c.per; }},
+      {"locks", [](const Column& c) { return double(c.events.ops.locks) / c.per; }},
+      {"reads", [](const Column& c) { return double(c.events.ops.reads) / c.per; }},
+      {"writes", [](const Column& c) { return double(c.events.ops.writes) / c.per; }},
+      {"branches (uncond)", [](const Column& c) { return double(c.events.ops.branch_uncond) / c.per; }},
+      {"branches (cond)", [](const Column& c) { return double(c.events.ops.branch_cond) / c.per; }},
+  };
+  for (const auto& [name, get] : rows) {
+    std::vector<std::string> cells = {name};
+    for (const Column& c : cols) {
+      cells.push_back(Table::count(static_cast<unsigned long long>(get(c))));
+    }
+    table.add_row(cells);
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int scale = static_cast<int>(cli.get_int("scale", -2));
+  const int pr_iters = static_cast<int>(cli.get_int("pr-iters", 5));
+  cli.check();
+
+  bench::print_banner(
+      "Table 1 — software performance-counter events per algorithm variant",
+      "pull: zero atomics/locks but more reads & cache misses; push+PA: fewer "
+      "atomics than push");
+
+  // --- PageRank: orc and rca, Push / Push+PA / Pull (per-iteration avg) ----
+  for (const std::string& gname : {std::string("orc"), std::string("rca")}) {
+    const Csr g = analog_by_name(gname, scale);
+    bench::print_graph_line(gname + "*", g);
+    PageRankOptions opt;
+    opt.iterations = pr_iters;
+    const PartitionAwareCsr pa(g, Partition1D(g.n(), omp_get_max_threads()));
+    const PartitionAwareCsr pa1(g, Partition1D(g.n(), 1));
+    std::vector<Column> cols;
+    cols.push_back(measure(
+        "Push", pr_iters,
+        [&](auto instr) { pagerank_push(g, opt, instr); },
+        [&](auto instr) { pagerank_push(g, opt, instr); }));
+    cols.push_back(measure(
+        "Push+PA", pr_iters,
+        [&](auto instr) { pagerank_push_pa(g, pa, opt, instr); },
+        [&](auto instr) { pagerank_push_pa(g, pa1, opt, instr); }));
+    cols.push_back(measure(
+        "Pull", pr_iters,
+        [&](auto instr) { pagerank_pull(g, opt, instr); },
+        [&](auto instr) { pagerank_pull(g, opt, instr); }));
+    print_event_table("PR, " + gname + "* (average per iteration)", cols);
+  }
+
+  // --- Triangle Counting: ljn and rca, Push / Pull (totals) -----------------
+  for (const std::string& gname : {std::string("ljn"), std::string("rca")}) {
+    const Csr g = analog_by_name(gname, scale);
+    bench::print_graph_line(gname + "*", g);
+    std::vector<Column> cols;
+    cols.push_back(measure(
+        "Push", 1.0, [&](auto instr) { triangle_count_push(g, instr); },
+        [&](auto instr) { triangle_count_push(g, instr); }));
+    cols.push_back(measure(
+        "Pull", 1.0, [&](auto instr) { triangle_count_pull(g, instr); },
+        [&](auto instr) { triangle_count_pull(g, instr); }));
+    print_event_table("TC, " + gname + "* (total)", cols);
+  }
+
+  // --- Boman coloring: orc and rca, Push / Pull (per-iteration avg) ---------
+  for (const std::string& gname : {std::string("orc"), std::string("rca")}) {
+    const Csr g = analog_by_name(gname, scale);
+    bench::print_graph_line(gname + "*", g);
+    ColoringOptions opt;
+    opt.max_iterations = 20;
+    opt.stop_on_converged = false;
+    std::vector<Column> cols;
+    cols.push_back(measure(
+        "Push", opt.max_iterations,
+        [&](auto instr) { boman_color_push(g, opt, instr); },
+        [&](auto instr) { boman_color_push(g, opt, instr); }));
+    cols.push_back(measure(
+        "Pull", opt.max_iterations,
+        [&](auto instr) { boman_color_pull(g, opt, instr); },
+        [&](auto instr) { boman_color_pull(g, opt, instr); }));
+    print_event_table("BGC, " + gname + "* (average per iteration)", cols);
+  }
+
+  // --- SSSP-Δ: pok and rca, Push / Pull (totals) ------------------------------
+  for (const std::string& gname : {std::string("pok"), std::string("rca")}) {
+    const Csr g = analog_by_name(gname, scale, /*weighted=*/true);
+    bench::print_graph_line(gname + "*", g);
+    const weight_t delta = 8.0f;
+    std::vector<Column> cols;
+    cols.push_back(measure(
+        "Push", 1.0, [&](auto instr) { sssp_delta_push(g, 0, delta, instr); },
+        [&](auto instr) { sssp_delta_push(g, 0, delta, instr); }));
+    cols.push_back(measure(
+        "Pull", 1.0, [&](auto instr) { sssp_delta_pull(g, 0, delta, instr); },
+        [&](auto instr) { sssp_delta_pull(g, 0, delta, instr); }));
+    print_event_table("SSSP-D, " + gname + "* (total)", cols);
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Conflict-free scheduling via graph coloring (§3.6's motivating
+// application): tasks that share a resource cannot run in the same slot.
+//
+// Builds a conflict graph, colors it with every strategy the library offers
+// (Boman push/pull, FE, GS, GrS, CR, sequential greedy), and reports slots
+// used, iterations and wall time — a live version of Figures 1/6b.
+#include <cstdio>
+
+#include "core/baselines/baselines.hpp"
+#include "core/coloring.hpp"
+#include "graph/generators.hpp"
+#include "util/timer.hpp"
+
+using namespace pushpull;
+
+namespace {
+
+void report(const char* name, const ColoringResult& r, const Csr& g, double ms) {
+  const bool ok = baseline::is_proper_coloring(g, r.color);
+  std::printf("  %-12s %3d slots   %4d iterations   %7.2f ms   %s\n", name,
+              r.colors_used, r.iterations, ms, ok ? "valid" : "INVALID!");
+}
+
+}  // namespace
+
+int main() {
+  // Conflict graph: 20k tasks; task i conflicts with ~16 others, with a few
+  // heavily shared resources (hubs) — an RMAT-style skew is typical for
+  // resource-conflict graphs.
+  const vid_t n = 1 << 14;
+  Csr g = make_undirected(n, rmat_edges(14, 8, /*seed=*/2024));
+  std::printf("conflict graph: %d tasks, %lld conflicts, max conflicts per task %d\n",
+              g.n(), static_cast<long long>(g.m_undirected()), g.max_degree());
+  std::printf("\nscheduling (color = time slot):\n");
+
+  {
+    WallTimer t;
+    const auto color = baseline::greedy_coloring(g);
+    ColoringResult r;
+    r.color = color;
+    r.iterations = 1;
+    for (int c : color) r.colors_used = std::max(r.colors_used, c + 1);
+    report("greedy(seq)", r, g, t.elapsed_ms());
+  }
+
+  ColoringOptions opt;
+  opt.max_iterations = 500;
+  {
+    WallTimer t;
+    const auto r = boman_color_push(g, opt);
+    report("boman-push", r, g, t.elapsed_ms());
+  }
+  {
+    WallTimer t;
+    const auto r = boman_color_pull(g, opt);
+    report("boman-pull", r, g, t.elapsed_ms());
+  }
+  ColoringOptions fe_opt;
+  fe_opt.max_iterations = 8 * n;
+  {
+    WallTimer t;
+    const auto r = fe_color(g, Direction::Push, fe_opt);
+    report("FE-push", r, g, t.elapsed_ms());
+  }
+  {
+    WallTimer t;
+    const auto r = fe_color(g, Direction::Pull, fe_opt);
+    report("FE-pull", r, g, t.elapsed_ms());
+  }
+  {
+    WallTimer t;
+    const auto r = gs_color(g, fe_opt);
+    report("GS", r, g, t.elapsed_ms());
+  }
+  {
+    WallTimer t;
+    const auto r = grs_color(g, fe_opt);
+    report("GrS", r, g, t.elapsed_ms());
+  }
+  {
+    WallTimer t;
+    const auto r = cr_color(g, opt);
+    report("CR", r, g, t.elapsed_ms());
+  }
+  std::printf("\nfewer slots = shorter schedule; fewer iterations = faster to "
+              "compute. GrS/CR trade a few slots for far fewer rounds.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Quickstart: build a graph, pick a direction, run the core algorithms.
+//
+//   $ ./build/examples/quickstart
+//
+// Covers the essentials of the public API: generators → CSR, PageRank in
+// both directions, direction-optimizing BFS, and the instrumentation layer
+// that reports why push and pull behave differently.
+#include <cstdio>
+
+#include "core/bfs.hpp"
+#include "core/pagerank.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+#include "perf/instr.hpp"
+
+using namespace pushpull;
+
+int main() {
+  // 1. Generate a small-world graph and build its CSR (sorted, symmetric).
+  const vid_t n = 4096;
+  Csr g = make_undirected(n, watts_strogatz_edges(n, 4, 0.1, /*seed=*/7));
+  const GraphStats stats = compute_stats(g);
+  std::printf("graph: n=%d m=%lld d_avg=%.2f D~%d\n", stats.n,
+              static_cast<long long>(stats.m_undirected), stats.avg_degree,
+              stats.pseudo_diameter);
+
+  // 2. PageRank, both directions — same ranks, different synchronization.
+  PageRankOptions opt;
+  opt.iterations = 30;
+  const auto ranks_pull = pagerank_pull(g, opt);
+  const auto ranks_push = pagerank_push(g, opt);
+  double max_diff = 0;
+  for (std::size_t v = 0; v < ranks_pull.size(); ++v) {
+    max_diff = std::max(max_diff, std::abs(ranks_pull[v] - ranks_push[v]));
+  }
+  std::printf("pagerank: push vs pull max |diff| = %.2e (agree)\n", max_diff);
+
+  // 3. Why they differ in cost: count the operations.
+  PerfCounters counters(omp_get_max_threads());
+  pagerank_push(g, opt, CountingInstr(counters));
+  const auto push_ops = counters.total();
+  counters.reset();
+  pagerank_pull(g, opt, CountingInstr(counters));
+  const auto pull_ops = counters.total();
+  std::printf("pagerank push: %llu lock-accounted float updates\n",
+              static_cast<unsigned long long>(push_ops.locks));
+  std::printf("pagerank pull: %llu locks, %llu reads (the push-pull tradeoff)\n",
+              static_cast<unsigned long long>(pull_ops.locks),
+              static_cast<unsigned long long>(pull_ops.reads));
+
+  // 4. BFS with automatic direction switching (Beamer-style Generic-Switch).
+  const BfsResult bfs = bfs_direction_optimizing(g, /*root=*/0);
+  int pull_levels = 0;
+  for (Direction d : bfs.level_dirs) pull_levels += d == Direction::Pull;
+  std::printf("bfs: %d levels, %d ran bottom-up (pull)\n", bfs.levels, pull_levels);
+  return 0;
+}

@@ -1,0 +1,226 @@
+#include "core/baselines/baselines.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stack>
+
+#include "core/baselines/union_find.hpp"
+#include "util/check.hpp"
+
+namespace pushpull::baseline {
+
+BfsRef bfs(const Csr& g, vid_t root) {
+  BfsRef r;
+  r.dist.assign(static_cast<std::size_t>(g.n()), -1);
+  r.parent.assign(static_cast<std::size_t>(g.n()), -1);
+  PP_CHECK(root >= 0 && root < g.n());
+  std::queue<vid_t> q;
+  r.dist[static_cast<std::size_t>(root)] = 0;
+  q.push(root);
+  while (!q.empty()) {
+    const vid_t v = q.front();
+    q.pop();
+    for (vid_t u : g.neighbors(v)) {
+      if (r.dist[static_cast<std::size_t>(u)] < 0) {
+        r.dist[static_cast<std::size_t>(u)] = r.dist[static_cast<std::size_t>(v)] + 1;
+        r.parent[static_cast<std::size_t>(u)] = v;
+        q.push(u);
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<weight_t> dijkstra(const Csr& g, vid_t src) {
+  PP_CHECK(g.has_weights());
+  PP_CHECK(src >= 0 && src < g.n());
+  std::vector<weight_t> dist(static_cast<std::size_t>(g.n()), kInfWeight);
+  using Entry = std::pair<weight_t, vid_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[static_cast<std::size_t>(src)] = 0;
+  pq.emplace(0.0f, src);
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<std::size_t>(v)]) continue;
+    const auto nb = g.neighbors(v);
+    const auto w = g.weights(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const weight_t nd = d + w[i];
+      if (nd < dist[static_cast<std::size_t>(nb[i])]) {
+        dist[static_cast<std::size_t>(nb[i])] = nd;
+        pq.emplace(nd, nb[i]);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<weight_t> bellman_ford(const Csr& g, vid_t src) {
+  PP_CHECK(g.has_weights());
+  std::vector<weight_t> dist(static_cast<std::size_t>(g.n()), kInfWeight);
+  dist[static_cast<std::size_t>(src)] = 0;
+  for (vid_t round = 0; round + 1 < g.n(); ++round) {
+    bool changed = false;
+    for (vid_t v = 0; v < g.n(); ++v) {
+      if (dist[static_cast<std::size_t>(v)] == kInfWeight) continue;
+      const auto nb = g.neighbors(v);
+      const auto w = g.weights(v);
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        const weight_t nd = dist[static_cast<std::size_t>(v)] + w[i];
+        if (nd < dist[static_cast<std::size_t>(nb[i])]) {
+          dist[static_cast<std::size_t>(nb[i])] = nd;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+double kruskal_msf_weight(const Csr& g) {
+  PP_CHECK(g.has_weights());
+  struct E {
+    weight_t w;
+    vid_t u, v;
+  };
+  std::vector<E> edges;
+  edges.reserve(static_cast<std::size_t>(g.num_arcs() / 2));
+  for (vid_t v = 0; v < g.n(); ++v) {
+    const auto nb = g.neighbors(v);
+    const auto w = g.weights(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      if (v < nb[i]) edges.push_back(E{w[i], v, nb[i]});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const E& a, const E& b) { return a.w < b.w; });
+  UnionFind uf(g.n());
+  double total = 0.0;
+  for (const E& e : edges) {
+    if (uf.unite(e.u, e.v)) total += e.w;
+  }
+  return total;
+}
+
+double prim_msf_weight(const Csr& g) {
+  PP_CHECK(g.has_weights());
+  const vid_t n = g.n();
+  std::vector<bool> in_tree(static_cast<std::size_t>(n), false);
+  double total = 0.0;
+  using Entry = std::pair<weight_t, vid_t>;
+  for (vid_t root = 0; root < n; ++root) {
+    if (in_tree[static_cast<std::size_t>(root)]) continue;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+    in_tree[static_cast<std::size_t>(root)] = true;
+    auto relax = [&](vid_t v) {
+      const auto nb = g.neighbors(v);
+      const auto w = g.weights(v);
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        if (!in_tree[static_cast<std::size_t>(nb[i])]) pq.emplace(w[i], nb[i]);
+      }
+    };
+    relax(root);
+    while (!pq.empty()) {
+      const auto [w, v] = pq.top();
+      pq.pop();
+      if (in_tree[static_cast<std::size_t>(v)]) continue;
+      in_tree[static_cast<std::size_t>(v)] = true;
+      total += w;
+      relax(v);
+    }
+  }
+  return total;
+}
+
+std::vector<int> greedy_coloring(const Csr& g) {
+  std::vector<int> color(static_cast<std::size_t>(g.n()), -1);
+  std::vector<int> mark(static_cast<std::size_t>(g.max_degree()) + 2, -1);
+  for (vid_t v = 0; v < g.n(); ++v) {
+    for (vid_t u : g.neighbors(v)) {
+      const int cu = color[static_cast<std::size_t>(u)];
+      if (cu >= 0 && cu < static_cast<int>(mark.size())) mark[static_cast<std::size_t>(cu)] = v;
+    }
+    int c = 0;
+    while (mark[static_cast<std::size_t>(c)] == v) ++c;
+    color[static_cast<std::size_t>(v)] = c;
+  }
+  return color;
+}
+
+bool is_proper_coloring(const Csr& g, const std::vector<int>& color) {
+  if (color.size() != static_cast<std::size_t>(g.n())) return false;
+  for (vid_t v = 0; v < g.n(); ++v) {
+    if (color[static_cast<std::size_t>(v)] < 0) return false;
+    for (vid_t u : g.neighbors(v)) {
+      if (u != v && color[static_cast<std::size_t>(u)] == color[static_cast<std::size_t>(v)]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<std::int64_t> brute_force_triangles(const Csr& g) {
+  std::vector<std::int64_t> tc(static_cast<std::size_t>(g.n()), 0);
+  for (vid_t v = 0; v < g.n(); ++v) {
+    const auto nb = g.neighbors(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      for (std::size_t j = i + 1; j < nb.size(); ++j) {
+        if (g.has_edge(nb[i], nb[j])) ++tc[static_cast<std::size_t>(v)];
+      }
+    }
+  }
+  return tc;
+}
+
+std::vector<double> brandes_bc(const Csr& g) {
+  const vid_t n = g.n();
+  std::vector<double> bc(static_cast<std::size_t>(n), 0.0);
+  std::vector<vid_t> dist(static_cast<std::size_t>(n));
+  std::vector<double> sigma(static_cast<std::size_t>(n));
+  std::vector<double> delta(static_cast<std::size_t>(n));
+  std::vector<vid_t> order;  // vertices in non-decreasing BFS distance
+  order.reserve(static_cast<std::size_t>(n));
+  for (vid_t s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), vid_t{-1});
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    order.clear();
+    dist[static_cast<std::size_t>(s)] = 0;
+    sigma[static_cast<std::size_t>(s)] = 1.0;
+    std::queue<vid_t> q;
+    q.push(s);
+    while (!q.empty()) {
+      const vid_t v = q.front();
+      q.pop();
+      order.push_back(v);
+      for (vid_t u : g.neighbors(v)) {
+        if (dist[static_cast<std::size_t>(u)] < 0) {
+          dist[static_cast<std::size_t>(u)] = dist[static_cast<std::size_t>(v)] + 1;
+          q.push(u);
+        }
+        if (dist[static_cast<std::size_t>(u)] == dist[static_cast<std::size_t>(v)] + 1) {
+          sigma[static_cast<std::size_t>(u)] += sigma[static_cast<std::size_t>(v)];
+        }
+      }
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const vid_t w = *it;
+      for (vid_t v : g.neighbors(w)) {
+        if (dist[static_cast<std::size_t>(v)] + 1 == dist[static_cast<std::size_t>(w)]) {
+          delta[static_cast<std::size_t>(v)] +=
+              sigma[static_cast<std::size_t>(v)] / sigma[static_cast<std::size_t>(w)] *
+              (1.0 + delta[static_cast<std::size_t>(w)]);
+        }
+      }
+      if (w != s) bc[static_cast<std::size_t>(w)] += delta[static_cast<std::size_t>(w)];
+    }
+  }
+  // Undirected: each pair (s,t) was counted twice.
+  for (double& x : bc) x /= 2.0;
+  return bc;
+}
+
+}  // namespace pushpull::baseline

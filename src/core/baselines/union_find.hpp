@@ -1,0 +1,51 @@
+// Union-find (disjoint set union) with path halving and union by size.
+// Substrate for Kruskal and for the Boruvka merge phase.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/check.hpp"
+
+namespace pushpull {
+
+class UnionFind {
+ public:
+  explicit UnionFind(vid_t n)
+      : parent_(static_cast<std::size_t>(n)), size_(static_cast<std::size_t>(n), 1) {
+    std::iota(parent_.begin(), parent_.end(), vid_t{0});
+  }
+
+  vid_t find(vid_t v) noexcept {
+    while (parent_[static_cast<std::size_t>(v)] != v) {
+      // Path halving.
+      parent_[static_cast<std::size_t>(v)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(v)])];
+      v = parent_[static_cast<std::size_t>(v)];
+    }
+    return v;
+  }
+
+  // Returns true if u and v were in different sets (and are now merged).
+  bool unite(vid_t u, vid_t v) noexcept {
+    vid_t ru = find(u), rv = find(v);
+    if (ru == rv) return false;
+    if (size_[static_cast<std::size_t>(ru)] < size_[static_cast<std::size_t>(rv)]) {
+      std::swap(ru, rv);
+    }
+    parent_[static_cast<std::size_t>(rv)] = ru;
+    size_[static_cast<std::size_t>(ru)] += size_[static_cast<std::size_t>(rv)];
+    return true;
+  }
+
+  bool same(vid_t u, vid_t v) noexcept { return find(u) == find(v); }
+
+  vid_t set_size(vid_t v) noexcept { return size_[static_cast<std::size_t>(find(v))]; }
+
+ private:
+  std::vector<vid_t> parent_;
+  std::vector<vid_t> size_;
+};
+
+}  // namespace pushpull

@@ -1,0 +1,200 @@
+// Betweenness Centrality (§3.5, §4.5, Algorithm 5) — parallel Brandes.
+//
+// For each source s, a forward level-synchronous BFS computes shortest-path
+// counts σ, then a backward sweep over the BFS levels accumulates the
+// dependencies δ_s(v) = Σ_{w: v ∈ pred(s,w)} σ_sv/σ_sw · (1 + δ_s(w)).
+//
+// Both phases exist in push and pull flavors:
+//   forward push  — frontier vertices claim unvisited neighbors with CAS and
+//                   add σ contributions with integer FAA (atomics),
+//   forward pull  — unvisited vertices adopt the level and sum σ from their
+//                   frontier neighbors (thread-private writes, no atomics),
+//   backward push — each vertex pushes partial centrality to its
+//                   predecessors; the accumuland is a float, so each update
+//                   is a lock-accounted CAS loop (the paper's key point:
+//                   pushing turns int conflicts into float conflicts here),
+//   backward pull — each vertex pulls partial centrality from its successors
+//                   (reads only, writes its own δ).
+#pragma once
+
+#include <omp.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/direction.hpp"
+#include "core/frontier.hpp"
+#include "graph/csr.hpp"
+#include "perf/instr.hpp"
+#include "sync/atomics.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace pushpull {
+
+struct BcOptions {
+  // Sources to process; empty = all vertices (exact BC).
+  std::vector<vid_t> sources;
+  Direction forward = Direction::Push;
+  Direction backward = Direction::Push;
+};
+
+struct BcResult {
+  std::vector<double> bc;
+  double forward_s = 0.0;   // total time in the first (counting) BFS phase
+  double backward_s = 0.0;  // total time in the second (accumulation) phase
+};
+
+template <class Instr = NullInstr>
+BcResult betweenness_centrality(const Csr& g, const BcOptions& opt = {},
+                                Instr instr = {}) {
+  const vid_t n = g.n();
+  BcResult result;
+  result.bc.assign(static_cast<std::size_t>(n), 0.0);
+  if (n == 0) return result;
+
+  std::vector<vid_t> sources = opt.sources;
+  if (sources.empty()) {
+    sources.resize(static_cast<std::size_t>(n));
+    for (vid_t v = 0; v < n; ++v) sources[static_cast<std::size_t>(v)] = v;
+  }
+
+  std::vector<vid_t> dist(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> sigma(static_cast<std::size_t>(n));
+  std::vector<double> delta(static_cast<std::size_t>(n));
+  std::vector<std::vector<vid_t>> levels;
+  FrontierBuffers buffers(omp_get_max_threads());
+
+  for (vid_t s : sources) {
+    PP_CHECK(s >= 0 && s < n);
+    // ----- Phase 1: forward BFS computing σ ------------------------------
+    WallTimer fwd_timer;
+    std::fill(dist.begin(), dist.end(), vid_t{-1});
+    std::fill(sigma.begin(), sigma.end(), std::int64_t{0});
+    dist[static_cast<std::size_t>(s)] = 0;
+    sigma[static_cast<std::size_t>(s)] = 1;
+    levels.clear();
+    levels.push_back({s});
+
+    vid_t level = 0;
+    while (!levels.back().empty()) {
+      const std::vector<vid_t>& frontier = levels.back();
+      ++level;
+      if (opt.forward == Direction::Push) {
+#pragma omp parallel for schedule(dynamic, 64)
+        for (std::size_t i = 0; i < frontier.size(); ++i) {
+          instr.code_region(60);
+          const vid_t v = frontier[i];
+          for (vid_t u : g.neighbors(v)) {
+            instr.branch_cond();
+            vid_t du = atomic_load(dist[static_cast<std::size_t>(u)]);
+            if (du == -1) {
+              vid_t expected = -1;
+              instr.atomic(&dist[static_cast<std::size_t>(u)], sizeof(vid_t));
+              if (cas(dist[static_cast<std::size_t>(u)], expected, level)) {
+                buffers.push_local(u);
+              }
+              du = atomic_load(dist[static_cast<std::size_t>(u)]);
+            }
+            if (du == level) {
+              // Integer path-count accumulation → FAA (⇐pred, §4.5).
+              instr.atomic(&sigma[static_cast<std::size_t>(u)],
+                           sizeof(std::int64_t));
+              faa(sigma[static_cast<std::size_t>(u)],
+                  sigma[static_cast<std::size_t>(v)]);
+            }
+          }
+        }
+      } else {
+#pragma omp parallel for schedule(dynamic, 256)
+        for (vid_t v = 0; v < n; ++v) {
+          instr.code_region(61);
+          if (dist[static_cast<std::size_t>(v)] != -1) continue;
+          std::int64_t paths = 0;
+          for (vid_t u : g.neighbors(v)) {
+            instr.read(&dist[static_cast<std::size_t>(u)], sizeof(vid_t));
+            instr.branch_cond();
+            if (atomic_load(dist[static_cast<std::size_t>(u)]) == level - 1) {
+              instr.read(&sigma[static_cast<std::size_t>(u)], sizeof(std::int64_t));
+              paths += sigma[static_cast<std::size_t>(u)];
+            }
+          }
+          if (paths > 0) {
+            // Thread-private writes: v is owned by the iterating thread.
+            instr.write(&dist[static_cast<std::size_t>(v)], sizeof(vid_t));
+            instr.write(&sigma[static_cast<std::size_t>(v)], sizeof(std::int64_t));
+            dist[static_cast<std::size_t>(v)] = level;
+            sigma[static_cast<std::size_t>(v)] = paths;
+            buffers.push_local(v);
+          }
+        }
+      }
+      levels.emplace_back();
+      buffers.merge_into(levels.back());
+    }
+    levels.pop_back();  // drop the empty terminating frontier
+    result.forward_s += fwd_timer.elapsed_s();
+
+    // ----- Phase 2: backward dependency accumulation ----------------------
+    WallTimer bwd_timer;
+    std::fill(delta.begin(), delta.end(), 0.0);
+    for (int l = static_cast<int>(levels.size()) - 2; l >= 0; --l) {
+      if (opt.backward == Direction::Pull) {
+        const std::vector<vid_t>& lvl = levels[static_cast<std::size_t>(l)];
+#pragma omp parallel for schedule(dynamic, 64)
+        for (std::size_t i = 0; i < lvl.size(); ++i) {
+          instr.code_region(62);
+          const vid_t v = lvl[i];
+          double acc = 0.0;
+          for (vid_t u : g.neighbors(v)) {
+            instr.read(&dist[static_cast<std::size_t>(u)], sizeof(vid_t));
+            instr.branch_cond();
+            if (dist[static_cast<std::size_t>(u)] == l + 1) {
+              instr.read(&delta[static_cast<std::size_t>(u)], sizeof(double));
+              acc += static_cast<double>(sigma[static_cast<std::size_t>(v)]) /
+                     static_cast<double>(sigma[static_cast<std::size_t>(u)]) *
+                     (1.0 + delta[static_cast<std::size_t>(u)]);
+            }
+          }
+          instr.write(&delta[static_cast<std::size_t>(v)], sizeof(double));
+          delta[static_cast<std::size_t>(v)] += acc;
+        }
+      } else {
+        const std::vector<vid_t>& lvl = levels[static_cast<std::size_t>(l) + 1];
+#pragma omp parallel for schedule(dynamic, 64)
+        for (std::size_t i = 0; i < lvl.size(); ++i) {
+          instr.code_region(63);
+          const vid_t w = lvl[i];
+          const double contrib_base =
+              (1.0 + delta[static_cast<std::size_t>(w)]) /
+              static_cast<double>(sigma[static_cast<std::size_t>(w)]);
+          for (vid_t v : g.neighbors(w)) {
+            instr.read(&dist[static_cast<std::size_t>(v)], sizeof(vid_t));
+            instr.branch_cond();
+            if (dist[static_cast<std::size_t>(v)] == l) {
+              // Float write conflict → lock-accounted CAS loop (§4.5).
+              instr.lock(&delta[static_cast<std::size_t>(v)]);
+              atomic_add(delta[static_cast<std::size_t>(v)],
+                         static_cast<double>(sigma[static_cast<std::size_t>(v)]) *
+                             contrib_base);
+            }
+          }
+        }
+      }
+    }
+#pragma omp parallel for schedule(static)
+    for (vid_t v = 0; v < n; ++v) {
+      if (v != s) result.bc[static_cast<std::size_t>(v)] += delta[static_cast<std::size_t>(v)];
+    }
+    result.backward_s += bwd_timer.elapsed_s();
+  }
+
+  // Undirected graphs: each (s, t) pair contributes twice.
+  const bool exact_all_sources = sources.size() == static_cast<std::size_t>(n);
+  if (exact_all_sources) {
+    for (double& x : result.bc) x /= 2.0;
+  }
+  return result;
+}
+
+}  // namespace pushpull

@@ -1,0 +1,40 @@
+#include "core/bfs.hpp"
+
+namespace pushpull {
+
+bool validate_bfs(const Csr& g, vid_t root, const BfsResult& r) {
+  const vid_t n = g.n();
+  if (r.dist.size() != static_cast<std::size_t>(n) ||
+      r.parent.size() != static_cast<std::size_t>(n)) {
+    return false;
+  }
+  if (r.dist[static_cast<std::size_t>(root)] != 0) return false;
+  if (r.parent[static_cast<std::size_t>(root)] != -1) return false;
+  for (vid_t v = 0; v < n; ++v) {
+    const vid_t dv = r.dist[static_cast<std::size_t>(v)];
+    const vid_t pv = r.parent[static_cast<std::size_t>(v)];
+    if (dv < 0) {
+      // Unreachable vertices must have no parent and no reachable neighbor.
+      if (pv != -1) return false;
+      for (vid_t u : g.neighbors(v)) {
+        if (r.dist[static_cast<std::size_t>(u)] >= 0) return false;
+      }
+      continue;
+    }
+    if (v != root) {
+      // Parent edge must exist and be exactly one level up.
+      if (pv < 0 || pv >= n) return false;
+      if (!g.has_edge(pv, v)) return false;
+      if (r.dist[static_cast<std::size_t>(pv)] != dv - 1) return false;
+    }
+    // No edge may skip a level.
+    for (vid_t u : g.neighbors(v)) {
+      const vid_t du = r.dist[static_cast<std::size_t>(u)];
+      if (du < 0) return false;  // neighbor of reachable vertex is reachable
+      if (du > dv + 1 || dv > du + 1) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pushpull

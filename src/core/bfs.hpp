@@ -1,0 +1,211 @@
+// Breadth-First Search (§3.3, §4.3, Algorithm 3).
+//
+//   push — the classical top-down BFS: threads expand the frontier and claim
+//          unvisited neighbors with CAS (integer atomics, O(m) of them).
+//   pull — the bottom-up BFS: every unvisited vertex scans its neighbors for
+//          a parent in the frontier; writes are thread-private (no atomics)
+//          at the price of O(D·m) read conflicts.
+//   direction-optimizing — the Beamer-style switch (an instance of the
+//          paper's Generic-Switch strategy, §5): top-down while the frontier
+//          is small, bottom-up when the frontier's out-edge count exceeds
+//          m/alpha, back to top-down when the frontier shrinks below n/beta.
+#pragma once
+
+#include <omp.h>
+
+#include <vector>
+
+#include "core/direction.hpp"
+#include "core/frontier.hpp"
+#include "graph/csr.hpp"
+#include "perf/instr.hpp"
+#include "sync/atomics.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace pushpull {
+
+struct BfsResult {
+  std::vector<vid_t> dist;    // hop distance; -1 = unreachable
+  std::vector<vid_t> parent;  // BFS-tree parent; -1 = root/unreachable
+  int levels = 0;             // number of non-empty frontiers processed
+  std::vector<double> level_times;  // wall seconds per level
+  std::vector<Direction> level_dirs;  // direction used per level
+};
+
+// --- Top-down (push) ---------------------------------------------------------
+
+template <class Instr = NullInstr>
+BfsResult bfs_push(const Csr& g, vid_t root, Instr instr = {}) {
+  const vid_t n = g.n();
+  PP_CHECK(root >= 0 && root < n);
+  BfsResult r;
+  r.dist.assign(static_cast<std::size_t>(n), -1);
+  r.parent.assign(static_cast<std::size_t>(n), -1);
+  r.dist[static_cast<std::size_t>(root)] = 0;
+
+  FrontierBuffers buffers(omp_get_max_threads());
+  std::vector<vid_t> frontier{root};
+  vid_t level = 0;
+  while (!frontier.empty()) {
+    WallTimer timer;
+    ++level;
+#pragma omp parallel for schedule(dynamic, 64)
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      instr.code_region(10);
+      const vid_t v = frontier[i];
+      for (vid_t u : g.neighbors(v)) {
+        instr.read(&r.dist[static_cast<std::size_t>(u)], sizeof(vid_t));
+        instr.branch_cond();
+        if (atomic_load(r.dist[static_cast<std::size_t>(u)]) >= 0) continue;
+        // Claim u with a CAS; exactly one pushing thread wins.
+        vid_t expected = -1;
+        instr.atomic(&r.dist[static_cast<std::size_t>(u)], sizeof(vid_t));
+        if (cas(r.dist[static_cast<std::size_t>(u)], expected, level)) {
+          instr.write(&r.parent[static_cast<std::size_t>(u)], sizeof(vid_t));
+          r.parent[static_cast<std::size_t>(u)] = v;
+          buffers.push_local(u);
+        }
+      }
+    }
+    buffers.merge_into(frontier);
+    r.level_times.push_back(timer.elapsed_s());
+    r.level_dirs.push_back(Direction::Push);
+    ++r.levels;
+  }
+  return r;
+}
+
+// --- Bottom-up (pull) ----------------------------------------------------------
+
+template <class Instr = NullInstr>
+BfsResult bfs_pull(const Csr& g, vid_t root, Instr instr = {}) {
+  const vid_t n = g.n();
+  PP_CHECK(root >= 0 && root < n);
+  BfsResult r;
+  r.dist.assign(static_cast<std::size_t>(n), -1);
+  r.parent.assign(static_cast<std::size_t>(n), -1);
+  r.dist[static_cast<std::size_t>(root)] = 0;
+
+  vid_t level = 0;
+  bool advanced = true;
+  while (advanced) {
+    WallTimer timer;
+    advanced = false;
+    ++level;
+    bool any = false;
+#pragma omp parallel for schedule(dynamic, 256) reduction(|| : any)
+    for (vid_t v = 0; v < n; ++v) {
+      instr.code_region(11);
+      if (r.dist[static_cast<std::size_t>(v)] >= 0) continue;
+      for (vid_t u : g.neighbors(v)) {
+        // Read conflict: u's distance is owned by another thread.
+        instr.read(&r.dist[static_cast<std::size_t>(u)], sizeof(vid_t));
+        instr.branch_cond();
+        if (r.dist[static_cast<std::size_t>(u)] == level - 1) {
+          // Thread-private writes: v is owned by the iterating thread.
+          instr.write(&r.dist[static_cast<std::size_t>(v)], sizeof(vid_t));
+          instr.write(&r.parent[static_cast<std::size_t>(v)], sizeof(vid_t));
+          r.dist[static_cast<std::size_t>(v)] = level;
+          r.parent[static_cast<std::size_t>(v)] = u;
+          any = true;
+          break;
+        }
+      }
+    }
+    advanced = any;
+    if (advanced) {
+      r.level_times.push_back(timer.elapsed_s());
+      r.level_dirs.push_back(Direction::Pull);
+      ++r.levels;
+    }
+  }
+  return r;
+}
+
+// --- Direction-optimizing (Generic-Switch) -------------------------------------
+
+struct DirOptParams {
+  double alpha = 14.0;  // push→pull when frontier out-edges > m/alpha
+  double beta = 24.0;   // pull→push when frontier size < n/beta
+};
+
+template <class Instr = NullInstr>
+BfsResult bfs_direction_optimizing(const Csr& g, vid_t root,
+                                   const DirOptParams& p = {}, Instr instr = {}) {
+  const vid_t n = g.n();
+  PP_CHECK(root >= 0 && root < n);
+  BfsResult r;
+  r.dist.assign(static_cast<std::size_t>(n), -1);
+  r.parent.assign(static_cast<std::size_t>(n), -1);
+  r.dist[static_cast<std::size_t>(root)] = 0;
+
+  FrontierBuffers buffers(omp_get_max_threads());
+  std::vector<vid_t> frontier{root};
+  double frontier_out_edges = g.degree(root);
+  SwitchController ctl(p.alpha, p.beta, Direction::Push);
+  vid_t level = 0;
+
+  while (!frontier.empty()) {
+    WallTimer timer;
+    ++level;
+    const Direction dir =
+        ctl.step(frontier_out_edges, static_cast<double>(g.num_arcs()),
+                 static_cast<double>(frontier.size()), static_cast<double>(n));
+    if (dir == Direction::Push) {
+#pragma omp parallel for schedule(dynamic, 64)
+      for (std::size_t i = 0; i < frontier.size(); ++i) {
+        instr.code_region(12);
+        const vid_t v = frontier[i];
+        for (vid_t u : g.neighbors(v)) {
+          instr.branch_cond();
+          if (atomic_load(r.dist[static_cast<std::size_t>(u)]) >= 0) continue;
+          vid_t expected = -1;
+          instr.atomic(&r.dist[static_cast<std::size_t>(u)], sizeof(vid_t));
+          if (cas(r.dist[static_cast<std::size_t>(u)], expected, level)) {
+            r.parent[static_cast<std::size_t>(u)] = v;
+            buffers.push_local(u);
+          }
+        }
+      }
+      buffers.merge_into(frontier);
+    } else {
+      // Bottom-up step: recompute the frontier as "vertices at `level`".
+#pragma omp parallel
+      {
+#pragma omp for schedule(dynamic, 256)
+        for (vid_t v = 0; v < n; ++v) {
+          instr.code_region(13);
+          if (r.dist[static_cast<std::size_t>(v)] >= 0) continue;
+          for (vid_t u : g.neighbors(v)) {
+            instr.read(&r.dist[static_cast<std::size_t>(u)], sizeof(vid_t));
+            instr.branch_cond();
+            if (r.dist[static_cast<std::size_t>(u)] == level - 1) {
+              r.dist[static_cast<std::size_t>(v)] = level;
+              r.parent[static_cast<std::size_t>(v)] = u;
+              buffers.push_local(v);
+              break;
+            }
+          }
+        }
+      }
+      buffers.merge_into(frontier);
+    }
+    frontier_out_edges = 0;
+#pragma omp parallel for reduction(+ : frontier_out_edges) schedule(static)
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      frontier_out_edges += g.degree(frontier[i]);
+    }
+    r.level_times.push_back(timer.elapsed_s());
+    r.level_dirs.push_back(dir);
+    ++r.levels;
+  }
+  return r;
+}
+
+// Validates a BFS result against graph structure: distances are consistent
+// along tree edges, every edge differs by at most one level, reachability
+// matches. Returns true if the tree is a valid BFS tree.
+bool validate_bfs(const Csr& g, vid_t root, const BfsResult& r);
+
+}  // namespace pushpull

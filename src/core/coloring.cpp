@@ -1,0 +1,247 @@
+#include "core/coloring.hpp"
+
+#include <algorithm>
+
+#include "core/baselines/baselines.hpp"
+#include "core/frontier.hpp"
+
+namespace pushpull {
+
+namespace detail {
+
+int resolve_max_colors(const Csr& g, const ColoringOptions& opt) {
+  if (opt.max_colors > 0) return opt.max_colors;
+  // Greedy needs at most d̂+1 colors; each conflict iteration can strike one
+  // more availability bit, hence the + L headroom.
+  const long long auto_c = static_cast<long long>(g.max_degree()) +
+                           static_cast<long long>(opt.max_iterations) + 2;
+  return static_cast<int>(std::min<long long>(auto_c, std::max<long long>(g.n(), 1)));
+}
+
+int resolve_partitions(const ColoringOptions& opt) {
+  return opt.num_partitions > 0 ? opt.num_partitions : omp_get_max_threads();
+}
+
+namespace {
+
+// Greedy maximal independent set in vertex order; members get color 0.
+std::vector<vid_t> seed_stable_set(const Csr& g, std::vector<int>& color) {
+  std::vector<vid_t> set;
+  for (vid_t v = 0; v < g.n(); ++v) {
+    bool free = true;
+    for (vid_t u : g.neighbors(v)) {
+      if (color[static_cast<std::size_t>(u)] == 0) {
+        free = false;
+        break;
+      }
+    }
+    if (free) {
+      color[static_cast<std::size_t>(v)] = 0;
+      set.push_back(v);
+    }
+  }
+  return set;
+}
+
+// First-fit color respecting the current (partial) coloring.
+int first_fit(const Csr& g, const std::vector<int>& color, vid_t v,
+              std::vector<int>& mark, int stamp) {
+  for (vid_t u : g.neighbors(v)) {
+    const int cu = color[static_cast<std::size_t>(u)];
+    if (cu >= 0 && cu < static_cast<int>(mark.size())) {
+      mark[static_cast<std::size_t>(cu)] = stamp;
+    }
+  }
+  int c = 0;
+  while (mark[static_cast<std::size_t>(c)] == stamp) ++c;
+  return c;
+}
+
+enum class FeMode { FixedPush, FixedPull, GenericSwitch, GreedySwitch };
+
+ColoringResult fe_engine(const Csr& g, FeMode mode, const ColoringOptions& opt) {
+  const vid_t n = g.n();
+  ColoringResult r;
+  r.color.assign(static_cast<std::size_t>(n), -1);
+  if (n == 0) return r;
+
+  std::vector<vid_t> frontier = seed_stable_set(g, r.color);
+  vid_t colored = static_cast<vid_t>(frontier.size());
+  int cur = 0;
+  Direction dir = mode == FeMode::FixedPull ? Direction::Pull : Direction::Push;
+  FrontierBuffers buffers(omp_get_max_threads());
+  std::vector<vid_t> newly;
+
+  while (colored < n) {
+    WallTimer iter_timer;
+    // Greedy-Switch: once the uncolored remainder is small, threads mostly
+    // fight over the same vertices — finish sequentially (§5, GrS).
+    if (mode == FeMode::GreedySwitch &&
+        static_cast<double>(n - colored) < opt.grs_threshold * n) {
+      std::vector<int> mark(static_cast<std::size_t>(g.max_degree()) + 2, -1);
+      int stamp = 0;
+      for (vid_t v = 0; v < n; ++v) {
+        if (r.color[static_cast<std::size_t>(v)] >= 0) continue;
+        r.color[static_cast<std::size_t>(v)] = first_fit(g, r.color, v, mark, stamp++);
+        ++colored;
+      }
+      r.iter_times.push_back(iter_timer.elapsed_s());
+      r.iter_conflicts.push_back(0);
+      ++r.iterations;
+      break;
+    }
+
+    const int wave_color = ++cur;
+    // Claim phase.
+    if (dir == Direction::Push) {
+#pragma omp parallel for schedule(dynamic, 64)
+      for (std::size_t i = 0; i < frontier.size(); ++i) {
+        const vid_t v = frontier[i];
+        for (vid_t u : g.neighbors(v)) {
+          int expected = -1;
+          if (atomic_load(r.color[static_cast<std::size_t>(u)]) == -1 &&
+              cas(r.color[static_cast<std::size_t>(u)], expected, wave_color)) {
+            buffers.push_local(u);
+          }
+        }
+      }
+    } else {
+#pragma omp parallel for schedule(dynamic, 256)
+      for (vid_t v = 0; v < n; ++v) {
+        if (r.color[static_cast<std::size_t>(v)] != -1) continue;
+        bool adjacent_to_frontier = false;
+        bool wave_color_taken = false;
+        for (vid_t u : g.neighbors(v)) {
+          const int cu = atomic_load(r.color[static_cast<std::size_t>(u)]);
+          if (cu == wave_color - 1) adjacent_to_frontier = true;
+          if (cu == wave_color) wave_color_taken = true;
+        }
+        // Pull claims its own color and, unlike push, can already avoid
+        // same-wave neighbors it observes — far fewer conflicts (§5, GS).
+        if (adjacent_to_frontier && !wave_color_taken) {
+          atomic_store(r.color[static_cast<std::size_t>(v)], wave_color);
+          buffers.push_local(v);
+        }
+      }
+    }
+    buffers.merge_into(newly);
+
+    // Disconnected remainder: seed the wave with the first uncolored vertex.
+    if (newly.empty()) {
+      for (vid_t v = 0; v < n; ++v) {
+        if (r.color[static_cast<std::size_t>(v)] == -1) {
+          r.color[static_cast<std::size_t>(v)] = wave_color;
+          newly.push_back(v);
+          break;
+        }
+      }
+    }
+
+    // Conflict fix among same-wave vertices: the larger id loses and is
+    // uncolored again (it re-enters via a later wave with a fresh color).
+    std::int64_t conflicts = 0;
+#pragma omp parallel for schedule(dynamic, 64) reduction(+ : conflicts)
+    for (std::size_t i = 0; i < newly.size(); ++i) {
+      const vid_t v = newly[i];
+      for (vid_t u : g.neighbors(v)) {
+        if (u < v &&
+            atomic_load(r.color[static_cast<std::size_t>(u)]) == wave_color) {
+          atomic_store(r.color[static_cast<std::size_t>(v)], -1);
+          ++conflicts;
+          break;
+        }
+      }
+    }
+
+    // Winners form the next frontier.
+    frontier.clear();
+    for (vid_t v : newly) {
+      if (r.color[static_cast<std::size_t>(v)] == wave_color) {
+        frontier.push_back(v);
+        ++colored;
+      }
+    }
+
+    r.iter_times.push_back(iter_timer.elapsed_s());
+    r.iter_conflicts.push_back(conflicts);
+    ++r.iterations;
+
+    if (mode == FeMode::GenericSwitch && dir == Direction::Push) {
+      // Switch once newly-colored vertices no longer dominate conflicts.
+      const double ratio = static_cast<double>(frontier.size()) /
+                           static_cast<double>(conflicts + 1);
+      if (ratio < opt.gs_ratio) dir = Direction::Pull;
+    }
+    PP_CHECK(r.iterations <= 4 * n + 16);  // progress guard
+  }
+
+  int max_c = -1;
+  for (int c : r.color) max_c = std::max(max_c, c);
+  r.colors_used = max_c + 1;
+  return r;
+}
+
+}  // namespace
+}  // namespace detail
+
+ColoringResult fe_color(const Csr& g, Direction dir, const ColoringOptions& opt) {
+  return detail::fe_engine(
+      g, dir == Direction::Push ? detail::FeMode::FixedPush : detail::FeMode::FixedPull,
+      opt);
+}
+
+ColoringResult gs_color(const Csr& g, const ColoringOptions& opt) {
+  return detail::fe_engine(g, detail::FeMode::GenericSwitch, opt);
+}
+
+ColoringResult grs_color(const Csr& g, const ColoringOptions& opt) {
+  return detail::fe_engine(g, detail::FeMode::GreedySwitch, opt);
+}
+
+ColoringResult cr_color(const Csr& g, const ColoringOptions& opt) {
+  const vid_t n = g.n();
+  const int nparts = detail::resolve_partitions(opt);
+  const Partition1D part(n, nparts);
+
+  ColoringResult r;
+  r.color.assign(static_cast<std::size_t>(n), -1);
+  WallTimer iter_timer;
+
+  // Step 1: color the border set sequentially — no conflicts can be created
+  // on cross-partition edges afterwards (both endpoints of any such edge are
+  // border vertices).
+  const std::vector<vid_t> border = border_vertices(g, part);
+  {
+    std::vector<int> mark(static_cast<std::size_t>(g.max_degree()) + 2, -1);
+    int stamp = 0;
+    for (vid_t v : border) {
+      r.color[static_cast<std::size_t>(v)] =
+          detail::first_fit(g, r.color, v, mark, stamp++);
+    }
+  }
+
+  // Step 2: every partition colors its interior in parallel; interior
+  // vertices have all neighbors inside the partition or in the (already
+  // colored, now read-only) border.
+#pragma omp parallel num_threads(nparts)
+  {
+    const int t = omp_get_thread_num();
+    std::vector<int> mark(static_cast<std::size_t>(g.max_degree()) + 2, -1);
+    int stamp = 0;
+    for (vid_t v = part.begin(t); v < part.end(t); ++v) {
+      if (r.color[static_cast<std::size_t>(v)] >= 0) continue;
+      r.color[static_cast<std::size_t>(v)] =
+          detail::first_fit(g, r.color, v, mark, stamp++);
+    }
+  }
+
+  r.iter_times.push_back(iter_timer.elapsed_s());
+  r.iter_conflicts.push_back(0);
+  r.iterations = 1;
+  int max_c = -1;
+  for (int c : r.color) max_c = std::max(max_c, c);
+  r.colors_used = max_c + 1;
+  return r;
+}
+
+}  // namespace pushpull

@@ -1,0 +1,247 @@
+// Graph coloring (§3.6, §4.6, Algorithm 6) and the acceleration strategies
+// of §5 that the paper demonstrates on it.
+//
+// Boman graph coloring (BGC): each iteration (1) greedily colors the vertices
+// scheduled for (re)coloring inside every partition independently, then
+// (2) verifies border vertices for cross-partition conflicts. On a conflict
+// the losing endpoint's current color is struck from its availability mask
+// (`avail`, Algorithm 6) and it is rescheduled:
+//
+//   push — the winner's thread writes the *loser's* avail word and schedule
+//          flag (remote writes → integer atomics / CAS),
+//   pull — each thread strikes only its *own* vertices (thread-private
+//          writes, conflicts detected symmetrically).
+//
+// Strategies (§5):
+//   Frontier-Exploit (FE)  — wave coloring from a stable seed set; only the
+//                            frontier's neighborhood is touched per iteration
+//                            instead of all n vertices.
+//   Generic-Switch (GS)    — FE that starts pushing and switches to pulling
+//                            when conflicts begin to dominate the wave.
+//   Greedy-Switch (GrS)    — FE that abandons parallelism entirely once the
+//                            uncolored remainder is small (< 10% of n) and
+//                            finishes with sequential greedy.
+//   Conflict-Removal (CR)  — colors the border set sequentially first, then
+//                            all partitions in parallel; conflict-free by
+//                            construction (Algorithm 9).
+#pragma once
+
+#include <omp.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/direction.hpp"
+#include "graph/csr.hpp"
+#include "graph/partition.hpp"
+#include "perf/instr.hpp"
+#include "sync/atomics.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace pushpull {
+
+struct ColoringOptions {
+  int max_iterations = 50;       // L
+  int max_colors = 0;            // C; 0 = auto (d̂ + L + 2)
+  bool stop_on_converged = true; // false reproduces the paper's fixed-L runs
+  int num_partitions = 0;        // 0 = omp_get_max_threads()
+  double grs_threshold = 0.10;   // GrS: switch when uncolored < threshold·n
+  double gs_ratio = 2.0;         // GS: switch when colored/conflicts < ratio
+};
+
+struct ColoringResult {
+  std::vector<int> color;
+  int iterations = 0;
+  int colors_used = 0;
+  std::vector<double> iter_times;         // wall seconds per iteration
+  std::vector<std::int64_t> iter_conflicts;  // conflicts detected per iteration
+};
+
+namespace detail {
+
+// Availability mask: bit c set ⇒ color c may still be used for the vertex.
+class AvailMask {
+ public:
+  AvailMask(vid_t n, int colors)
+      : words_per_(static_cast<std::size_t>((colors + 63) / 64)),
+        colors_(colors),
+        bits_(static_cast<std::size_t>(n) * words_per_, ~std::uint64_t{0}) {}
+
+  int colors() const noexcept { return colors_; }
+
+  void clear_bit(vid_t v, int c) noexcept {
+    bits_[word_index(v, c)] &= ~(std::uint64_t{1} << (c % 64));
+  }
+
+  void clear_bit_atomic(vid_t v, int c) noexcept {
+    std::atomic_ref<std::uint64_t>(bits_[word_index(v, c)])
+        .fetch_and(~(std::uint64_t{1} << (c % 64)), std::memory_order_relaxed);
+  }
+
+  bool test(vid_t v, int c) const noexcept {
+    return (bits_[word_index(v, c)] >> (c % 64)) & 1;
+  }
+
+  const std::uint64_t* row(vid_t v) const noexcept {
+    return bits_.data() + static_cast<std::size_t>(v) * words_per_;
+  }
+
+  std::size_t words_per_vertex() const noexcept { return words_per_; }
+
+  const void* address_of(vid_t v, int c) const noexcept {
+    return &bits_[word_index(v, c)];
+  }
+
+ private:
+  std::size_t word_index(vid_t v, int c) const noexcept {
+    PP_DCHECK(c >= 0 && c < colors_);
+    return static_cast<std::size_t>(v) * words_per_ +
+           static_cast<std::size_t>(c) / 64;
+  }
+
+  std::size_t words_per_;
+  int colors_;
+  std::vector<std::uint64_t> bits_;
+};
+
+// Smallest color allowed by `avail` and not used by any current neighbor.
+// `scratch` is a caller-provided forbidden mask of words_per_vertex words.
+template <class Instr>
+int pick_color(const Csr& g, const AvailMask& avail, const std::vector<int>& color,
+               vid_t v, std::vector<std::uint64_t>& scratch, Instr& instr) {
+  const std::size_t words = avail.words_per_vertex();
+  const std::uint64_t* row = avail.row(v);
+  for (std::size_t w = 0; w < words; ++w) scratch[w] = row[w];
+  for (vid_t u : g.neighbors(v)) {
+    instr.read(&color[static_cast<std::size_t>(u)], sizeof(int));
+    const int cu = atomic_load(color[static_cast<std::size_t>(u)]);
+    instr.branch_cond();
+    if (cu >= 0 && cu < avail.colors()) {
+      scratch[static_cast<std::size_t>(cu) / 64] &=
+          ~(std::uint64_t{1} << (cu % 64));
+    }
+  }
+  for (std::size_t w = 0; w < words; ++w) {
+    if (scratch[w] != 0) {
+      const int c = static_cast<int>(w * 64) + __builtin_ctzll(scratch[w]);
+      if (c < avail.colors()) return c;
+    }
+  }
+  PP_CHECK(false && "coloring ran out of colors; raise ColoringOptions::max_colors");
+  return -1;
+}
+
+int resolve_max_colors(const Csr& g, const ColoringOptions& opt);
+int resolve_partitions(const ColoringOptions& opt);
+
+}  // namespace detail
+
+// --- Boman graph coloring (Algorithm 6) --------------------------------------
+
+template <class Instr = NullInstr>
+ColoringResult boman_color(const Csr& g, Direction dir, const ColoringOptions& opt = {},
+                           Instr instr = {}) {
+  const vid_t n = g.n();
+  const int nparts = detail::resolve_partitions(opt);
+  const int max_colors = detail::resolve_max_colors(g, opt);
+  const Partition1D part(n, nparts);
+
+  ColoringResult r;
+  r.color.assign(static_cast<std::size_t>(n), -1);
+  detail::AvailMask avail(n, max_colors);
+  std::vector<std::uint8_t> need(static_cast<std::size_t>(n), 1);
+  const std::vector<vid_t> border = border_vertices(g, part);
+
+  for (int l = 0; l < opt.max_iterations; ++l) {
+    WallTimer iter_timer;
+    std::int64_t conflicts = 0;
+
+    // Phase 1: seq_color_partition(P) for every partition in parallel.
+#pragma omp parallel num_threads(nparts)
+    {
+      const int t = omp_get_thread_num();
+      std::vector<std::uint64_t> scratch(avail.words_per_vertex());
+      for (vid_t v = part.begin(t); v < part.end(t); ++v) {
+        instr.code_region(40);
+        if (!need[static_cast<std::size_t>(v)]) continue;
+        const int c = detail::pick_color(g, avail, r.color, v, scratch, instr);
+        instr.write(&r.color[static_cast<std::size_t>(v)], sizeof(int));
+        atomic_store(r.color[static_cast<std::size_t>(v)], c);
+        need[static_cast<std::size_t>(v)] = 0;
+      }
+    }
+
+    // Phase 2: fix_conflicts() over border vertices.
+#pragma omp parallel for schedule(dynamic, 64) reduction(+ : conflicts)
+    for (std::size_t i = 0; i < border.size(); ++i) {
+      instr.code_region(41);
+      const vid_t v = border[i];
+      const int cv = r.color[static_cast<std::size_t>(v)];
+      for (vid_t u : g.neighbors(v)) {
+        if (part.owner(u) == part.owner(v)) continue;
+        instr.read(&r.color[static_cast<std::size_t>(u)], sizeof(int));
+        instr.branch_cond();
+        if (atomic_load(r.color[static_cast<std::size_t>(u)]) != cv) continue;
+        if (dir == Direction::Push) {
+          // The smaller-id endpoint wins and strikes the loser's state
+          // remotely: avail[u][cv] = 0 (Algorithm 6, push branch).
+          if (v < u) {
+            instr.atomic(avail.address_of(u, cv), sizeof(std::uint64_t));
+            avail.clear_bit_atomic(u, cv);
+            instr.write(&need[static_cast<std::size_t>(u)], sizeof(std::uint8_t));
+            atomic_store(need[static_cast<std::size_t>(u)], std::uint8_t{1});
+            ++conflicts;
+          }
+        } else {
+          // Pull: each thread strikes only its own vertex when it loses.
+          if (v > u) {
+            instr.write(avail.address_of(v, cv), sizeof(std::uint64_t));
+            avail.clear_bit(v, cv);
+            need[static_cast<std::size_t>(v)] = 1;
+            ++conflicts;
+          }
+        }
+      }
+    }
+
+    r.iter_times.push_back(iter_timer.elapsed_s());
+    r.iter_conflicts.push_back(conflicts);
+    ++r.iterations;
+    if (opt.stop_on_converged && conflicts == 0) break;
+  }
+
+  int max_c = -1;
+  for (int c : r.color) max_c = std::max(max_c, c);
+  r.colors_used = max_c + 1;
+  return r;
+}
+
+template <class Instr = NullInstr>
+ColoringResult boman_color_push(const Csr& g, const ColoringOptions& opt = {},
+                                Instr instr = {}) {
+  return boman_color(g, Direction::Push, opt, instr);
+}
+
+template <class Instr = NullInstr>
+ColoringResult boman_color_pull(const Csr& g, const ColoringOptions& opt = {},
+                                Instr instr = {}) {
+  return boman_color(g, Direction::Pull, opt, instr);
+}
+
+// --- Strategy implementations (compiled in coloring.cpp) ----------------------
+
+// Frontier-Exploit with a fixed direction.
+ColoringResult fe_color(const Csr& g, Direction dir, const ColoringOptions& opt = {});
+
+// Frontier-Exploit + Generic-Switch (push until conflicts dominate, then pull).
+ColoringResult gs_color(const Csr& g, const ColoringOptions& opt = {});
+
+// Frontier-Exploit + Greedy-Switch (finish sequentially once < 10% remains).
+ColoringResult grs_color(const Csr& g, const ColoringOptions& opt = {});
+
+// Conflict-Removal: border first (sequential), partitions in parallel after.
+ColoringResult cr_color(const Csr& g, const ColoringOptions& opt = {});
+
+}  // namespace pushpull

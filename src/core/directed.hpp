@@ -1,0 +1,157 @@
+// Directed-graph push/pull variants (§4.8).
+//
+// On digraphs the dichotomy becomes asymmetric: pushing iterates the
+// *outgoing* arcs of the active vertices while pulling iterates the
+// *incoming* arcs of the updated vertices, so the cost bounds trade d̂_out
+// against d̂_in. The Digraph type carries both CSRs (out + transposed in);
+// these kernels are the directed counterparts of core/pagerank.hpp and
+// core/bfs.hpp.
+#pragma once
+
+#include <omp.h>
+
+#include <vector>
+
+#include "core/direction.hpp"
+#include "core/frontier.hpp"
+#include "graph/csr.hpp"
+#include "perf/instr.hpp"
+#include "sync/atomics.hpp"
+#include "util/check.hpp"
+
+namespace pushpull {
+
+struct DirectedPageRankOptions {
+  int iterations = 20;
+  double damping = 0.85;
+};
+
+// Directed PageRank: rank flows along arc direction, r(v) depends on the
+// in-neighbors' ranks scaled by their *out*-degrees. Dangling vertices
+// (out-degree 0) redistribute uniformly.
+//
+//   push — every u adds f·r(u)/d_out(u) into each out-neighbor's new rank
+//          (float conflicts → lock-accounted CAS loops; cost scales with
+//          out-degree structure),
+//   pull — every v sums f·r(u)/d_out(u) over its in-neighbors (read-only on
+//          shared state; cost scales with in-degree structure).
+template <class Instr = NullInstr>
+std::vector<double> pagerank_digraph(const Digraph& g,
+                                     const DirectedPageRankOptions& opt,
+                                     Direction dir, Instr instr = {}) {
+  const vid_t n = g.out.n();
+  PP_CHECK(n > 0);
+  PP_CHECK(g.in.n() == n);
+  std::vector<double> pr(static_cast<std::size_t>(n), 1.0 / n);
+  std::vector<double> next(static_cast<std::size_t>(n), 0.0);
+  for (int l = 0; l < opt.iterations; ++l) {
+    double dangling = 0.0;
+#pragma omp parallel for reduction(+ : dangling) schedule(static)
+    for (vid_t v = 0; v < n; ++v) {
+      if (g.out.degree(v) == 0) dangling += pr[static_cast<std::size_t>(v)];
+    }
+    const double base = (1.0 - opt.damping) / n + opt.damping * dangling / n;
+
+    if (dir == Direction::Push) {
+#pragma omp parallel
+      {
+#pragma omp for schedule(static)
+        for (vid_t u = 0; u < n; ++u) {
+          instr.code_region(70);
+          const vid_t deg = g.out.degree(u);
+          if (deg == 0) continue;
+          const double share = opt.damping * pr[static_cast<std::size_t>(u)] / deg;
+          for (vid_t v : g.out.neighbors(u)) {
+            instr.branch_cond();
+            instr.lock(&next[static_cast<std::size_t>(v)]);
+            atomic_add(next[static_cast<std::size_t>(v)], share);
+          }
+        }
+#pragma omp for schedule(static)
+        for (vid_t v = 0; v < n; ++v) {
+          instr.write(&next[static_cast<std::size_t>(v)], sizeof(double));
+          next[static_cast<std::size_t>(v)] += base;
+        }
+      }
+    } else {
+#pragma omp parallel for schedule(static)
+      for (vid_t v = 0; v < n; ++v) {
+        instr.code_region(71);
+        double sum = 0.0;
+        for (vid_t u : g.in.neighbors(v)) {
+          instr.read(&pr[static_cast<std::size_t>(u)], sizeof(double));
+          instr.branch_cond();
+          sum += pr[static_cast<std::size_t>(u)] / g.out.degree(u);
+        }
+        next[static_cast<std::size_t>(v)] = base + opt.damping * sum;
+      }
+    }
+    pr.swap(next);
+    std::fill(next.begin(), next.end(), 0.0);
+  }
+  return pr;
+}
+
+// Sequential reference (pull formulation, serial).
+std::vector<double> pagerank_digraph_seq(const Digraph& g,
+                                         const DirectedPageRankOptions& opt);
+
+// Directed BFS along arc direction.
+//   push — frontier vertices claim unvisited *out*-neighbors with CAS,
+//   pull — unvisited vertices scan their *in*-neighbors for frontier members.
+template <class Instr = NullInstr>
+std::vector<vid_t> bfs_digraph(const Digraph& g, vid_t root, Direction dir,
+                               Instr instr = {}) {
+  const vid_t n = g.out.n();
+  PP_CHECK(root >= 0 && root < n);
+  std::vector<vid_t> dist(static_cast<std::size_t>(n), -1);
+  dist[static_cast<std::size_t>(root)] = 0;
+
+  if (dir == Direction::Push) {
+    FrontierBuffers buffers(omp_get_max_threads());
+    std::vector<vid_t> frontier{root};
+    vid_t level = 0;
+    while (!frontier.empty()) {
+      ++level;
+#pragma omp parallel for schedule(dynamic, 64)
+      for (std::size_t i = 0; i < frontier.size(); ++i) {
+        instr.code_region(72);
+        for (vid_t u : g.out.neighbors(frontier[i])) {
+          instr.branch_cond();
+          if (atomic_load(dist[static_cast<std::size_t>(u)]) >= 0) continue;
+          vid_t expected = -1;
+          instr.atomic(&dist[static_cast<std::size_t>(u)], sizeof(vid_t));
+          if (cas(dist[static_cast<std::size_t>(u)], expected, level)) {
+            buffers.push_local(u);
+          }
+        }
+      }
+      buffers.merge_into(frontier);
+    }
+  } else {
+    vid_t level = 0;
+    bool advanced = true;
+    while (advanced) {
+      ++level;
+      bool any = false;
+#pragma omp parallel for schedule(dynamic, 256) reduction(|| : any)
+      for (vid_t v = 0; v < n; ++v) {
+        instr.code_region(73);
+        if (dist[static_cast<std::size_t>(v)] >= 0) continue;
+        for (vid_t u : g.in.neighbors(v)) {
+          instr.read(&dist[static_cast<std::size_t>(u)], sizeof(vid_t));
+          instr.branch_cond();
+          if (dist[static_cast<std::size_t>(u)] == level - 1) {
+            dist[static_cast<std::size_t>(v)] = level;
+            any = true;
+            break;
+          }
+        }
+      }
+      advanced = any;
+    }
+  }
+  return dist;
+}
+
+}  // namespace pushpull

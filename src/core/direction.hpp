@@ -1,0 +1,56 @@
+// The push-pull dichotomy (§3.8) as a first-class type, plus the generic
+// switching controller used by the acceleration strategies (§5).
+#pragma once
+
+#include <string>
+
+#include "util/check.hpp"
+
+namespace pushpull {
+
+// Direction of updates:
+//   Push — a thread t may modify vertices it does not own (∃ t⤳v, t ≠ t[v]);
+//          requires atomics/locks on the shared state.
+//   Pull — every modification satisfies t = t[v]; thread-private writes only.
+enum class Direction { Push, Pull };
+
+inline const char* to_string(Direction d) {
+  return d == Direction::Push ? "push" : "pull";
+}
+
+// Generic-Switch (GS, §5): a reusable controller that decides when to flip
+// between pushing and pulling based on a work estimate ratio. Instances
+// encode the Beamer-style direction-optimizing BFS heuristic as well as the
+// coloring switch (colored-to-conflicts ratio).
+class SwitchController {
+ public:
+  // alpha: switch Push→Pull when active_work > total_work / alpha.
+  // beta:  switch Pull→Push when active_count < total_count / beta.
+  SwitchController(double alpha, double beta, Direction start = Direction::Push)
+      : alpha_(alpha), beta_(beta), dir_(start) {
+    PP_CHECK(alpha > 0 && beta > 0);
+  }
+
+  Direction current() const noexcept { return dir_; }
+
+  // Feeds the controller one step's statistics; returns the direction to use
+  // for the *next* step.
+  Direction step(double active_work, double total_work, double active_count,
+                 double total_count) noexcept {
+    if (dir_ == Direction::Push && active_work > total_work / alpha_) {
+      dir_ = Direction::Pull;
+    } else if (dir_ == Direction::Pull && active_count < total_count / beta_) {
+      dir_ = Direction::Push;
+    }
+    return dir_;
+  }
+
+  void force(Direction d) noexcept { dir_ = d; }
+
+ private:
+  double alpha_;
+  double beta_;
+  Direction dir_;
+};
+
+}  // namespace pushpull

@@ -1,0 +1,82 @@
+// Frontier machinery shared by the traversal kernels (BFS, SSSP-Δ, BC).
+//
+// The sparse frontier implements the paper's *k-filter* primitive: per-thread
+// append buffers (`my_F` in Algorithm 3) merged into the next frontier with a
+// prefix sum over buffer sizes. The dense frontier is the bitmap used by
+// pull/bottom-up traversal steps and by the direction-optimizing switch.
+#pragma once
+
+#include <omp.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/check.hpp"
+#include "util/padded.hpp"
+
+namespace pushpull {
+
+// Per-thread append buffers + prefix-sum merge (the k-filter).
+class FrontierBuffers {
+ public:
+  explicit FrontierBuffers(int max_threads)
+      : buffers_(static_cast<std::size_t>(max_threads)) {
+    PP_CHECK(max_threads > 0);
+  }
+
+  // Appends v to the calling thread's buffer. Wait-free w.r.t. other threads.
+  void push_local(vid_t v) {
+    buffers_[static_cast<std::size_t>(omp_get_thread_num())].value.push_back(v);
+  }
+
+  void push_to(int thread, vid_t v) {
+    buffers_[static_cast<std::size_t>(thread)].value.push_back(v);
+  }
+
+  // Merges all buffers into `out` (cleared first) and empties them.
+  // Corresponds to line 8 of Algorithm 3: F = my_F[1] ∪ ... ∪ my_F[P].
+  void merge_into(std::vector<vid_t>& out) {
+    std::size_t total = 0;
+    for (auto& b : buffers_) total += b.value.size();
+    out.clear();
+    out.reserve(total);
+    for (auto& b : buffers_) {
+      out.insert(out.end(), b.value.begin(), b.value.end());
+      b.value.clear();
+    }
+  }
+
+  bool all_empty() const {
+    for (const auto& b : buffers_) {
+      if (!b.value.empty()) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<Padded<std::vector<vid_t>>> buffers_;
+};
+
+// Dense byte-per-vertex membership map for bottom-up steps.
+class DenseFrontier {
+ public:
+  explicit DenseFrontier(vid_t n) : bits_(static_cast<std::size_t>(n), 0) {}
+
+  void clear() { std::fill(bits_.begin(), bits_.end(), std::uint8_t{0}); }
+
+  void set(vid_t v) noexcept { bits_[static_cast<std::size_t>(v)] = 1; }
+  bool test(vid_t v) const noexcept { return bits_[static_cast<std::size_t>(v)] != 0; }
+
+  void build_from(const std::vector<vid_t>& sparse) {
+    clear();
+    for (vid_t v : sparse) set(v);
+  }
+
+  const std::uint8_t* data() const noexcept { return bits_.data(); }
+
+ private:
+  std::vector<std::uint8_t> bits_;
+};
+
+}  // namespace pushpull

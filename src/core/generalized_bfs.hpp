@@ -1,0 +1,117 @@
+// Generalized BFS (Algorithm 3, verbatim semantics).
+//
+// The paper defines BFS over (a) per-vertex *ready counters* — a vertex
+// enters the frontier only after `ready[v]` of its neighbors have been in
+// the frontier (1 = standard BFS; the in-degree of a DAG = the backward
+// sweep of betweenness centrality) — and (b) a commutative, associative
+// *accumulation operator* ⇐ that folds predecessor values into each vertex.
+//
+//   push — frontier vertices accumulate into every still-ready neighbor
+//          (shared writes, guarded per-vertex) and decrement its counter
+//          with FAA; the thread that drops a counter to zero appends the
+//          vertex to its private my_F buffer (lines 10-17),
+//   pull — every still-ready vertex scans its neighbors for frontier
+//          members, folds their values locally and decrements its own
+//          counter (lines 19-26).
+//
+// The frontiers are merged with the k-filter (FrontierBuffers::merge_into,
+// line 8). Both directions accumulate from a vertex only while its counter
+// is positive, so with exact ready counts every required predecessor
+// contributes exactly once.
+#pragma once
+
+#include <omp.h>
+
+#include <vector>
+
+#include "core/direction.hpp"
+#include "core/frontier.hpp"
+#include "graph/csr.hpp"
+#include "perf/instr.hpp"
+#include "sync/atomics.hpp"
+#include "sync/spinlock.hpp"
+#include "util/check.hpp"
+
+namespace pushpull {
+
+template <class T>
+struct GeneralizedBfsResult {
+  std::vector<T> values;
+  int levels = 0;
+  std::vector<std::size_t> frontier_sizes;  // f_i per while-loop iteration
+};
+
+// `op(target, source)` folds a frontier neighbor's value into the target's.
+template <class T, class Op, class Instr = NullInstr>
+GeneralizedBfsResult<T> generalized_bfs(const Csr& g, std::vector<int> ready,
+                                        std::vector<T> initial_values,
+                                        std::vector<vid_t> initial_frontier,
+                                        Op op, Direction dir, Instr instr = {}) {
+  const vid_t n = g.n();
+  PP_CHECK(ready.size() == static_cast<std::size_t>(n));
+  PP_CHECK(initial_values.size() == static_cast<std::size_t>(n));
+
+  GeneralizedBfsResult<T> result;
+  result.values = std::move(initial_values);
+  std::vector<T>& values = result.values;
+
+  FrontierBuffers buffers(omp_get_max_threads());
+  DenseFrontier in_frontier(n);
+  std::vector<vid_t> frontier = std::move(initial_frontier);
+  for (vid_t v : frontier) {
+    PP_CHECK(ready[static_cast<std::size_t>(v)] == 0);
+  }
+  SpinlockPool locks(4096);
+
+  while (!frontier.empty()) {
+    result.frontier_sizes.push_back(frontier.size());
+    ++result.levels;
+    if (dir == Direction::Push) {
+#pragma omp parallel for schedule(dynamic, 64)
+      for (std::size_t i = 0; i < frontier.size(); ++i) {
+        instr.code_region(80);
+        const vid_t v = frontier[i];
+        // Lines 12-14: accumulate into every still-ready neighbor.
+        for (vid_t w : g.neighbors(v)) {
+          instr.read(&ready[static_cast<std::size_t>(w)], sizeof(int));
+          instr.branch_cond();
+          if (atomic_load(ready[static_cast<std::size_t>(w)]) > 0) {
+            instr.lock(&values[static_cast<std::size_t>(w)]);
+            SpinGuard guard(locks.for_index(static_cast<std::size_t>(w)));
+            op(values[static_cast<std::size_t>(w)], values[static_cast<std::size_t>(v)]);
+          }
+        }
+        // Lines 15-17: decrement; whoever reaches zero appends to my_F.
+        for (vid_t w : g.neighbors(v)) {
+          instr.atomic(&ready[static_cast<std::size_t>(w)], sizeof(int));
+          if (faa(ready[static_cast<std::size_t>(w)], -1) == 1) {
+            buffers.push_local(w);
+          }
+        }
+      }
+    } else {
+      in_frontier.build_from(frontier);
+      // Lines 19-26: still-ready vertices pull from frontier neighbors.
+#pragma omp parallel for schedule(dynamic, 256)
+      for (vid_t v = 0; v < n; ++v) {
+        instr.code_region(81);
+        if (ready[static_cast<std::size_t>(v)] <= 0) continue;
+        for (vid_t w : g.neighbors(v)) {
+          instr.read(in_frontier.data() + w, 1);
+          instr.branch_cond();
+          if (!in_frontier.test(w)) continue;
+          // Thread-private: v is owned by the iterating thread.
+          op(values[static_cast<std::size_t>(v)], values[static_cast<std::size_t>(w)]);
+          if (--ready[static_cast<std::size_t>(v)] == 0) {
+            buffers.push_local(v);
+            break;  // counter exhausted: stop accumulating (mirrors push)
+          }
+        }
+      }
+    }
+    buffers.merge_into(frontier);
+  }
+  return result;
+}
+
+}  // namespace pushpull

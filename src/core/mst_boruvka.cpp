@@ -1,0 +1,249 @@
+#include "core/mst_boruvka.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "sync/atomics.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace pushpull {
+
+namespace {
+
+constexpr std::uint64_t kNoEdge = std::numeric_limits<std::uint64_t>::max();
+
+// Packs (weight, canonical arc) so that unsigned comparison orders by weight
+// first and breaks ties by the *undirected* edge identity. Using a canonical
+// arc id (the smaller of the two directions) gives every component the same
+// global total order on cut edges, which guarantees the Boruvka hooking
+// graph contains no cycles longer than 2 — even with fully tied weights.
+// Valid for non-negative finite floats, whose IEEE bit patterns are monotone
+// under unsigned integer comparison.
+std::uint64_t pack_candidate(weight_t w, eid_t canonical_arc) {
+  PP_DCHECK(w >= 0);
+  PP_DCHECK(canonical_arc >= 0 && canonical_arc < (eid_t{1} << 32));
+  const std::uint32_t wbits = std::bit_cast<std::uint32_t>(w);
+  return (static_cast<std::uint64_t>(wbits) << 32) |
+         static_cast<std::uint32_t>(canonical_arc);
+}
+
+eid_t unpack_arc(std::uint64_t packed) {
+  return static_cast<eid_t>(packed & 0xffffffffULL);
+}
+
+template <class Instr>
+BoruvkaResult run(const Csr& g, Direction dir, Instr instr) {
+  PP_CHECK(g.has_weights() || g.num_arcs() == 0);
+  PP_CHECK(g.num_arcs() < (eid_t{1} << 32));
+  const vid_t n = g.n();
+  BoruvkaResult result;
+  if (n == 0) return result;
+
+  // Arc source lookup and canonical (direction-independent) arc ids.
+  std::vector<vid_t> arc_src(static_cast<std::size_t>(g.num_arcs()));
+  std::vector<eid_t> canonical(static_cast<std::size_t>(g.num_arcs()));
+  for (vid_t v = 0; v < n; ++v) {
+    for (eid_t e = g.edge_begin(v); e < g.edge_end(v); ++e) {
+      arc_src[static_cast<std::size_t>(e)] = v;
+    }
+  }
+#pragma omp parallel for schedule(dynamic, 256)
+  for (vid_t v = 0; v < n; ++v) {
+    for (eid_t e = g.edge_begin(v); e < g.edge_end(v); ++e) {
+      const vid_t w = g.edge_target(e);
+      // Reverse arc: position of v in N(w) (sorted adjacency).
+      const auto nb = g.neighbors(w);
+      const auto it = std::lower_bound(nb.begin(), nb.end(), v);
+      PP_DCHECK(it != nb.end() && *it == v);
+      const eid_t rev = g.edge_begin(w) + (it - nb.begin());
+      canonical[static_cast<std::size_t>(e)] = std::min(e, rev);
+    }
+  }
+
+  std::vector<vid_t> comp(static_cast<std::size_t>(n));
+  std::vector<std::vector<vid_t>> members(static_cast<std::size_t>(n));
+  std::vector<vid_t> active;
+  active.reserve(static_cast<std::size_t>(n));
+  for (vid_t v = 0; v < n; ++v) {
+    comp[static_cast<std::size_t>(v)] = v;
+    members[static_cast<std::size_t>(v)] = {v};
+    active.push_back(v);
+  }
+
+  std::vector<std::uint64_t> min_edge(static_cast<std::size_t>(n), kNoEdge);
+  std::vector<vid_t> parent(static_cast<std::size_t>(n));
+
+  while (true) {
+    BoruvkaPhaseTimes phases;
+
+    // --- Phase 1: Find Minimum (FM) -------------------------------------
+    {
+      WallTimer t;
+      for (vid_t f : active) min_edge[static_cast<std::size_t>(f)] = kNoEdge;
+      if (dir == Direction::Pull) {
+        // Each supervertex picks its own minimum edge (thread-private write).
+#pragma omp parallel for schedule(dynamic, 8)
+        for (std::size_t i = 0; i < active.size(); ++i) {
+          instr.code_region(50);
+          const vid_t f = active[i];
+          std::uint64_t best = kNoEdge;
+          for (vid_t v : members[static_cast<std::size_t>(f)]) {
+            for (eid_t e = g.edge_begin(v); e < g.edge_end(v); ++e) {
+              const vid_t w = g.edge_target(e);
+              instr.read(&comp[static_cast<std::size_t>(w)], sizeof(vid_t));
+              instr.branch_cond();
+              if (comp[static_cast<std::size_t>(w)] == f) continue;
+              instr.read(&g.weight_array()[static_cast<std::size_t>(e)],
+                         sizeof(weight_t));
+              best = std::min(best,
+                              pack_candidate(g.edge_weight(e),
+                                             canonical[static_cast<std::size_t>(e)]));
+            }
+          }
+          instr.write(&min_edge[static_cast<std::size_t>(f)], sizeof(std::uint64_t));
+          min_edge[static_cast<std::size_t>(f)] = best;
+        }
+      } else {
+        // Each supervertex overrides its *neighbors'* candidates (write
+        // conflicts → CAS-accounted atomic minimum, §4.7). Every cut edge is
+        // seen from both sides, so each slot still receives its true minimum.
+#pragma omp parallel for schedule(dynamic, 8)
+        for (std::size_t i = 0; i < active.size(); ++i) {
+          instr.code_region(51);
+          const vid_t f = active[i];
+          for (vid_t v : members[static_cast<std::size_t>(f)]) {
+            for (eid_t e = g.edge_begin(v); e < g.edge_end(v); ++e) {
+              const vid_t w = g.edge_target(e);
+              instr.read(&comp[static_cast<std::size_t>(w)], sizeof(vid_t));
+              instr.branch_cond();
+              const vid_t fw = comp[static_cast<std::size_t>(w)];
+              if (fw == f) continue;
+              instr.read(&g.weight_array()[static_cast<std::size_t>(e)],
+                         sizeof(weight_t));
+              const std::uint64_t cand = pack_candidate(
+                  g.edge_weight(e), canonical[static_cast<std::size_t>(e)]);
+              instr.atomic(&min_edge[static_cast<std::size_t>(fw)],
+                           sizeof(std::uint64_t));
+              atomic_min(min_edge[static_cast<std::size_t>(fw)], cand);
+            }
+          }
+        }
+      }
+      phases.find_minimum_s = t.elapsed_s();
+    }
+
+    // --- Phase 2: Build Merge Tree (BMT) ----------------------------------
+    bool any_merge = false;
+    {
+      WallTimer t;
+      // Hook every supervertex across its minimum edge. The canonical arc is
+      // direction-free: the partner is whichever endpoint is not in f.
+#pragma omp parallel for schedule(static)
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        const vid_t f = active[i];
+        const std::uint64_t cand = min_edge[static_cast<std::size_t>(f)];
+        if (cand == kNoEdge) {
+          parent[static_cast<std::size_t>(f)] = f;
+          continue;
+        }
+        const eid_t arc = unpack_arc(cand);
+        const vid_t a = arc_src[static_cast<std::size_t>(arc)];
+        const vid_t b = g.edge_target(arc);
+        const vid_t ca = comp[static_cast<std::size_t>(a)];
+        const vid_t cb = comp[static_cast<std::size_t>(b)];
+        PP_DCHECK(ca == f || cb == f);
+        parent[static_cast<std::size_t>(f)] = ca == f ? cb : ca;
+      }
+      // Break 2-cycles: the smaller endpoint becomes the root. Cycles longer
+      // than 2 cannot occur thanks to the global edge order (see
+      // pack_candidate).
+#pragma omp parallel for schedule(static)
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        const vid_t f = active[i];
+        const vid_t p = parent[static_cast<std::size_t>(f)];
+        if (p != f && parent[static_cast<std::size_t>(p)] == f && f < p) {
+          parent[static_cast<std::size_t>(f)] = f;
+        }
+      }
+      // Pointer jumping to full compression.
+      bool changed = true;
+      while (changed) {
+        changed = false;
+#pragma omp parallel for schedule(static) reduction(|| : changed)
+        for (std::size_t i = 0; i < active.size(); ++i) {
+          const vid_t f = active[i];
+          const vid_t p = parent[static_cast<std::size_t>(f)];
+          const vid_t gp = parent[static_cast<std::size_t>(p)];
+          if (p != gp) {
+            parent[static_cast<std::size_t>(f)] = gp;
+            changed = true;
+          }
+        }
+      }
+      phases.build_merge_tree_s = t.elapsed_s();
+    }
+
+    // --- Phase 3: Merge (M) -------------------------------------------------
+    {
+      WallTimer t;
+      std::vector<vid_t> next_active;
+      for (vid_t f : active) {
+        const vid_t root = parent[static_cast<std::size_t>(f)];
+        if (root == f) {
+          if (min_edge[static_cast<std::size_t>(f)] != kNoEdge) {
+            next_active.push_back(f);
+          }
+          continue;
+        }
+        any_merge = true;
+        // Record f's minimum edge in the MST (each non-root contributes
+        // exactly one distinct edge of the merge forest).
+        const eid_t arc = unpack_arc(min_edge[static_cast<std::size_t>(f)]);
+        result.tree_edges.emplace_back(arc_src[static_cast<std::size_t>(arc)],
+                                       g.edge_target(arc));
+        result.total_weight += g.edge_weight(arc);
+        // Move members into the root's list.
+        auto& src = members[static_cast<std::size_t>(f)];
+        auto& dst = members[static_cast<std::size_t>(root)];
+        dst.insert(dst.end(), src.begin(), src.end());
+        src.clear();
+        src.shrink_to_fit();
+      }
+      // Relabel vertices of merged components.
+#pragma omp parallel for schedule(static)
+      for (vid_t v = 0; v < n; ++v) {
+        const vid_t f = comp[static_cast<std::size_t>(v)];
+        comp[static_cast<std::size_t>(v)] = parent[static_cast<std::size_t>(f)];
+      }
+      active.swap(next_active);
+      phases.merge_s = t.elapsed_s();
+    }
+
+    result.phase_times.push_back(phases);
+    ++result.iterations;
+    if (!any_merge) break;
+  }
+  return result;
+}
+
+}  // namespace
+
+namespace detail {
+
+BoruvkaResult mst_boruvka_impl(const Csr& g, Direction dir, NullInstr instr) {
+  return run(g, dir, instr);
+}
+BoruvkaResult mst_boruvka_impl(const Csr& g, Direction dir, CountingInstr instr) {
+  return run(g, dir, instr);
+}
+BoruvkaResult mst_boruvka_impl(const Csr& g, Direction dir, CacheSimInstr instr) {
+  return run(g, dir, instr);
+}
+
+}  // namespace detail
+
+}  // namespace pushpull

@@ -1,0 +1,64 @@
+// Borůvka minimum spanning tree (§3.7, §4.7, Algorithm 7).
+//
+// Every vertex starts as its own supervertex; each iteration selects the
+// minimum-weight outgoing edge per supervertex, merges along those edges, and
+// repeats until no supervertex has an outgoing edge. The paper distinguishes
+// push and pull in the minimum-edge selection (Find-Minimum phase):
+//
+//   pull — the thread owning supervertex f scans the edges of f's member
+//          vertices and keeps the minimum in its own min_edge[f]
+//          (thread-private write; O(n²) read conflicts),
+//   push — the thread owning f *overrides the neighboring supervertices'*
+//          candidates: for every cut edge (v, w) it performs an atomic
+//          minimum on min_edge[comp(w)] (CAS-accounted write conflicts).
+//          Every cut edge is seen from both sides, so each supervertex's
+//          minimum is fully determined by its neighbors' pushes.
+//
+// Candidates are packed as (weight bits << 32 | arc id), which makes the
+// minimum unique and both variants bit-deterministic. The per-iteration
+// phase breakdown (Find-Minimum, Build-Merge-Tree, Merge) reproduces
+// Figure 4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/direction.hpp"
+#include "graph/csr.hpp"
+#include "perf/instr.hpp"
+
+namespace pushpull {
+
+struct BoruvkaPhaseTimes {
+  double find_minimum_s = 0.0;
+  double build_merge_tree_s = 0.0;
+  double merge_s = 0.0;
+};
+
+struct BoruvkaResult {
+  std::vector<std::pair<vid_t, vid_t>> tree_edges;
+  double total_weight = 0.0;
+  int iterations = 0;
+  std::vector<BoruvkaPhaseTimes> phase_times;  // one entry per iteration
+};
+
+namespace detail {
+BoruvkaResult mst_boruvka_impl(const Csr& g, Direction dir, NullInstr instr);
+BoruvkaResult mst_boruvka_impl(const Csr& g, Direction dir, CountingInstr instr);
+BoruvkaResult mst_boruvka_impl(const Csr& g, Direction dir, CacheSimInstr instr);
+}  // namespace detail
+
+template <class Instr = NullInstr>
+BoruvkaResult mst_boruvka(const Csr& g, Direction dir, Instr instr = {}) {
+  return detail::mst_boruvka_impl(g, dir, instr);
+}
+
+inline BoruvkaResult mst_boruvka_push(const Csr& g) {
+  return mst_boruvka(g, Direction::Push);
+}
+
+inline BoruvkaResult mst_boruvka_pull(const Csr& g) {
+  return mst_boruvka(g, Direction::Pull);
+}
+
+}  // namespace pushpull

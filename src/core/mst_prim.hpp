@@ -1,0 +1,117 @@
+// Push/pull Prim (§3.7 refers the Prim/Kruskal variants to the paper's
+// technical report; this is the Prim half).
+//
+// Prim grows one tree by repeatedly attaching the unreached vertex with the
+// cheapest connecting edge. The paper's point stands: the algorithm is
+// inherently sequential across rounds (which is why the evaluation uses
+// Boruvka), but each round's *relaxation* still exhibits the dichotomy:
+//
+//   push — the freshly attached vertex u writes the keys of its unreached
+//          neighbors (t ≠ t[w]: remote writes; with one attach per round the
+//          writes are conflict-free, but they still cross ownership and are
+//          counted as such),
+//   pull — every unreached vertex checks whether u is its neighbor and
+//          lowers its own key (thread-private writes, O(n log d̂) reads per
+//          round — the communication-heavy side).
+//
+// Handles disconnected graphs by seeding a new tree whenever the reachable
+// set is exhausted (minimum spanning forest).
+#pragma once
+
+#include <omp.h>
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <vector>
+
+#include "core/direction.hpp"
+#include "graph/csr.hpp"
+#include "perf/instr.hpp"
+#include "util/check.hpp"
+
+namespace pushpull {
+
+struct PrimResult {
+  double total_weight = 0.0;
+  std::vector<vid_t> parent;  // tree parent; -1 for roots
+  int rounds = 0;
+};
+
+template <class Instr = NullInstr>
+PrimResult mst_prim(const Csr& g, Direction dir, Instr instr = {}) {
+  PP_CHECK(g.has_weights() || g.num_arcs() == 0);
+  const vid_t n = g.n();
+  constexpr weight_t kInf = std::numeric_limits<weight_t>::infinity();
+
+  PrimResult result;
+  result.parent.assign(static_cast<std::size_t>(n), -1);
+  std::vector<weight_t> key(static_cast<std::size_t>(n), kInf);
+  std::vector<std::uint8_t> in_tree(static_cast<std::size_t>(n), 0);
+
+  for (vid_t attached = 0; attached < n; ++attached) {
+    ++result.rounds;
+    // Select the cheapest unreached vertex (packed min-reduction).
+    std::uint64_t best = UINT64_MAX;
+#pragma omp parallel for reduction(min : best) schedule(static)
+    for (vid_t v = 0; v < n; ++v) {
+      if (in_tree[static_cast<std::size_t>(v)]) continue;
+      const std::uint32_t kbits =
+          key[static_cast<std::size_t>(v)] == kInf
+              ? 0xffffffffu
+              : std::bit_cast<std::uint32_t>(key[static_cast<std::size_t>(v)]);
+      const std::uint64_t packed =
+          (static_cast<std::uint64_t>(kbits) << 32) | static_cast<std::uint32_t>(v);
+      best = std::min(best, packed);
+    }
+    PP_DCHECK(best != UINT64_MAX);
+    const vid_t u = static_cast<vid_t>(best & 0xffffffffu);
+    in_tree[static_cast<std::size_t>(u)] = 1;
+    if (key[static_cast<std::size_t>(u)] != kInf) {
+      result.total_weight += key[static_cast<std::size_t>(u)];
+    } else {
+      result.parent[static_cast<std::size_t>(u)] = -1;  // new component root
+    }
+
+    if (dir == Direction::Push) {
+      // u pushes its edge weights into the unreached neighbors' keys.
+      const auto nb = g.neighbors(u);
+#pragma omp parallel for schedule(static)
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        instr.code_region(90);
+        const vid_t v = nb[i];
+        instr.branch_cond();
+        if (in_tree[static_cast<std::size_t>(v)]) continue;
+        const weight_t wt = g.weights(u)[i];
+        if (wt < key[static_cast<std::size_t>(v)]) {
+          // Remote write: v is owned by another thread's block.
+          instr.write(&key[static_cast<std::size_t>(v)], sizeof(weight_t));
+          key[static_cast<std::size_t>(v)] = wt;
+          result.parent[static_cast<std::size_t>(v)] = u;
+        }
+      }
+    } else {
+      // Every unreached vertex pulls: is u among my neighbors?
+#pragma omp parallel for schedule(dynamic, 256)
+      for (vid_t v = 0; v < n; ++v) {
+        instr.code_region(91);
+        if (in_tree[static_cast<std::size_t>(v)]) continue;
+        const auto nb = g.neighbors(v);
+        const auto it = std::lower_bound(nb.begin(), nb.end(), u);
+        instr.read(&*nb.begin(), sizeof(vid_t));
+        instr.branch_cond();
+        if (it == nb.end() || *it != u) continue;
+        const weight_t wt = g.weights(v)[static_cast<std::size_t>(it - nb.begin())];
+        if (wt < key[static_cast<std::size_t>(v)]) {
+          // Thread-private write: v updates its own key.
+          instr.write(&key[static_cast<std::size_t>(v)], sizeof(weight_t));
+          key[static_cast<std::size_t>(v)] = wt;
+          result.parent[static_cast<std::size_t>(v)] = u;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pushpull

@@ -1,0 +1,181 @@
+// PageRank (§3.1, §4.1, Algorithm 1) in push, pull, and push+Partition-Aware
+// (§5, Algorithm 8) variants.
+//
+// r(v) = (1-f)/|V| + f * Σ_{u ∈ N(v)} r(u)/d(u)
+//
+//   pull — t[v] accumulates r(u)/d(u) from every neighbor into its own
+//          new_pr[v]: read conflicts only, no atomics or locks.
+//   push — t[v] adds r(v)/d(v) into every neighbor's new_pr[u]: float write
+//          conflicts; no CPU offers float atomics, so each update is a CAS
+//          loop that the paper (and our instrumentation) accounts as a lock.
+//   push+PA — the partition-aware representation splits each adjacency list
+//          into thread-local and remote halves; local updates use plain
+//          stores, only remote updates pay the lock (Algorithm 8).
+//
+// Mass from dangling (degree-0) vertices is redistributed uniformly each
+// iteration so ranks always sum to 1 (checked by the test suite).
+#pragma once
+
+#include <omp.h>
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/partition_aware.hpp"
+#include "perf/instr.hpp"
+#include "sync/atomics.hpp"
+#include "util/check.hpp"
+
+namespace pushpull {
+
+struct PageRankOptions {
+  int iterations = 20;     // L
+  double damping = 0.85;   // f
+};
+
+// Per-iteration wall times, filled if `iter_times != nullptr`.
+using IterTimes = std::vector<double>;
+
+namespace detail {
+
+// Shared per-iteration epilogue: base term + dangling redistribution.
+inline double pr_dangling_mass(const Csr& g, const std::vector<double>& pr) {
+  double dangling = 0.0;
+#pragma omp parallel for reduction(+ : dangling) schedule(static)
+  for (vid_t v = 0; v < g.n(); ++v) {
+    if (g.degree(v) == 0) dangling += pr[static_cast<std::size_t>(v)];
+  }
+  return dangling;
+}
+
+}  // namespace detail
+
+// Pull-based PageRank: new_pr[v] += f·pr[u]/d(u) for u ∈ N(v)  (R-conflicts).
+template <class Instr = NullInstr>
+std::vector<double> pagerank_pull(const Csr& g, const PageRankOptions& opt,
+                                  Instr instr = {}) {
+  const vid_t n = g.n();
+  PP_CHECK(n > 0);
+  std::vector<double> pr(static_cast<std::size_t>(n), 1.0 / n);
+  std::vector<double> next(static_cast<std::size_t>(n), 0.0);
+  for (int l = 0; l < opt.iterations; ++l) {
+    const double dangling = detail::pr_dangling_mass(g, pr);
+    const double base = (1.0 - opt.damping) / n + opt.damping * dangling / n;
+#pragma omp parallel for schedule(static)
+    for (vid_t v = 0; v < n; ++v) {
+      instr.code_region(1);
+      double sum = 0.0;
+      for (vid_t u : g.neighbors(v)) {
+        // Read conflict: pr[u] and d(u) of a vertex owned by another thread.
+        instr.read(&pr[static_cast<std::size_t>(u)], sizeof(double));
+        instr.read(&g.offsets()[static_cast<std::size_t>(u)], sizeof(eid_t));
+        instr.branch_cond();
+        sum += pr[static_cast<std::size_t>(u)] / g.degree(u);
+      }
+      instr.write(&next[static_cast<std::size_t>(v)], sizeof(double));
+      next[static_cast<std::size_t>(v)] = base + opt.damping * sum;
+    }
+    pr.swap(next);
+  }
+  return pr;
+}
+
+// Push-based PageRank: new_pr[u] += f·pr[v]/d(v)  (W-conflicts on floats →
+// CAS-loop "locks").
+template <class Instr = NullInstr>
+std::vector<double> pagerank_push(const Csr& g, const PageRankOptions& opt,
+                                  Instr instr = {}) {
+  const vid_t n = g.n();
+  PP_CHECK(n > 0);
+  std::vector<double> pr(static_cast<std::size_t>(n), 1.0 / n);
+  std::vector<double> next(static_cast<std::size_t>(n), 0.0);
+  for (int l = 0; l < opt.iterations; ++l) {
+    const double dangling = detail::pr_dangling_mass(g, pr);
+    const double base = (1.0 - opt.damping) / n + opt.damping * dangling / n;
+#pragma omp parallel
+    {
+#pragma omp for schedule(static)
+      for (vid_t v = 0; v < n; ++v) {
+        instr.code_region(2);
+        const vid_t deg = g.degree(v);
+        if (deg == 0) continue;
+        instr.read(&pr[static_cast<std::size_t>(v)], sizeof(double));
+        const double share = opt.damping * pr[static_cast<std::size_t>(v)] / deg;
+        for (vid_t u : g.neighbors(v)) {
+          instr.branch_cond();
+          // Float write conflict → lock-accounted CAS loop (§4.1).
+          instr.lock(&next[static_cast<std::size_t>(u)]);
+          atomic_add(next[static_cast<std::size_t>(u)], share);
+        }
+      }
+#pragma omp for schedule(static)
+      for (vid_t v = 0; v < n; ++v) {
+        instr.write(&next[static_cast<std::size_t>(v)], sizeof(double));
+        next[static_cast<std::size_t>(v)] += base;
+      }
+    }
+    pr.swap(next);
+    std::fill(next.begin(), next.end(), 0.0);
+  }
+  return pr;
+}
+
+// Push+Partition-Awareness (Algorithm 8): local neighbors first with plain
+// stores, a barrier, then remote neighbors with lock-accounted updates.
+// Threads iterate exactly their own partition so local writes cannot race.
+template <class Instr = NullInstr>
+std::vector<double> pagerank_push_pa(const Csr& g, const PartitionAwareCsr& pa,
+                                     const PageRankOptions& opt, Instr instr = {}) {
+  const vid_t n = g.n();
+  PP_CHECK(n > 0 && pa.n() == n);
+  std::vector<double> pr(static_cast<std::size_t>(n), 1.0 / n);
+  std::vector<double> next(static_cast<std::size_t>(n), 0.0);
+  const Partition1D& part = pa.partition();
+  for (int l = 0; l < opt.iterations; ++l) {
+    const double dangling = detail::pr_dangling_mass(g, pr);
+    const double base = (1.0 - opt.damping) / n + opt.damping * dangling / n;
+#pragma omp parallel num_threads(part.parts())
+    {
+      const int t = omp_get_thread_num();
+      // Part 1: local updates, no synchronization (plain read/write).
+      for (vid_t v = part.begin(t); v < part.end(t); ++v) {
+        instr.code_region(3);
+        const vid_t deg = pa.degree(v);
+        if (deg == 0) continue;
+        instr.read(&pr[static_cast<std::size_t>(v)], sizeof(double));
+        const double share = opt.damping * pr[static_cast<std::size_t>(v)] / deg;
+        for (vid_t u : pa.local_neighbors(v)) {
+          instr.branch_cond();
+          instr.write(&next[static_cast<std::size_t>(u)], sizeof(double));
+          next[static_cast<std::size_t>(u)] += share;
+        }
+      }
+#pragma omp barrier
+      // Part 2: remote updates with lock-accounted atomic adds.
+      for (vid_t v = part.begin(t); v < part.end(t); ++v) {
+        instr.code_region(4);
+        const vid_t deg = pa.degree(v);
+        if (deg == 0) continue;
+        const double share = opt.damping * pr[static_cast<std::size_t>(v)] / deg;
+        for (vid_t u : pa.remote_neighbors(v)) {
+          instr.branch_cond();
+          instr.lock(&next[static_cast<std::size_t>(u)]);
+          atomic_add(next[static_cast<std::size_t>(u)], share);
+        }
+      }
+#pragma omp barrier
+      for (vid_t v = part.begin(t); v < part.end(t); ++v) {
+        instr.write(&next[static_cast<std::size_t>(v)], sizeof(double));
+        next[static_cast<std::size_t>(v)] += base;
+      }
+    }
+    pr.swap(next);
+    std::fill(next.begin(), next.end(), 0.0);
+  }
+  return pr;
+}
+
+// Sequential reference (power iteration, identical update rule).
+std::vector<double> pagerank_seq(const Csr& g, const PageRankOptions& opt);
+
+}  // namespace pushpull

@@ -1,0 +1,214 @@
+// Δ-Stepping single-source shortest paths (§3.4, §4.4, Algorithm 4).
+//
+// Vertices are grouped into buckets of width Δ by tentative distance and
+// buckets are processed in order; within a bucket, relaxations repeat until
+// the bucket stops changing (an *epoch* of inner iterations).
+//
+//   push — each active vertex in the current bucket relaxes its out-edges:
+//          concurrent writes to d[w] are resolved with CAS (atomic_min), one
+//          CAS-accounted atomic per improving relaxation.
+//   pull — every unsettled vertex scans its neighbors for members of the
+//          current bucket and relaxes *itself*: writes are thread-private,
+//          but all edges of all unsettled vertices are re-read every inner
+//          iteration (the O((L/Δ)·m·l_Δ) read conflicts of §4.4).
+//
+// Δ controls the tradeoff: Δ→∞ degenerates to Bellman-Ford (one big bucket),
+// Δ→0 to Dijkstra-like settling. Figure 2c sweeps Δ.
+#pragma once
+
+#include <omp.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/direction.hpp"
+#include "graph/csr.hpp"
+#include "perf/instr.hpp"
+#include "sync/atomics.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace pushpull {
+
+struct DeltaSteppingResult {
+  std::vector<weight_t> dist;       // +inf = unreachable
+  int epochs = 0;                   // number of processed buckets
+  int inner_iterations = 0;         // total relaxation rounds
+  std::vector<double> epoch_times;  // wall seconds per bucket epoch
+};
+
+namespace detail {
+
+inline constexpr weight_t kInf = std::numeric_limits<weight_t>::infinity();
+
+inline std::int64_t bucket_of(weight_t d, weight_t delta) noexcept {
+  return d == kInf ? std::numeric_limits<std::int64_t>::max()
+                   : static_cast<std::int64_t>(d / delta);
+}
+
+// Smallest bucket index > b over all vertices; max() if none.
+inline std::int64_t next_bucket(const std::vector<weight_t>& d, weight_t delta,
+                                std::int64_t b) {
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+#pragma omp parallel for reduction(min : best) schedule(static)
+  for (std::size_t v = 0; v < d.size(); ++v) {
+    const std::int64_t bv = bucket_of(d[v], delta);
+    if (bv > b && bv < best) best = bv;
+  }
+  return best;
+}
+
+}  // namespace detail
+
+template <class Instr = NullInstr>
+DeltaSteppingResult sssp_delta_push(const Csr& g, vid_t src, weight_t delta,
+                                    Instr instr = {}) {
+  PP_CHECK(g.has_weights());
+  PP_CHECK(src >= 0 && src < g.n());
+  PP_CHECK(delta > 0);
+  const vid_t n = g.n();
+  DeltaSteppingResult r;
+  r.dist.assign(static_cast<std::size_t>(n), detail::kInf);
+  r.dist[static_cast<std::size_t>(src)] = 0;
+
+  std::vector<std::uint8_t> active(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint8_t> active_next(static_cast<std::size_t>(n), 0);
+
+  std::int64_t b = 0;
+  while (b != std::numeric_limits<std::int64_t>::max()) {
+    WallTimer epoch_timer;
+    // Initialize the epoch: all vertices currently in bucket b are active.
+#pragma omp parallel for schedule(static)
+    for (vid_t v = 0; v < n; ++v) {
+      active[static_cast<std::size_t>(v)] =
+          detail::bucket_of(r.dist[static_cast<std::size_t>(v)], delta) == b ? 1 : 0;
+    }
+    bool bucket_changed = true;
+    while (bucket_changed) {
+      ++r.inner_iterations;
+      bucket_changed = false;
+      bool changed = false;
+#pragma omp parallel for schedule(dynamic, 128) reduction(|| : changed)
+      for (vid_t v = 0; v < n; ++v) {
+        instr.code_region(30);
+        if (!active[static_cast<std::size_t>(v)]) continue;
+        active[static_cast<std::size_t>(v)] = 0;
+        const weight_t dv = atomic_load(r.dist[static_cast<std::size_t>(v)]);
+        const auto nb = g.neighbors(v);
+        const auto wgt = g.weights(v);
+        for (std::size_t i = 0; i < nb.size(); ++i) {
+          const vid_t w = nb[i];
+          const weight_t nd = dv + wgt[i];
+          instr.read(&r.dist[static_cast<std::size_t>(w)], sizeof(weight_t));
+          instr.branch_cond();
+          if (nd < atomic_load(r.dist[static_cast<std::size_t>(w)])) {
+            // Relaxation via CAS (write conflict, §4.4).
+            instr.atomic(&r.dist[static_cast<std::size_t>(w)], sizeof(weight_t));
+            if (atomic_min(r.dist[static_cast<std::size_t>(w)], nd) &&
+                detail::bucket_of(nd, delta) == b) {
+              // w re-enters the current bucket: another inner iteration.
+              atomic_store(active_next[static_cast<std::size_t>(w)], std::uint8_t{1});
+              changed = true;
+            }
+          }
+        }
+      }
+      if (changed) {
+        bucket_changed = true;
+        active.swap(active_next);
+        std::fill(active_next.begin(), active_next.end(), std::uint8_t{0});
+      }
+    }
+    r.epoch_times.push_back(epoch_timer.elapsed_s());
+    ++r.epochs;
+    b = detail::next_bucket(r.dist, delta, b);
+  }
+  return r;
+}
+
+template <class Instr = NullInstr>
+DeltaSteppingResult sssp_delta_pull(const Csr& g, vid_t src, weight_t delta,
+                                    Instr instr = {}) {
+  PP_CHECK(g.has_weights());
+  PP_CHECK(src >= 0 && src < g.n());
+  PP_CHECK(delta > 0);
+  const vid_t n = g.n();
+  DeltaSteppingResult r;
+  r.dist.assign(static_cast<std::size_t>(n), detail::kInf);
+  r.dist[static_cast<std::size_t>(src)] = 0;
+
+  // `active[w]` marks bucket-b vertices whose distance changed in the
+  // previous inner iteration (the pull sources, line 24 of Algorithm 4).
+  std::vector<std::uint8_t> active(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint8_t> active_next(static_cast<std::size_t>(n), 0);
+
+  std::int64_t b = 0;
+  while (b != std::numeric_limits<std::int64_t>::max()) {
+    WallTimer epoch_timer;
+    int itr = 0;
+    bool bucket_changed = true;
+    while (bucket_changed) {
+      ++r.inner_iterations;
+      bucket_changed = false;
+      bool changed = false;
+#pragma omp parallel for schedule(dynamic, 128) reduction(|| : changed)
+      for (vid_t v = 0; v < n; ++v) {
+        instr.code_region(31);
+        const weight_t dv = r.dist[static_cast<std::size_t>(v)];
+        // Unsettled vertices: everything not in a finished bucket. Vertices
+        // inside bucket b may still improve via intra-bucket paths.
+        if (detail::bucket_of(dv, delta) < b) continue;
+        weight_t best = dv;
+        vid_t improved_from = kInvalidVertex;
+        const auto nb = g.neighbors(v);
+        const auto wgt = g.weights(v);
+        for (std::size_t i = 0; i < nb.size(); ++i) {
+          const vid_t w = nb[i];
+          instr.read(&r.dist[static_cast<std::size_t>(w)], sizeof(weight_t));
+          const weight_t dw = atomic_load(r.dist[static_cast<std::size_t>(w)]);
+          instr.branch_cond();
+          if (detail::bucket_of(dw, delta) != b) continue;
+          if (itr != 0 && !atomic_load(active[static_cast<std::size_t>(w)]) &&
+              w != v) {
+            continue;
+          }
+          instr.read(&wgt[i], sizeof(weight_t));
+          const weight_t nd = dw + wgt[i];
+          instr.branch_cond();
+          if (nd < best) {
+            best = nd;
+            improved_from = w;
+          }
+        }
+        if (improved_from != kInvalidVertex) {
+          // Thread-private write: v is owned by the iterating thread.
+          instr.write(&r.dist[static_cast<std::size_t>(v)], sizeof(weight_t));
+          atomic_store(r.dist[static_cast<std::size_t>(v)], best);
+          if (detail::bucket_of(best, delta) == b) {
+            active_next[static_cast<std::size_t>(v)] = 1;
+            changed = true;
+          }
+        }
+      }
+      ++itr;
+      if (changed) bucket_changed = true;
+      active.swap(active_next);
+      std::fill(active_next.begin(), active_next.end(), std::uint8_t{0});
+    }
+    r.epoch_times.push_back(epoch_timer.elapsed_s());
+    ++r.epochs;
+    b = detail::next_bucket(r.dist, delta, b);
+  }
+  return r;
+}
+
+// Convenience dispatcher.
+template <class Instr = NullInstr>
+DeltaSteppingResult sssp_delta(const Csr& g, vid_t src, weight_t delta,
+                               Direction dir, Instr instr = {}) {
+  return dir == Direction::Push ? sssp_delta_push(g, src, delta, instr)
+                                : sssp_delta_pull(g, src, delta, instr);
+}
+
+}  // namespace pushpull

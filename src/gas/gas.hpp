@@ -1,0 +1,124 @@
+// Gather-Apply-Scatter engine (§7.4).
+//
+// A vertex program supplies three functions that the engine runs per vertex:
+// gather data from neighbors, apply it to the vertex value, and (implicitly)
+// scatter activation to neighbors when the value changed. The push-pull
+// dichotomy maps onto the engine as:
+//
+//   pull — the engine *gathers*: every vertex with an active neighbor folds
+//          gather() over its whole neighborhood and applies the result to its
+//          own state (thread-private writes),
+//   push — the engine *scatters*: every active vertex combines its
+//          contribution directly into each neighbor's accumulator (shared
+//          writes, guarded by a per-vertex lock pool), and the apply phase
+//          then runs on the touched vertices.
+//
+// Program concept:
+//   struct P {
+//     using accum_t = ...;                      // trivially copyable
+//     accum_t identity() const;
+//     // contribution of edge (u → v) given u's current state
+//     accum_t gather(vid_t v, vid_t u, weight_t w) const;
+//     void combine(accum_t& into, const accum_t& from) const;
+//     // integrate accumulated value; return true iff v's state changed
+//     bool apply(vid_t v, const accum_t& acc);
+//   };
+#pragma once
+
+#include <omp.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/direction.hpp"
+#include "graph/csr.hpp"
+#include "sync/spinlock.hpp"
+#include "util/check.hpp"
+
+namespace pushpull::gas {
+
+struct GasStats {
+  int iterations = 0;
+  std::int64_t total_activations = 0;
+};
+
+template <class Program>
+GasStats run_gas(const Csr& g, Program& prog, Direction dir,
+                 int max_iterations = 1 << 20) {
+  using Accum = typename Program::accum_t;
+  const vid_t n = g.n();
+  GasStats stats;
+
+  std::vector<std::uint8_t> active(static_cast<std::size_t>(n), 1);
+  std::vector<std::uint8_t> next_active(static_cast<std::size_t>(n), 0);
+  std::vector<Accum> acc(static_cast<std::size_t>(n), prog.identity());
+  std::vector<std::uint8_t> touched(static_cast<std::size_t>(n), 0);
+  SpinlockPool locks(4096);
+
+  std::int64_t active_count = n;
+  while (active_count > 0 && stats.iterations < max_iterations) {
+    ++stats.iterations;
+    stats.total_activations += active_count;
+
+    if (dir == Direction::Pull) {
+      // Gather-driven: vertices with at least one active neighbor recompute.
+#pragma omp parallel for schedule(dynamic, 128)
+      for (vid_t v = 0; v < n; ++v) {
+        bool any_active = false;
+        for (vid_t u : g.neighbors(v)) {
+          if (active[static_cast<std::size_t>(u)]) {
+            any_active = true;
+            break;
+          }
+        }
+        if (!any_active) continue;
+        Accum a = prog.identity();
+        const auto nb = g.neighbors(v);
+        for (std::size_t i = 0; i < nb.size(); ++i) {
+          const weight_t w = g.has_weights() ? g.weights(v)[i] : weight_t{1};
+          prog.combine(a, prog.gather(v, nb[i], w));
+        }
+        if (prog.apply(v, a)) next_active[static_cast<std::size_t>(v)] = 1;
+      }
+    } else {
+      // Scatter-driven: active vertices push contributions into neighbors'
+      // accumulators; apply runs on touched vertices afterwards.
+#pragma omp parallel for schedule(static)
+      for (vid_t v = 0; v < n; ++v) {
+        acc[static_cast<std::size_t>(v)] = prog.identity();
+        touched[static_cast<std::size_t>(v)] = 0;
+      }
+#pragma omp parallel for schedule(dynamic, 128)
+      for (vid_t u = 0; u < n; ++u) {
+        if (!active[static_cast<std::size_t>(u)]) continue;
+        const auto nb = g.neighbors(u);
+        for (std::size_t i = 0; i < nb.size(); ++i) {
+          const vid_t v = nb[i];
+          const weight_t w = g.has_weights() ? g.weights(u)[i] : weight_t{1};
+          const Accum contrib = prog.gather(v, u, w);
+          SpinGuard guard(locks.for_index(static_cast<std::size_t>(v)));
+          prog.combine(acc[static_cast<std::size_t>(v)], contrib);
+          touched[static_cast<std::size_t>(v)] = 1;
+        }
+      }
+#pragma omp parallel for schedule(dynamic, 128)
+      for (vid_t v = 0; v < n; ++v) {
+        if (!touched[static_cast<std::size_t>(v)]) continue;
+        if (prog.apply(v, acc[static_cast<std::size_t>(v)])) {
+          next_active[static_cast<std::size_t>(v)] = 1;
+        }
+      }
+    }
+
+    active.swap(next_active);
+    std::fill(next_active.begin(), next_active.end(), std::uint8_t{0});
+    active_count = 0;
+#pragma omp parallel for reduction(+ : active_count) schedule(static)
+    for (vid_t v = 0; v < n; ++v) {
+      active_count += active[static_cast<std::size_t>(v)];
+    }
+  }
+  return stats;
+}
+
+}  // namespace pushpull::gas

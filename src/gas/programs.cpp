@@ -1,0 +1,18 @@
+#include "gas/programs.hpp"
+
+namespace pushpull::gas {
+
+std::vector<weight_t> gas_sssp(const Csr& g, vid_t source, Direction dir) {
+  PP_CHECK(g.has_weights());
+  SsspProgram prog(g.n(), source);
+  run_gas(g, prog, dir);
+  return prog.distances();
+}
+
+std::vector<int> gas_coloring(const Csr& g, Direction dir) {
+  ColoringProgram prog(g);
+  run_gas(g, prog, dir);
+  return prog.colors();
+}
+
+}  // namespace pushpull::gas

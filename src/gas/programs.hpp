@@ -1,0 +1,105 @@
+// GAS vertex programs for the two algorithms the paper discusses under the
+// GAS abstraction (§7.4): SSSP and graph coloring.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "gas/gas.hpp"
+#include "graph/csr.hpp"
+
+namespace pushpull::gas {
+
+// SSSP (§7.4): each vertex keeps the best known distance; gather produces
+// d(u) + w(u,v); apply relaxes. Converges to exact shortest paths
+// (Bellman-Ford fixpoint).
+class SsspProgram {
+ public:
+  using accum_t = weight_t;
+
+  SsspProgram(vid_t n, vid_t source)
+      : dist_(static_cast<std::size_t>(n),
+              std::numeric_limits<weight_t>::infinity()) {
+    dist_[static_cast<std::size_t>(source)] = 0;
+  }
+
+  accum_t identity() const { return std::numeric_limits<weight_t>::infinity(); }
+
+  accum_t gather(vid_t /*v*/, vid_t u, weight_t w) const {
+    return dist_[static_cast<std::size_t>(u)] + w;
+  }
+
+  void combine(accum_t& into, const accum_t& from) const {
+    if (from < into) into = from;
+  }
+
+  bool apply(vid_t v, const accum_t& acc) {
+    if (acc < dist_[static_cast<std::size_t>(v)]) {
+      dist_[static_cast<std::size_t>(v)] = acc;
+      return true;
+    }
+    return false;
+  }
+
+  const std::vector<weight_t>& distances() const { return dist_; }
+
+ private:
+  std::vector<weight_t> dist_;
+};
+
+// Greedy coloring (§7.4): the accumulator carries one fact — whether a
+// *smaller-id* neighbor currently holds v's color. apply() then recolors v
+// to the smallest color free in its full current neighborhood (reading the
+// neighborhood in apply keeps push-mode correct: the gather stream only
+// covers *active* neighbors, which is not enough to pick a safe color).
+// The smaller-id asymmetry guarantees termination: vertex 0 never moves,
+// and inductively each vertex stabilizes once its smaller neighbors have.
+class ColoringProgram {
+ public:
+  // 1 = conflict with a smaller-id neighbor (int, not bool: std::vector<bool>
+  // proxies cannot bind to accum_t& in the engine).
+  using accum_t = int;
+
+  explicit ColoringProgram(const Csr& g)
+      : g_(&g), color_(static_cast<std::size_t>(g.n()), 0) {}
+
+  accum_t identity() const { return 0; }
+
+  accum_t gather(vid_t v, vid_t u, weight_t /*w*/) const {
+    return u < v && color_[static_cast<std::size_t>(u)] ==
+                        color_[static_cast<std::size_t>(v)]
+               ? 1
+               : 0;
+  }
+
+  void combine(accum_t& into, const accum_t& from) const { into |= from; }
+
+  bool apply(vid_t v, const accum_t& conflicted) {
+    if (conflicted == 0) return false;
+    // First-fit over the full current neighborhood.
+    std::vector<bool> used(static_cast<std::size_t>(g_->degree(v)) + 2, false);
+    for (vid_t u : g_->neighbors(v)) {
+      const int cu = color_[static_cast<std::size_t>(u)];
+      if (cu >= 0 && cu < static_cast<int>(used.size())) {
+        used[static_cast<std::size_t>(cu)] = true;
+      }
+    }
+    int c = 0;
+    while (used[static_cast<std::size_t>(c)]) ++c;
+    color_[static_cast<std::size_t>(v)] = c;
+    return true;
+  }
+
+  const std::vector<int>& colors() const { return color_; }
+
+ private:
+  const Csr* g_;
+  std::vector<int> color_;
+};
+
+// Convenience wrappers.
+std::vector<weight_t> gas_sssp(const Csr& g, vid_t source, Direction dir);
+std::vector<int> gas_coloring(const Csr& g, Direction dir);
+
+}  // namespace pushpull::gas

@@ -1,0 +1,70 @@
+#include "graph/analogs.hpp"
+
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+
+namespace pushpull {
+
+namespace {
+
+// Applies the power-of-two scale knob to a base R-MAT scale.
+int scaled(int base_log2, int scale) {
+  const int s = base_log2 + scale;
+  PP_CHECK(s >= 4 && s <= 26);
+  return s;
+}
+
+Csr finish(vid_t n, EdgeList edges, bool weighted, std::uint64_t seed) {
+  if (weighted) return make_undirected_weighted(n, std::move(edges), 1.0f, 64.0f, seed ^ 0xabcd);
+  return make_undirected(n, std::move(edges));
+}
+
+}  // namespace
+
+Csr orc_analog(int scale, bool weighted) {
+  const int s = scaled(15, scale);  // default n = 32768
+  return finish(vid_t{1} << s, rmat_edges(s, 16, /*seed=*/101), weighted, 101);
+}
+
+Csr pok_analog(int scale, bool weighted) {
+  const int s = scaled(14, scale);  // default n = 16384
+  return finish(vid_t{1} << s, rmat_edges(s, 9, /*seed=*/202), weighted, 202);
+}
+
+Csr ljn_analog(int scale, bool weighted) {
+  const int s = scaled(15, scale);  // default n = 32768
+  return finish(vid_t{1} << s, rmat_edges(s, 5, /*seed=*/303), weighted, 303);
+}
+
+Csr am_analog(int scale, bool weighted) {
+  vid_t n = vid_t{1} << scaled(15, scale);  // default n = 32768
+  return finish(n, barabasi_albert_edges(n, 2, /*seed=*/404), weighted, 404);
+}
+
+Csr rca_analog(int scale, bool weighted) {
+  // Default 128 x 512 = 65536 vertices; thinned to d̄ ≈ 2.8 like roadNet-CA.
+  int rows = 128, cols = 512;
+  for (int i = 0; i < scale; ++i) (i % 2 == 0 ? cols : rows) *= 2;
+  for (int i = 0; i > scale; --i) (i % 2 == 0 ? cols : rows) /= 2;
+  PP_CHECK(rows >= 4 && cols >= 4);
+  return finish(static_cast<vid_t>(rows) * cols,
+                grid2d_edges(rows, cols, /*keep_prob=*/0.72, /*seed=*/505),
+                weighted, 505);
+}
+
+Csr analog_by_name(const std::string& name, int scale, bool weighted) {
+  if (name == "orc") return orc_analog(scale, weighted);
+  if (name == "pok") return pok_analog(scale, weighted);
+  if (name == "ljn") return ljn_analog(scale, weighted);
+  if (name == "am") return am_analog(scale, weighted);
+  if (name == "rca") return rca_analog(scale, weighted);
+  PP_CHECK(false && "unknown analog graph name");
+  return {};
+}
+
+const std::vector<std::string>& analog_names() {
+  static const std::vector<std::string> names = {"orc", "pok", "ljn", "am", "rca"};
+  return names;
+}
+
+}  // namespace pushpull

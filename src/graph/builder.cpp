@@ -1,0 +1,77 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pushpull {
+
+namespace {
+
+// Sorts edges by (u, v, w) and validates endpoint ranges.
+void prepare(vid_t n, EdgeList& edges, const BuildOptions& opts) {
+  for (const Edge& e : edges) {
+    PP_CHECK(e.u >= 0 && e.u < n);
+    PP_CHECK(e.v >= 0 && e.v < n);
+  }
+  if (opts.remove_self_loops) {
+    std::erase_if(edges, [](const Edge& e) { return e.u == e.v; });
+  }
+  if (opts.symmetrize) {
+    const std::size_t original = edges.size();
+    edges.reserve(original * 2);
+    for (std::size_t i = 0; i < original; ++i) {
+      edges.push_back(Edge{edges[i].v, edges[i].u, edges[i].w});
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.u != b.u) return a.u < b.u;
+    if (a.v != b.v) return a.v < b.v;
+    return a.w < b.w;  // duplicates keep the minimum weight
+  });
+  if (opts.dedup) {
+    edges.erase(std::unique(edges.begin(), edges.end(),
+                            [](const Edge& a, const Edge& b) {
+                              return a.u == b.u && a.v == b.v;
+                            }),
+                edges.end());
+  }
+}
+
+}  // namespace
+
+Csr build_csr(vid_t n, EdgeList edges, const BuildOptions& opts) {
+  PP_CHECK(n >= 0);
+  prepare(n, edges, opts);
+
+  std::vector<eid_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : edges) ++offsets[static_cast<std::size_t>(e.u) + 1];
+  for (vid_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+
+  std::vector<vid_t> adj(edges.size());
+  std::vector<weight_t> weights;
+  if (opts.keep_weights) weights.resize(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    adj[i] = edges[i].v;
+    if (opts.keep_weights) weights[i] = edges[i].w;
+  }
+  return Csr(std::move(offsets), std::move(adj), std::move(weights));
+}
+
+Digraph build_digraph(vid_t n, EdgeList edges, bool keep_weights) {
+  BuildOptions opts;
+  opts.symmetrize = false;
+  opts.keep_weights = keep_weights;
+  return Digraph::from_out(build_csr(n, std::move(edges), opts));
+}
+
+EdgeList with_uniform_weights(EdgeList edges, weight_t lo, weight_t hi,
+                              std::uint64_t seed) {
+  PP_CHECK(lo <= hi);
+  Rng rng(seed);
+  for (Edge& e : edges) e.w = rng.next_float(lo, hi);
+  return edges;
+}
+
+}  // namespace pushpull

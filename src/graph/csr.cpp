@@ -1,0 +1,45 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+namespace pushpull {
+
+bool Csr::has_edge(vid_t u, vid_t v) const noexcept {
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+vid_t Csr::max_degree() const noexcept {
+  if (max_degree_cache_ < 0) {
+    vid_t best = 0;
+    for (vid_t v = 0; v < n(); ++v) best = std::max(best, degree(v));
+    max_degree_cache_ = best;
+  }
+  return max_degree_cache_;
+}
+
+Csr transpose(const Csr& g) {
+  const vid_t n = g.n();
+  std::vector<eid_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (eid_t e = 0; e < g.num_arcs(); ++e) {
+    ++offsets[static_cast<std::size_t>(g.adj()[static_cast<std::size_t>(e)]) + 1];
+  }
+  for (vid_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+
+  std::vector<vid_t> adj(static_cast<std::size_t>(g.num_arcs()));
+  std::vector<weight_t> weights;
+  if (g.has_weights()) weights.resize(adj.size());
+  std::vector<eid_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (vid_t u = 0; u < n; ++u) {
+    for (eid_t e = g.edge_begin(u); e < g.edge_end(u); ++e) {
+      const vid_t v = g.edge_target(e);
+      const eid_t slot = cursor[v]++;
+      adj[static_cast<std::size_t>(slot)] = u;
+      if (!weights.empty()) weights[static_cast<std::size_t>(slot)] = g.edge_weight(e);
+    }
+  }
+  // Slots were filled in increasing source order, so each in-list is sorted.
+  return Csr(std::move(offsets), std::move(adj), std::move(weights));
+}
+
+}  // namespace pushpull

@@ -1,0 +1,108 @@
+// Compressed Sparse Row adjacency representation (§2.2).
+//
+// The neighbor arrays of all vertices form one contiguous array `adj`;
+// `offsets` stores where each vertex's array begins — together n + 2m cells
+// for an undirected graph, exactly the layout the paper analyzes. Adjacency
+// lists are sorted, which the triangle-counting kernels exploit for O(log d̂)
+// adjacency tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/check.hpp"
+
+namespace pushpull {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  Csr(std::vector<eid_t> offsets, std::vector<vid_t> adj,
+      std::vector<weight_t> weights = {})
+      : offsets_(std::move(offsets)), adj_(std::move(adj)), weights_(std::move(weights)) {
+    PP_CHECK(!offsets_.empty());
+    PP_CHECK(offsets_.front() == 0);
+    PP_CHECK(offsets_.back() == static_cast<eid_t>(adj_.size()));
+    PP_CHECK(weights_.empty() || weights_.size() == adj_.size());
+  }
+
+  // Number of vertices.
+  vid_t n() const noexcept { return static_cast<vid_t>(offsets_.size()) - 1; }
+
+  // Number of stored (directed) edges; an undirected graph built by the
+  // default builder stores each edge twice, so m_undirected() = num_arcs()/2.
+  eid_t num_arcs() const noexcept { return static_cast<eid_t>(adj_.size()); }
+  eid_t m_undirected() const noexcept { return num_arcs() / 2; }
+
+  vid_t degree(vid_t v) const noexcept {
+    PP_DCHECK(v >= 0 && v < n());
+    return static_cast<vid_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  std::span<const vid_t> neighbors(vid_t v) const noexcept {
+    PP_DCHECK(v >= 0 && v < n());
+    return {adj_.data() + offsets_[v],
+            static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+
+  bool has_weights() const noexcept { return !weights_.empty(); }
+
+  std::span<const weight_t> weights(vid_t v) const noexcept {
+    PP_DCHECK(has_weights());
+    PP_DCHECK(v >= 0 && v < n());
+    return {weights_.data() + offsets_[v],
+            static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+
+  // Raw arrays for kernels that index edges directly.
+  const std::vector<eid_t>& offsets() const noexcept { return offsets_; }
+  const std::vector<vid_t>& adj() const noexcept { return adj_; }
+  const std::vector<weight_t>& weight_array() const noexcept { return weights_; }
+
+  eid_t edge_begin(vid_t v) const noexcept { return offsets_[v]; }
+  eid_t edge_end(vid_t v) const noexcept { return offsets_[v + 1]; }
+  vid_t edge_target(eid_t e) const noexcept { return adj_[static_cast<std::size_t>(e)]; }
+  weight_t edge_weight(eid_t e) const noexcept {
+    return weights_.empty() ? 1.0f : weights_[static_cast<std::size_t>(e)];
+  }
+
+  // O(log d(u)) adjacency test; requires sorted adjacency lists (the builder
+  // guarantees this).
+  bool has_edge(vid_t u, vid_t v) const noexcept;
+
+  // Maximum degree d̂ (computed once, cached).
+  vid_t max_degree() const noexcept;
+
+  // Average degree d̄ = num_arcs / n.
+  double avg_degree() const noexcept {
+    return n() == 0 ? 0.0 : static_cast<double>(num_arcs()) / n();
+  }
+
+ private:
+  std::vector<eid_t> offsets_{0};
+  std::vector<vid_t> adj_;
+  std::vector<weight_t> weights_;
+  mutable vid_t max_degree_cache_ = -1;
+};
+
+// Reverses all arcs: the in-CSR of a directed graph. For symmetric
+// (undirected) graphs, transpose(g) has identical adjacency structure.
+Csr transpose(const Csr& g);
+
+// A directed graph: out-edges plus the transposed in-edges, as required by
+// the directed push (out) / pull (in) distinction of §4.8.
+struct Digraph {
+  Csr out;
+  Csr in;
+
+  static Digraph from_out(Csr out_csr) {
+    Digraph d;
+    d.in = transpose(out_csr);
+    d.out = std::move(out_csr);
+    return d;
+  }
+};
+
+}  // namespace pushpull

@@ -1,0 +1,202 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pushpull {
+
+EdgeList rmat_edges(int scale, int edge_factor, std::uint64_t seed, double a,
+                    double b, double c) {
+  PP_CHECK(scale >= 1 && scale < 31);
+  PP_CHECK(edge_factor >= 1);
+  const double d = 1.0 - a - b - c;
+  PP_CHECK(a > 0 && b >= 0 && c >= 0 && d > 0);
+
+  const vid_t n = vid_t{1} << scale;
+  const eid_t m = static_cast<eid_t>(n) * edge_factor;
+  Rng rng(seed);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  for (eid_t e = 0; e < m; ++e) {
+    vid_t u = 0, v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double r = rng.next_double();
+      // Quadrant choice: (0,0) w.p. a, (0,1) w.p. b, (1,0) w.p. c, else (1,1).
+      int ubit = 0, vbit = 0;
+      if (r < a) {
+      } else if (r < a + b) {
+        vbit = 1;
+      } else if (r < a + b + c) {
+        ubit = 1;
+      } else {
+        ubit = 1;
+        vbit = 1;
+      }
+      u = (u << 1) | ubit;
+      v = (v << 1) | vbit;
+    }
+    edges.push_back(Edge{u, v, 1.0f});
+  }
+  return edges;
+}
+
+EdgeList erdos_renyi_edges(vid_t n, eid_t m, std::uint64_t seed) {
+  PP_CHECK(n >= 2);
+  const eid_t max_edges = static_cast<eid_t>(n) * (n - 1) / 2;
+  PP_CHECK(m >= 0 && m <= max_edges);
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(m) * 2);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  while (static_cast<eid_t>(edges.size()) < m) {
+    vid_t u = static_cast<vid_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+    vid_t v = static_cast<vid_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint32_t>(v);
+    if (seen.insert(key).second) edges.push_back(Edge{u, v, 1.0f});
+  }
+  return edges;
+}
+
+EdgeList grid2d_edges(vid_t rows, vid_t cols, double keep_prob,
+                      std::uint64_t seed) {
+  PP_CHECK(rows >= 1 && cols >= 1);
+  PP_CHECK(keep_prob > 0.0 && keep_prob <= 1.0);
+  Rng rng(seed);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(rows) * cols * 2);
+  auto id = [cols](vid_t r, vid_t c) { return r * cols + c; };
+  for (vid_t r = 0; r < rows; ++r) {
+    for (vid_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols && rng.next_bool(keep_prob)) {
+        edges.push_back(Edge{id(r, c), id(r, c + 1), 1.0f});
+      }
+      if (r + 1 < rows && rng.next_bool(keep_prob)) {
+        edges.push_back(Edge{id(r, c), id(r + 1, c), 1.0f});
+      }
+    }
+  }
+  return edges;
+}
+
+EdgeList barabasi_albert_edges(vid_t n, int attach, std::uint64_t seed) {
+  PP_CHECK(attach >= 1);
+  PP_CHECK(n > attach);
+  Rng rng(seed);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) * attach);
+  // `targets` holds one entry per edge endpoint; sampling an element uniformly
+  // is sampling a vertex proportionally to its degree.
+  std::vector<vid_t> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(n) * attach * 2);
+  // Seed clique over the first attach+1 vertices.
+  for (vid_t u = 0; u <= attach; ++u) {
+    for (vid_t v = u + 1; v <= attach; ++v) {
+      edges.push_back(Edge{u, v, 1.0f});
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (vid_t v = static_cast<vid_t>(attach) + 1; v < n; ++v) {
+    std::unordered_set<vid_t> chosen;
+    while (static_cast<int>(chosen.size()) < attach) {
+      const vid_t t = endpoints[rng.next_below(endpoints.size())];
+      chosen.insert(t);
+    }
+    for (vid_t t : chosen) {
+      edges.push_back(Edge{v, t, 1.0f});
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return edges;
+}
+
+EdgeList watts_strogatz_edges(vid_t n, int k, double beta, std::uint64_t seed) {
+  PP_CHECK(n >= 3);
+  PP_CHECK(k >= 1 && 2 * k < n);
+  PP_CHECK(beta >= 0.0 && beta <= 1.0);
+  Rng rng(seed);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) * k);
+  for (vid_t u = 0; u < n; ++u) {
+    for (int j = 1; j <= k; ++j) {
+      vid_t v = static_cast<vid_t>((u + j) % n);
+      if (rng.next_bool(beta)) {
+        // Rewire to a uniform random non-self target; parallel edges are
+        // collapsed later by the builder.
+        v = static_cast<vid_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+        if (v == u) v = static_cast<vid_t>((v + 1) % n);
+      }
+      edges.push_back(Edge{u, v, 1.0f});
+    }
+  }
+  return edges;
+}
+
+EdgeList path_edges(vid_t n) {
+  EdgeList edges;
+  for (vid_t v = 0; v + 1 < n; ++v) edges.push_back(Edge{v, static_cast<vid_t>(v + 1), 1.0f});
+  return edges;
+}
+
+EdgeList cycle_edges(vid_t n) {
+  PP_CHECK(n >= 3);
+  EdgeList edges = path_edges(n);
+  edges.push_back(Edge{static_cast<vid_t>(n - 1), 0, 1.0f});
+  return edges;
+}
+
+EdgeList star_edges(vid_t n) {
+  PP_CHECK(n >= 2);
+  EdgeList edges;
+  for (vid_t v = 1; v < n; ++v) edges.push_back(Edge{0, v, 1.0f});
+  return edges;
+}
+
+EdgeList complete_edges(vid_t n) {
+  EdgeList edges;
+  for (vid_t u = 0; u < n; ++u) {
+    for (vid_t v = u + 1; v < n; ++v) edges.push_back(Edge{u, v, 1.0f});
+  }
+  return edges;
+}
+
+EdgeList complete_bipartite_edges(vid_t a, vid_t b) {
+  EdgeList edges;
+  for (vid_t u = 0; u < a; ++u) {
+    for (vid_t v = 0; v < b; ++v) {
+      edges.push_back(Edge{u, static_cast<vid_t>(a + v), 1.0f});
+    }
+  }
+  return edges;
+}
+
+EdgeList binary_tree_edges(int levels) {
+  PP_CHECK(levels >= 1 && levels < 31);
+  const vid_t n = (vid_t{1} << levels) - 1;
+  EdgeList edges;
+  for (vid_t v = 1; v < n; ++v) {
+    edges.push_back(Edge{static_cast<vid_t>((v - 1) / 2), v, 1.0f});
+  }
+  return edges;
+}
+
+Csr make_undirected(vid_t n, EdgeList edges) {
+  return build_csr(n, std::move(edges));
+}
+
+Csr make_undirected_weighted(vid_t n, EdgeList edges, weight_t lo, weight_t hi,
+                             std::uint64_t seed) {
+  BuildOptions opts;
+  opts.keep_weights = true;
+  return build_csr(n, with_uniform_weights(std::move(edges), lo, hi, seed), opts);
+}
+
+}  // namespace pushpull

@@ -1,0 +1,61 @@
+// Seeded graph generators.
+//
+// The paper evaluates on (a) synthetic power-law Kronecker (R-MAT) graphs and
+// Erdős–Rényi graphs with n ∈ {2^20..2^28}, d̄ ∈ {2^1..2^10}, and (b) SNAP
+// real-world graphs spanning three sparsity regimes (§6, Table 2). This
+// environment has no network access, so real graphs are replaced by seeded
+// synthetic analogs from these generators (see analogs.hpp and DESIGN.md §3).
+//
+// All generators are deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace pushpull {
+
+// --- Random families ------------------------------------------------------
+
+// R-MAT / stochastic-Kronecker edges (Leskovec et al.): 2^scale vertices,
+// edge_factor directed edges per vertex, recursive quadrant probabilities
+// (a, b, c, d). Defaults are the Graph500 parameters.
+EdgeList rmat_edges(int scale, int edge_factor, std::uint64_t seed,
+                    double a = 0.57, double b = 0.19, double c = 0.19);
+
+// Erdős–Rényi G(n, m): m distinct undirected edges drawn uniformly.
+EdgeList erdos_renyi_edges(vid_t n, eid_t m, std::uint64_t seed);
+
+// Road-network-like graph: rows×cols 2D lattice where each lattice edge is
+// kept with probability keep_prob. Low average degree (≤ 4·keep_prob), huge
+// diameter — the `rca` regime.
+EdgeList grid2d_edges(vid_t rows, vid_t cols, double keep_prob,
+                      std::uint64_t seed);
+
+// Barabási–Albert preferential attachment: each new vertex attaches to
+// `attach` existing vertices chosen proportionally to degree. Produces the
+// low-d̄, moderate-D regime of purchase networks (`am`).
+EdgeList barabasi_albert_edges(vid_t n, int attach, std::uint64_t seed);
+
+// Watts–Strogatz small world: ring lattice with k neighbors per side,
+// each edge rewired with probability beta.
+EdgeList watts_strogatz_edges(vid_t n, int k, double beta, std::uint64_t seed);
+
+// --- Deterministic shapes (tests & examples) -------------------------------
+
+EdgeList path_edges(vid_t n);
+EdgeList cycle_edges(vid_t n);
+EdgeList star_edges(vid_t n);              // vertex 0 is the hub
+EdgeList complete_edges(vid_t n);
+EdgeList complete_bipartite_edges(vid_t a, vid_t b);
+EdgeList binary_tree_edges(int levels);    // 2^levels - 1 vertices
+
+// --- Convenience: generator → weighted/unweighted undirected CSR -----------
+
+Csr make_undirected(vid_t n, EdgeList edges);
+Csr make_undirected_weighted(vid_t n, EdgeList edges, weight_t lo, weight_t hi,
+                             std::uint64_t seed);
+
+}  // namespace pushpull

@@ -1,0 +1,102 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace pushpull {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x70757368'70756c6cULL;  // "pushpull"
+}
+
+EdgeList read_edge_list(const std::string& path, vid_t* n) {
+  std::ifstream in(path);
+  PP_CHECK(in.good());
+  EdgeList edges;
+  vid_t max_id = -1;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    long long u = 0, v = 0;
+    double w = 1.0;
+    if (!(ls >> u >> v)) continue;
+    ls >> w;  // optional weight
+    PP_CHECK(u >= 0 && v >= 0);
+    edges.push_back(Edge{static_cast<vid_t>(u), static_cast<vid_t>(v),
+                         static_cast<weight_t>(w)});
+    max_id = std::max({max_id, static_cast<vid_t>(u), static_cast<vid_t>(v)});
+  }
+  if (n != nullptr) *n = max_id + 1;
+  return edges;
+}
+
+void write_edge_list(const std::string& path, const Csr& g) {
+  std::ofstream out(path);
+  PP_CHECK(out.good());
+  out.precision(9);  // float max_digits10: exact text round-trip
+  out << "# pushpull edge list: n=" << g.n() << " arcs=" << g.num_arcs() << "\n";
+  for (vid_t v = 0; v < g.n(); ++v) {
+    const auto nb = g.neighbors(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      out << v << ' ' << nb[i];
+      if (g.has_weights()) out << ' ' << g.weights(v)[i];
+      out << '\n';
+    }
+  }
+  PP_CHECK(out.good());
+}
+
+void write_csr_binary(const std::string& path, const Csr& g) {
+  std::ofstream out(path, std::ios::binary);
+  PP_CHECK(out.good());
+  auto put = [&out](const void* p, std::size_t bytes) {
+    out.write(static_cast<const char*>(p), static_cast<std::streamsize>(bytes));
+  };
+  const std::uint64_t magic = kMagic;
+  const std::int64_t n = g.n();
+  const std::int64_t arcs = g.num_arcs();
+  const std::uint8_t weighted = g.has_weights() ? 1 : 0;
+  put(&magic, sizeof magic);
+  put(&n, sizeof n);
+  put(&arcs, sizeof arcs);
+  put(&weighted, sizeof weighted);
+  put(g.offsets().data(), g.offsets().size() * sizeof(eid_t));
+  put(g.adj().data(), g.adj().size() * sizeof(vid_t));
+  if (weighted) put(g.weight_array().data(), g.weight_array().size() * sizeof(weight_t));
+  PP_CHECK(out.good());
+}
+
+Csr read_csr_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PP_CHECK(in.good());
+  auto get = [&in](void* p, std::size_t bytes) {
+    in.read(static_cast<char*>(p), static_cast<std::streamsize>(bytes));
+    PP_CHECK(in.good());
+  };
+  std::uint64_t magic = 0;
+  std::int64_t n = 0, arcs = 0;
+  std::uint8_t weighted = 0;
+  get(&magic, sizeof magic);
+  PP_CHECK(magic == kMagic);
+  get(&n, sizeof n);
+  get(&arcs, sizeof arcs);
+  get(&weighted, sizeof weighted);
+  PP_CHECK(n >= 0 && arcs >= 0);
+  std::vector<eid_t> offsets(static_cast<std::size_t>(n) + 1);
+  std::vector<vid_t> adj(static_cast<std::size_t>(arcs));
+  get(offsets.data(), offsets.size() * sizeof(eid_t));
+  get(adj.data(), adj.size() * sizeof(vid_t));
+  std::vector<weight_t> weights;
+  if (weighted) {
+    weights.resize(static_cast<std::size_t>(arcs));
+    get(weights.data(), weights.size() * sizeof(weight_t));
+  }
+  return Csr(std::move(offsets), std::move(adj), std::move(weights));
+}
+
+}  // namespace pushpull

@@ -1,0 +1,24 @@
+// Edge-list text I/O ("u v [w]" per line, '#' comments — the SNAP format)
+// plus a compact binary CSR format for fast reloads.
+#pragma once
+
+#include <string>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace pushpull {
+
+// Reads a SNAP-style whitespace-separated edge list. Lines starting with '#'
+// are skipped. Returns the edges and sets `n` to 1 + the maximum vertex id.
+EdgeList read_edge_list(const std::string& path, vid_t* n);
+
+// Writes one "u v w" line per arc of the CSR (both directions for symmetric
+// graphs), preceded by a "# pushpull edge list" header.
+void write_edge_list(const std::string& path, const Csr& g);
+
+// Binary CSR round-trip.
+void write_csr_binary(const std::string& path, const Csr& g);
+Csr read_csr_binary(const std::string& path);
+
+}  // namespace pushpull

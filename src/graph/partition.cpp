@@ -1,0 +1,18 @@
+#include "graph/partition.hpp"
+
+namespace pushpull {
+
+std::vector<vid_t> border_vertices(const Csr& g, const Partition1D& part) {
+  std::vector<vid_t> border;
+  for (vid_t v = 0; v < g.n(); ++v) {
+    for (vid_t u : g.neighbors(v)) {
+      if (part.owner(u) != part.owner(v)) {
+        border.push_back(v);
+        break;
+      }
+    }
+  }
+  return border;
+}
+
+}  // namespace pushpull

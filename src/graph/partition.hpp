@@ -1,0 +1,65 @@
+// 1D vertex partitioning (§2.2): vertices are block-distributed over P
+// threads/processes; t[v] denotes the owner of v. Pushing means a thread may
+// write vertices it does not own; pulling means every write satisfies
+// t[v] == t (§3.8).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+#include "util/check.hpp"
+
+namespace pushpull {
+
+// Contiguous block partition: owner(v) = v / ceil(n/P), clamped.
+class Partition1D {
+ public:
+  Partition1D() = default;
+
+  Partition1D(vid_t n, int parts) : n_(n), parts_(parts) {
+    PP_CHECK(n >= 0 && parts >= 1);
+    chunk_ = (n + parts - 1) / parts;
+    if (chunk_ == 0) chunk_ = 1;
+  }
+
+  int parts() const noexcept { return parts_; }
+  vid_t n() const noexcept { return n_; }
+
+  int owner(vid_t v) const noexcept {
+    PP_DCHECK(v >= 0 && v < n_);
+    const int p = static_cast<int>(v / chunk_);
+    return p < parts_ ? p : parts_ - 1;
+  }
+
+  vid_t begin(int p) const noexcept {
+    PP_DCHECK(p >= 0 && p < parts_);
+    const vid_t b = static_cast<vid_t>(p) * chunk_;
+    return b < n_ ? b : n_;
+  }
+
+  vid_t end(int p) const noexcept {
+    PP_DCHECK(p >= 0 && p < parts_);
+    if (p == parts_ - 1) return n_;
+    const vid_t e = static_cast<vid_t>(p + 1) * chunk_;
+    return e < n_ ? e : n_;
+  }
+
+  vid_t part_size(int p) const noexcept { return end(p) - begin(p); }
+
+ private:
+  vid_t n_ = 0;
+  int parts_ = 1;
+  vid_t chunk_ = 1;
+};
+
+// Border vertices B (§3.6): vertices with at least one neighbor owned by a
+// different partition.
+std::vector<vid_t> border_vertices(const Csr& g, const Partition1D& part);
+
+// True iff u and v belong to different partitions.
+inline bool is_cut_edge(const Partition1D& part, vid_t u, vid_t v) noexcept {
+  return part.owner(u) != part.owner(v);
+}
+
+}  // namespace pushpull

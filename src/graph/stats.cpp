@@ -1,0 +1,106 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace pushpull {
+
+namespace {
+
+// Sequential BFS returning (distances, farthest vertex, eccentricity).
+struct SweepResult {
+  std::vector<vid_t> dist;
+  vid_t farthest = kInvalidVertex;
+  vid_t ecc = 0;
+};
+
+SweepResult bfs_sweep(const Csr& g, vid_t start) {
+  SweepResult r;
+  r.dist.assign(static_cast<std::size_t>(g.n()), kInvalidVertex);
+  if (g.n() == 0) return r;
+  std::queue<vid_t> q;
+  r.dist[static_cast<std::size_t>(start)] = 0;
+  q.push(start);
+  r.farthest = start;
+  while (!q.empty()) {
+    const vid_t v = q.front();
+    q.pop();
+    const vid_t dv = r.dist[static_cast<std::size_t>(v)];
+    if (dv > r.ecc) {
+      r.ecc = dv;
+      r.farthest = v;
+    }
+    for (vid_t u : g.neighbors(v)) {
+      if (r.dist[static_cast<std::size_t>(u)] == kInvalidVertex) {
+        r.dist[static_cast<std::size_t>(u)] = dv + 1;
+        q.push(u);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+bool is_symmetric(const Csr& g) {
+  for (vid_t v = 0; v < g.n(); ++v) {
+    for (vid_t u : g.neighbors(v)) {
+      if (!g.has_edge(u, v)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<vid_t> component_ids(const Csr& g) {
+  std::vector<vid_t> comp(static_cast<std::size_t>(g.n()), kInvalidVertex);
+  vid_t next = 0;
+  std::vector<vid_t> stack;
+  for (vid_t s = 0; s < g.n(); ++s) {
+    if (comp[static_cast<std::size_t>(s)] != kInvalidVertex) continue;
+    comp[static_cast<std::size_t>(s)] = next;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const vid_t v = stack.back();
+      stack.pop_back();
+      for (vid_t u : g.neighbors(v)) {
+        if (comp[static_cast<std::size_t>(u)] == kInvalidVertex) {
+          comp[static_cast<std::size_t>(u)] = next;
+          stack.push_back(u);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+vid_t count_components(const Csr& g) {
+  const auto ids = component_ids(g);
+  return ids.empty() ? 0 : *std::max_element(ids.begin(), ids.end()) + 1;
+}
+
+vid_t pseudo_diameter(const Csr& g, vid_t start) {
+  if (g.n() == 0) return 0;
+  const SweepResult first = bfs_sweep(g, start);
+  const SweepResult second = bfs_sweep(g, first.farthest);
+  return second.ecc;
+}
+
+std::vector<eid_t> degree_histogram(const Csr& g) {
+  std::vector<eid_t> hist(static_cast<std::size_t>(g.max_degree()) + 1, 0);
+  for (vid_t v = 0; v < g.n(); ++v) ++hist[static_cast<std::size_t>(g.degree(v))];
+  return hist;
+}
+
+GraphStats compute_stats(const Csr& g) {
+  GraphStats s;
+  s.n = g.n();
+  s.m_undirected = g.m_undirected();
+  s.avg_degree = g.avg_degree();
+  s.max_degree = g.max_degree();
+  s.pseudo_diameter = pseudo_diameter(g);
+  s.components = count_components(g);
+  return s;
+}
+
+}  // namespace pushpull

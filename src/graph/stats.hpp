@@ -1,0 +1,42 @@
+// Graph statistics: the columns of the paper's Table 2 (n, m, d̄, D) plus
+// structural checks used throughout the test suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace pushpull {
+
+struct GraphStats {
+  vid_t n = 0;
+  eid_t m_undirected = 0;   // unique undirected edges
+  double avg_degree = 0.0;  // d̄ = 2m/n for undirected graphs
+  vid_t max_degree = 0;     // d̂
+  vid_t pseudo_diameter = 0;  // lower bound on D via double BFS sweep
+  vid_t components = 0;
+};
+
+GraphStats compute_stats(const Csr& g);
+
+// True iff for every arc (u,v) the reverse arc (v,u) exists.
+bool is_symmetric(const Csr& g);
+
+// Number of connected components (undirected semantics).
+vid_t count_components(const Csr& g);
+
+// Component id per vertex, ids dense in [0, #components).
+std::vector<vid_t> component_ids(const Csr& g);
+
+// Double-sweep pseudo-diameter: BFS from `start`, then BFS from the farthest
+// vertex found; returns the eccentricity of the second sweep. A standard
+// lower bound that is tight on trees/grids and near-tight on small-world
+// graphs — we report it as "D" in Table 2 just like most graph suites do.
+vid_t pseudo_diameter(const Csr& g, vid_t start = 0);
+
+// Histogram of degrees: hist[d] = #vertices with degree d.
+std::vector<eid_t> degree_histogram(const Csr& g);
+
+}  // namespace pushpull

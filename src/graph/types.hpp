@@ -1,0 +1,31 @@
+// Fundamental graph types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pushpull {
+
+// Vertex ids are 32-bit: the laptop-scale graphs in this reproduction stay
+// well below 2^31 vertices, and compact ids matter for cache behaviour (the
+// object of study). Edge ids are 64-bit so CSR offsets never overflow.
+using vid_t = std::int32_t;
+using eid_t = std::int64_t;
+
+// Edge weights. The paper uses non-negative weights (§2.2).
+using weight_t = float;
+
+inline constexpr vid_t kInvalidVertex = -1;
+
+// An edge in a loose edge list, the input to the CSR builder.
+struct Edge {
+  vid_t u = 0;
+  vid_t v = 0;
+  weight_t w = 1.0f;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+using EdgeList = std::vector<Edge>;
+
+}  // namespace pushpull

@@ -1,0 +1,24 @@
+// Graph algorithms in algebraic (matrix-vector) form (§7.1), each runnable
+// with the pull/CSR or push/CSC kernel so the dichotomy carries over to the
+// linear-algebra abstraction.
+#pragma once
+
+#include <vector>
+
+#include "core/direction.hpp"
+#include "graph/csr.hpp"
+
+namespace pushpull::la {
+
+// PageRank as L steps of (+,×) SpMV: x ← base + f·A·(x ⊘ d).
+std::vector<double> pagerank_la(const Csr& g, int iterations, double damping,
+                                Direction dir);
+
+// BFS as (∨,∧) frontier advances; push uses SpMSpV over the sparse frontier,
+// pull uses dense SpMV rows. Returns hop distances (-1 = unreachable).
+std::vector<vid_t> bfs_la(const Csr& g, vid_t root, Direction dir);
+
+// SSSP as (min,+) Bellman-Ford rounds to fixpoint. Requires weights.
+std::vector<weight_t> sssp_la(const Csr& g, vid_t root, Direction dir);
+
+}  // namespace pushpull::la

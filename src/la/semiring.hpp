@@ -1,0 +1,41 @@
+// Semirings for the algebraic formulation of graph algorithms (§7.1).
+//
+// A semiring supplies (⊕, ⊗, 0̄, 1̄); graph kernels become y = A ⊗ x
+// matrix-vector products over the right semiring:
+//   PageRank      — (+, ×) over double
+//   SSSP          — (min, +) over float (tropical semiring)
+//   BFS frontier  — (∨, ∧) over bool
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+namespace pushpull::la {
+
+template <class T>
+struct PlusTimes {
+  using value_type = T;
+  static constexpr T zero() { return T{0}; }
+  static constexpr T one() { return T{1}; }
+  static constexpr T add(T a, T b) { return a + b; }
+  static constexpr T mul(T a, T b) { return a * b; }
+};
+
+template <class T>
+struct MinPlus {
+  using value_type = T;
+  static constexpr T zero() { return std::numeric_limits<T>::infinity(); }
+  static constexpr T one() { return T{0}; }
+  static constexpr T add(T a, T b) { return std::min(a, b); }
+  static constexpr T mul(T a, T b) { return a + b; }
+};
+
+struct BoolOrAnd {
+  using value_type = bool;
+  static constexpr bool zero() { return false; }
+  static constexpr bool one() { return true; }
+  static constexpr bool add(bool a, bool b) { return a || b; }
+  static constexpr bool mul(bool a, bool b) { return a && b; }
+};
+
+}  // namespace pushpull::la

@@ -1,0 +1,126 @@
+// Sparse matrix-vector products over semirings (§7.1).
+//
+// The adjacency matrix A has A(i,j) = w(j→i). The paper's observation:
+//
+//   CSR layout (rows = in-edges)  → each output y[i] is reduced by one
+//     thread over row i — this is PULLING (no write conflicts),
+//   CSC layout (cols = out-edges) → each thread scatters x[j] down column j
+//     into many y[i] — this is PUSHING (atomics / merge trees needed),
+//   SpMSpV — when x is sparse (a BFS frontier), CSC/push skips all columns
+//     with x[j] = 0̄, while CSR/pull cannot exploit the sparsity.
+//
+// For an undirected graph the CSR and CSC of A share one Csr object; for
+// digraphs pass g.in (pull) / g.out (push).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "sync/atomics.hpp"
+#include "util/check.hpp"
+
+namespace pushpull::la {
+
+// Generic atomic ⊕-accumulate via a CAS loop; S::value_type must be a
+// trivially copyable 4- or 8-byte type (all semirings above qualify).
+template <class S>
+void atomic_accumulate(typename S::value_type& target,
+                       typename S::value_type value) {
+  using T = typename S::value_type;
+  std::atomic_ref<T> ref(target);
+  T cur = ref.load(std::memory_order_relaxed);
+  for (;;) {
+    const T combined = S::add(cur, value);
+    if (combined == cur) return;  // no change, skip the write
+    if (ref.compare_exchange_weak(cur, combined, std::memory_order_acq_rel,
+                                  std::memory_order_acquire)) {
+      return;
+    }
+  }
+}
+
+// y = A ⊗ x, pull/CSR: one reduction per output element, no conflicts.
+// `use_weights`=false treats every stored edge as 1̄.
+template <class S>
+void spmv_pull(const Csr& in_csr, std::span<const typename S::value_type> x,
+               std::span<typename S::value_type> y, bool use_weights = false) {
+  using T = typename S::value_type;
+  const vid_t n = in_csr.n();
+  PP_CHECK(x.size() == static_cast<std::size_t>(n));
+  PP_CHECK(y.size() == static_cast<std::size_t>(n));
+  PP_CHECK(!use_weights || in_csr.has_weights());
+#pragma omp parallel for schedule(dynamic, 256)
+  for (vid_t i = 0; i < n; ++i) {
+    T acc = S::zero();
+    for (eid_t e = in_csr.edge_begin(i); e < in_csr.edge_end(i); ++e) {
+      const vid_t j = in_csr.edge_target(e);
+      const T a = use_weights ? static_cast<T>(in_csr.edge_weight(e)) : S::one();
+      acc = S::add(acc, S::mul(a, x[static_cast<std::size_t>(j)]));
+    }
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+}
+
+// y = A ⊗ x, push/CSC: scatter down columns with atomic accumulation.
+// Callers must pre-fill y with S::zero().
+template <class S>
+void spmv_push(const Csr& out_csr, std::span<const typename S::value_type> x,
+               std::span<typename S::value_type> y, bool use_weights = false) {
+  using T = typename S::value_type;
+  const vid_t n = out_csr.n();
+  PP_CHECK(x.size() == static_cast<std::size_t>(n));
+  PP_CHECK(y.size() == static_cast<std::size_t>(n));
+  PP_CHECK(!use_weights || out_csr.has_weights());
+#pragma omp parallel for schedule(dynamic, 256)
+  for (vid_t j = 0; j < n; ++j) {
+    const T xj = x[static_cast<std::size_t>(j)];
+    if (xj == S::zero()) continue;  // the push advantage: skip empty columns
+    for (eid_t e = out_csr.edge_begin(j); e < out_csr.edge_end(j); ++e) {
+      const vid_t i = out_csr.edge_target(e);
+      const T a = use_weights ? static_cast<T>(out_csr.edge_weight(e)) : S::one();
+      atomic_accumulate<S>(y[static_cast<std::size_t>(i)], S::mul(a, xj));
+    }
+  }
+}
+
+// Sparse vector: indices with non-0̄ values.
+template <class T>
+struct SparseVec {
+  std::vector<vid_t> idx;
+  std::vector<T> val;
+
+  std::size_t nnz() const noexcept { return idx.size(); }
+};
+
+// y = A ⊗ x for sparse x, push/CSC over the nonzero columns only.
+// Touched output indices are appended to `touched` (may contain duplicates).
+template <class S>
+void spmspv_push(const Csr& out_csr,
+                 const SparseVec<typename S::value_type>& x,
+                 std::span<typename S::value_type> y,
+                 std::vector<vid_t>& touched, bool use_weights = false) {
+  using T = typename S::value_type;
+  PP_CHECK(y.size() == static_cast<std::size_t>(out_csr.n()));
+  touched.clear();
+#pragma omp parallel
+  {
+    std::vector<vid_t> local;
+#pragma omp for schedule(dynamic, 64) nowait
+    for (std::size_t k = 0; k < x.nnz(); ++k) {
+      const vid_t j = x.idx[k];
+      const T xj = x.val[k];
+      if (xj == S::zero()) continue;
+      for (eid_t e = out_csr.edge_begin(j); e < out_csr.edge_end(j); ++e) {
+        const vid_t i = out_csr.edge_target(e);
+        const T a = use_weights ? static_cast<T>(out_csr.edge_weight(e)) : S::one();
+        atomic_accumulate<S>(y[static_cast<std::size_t>(i)], S::mul(a, xj));
+        local.push_back(i);
+      }
+    }
+#pragma omp critical(pushpull_la_spmspv_touched)
+    touched.insert(touched.end(), local.begin(), local.end());
+  }
+}
+
+}  // namespace pushpull::la

@@ -1,0 +1,162 @@
+// Set-associative cache-hierarchy and TLB simulator.
+//
+// Substitutes for the PAPI cache/TLB miss counters used in the paper's
+// Table 1. The simulator is fed by the instrumented kernels' exact
+// load/store address stream (CacheSimInstr in instr.hpp) and models:
+//
+//   * L1d:  32 KiB, 8-way, 64 B lines   (Xeon E5-2670 per-core L1)
+//   * L2:  256 KiB, 8-way, 64 B lines
+//   * L3:    8 MiB, 16-way, 64 B lines  (scaled-down shared LLC)
+//   * dTLB: 64 entries, 4-way, 4 KiB pages
+//   * iTLB: 16 entries, fully assoc., fed by synthetic code-region tags
+//
+// Replacement is LRU within a set. The hierarchy is modeled as strictly
+// inclusive lookup (an access probes L1, on miss L2, on miss L3); this is
+// enough to reproduce the paper's *relative* push/pull locality effects —
+// pull variants make more scattered reads, push+PA improves reuse on dense
+// graphs — without modeling coherence.
+//
+// The simulator is single-threaded by design: cache-miss measurements run the
+// instrumented kernels with one thread for determinism (documented in
+// DESIGN.md §3), while operation counts (reads/atomics/...) are measured in
+// parallel runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "perf/counters.hpp"
+#include "util/check.hpp"
+
+namespace pushpull {
+
+// One level of set-associative cache with LRU replacement.
+class CacheLevel {
+ public:
+  CacheLevel(std::size_t size_bytes, std::size_t ways, std::size_t line_bytes)
+      : ways_(ways), line_bytes_(line_bytes) {
+    PP_CHECK(ways >= 1 && line_bytes >= 1);
+    PP_CHECK(size_bytes % (ways * line_bytes) == 0);
+    sets_ = size_bytes / (ways * line_bytes);
+    PP_CHECK((sets_ & (sets_ - 1)) == 0);  // power-of-two sets for masking
+    tags_.assign(sets_ * ways_, kInvalid);
+    stamps_.assign(sets_ * ways_, 0);
+  }
+
+  // Returns true on hit. Installs the line on miss.
+  bool access(std::uint64_t line_addr) noexcept {
+    const std::size_t set = static_cast<std::size_t>(line_addr) & (sets_ - 1);
+    std::uint64_t* tag = &tags_[set * ways_];
+    std::uint64_t* stamp = &stamps_[set * ways_];
+    ++tick_;
+    std::size_t victim = 0;
+    std::uint64_t oldest = UINT64_MAX;
+    for (std::size_t w = 0; w < ways_; ++w) {
+      if (tag[w] == line_addr) {
+        stamp[w] = tick_;
+        return true;
+      }
+      if (stamp[w] < oldest) {
+        oldest = stamp[w];
+        victim = w;
+      }
+    }
+    tag[victim] = line_addr;
+    stamp[victim] = tick_;
+    return false;
+  }
+
+  void flush() noexcept {
+    tags_.assign(tags_.size(), kInvalid);
+    stamps_.assign(stamps_.size(), 0);
+    tick_ = 0;
+  }
+
+  std::size_t line_bytes() const noexcept { return line_bytes_; }
+
+ private:
+  static constexpr std::uint64_t kInvalid = UINT64_MAX;
+
+  std::size_t sets_ = 0;
+  std::size_t ways_;
+  std::size_t line_bytes_;
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint64_t> stamps_;
+  std::uint64_t tick_ = 0;
+};
+
+struct CacheHierarchyConfig {
+  std::size_t l1_bytes = 32 * 1024;
+  std::size_t l1_ways = 8;
+  std::size_t l2_bytes = 256 * 1024;
+  std::size_t l2_ways = 8;
+  std::size_t l3_bytes = 8 * 1024 * 1024;
+  std::size_t l3_ways = 16;
+  std::size_t line_bytes = 64;
+  std::size_t dtlb_entries = 64;
+  std::size_t dtlb_ways = 4;
+  std::size_t itlb_entries = 16;
+  std::size_t page_bytes = 4096;
+};
+
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(const CacheHierarchyConfig& cfg = {})
+      : cfg_(cfg),
+        l1_(cfg.l1_bytes, cfg.l1_ways, cfg.line_bytes),
+        l2_(cfg.l2_bytes, cfg.l2_ways, cfg.line_bytes),
+        l3_(cfg.l3_bytes, cfg.l3_ways, cfg.line_bytes),
+        dtlb_(cfg.dtlb_entries * cfg.page_bytes, cfg.dtlb_ways, cfg.page_bytes),
+        itlb_(cfg.itlb_entries * cfg.page_bytes, cfg.itlb_entries, cfg.page_bytes) {}
+
+  // Simulates a data access of `bytes` bytes at address `p`. Accesses that
+  // straddle line/page boundaries touch every covered line/page.
+  void access(const void* p, std::size_t bytes) noexcept {
+    const std::uint64_t addr = reinterpret_cast<std::uintptr_t>(p);
+    const std::uint64_t first_line = addr / cfg_.line_bytes;
+    const std::uint64_t last_line = (addr + (bytes ? bytes - 1 : 0)) / cfg_.line_bytes;
+    for (std::uint64_t line = first_line; line <= last_line; ++line) {
+      ++stats_.accesses;
+      if (!l1_.access(line)) {
+        ++stats_.l1_misses;
+        if (!l2_.access(line)) {
+          ++stats_.l2_misses;
+          if (!l3_.access(line)) ++stats_.l3_misses;
+        }
+      }
+    }
+    const std::uint64_t first_page = addr / cfg_.page_bytes;
+    const std::uint64_t last_page = (addr + (bytes ? bytes - 1 : 0)) / cfg_.page_bytes;
+    for (std::uint64_t page = first_page; page <= last_page; ++page) {
+      if (!dtlb_.access(page)) ++stats_.dtlb_misses;
+    }
+  }
+
+  // Simulates an instruction-stream touch of a synthetic code region. Kernels
+  // tag their hot functions with small integer ids; each id maps to one code
+  // page, so iTLB misses stay tiny (as in the paper) unless a kernel bounces
+  // between many regions.
+  void code_region(std::uint32_t region_id) noexcept {
+    if (!itlb_.access(region_id)) ++stats_.itlb_misses;
+  }
+
+  const CacheStats& stats() const noexcept { return stats_; }
+
+  void reset() noexcept {
+    stats_ = CacheStats{};
+    l1_.flush();
+    l2_.flush();
+    l3_.flush();
+    dtlb_.flush();
+    itlb_.flush();
+  }
+
+ private:
+  CacheHierarchyConfig cfg_;
+  CacheLevel l1_, l2_, l3_;
+  CacheLevel dtlb_;  // reused as a TLB: "lines" are pages
+  CacheLevel itlb_;
+  CacheStats stats_;
+};
+
+}  // namespace pushpull

@@ -1,0 +1,100 @@
+// Software performance counters — the library's PAPI substitute.
+//
+// The paper's Table 1 reports eleven event classes per algorithm variant:
+// L1/L2/L3 cache misses, data/instruction TLB misses, atomics, locks, reads,
+// writes, and conditional/unconditional branches. Hardware counters are not
+// available in this environment, so we count the events *exactly* in software:
+// every instrumented kernel reports its memory reads/writes, issued atomics,
+// acquired locks and executed branches through an instrumentation policy
+// (see instr.hpp), and cache/TLB misses come from a cache simulator driven by
+// the same access stream (see cache_sim.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/padded.hpp"
+
+namespace pushpull {
+
+// One thread's worth of event counts.
+struct CounterBlock {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t atomics = 0;        // integer FAA / CAS
+  std::uint64_t locks = 0;          // lock acquisitions (incl. float CAS loops)
+  std::uint64_t branch_cond = 0;    // conditional branches
+  std::uint64_t branch_uncond = 0;  // unconditional branches / calls
+
+  CounterBlock& operator+=(const CounterBlock& o) noexcept {
+    reads += o.reads;
+    writes += o.writes;
+    atomics += o.atomics;
+    locks += o.locks;
+    branch_cond += o.branch_cond;
+    branch_uncond += o.branch_uncond;
+    return *this;
+  }
+
+  void reset() noexcept { *this = CounterBlock{}; }
+};
+
+// Per-thread counter blocks, padded to avoid false sharing. Threads index
+// their own block; aggregation happens once at the end of a measurement.
+class PerfCounters {
+ public:
+  explicit PerfCounters(int max_threads) : blocks_(static_cast<std::size_t>(max_threads)) {
+    PP_CHECK(max_threads > 0);
+  }
+
+  CounterBlock& at(int thread_id) noexcept {
+    PP_DCHECK(thread_id >= 0 &&
+              static_cast<std::size_t>(thread_id) < blocks_.size());
+    return blocks_[static_cast<std::size_t>(thread_id)].value;
+  }
+
+  CounterBlock total() const noexcept {
+    CounterBlock sum;
+    for (const auto& b : blocks_) sum += b.value;
+    return sum;
+  }
+
+  void reset() noexcept {
+    for (auto& b : blocks_) b.value.reset();
+  }
+
+  int max_threads() const noexcept { return static_cast<int>(blocks_.size()); }
+
+ private:
+  std::vector<Padded<CounterBlock>> blocks_;
+};
+
+// Cache/TLB miss counts produced by the cache simulator.
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t l3_misses = 0;
+  std::uint64_t dtlb_misses = 0;
+  std::uint64_t itlb_misses = 0;
+
+  CacheStats& operator+=(const CacheStats& o) noexcept {
+    accesses += o.accesses;
+    l1_misses += o.l1_misses;
+    l2_misses += o.l2_misses;
+    l3_misses += o.l3_misses;
+    dtlb_misses += o.dtlb_misses;
+    itlb_misses += o.itlb_misses;
+    return *this;
+  }
+};
+
+// Full event record for one measured kernel — one column of Table 1.
+struct EventRecord {
+  CounterBlock ops;
+  CacheStats cache;
+};
+
+}  // namespace pushpull

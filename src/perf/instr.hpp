@@ -1,0 +1,116 @@
+// Instrumentation policies.
+//
+// Every core kernel in libpushpull is a template over an instrumentation
+// policy `Instr` and reports its fine-grained events through it:
+//
+//   instr.read(ptr, bytes)       — shared-memory load
+//   instr.write(ptr, bytes)      — shared-memory store
+//   instr.atomic(ptr, bytes)     — integer atomic (FAA / CAS), counts as a
+//                                  read-modify-write access
+//   instr.lock(ptr)              — lock acquisition (incl. float CAS loops,
+//                                  which the paper accounts as locks, §4.1)
+//   instr.branch_cond()          — conditional branch in the hot loop
+//   instr.branch_uncond()        — unconditional branch / call
+//   instr.code_region(id)        — synthetic instruction-stream tag (iTLB)
+//
+// Policies:
+//   NullInstr     — all hooks are empty and inline away; the compiled kernel
+//                   is the production kernel. All timing benchmarks use this.
+//   CountingInstr — exact per-thread event counts (Table 1 op rows).
+//   CacheSimInstr — counts + feeds the address stream into the cache/TLB
+//                   simulator (Table 1 miss rows); single-threaded runs only.
+#pragma once
+
+#include <omp.h>
+
+#include <cstddef>
+
+#include "perf/cache_sim.hpp"
+#include "perf/counters.hpp"
+#include "util/check.hpp"
+
+namespace pushpull {
+
+// Zero-cost policy: production build of each kernel.
+struct NullInstr {
+  static constexpr bool kEnabled = false;
+
+  void read(const void*, std::size_t) noexcept {}
+  void write(const void*, std::size_t) noexcept {}
+  void atomic(const void*, std::size_t) noexcept {}
+  void lock(const void*) noexcept {}
+  void branch_cond() noexcept {}
+  void branch_uncond() noexcept {}
+  void code_region(std::uint32_t) noexcept {}
+};
+
+// Exact operation counting; thread-safe via per-thread padded blocks.
+class CountingInstr {
+ public:
+  static constexpr bool kEnabled = true;
+
+  explicit CountingInstr(PerfCounters& pc) noexcept : pc_(&pc) {}
+
+  void read(const void*, std::size_t) noexcept { ++tl().reads; }
+  void write(const void*, std::size_t) noexcept { ++tl().writes; }
+  void atomic(const void*, std::size_t) noexcept { ++tl().atomics; }
+  void lock(const void*) noexcept { ++tl().locks; }
+  void branch_cond() noexcept { ++tl().branch_cond; }
+  void branch_uncond() noexcept { ++tl().branch_uncond; }
+  void code_region(std::uint32_t) noexcept {}
+
+ private:
+  CounterBlock& tl() noexcept { return pc_->at(omp_get_thread_num()); }
+
+  PerfCounters* pc_;
+};
+
+// Counting + cache simulation. Valid only in single-threaded execution: the
+// cache simulator models one core and mutating it from several threads would
+// be both racy and physically meaningless.
+class CacheSimInstr {
+ public:
+  static constexpr bool kEnabled = true;
+
+  CacheSimInstr(PerfCounters& pc, CacheHierarchy& cache) noexcept
+      : pc_(&pc), cache_(&cache) {}
+
+  void read(const void* p, std::size_t bytes) noexcept {
+    check_single_thread();
+    ++pc_->at(0).reads;
+    cache_->access(p, bytes);
+  }
+
+  void write(const void* p, std::size_t bytes) noexcept {
+    check_single_thread();
+    ++pc_->at(0).writes;
+    cache_->access(p, bytes);
+  }
+
+  void atomic(const void* p, std::size_t bytes) noexcept {
+    check_single_thread();
+    ++pc_->at(0).atomics;
+    cache_->access(p, bytes);  // RMW touches the line once
+  }
+
+  void lock(const void* p) noexcept {
+    check_single_thread();
+    ++pc_->at(0).locks;
+    cache_->access(p, sizeof(void*));
+  }
+
+  void branch_cond() noexcept { ++pc_->at(0).branch_cond; }
+  void branch_uncond() noexcept { ++pc_->at(0).branch_uncond; }
+
+  void code_region(std::uint32_t id) noexcept { cache_->code_region(id); }
+
+ private:
+  void check_single_thread() const noexcept {
+    PP_DCHECK(omp_get_thread_num() == 0);
+  }
+
+  PerfCounters* pc_;
+  CacheHierarchy* cache_;
+};
+
+}  // namespace pushpull

@@ -1,0 +1,197 @@
+#include "pram/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace pushpull::pram {
+
+namespace {
+double log2p(double x) { return std::log2(std::max(2.0, x)); }
+}  // namespace
+
+double k_bar(double k, double P) { return std::max(1.0, k / std::max(1.0, P)); }
+
+Cost k_relaxation(double k, const Params& p, Model model, Dir dir) {
+  const double kb = k_bar(k, p.P);
+  if (dir == Dir::Pull) {
+    // Pulling avoids write conflicts entirely: O(k̄) time, O(k) work.
+    return {kb, k};
+  }
+  switch (model) {
+    case Model::CRCW_CB:
+      // Combining CRCW merges concurrent writes for free: O(k̄), O(k).
+      return {kb, k};
+    case Model::CREW:
+    case Model::EREW:
+      // Binary merge-trees of height O(log d̂) resolve concurrent updates:
+      // O(k̄ log d̂) time, O(k log d̂) work.
+      return {kb * log2p(p.d_max), k * log2p(p.d_max)};
+  }
+  return {};
+}
+
+Cost k_filter(double k, const Params& p) {
+  // Prefix-sum extraction: O(log P + k̄) time, O(min(k, n)) work.
+  return {log2p(p.P) + k_bar(k, p.P), std::min(k, p.n)};
+}
+
+Cost limit_processors(const Cost& c, double P, double P_prime) {
+  PP_CHECK(P_prime > 0 && P > 0);
+  if (P_prime >= P) return c;
+  return {std::ceil(c.time * P / P_prime), c.work};
+}
+
+Cost crcw_on_erew(const Cost& c, double n) {
+  return {c.time * log2p(n), c.work * log2p(n)};
+}
+
+// --- PageRank (§4.1) --------------------------------------------------------
+
+Cost pr_cost(const Params& p, double L, Model model, Dir dir) {
+  // Per power-iteration step: k_i-relaxations with sum(k_i) = m over i <= d̂.
+  const double logd = log2p(p.d_max);
+  const bool creq = dir == Dir::Push && model != Model::CRCW_CB;
+  const double f = creq ? logd : 1.0;
+  return {L * f * (p.m / p.P + p.d_max), L * f * p.m};
+}
+
+Profile pr_profile(const Params& p, double L, Dir dir) {
+  Profile prof;
+  if (dir == Dir::Push) {
+    prof.write_conflicts = L * p.m;
+    prof.locks = L * p.m;  // float conflicts → locks (no CPU float atomics)
+  } else {
+    prof.read_conflicts = L * p.m;
+  }
+  return prof;
+}
+
+// --- Triangle Counting (§4.2) -----------------------------------------------
+
+Cost tc_cost(const Params& p, Model model, Dir dir) {
+  const double logd = log2p(p.d_max);
+  const bool creq = dir == Dir::Push && model != Model::CRCW_CB;
+  const double f = creq ? logd : 1.0;
+  return {f * p.d_max * (p.m / p.P + p.d_max), f * p.m * p.d_max};
+}
+
+Profile tc_profile(const Params& p, Dir dir) {
+  Profile prof;
+  prof.read_conflicts = p.m * p.d_max;  // adjacency tests in both variants
+  if (dir == Dir::Push) {
+    prof.write_conflicts = p.m * p.d_max;
+    prof.atomics = p.m * p.d_max;  // integer counters → FAA
+  }
+  return prof;
+}
+
+// --- BFS (§4.3) --------------------------------------------------------------
+
+Cost bfs_cost(const Params& p, double D, Model model, Dir dir) {
+  if (dir == Dir::Pull) {
+    // Every iteration checks all edges: O(D(m/P + d̂)) time, O(Dm) work.
+    return {D * (p.m / p.P + p.d_max), D * p.m};
+  }
+  const double logd = log2p(p.d_max);
+  const double f = model == Model::CRCW_CB ? 1.0 : logd;
+  // O(m/P + D(d̂ + log P)) time, O(m) work in CRCW-CB.
+  return {f * (p.m / p.P + D * (p.d_max + log2p(p.P))), f * p.m};
+}
+
+Profile bfs_profile(const Params& p, double D, Dir dir) {
+  Profile prof;
+  if (dir == Dir::Push) {
+    prof.write_conflicts = p.m;
+    prof.atomics = p.m;  // CAS on integer visited/parent state
+  } else {
+    prof.read_conflicts = D * p.m;
+  }
+  return prof;
+}
+
+// --- Δ-Stepping (§4.4) --------------------------------------------------------
+
+Cost sssp_cost(const Params& p, double epochs, double l_delta, Model model, Dir dir) {
+  if (dir == Dir::Pull) {
+    return {epochs * l_delta * (p.m / p.P + p.d_max), epochs * l_delta * p.m};
+  }
+  const double logd = log2p(p.d_max);
+  const double f = model == Model::CRCW_CB ? 1.0 : logd;
+  // Pushing relaxes each vertex's out-edges in only one epoch.
+  return {f * (p.m * l_delta / p.P + epochs * l_delta * p.d_max),
+          f * p.m * l_delta};
+}
+
+Profile sssp_profile(const Params& p, double epochs, double l_delta, Dir dir) {
+  Profile prof;
+  if (dir == Dir::Push) {
+    prof.write_conflicts = p.m * l_delta;
+    prof.atomics = p.m * l_delta;  // CAS-based distance relaxations
+  } else {
+    prof.read_conflicts = epochs * p.m * l_delta;
+  }
+  return prof;
+}
+
+// --- Betweenness Centrality (§4.5): 2n BFS invocations ------------------------
+
+Cost bc_cost(const Params& p, double D, Model model, Dir dir) {
+  return bfs_cost(p, D, model, dir) * (2.0 * p.n);
+}
+
+Profile bc_profile(const Params& p, double D, Dir dir) {
+  Profile prof = bfs_profile(p, D, dir);
+  prof.read_conflicts *= 2.0 * p.n;
+  prof.write_conflicts *= 2.0 * p.n;
+  prof.atomics *= 2.0 * p.n;
+  if (dir == Dir::Push) {
+    // The backward accumulation pushes floats: conflicts become locks (§4.5).
+    prof.locks = prof.atomics / 2.0;
+    prof.atomics /= 2.0;
+  }
+  return prof;
+}
+
+// --- Boman Graph Coloring (§4.6) ----------------------------------------------
+
+Cost bgc_cost(const Params& p, double L, Model model, Dir dir) {
+  const double logd = log2p(p.d_max);
+  const bool creq = dir == Dir::Push && model != Model::CRCW_CB;
+  const double f = creq ? logd : 1.0;
+  return {L * f * (p.m / p.P + p.d_max), L * f * p.m};
+}
+
+Profile bgc_profile(const Params& p, double L, Dir dir) {
+  Profile prof;
+  if (dir == Dir::Push) {
+    prof.write_conflicts = L * p.m;
+    prof.atomics = L * p.m;  // integer avail-bit updates → CAS
+  } else {
+    prof.read_conflicts = L * p.m;
+  }
+  return prof;
+}
+
+// --- Boruvka MST (§4.7) --------------------------------------------------------
+
+Cost mst_cost(const Params& p, Model model, Dir dir) {
+  const double logn = log2p(p.n);
+  const bool creq = dir == Dir::Push && model != Model::CRCW_CB;
+  const double f = creq ? logn : 1.0;
+  return {f * p.n * p.n / p.P, f * p.n * p.n};
+}
+
+Profile mst_profile(const Params& p, Dir dir) {
+  Profile prof;
+  if (dir == Dir::Push) {
+    prof.write_conflicts = p.n * p.n;
+    prof.atomics = p.n * p.n;  // CAS-based minimum-edge updates
+  } else {
+    prof.read_conflicts = p.n * p.n;
+  }
+  return prof;
+}
+
+}  // namespace pushpull::pram

@@ -1,0 +1,103 @@
+// Executable PRAM cost model (§2.1, §4).
+//
+// The paper analyzes every push/pull algorithm pair on the PRAM variants
+// CRCW-CB (Combining CRCW), CREW and EREW via two primitives:
+//
+//   k-relaxation — simultaneously propagate updates from/to k vertices
+//                  to/from one of their neighbors (push/pull),
+//   k-filter     — extract the vertices updated by one or more
+//                  k-relaxations (non-trivial only when pushing).
+//
+// This module turns those analyses into callable cost formulas so that the
+// asymptotic claims (e.g. "pushing in CREW pays a log d̂ factor", "pulling
+// needs no atomics") can be evaluated, plotted and cross-checked against the
+// measured operation counts from the instrumentation layer.
+//
+// Costs are asymptotic leading terms (constants dropped, as in the paper);
+// they are intended for *comparisons between variants*, not absolute
+// prediction.
+#pragma once
+
+#include <cstdint>
+
+namespace pushpull::pram {
+
+enum class Model { CRCW_CB, CREW, EREW };
+enum class Dir { Push, Pull };
+
+// Time = longest execution path S; Work = total instruction count W (§2.1).
+struct Cost {
+  double time = 0.0;
+  double work = 0.0;
+
+  Cost operator+(const Cost& o) const { return {time + o.time, work + o.work}; }
+  Cost operator*(double s) const { return {time * s, work * s}; }
+};
+
+// Synchronization/communication profile of an algorithm variant (§4.9).
+struct Profile {
+  double read_conflicts = 0.0;
+  double write_conflicts = 0.0;
+  double atomics = 0.0;  // integer FAA/CAS
+  double locks = 0.0;    // float-typed conflicts resolved by locks
+};
+
+// Machine and graph parameters shared by all formulas.
+struct Params {
+  double n = 0;      // |V|
+  double m = 0;      // |E| (undirected edge count)
+  double d_max = 0;  // d̂
+  double P = 1;      // processors
+};
+
+// --- Primitives (§4, Cost Derivations) -------------------------------------
+
+// k̄ = max(1, k/P).
+double k_bar(double k, double P);
+
+// Cost of one k-relaxation under the given model/direction.
+Cost k_relaxation(double k, const Params& p, Model model, Dir dir);
+
+// Cost of one k-filter (prefix-sum extraction); needed only when pushing.
+Cost k_filter(double k, const Params& p);
+
+// --- Simulation lemmas (§2.1) ----------------------------------------------
+
+// Limiting P (LP): a P-processor PRAM algorithm runs on P' < P processors in
+// time ceil(S * P / P').
+Cost limit_processors(const Cost& c, double P, double P_prime);
+
+// Simulating CRCW (M cells) on CREW/EREW: Θ(log n) slowdown.
+Cost crcw_on_erew(const Cost& c, double n);
+
+// --- Per-algorithm formulas (§4.1–§4.7) -------------------------------------
+
+// PageRank with L power-iteration steps.
+Cost pr_cost(const Params& p, double L, Model model, Dir dir);
+Profile pr_profile(const Params& p, double L, Dir dir);
+
+// Triangle Counting (NodeIterator).
+Cost tc_cost(const Params& p, Model model, Dir dir);
+Profile tc_profile(const Params& p, Dir dir);
+
+// BFS on a graph of diameter D.
+Cost bfs_cost(const Params& p, double D, Model model, Dir dir);
+Profile bfs_profile(const Params& p, double D, Dir dir);
+
+// Δ-stepping with L/Δ epochs and l_delta inner iterations per epoch.
+Cost sssp_cost(const Params& p, double epochs, double l_delta, Model model, Dir dir);
+Profile sssp_profile(const Params& p, double epochs, double l_delta, Dir dir);
+
+// Betweenness centrality = 2n BFS invocations (§4.5).
+Cost bc_cost(const Params& p, double D, Model model, Dir dir);
+Profile bc_profile(const Params& p, double D, Dir dir);
+
+// Boman graph coloring with L iterations.
+Cost bgc_cost(const Params& p, double L, Model model, Dir dir);
+Profile bgc_profile(const Params& p, double L, Dir dir);
+
+// Boruvka MST (log n contraction rounds).
+Cost mst_cost(const Params& p, Model model, Dir dir);
+Profile mst_profile(const Params& p, Dir dir);
+
+}  // namespace pushpull::pram

@@ -1,0 +1,75 @@
+// Atomic primitives used by the push-based algorithm variants (§2.3).
+//
+// The paper uses two CPU atomics: Fetch-and-Add (FAA) and Compare-and-Swap
+// (CAS), both on integers. Floating-point accumulation has no hardware atomic
+// and is implemented as a CAS loop — the paper accounts for each such update
+// as a *lock* rather than an atomic, and our instrumentation call sites follow
+// that convention.
+//
+// All helpers operate on plain array elements through std::atomic_ref, so the
+// sequential baselines and the pull variants can use the same unsynchronized
+// storage.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+namespace pushpull {
+
+// Fetch-and-Add: increments *target by arg, returns the previous value.
+template <class T>
+  requires std::is_integral_v<T>
+inline T faa(T& target, T arg) noexcept {
+  return std::atomic_ref<T>(target).fetch_add(arg, std::memory_order_relaxed);
+}
+
+// Compare-and-Swap: if target == expected, set target = desired and return
+// true; otherwise update expected with the observed value and return false.
+template <class T>
+inline bool cas(T& target, T& expected, T desired) noexcept {
+  return std::atomic_ref<T>(target).compare_exchange_strong(
+      expected, desired, std::memory_order_acq_rel, std::memory_order_acquire);
+}
+
+// Atomically sets target = min(target, value). Returns true if this call
+// lowered the stored value (i.e. the caller won the relaxation).
+template <class T>
+inline bool atomic_min(T& target, T value) noexcept {
+  std::atomic_ref<T> ref(target);
+  T cur = ref.load(std::memory_order_relaxed);
+  while (value < cur) {
+    if (ref.compare_exchange_weak(cur, value, std::memory_order_acq_rel,
+                                  std::memory_order_acquire)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Atomic floating-point accumulation via a CAS loop. The paper models this as
+// lock-based because no CPU offers a float FAA (§4.1); callers should count it
+// through Instr::lock_acquire.
+template <class T>
+  requires std::is_floating_point_v<T>
+inline void atomic_add(T& target, T value) noexcept {
+  std::atomic_ref<T> ref(target);
+  T cur = ref.load(std::memory_order_relaxed);
+  while (!ref.compare_exchange_weak(cur, cur + value, std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+  }
+}
+
+// Atomic load/store with relaxed ordering, for flag arrays shared between
+// threads where the enclosing algorithm provides ordering via barriers.
+template <class T>
+inline T atomic_load(const T& target) noexcept {
+  return std::atomic_ref<const T>(target).load(std::memory_order_relaxed);
+}
+
+template <class T>
+inline void atomic_store(T& target, T value) noexcept {
+  std::atomic_ref<T>(target).store(value, std::memory_order_relaxed);
+}
+
+}  // namespace pushpull

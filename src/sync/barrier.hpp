@@ -1,0 +1,47 @@
+// Sense-reversing spin barrier.
+//
+// Used by the distributed-memory emulation (src/dist) where ranks are plain
+// std::threads outside any OpenMP region, and by the Partition-Awareness
+// strategy (§5) which needs a lightweight barrier between the local-update and
+// remote-update phases.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace pushpull {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int participants) : participants_(participants) {
+    PP_CHECK(participants > 0);
+  }
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  void arrive_and_wait() noexcept {
+    const std::uint64_t phase = phase_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == participants_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      phase_.fetch_add(1, std::memory_order_release);
+    } else {
+      while (phase_.load(std::memory_order_acquire) == phase) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+
+  int participants() const noexcept { return participants_; }
+
+ private:
+  const int participants_;
+  std::atomic<int> arrived_{0};
+  std::atomic<std::uint64_t> phase_{0};
+};
+
+}  // namespace pushpull

@@ -1,0 +1,67 @@
+// Test-and-test-and-set spinlock.
+//
+// The paper resolves floating-point write conflicts with locks (no CPU offers
+// float atomics, §4.1); this is the lock we use for those code paths. It is
+// deliberately simple: the evaluation cares about *how many* lock acquisitions
+// each algorithm variant issues, which the instrumentation layer counts at the
+// call sites.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace pushpull {
+
+class Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) {}             // lock state is never copied
+  Spinlock& operator=(const Spinlock&) { return *this; }
+
+  void lock() noexcept {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+// RAII guard.
+class SpinGuard {
+ public:
+  explicit SpinGuard(Spinlock& l) noexcept : lock_(l) { lock_.lock(); }
+  ~SpinGuard() { lock_.unlock(); }
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  Spinlock& lock_;
+};
+
+// A fixed pool of spinlocks indexed by hashing an address/vertex id. Gives
+// fine-grained locking over large arrays without one lock per element.
+class SpinlockPool {
+ public:
+  explicit SpinlockPool(std::size_t size = 1024) : locks_(size) {}
+
+  Spinlock& for_index(std::size_t i) noexcept { return locks_[i % locks_.size()]; }
+
+ private:
+  std::vector<Spinlock> locks_;
+};
+
+}  // namespace pushpull

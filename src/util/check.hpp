@@ -1,0 +1,28 @@
+// Lightweight runtime checks.
+//
+// PP_CHECK is always on (API misuse must fail loudly, even in Release);
+// PP_DCHECK compiles out in NDEBUG builds and is safe to use in hot loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pushpull::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+}  // namespace pushpull::detail
+
+#define PP_CHECK(expr)                                              \
+  do {                                                              \
+    if (!(expr)) ::pushpull::detail::check_failed(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#ifdef NDEBUG
+#define PP_DCHECK(expr) \
+  do {                  \
+  } while (0)
+#else
+#define PP_DCHECK(expr) PP_CHECK(expr)
+#endif

@@ -1,0 +1,75 @@
+// Tiny command-line flag parser for benchmark and example binaries.
+//
+// Supports `--key=value` and `--flag` forms. Unknown flags abort with a
+// message so typos in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+
+namespace pushpull {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      arg = arg.substr(2);
+      auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        args_[arg] = "1";
+      } else {
+        args_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  // Declare + read a flag. Every get_* call registers the key as known; after
+  // all gets, call `check()` to reject unknown flags.
+  long get_int(const std::string& key, long fallback) {
+    known_.insert(key);
+    auto it = args_.find(key);
+    return it == args_.end() ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
+  }
+
+  double get_double(const std::string& key, double fallback) {
+    known_.insert(key);
+    auto it = args_.find(key);
+    return it == args_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+
+  std::string get_string(const std::string& key, const std::string& fallback) {
+    known_.insert(key);
+    auto it = args_.find(key);
+    return it == args_.end() ? fallback : it->second;
+  }
+
+  bool get_bool(const std::string& key, bool fallback = false) {
+    known_.insert(key);
+    auto it = args_.find(key);
+    if (it == args_.end()) return fallback;
+    return it->second != "0" && it->second != "false";
+  }
+
+  void check() const {
+    for (const auto& [k, v] : args_) {
+      if (!known_.count(k)) {
+        std::fprintf(stderr, "unknown flag: --%s\n", k.c_str());
+        std::exit(2);
+      }
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> args_;
+  std::set<std::string> known_;
+};
+
+}  // namespace pushpull

@@ -1,0 +1,29 @@
+// Cache-line padding utilities to avoid false sharing between threads.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace pushpull {
+
+// Destructive interference size; hardcoded to the x86-64 line size because
+// libstdc++'s std::hardware_destructive_interference_size triggers ABI
+// warnings when used in headers.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+// Wraps a T so that consecutive array elements land on distinct cache lines.
+// Used for per-thread counters and per-thread frontier cursors.
+template <class T>
+struct alignas(kCacheLineBytes) Padded {
+  T value{};
+
+  Padded() = default;
+  explicit Padded(const T& v) : value(v) {}
+
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+};
+
+}  // namespace pushpull

@@ -1,0 +1,81 @@
+// Minimal aligned-table printer used by the benchmark harnesses to emit
+// paper-style tables (Table 1, Table 3, ...) on stdout.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pushpull {
+
+// Collects rows of strings and prints them with aligned columns plus a
+// header separator, e.g.
+//
+//   Graph   Push [ms]   Pull [ms]
+//   -----   ---------   ---------
+//   orc*        557.0       542.1
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  // Convenience: formats a double with `prec` digits after the point.
+  static std::string num(double v, int prec = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+  }
+
+  // Formats large counts with thousands separators (1,234,567) to match the
+  // paper's Table 1 style.
+  static std::string count(unsigned long long v) {
+    std::string raw = std::to_string(v);
+    std::string out;
+    int c = 0;
+    for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+      if (c != 0 && c % 3 == 0) out.push_back(',');
+      out.push_back(*it);
+      ++c;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+  std::string to_string() const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string();
+        os << std::setw(static_cast<int>(width[c])) << cell;
+        if (c + 1 < width.size()) os << "   ";
+      }
+      os << '\n';
+    };
+    emit(header_);
+    std::vector<std::string> sep;
+    sep.reserve(header_.size());
+    for (auto w : width) sep.emplace_back(w, '-');
+    emit(sep);
+    for (const auto& row : rows_) emit(row);
+    return os.str();
+  }
+
+  void print() const { std::fputs(to_string().c_str(), stdout); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pushpull

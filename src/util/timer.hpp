@@ -1,0 +1,69 @@
+// Wall-clock timing helpers for benchmarks and per-phase instrumentation.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace pushpull {
+
+// Monotonic wall-clock timer. `elapsed_s()` may be called repeatedly; the
+// timer keeps running. `restart()` resets the origin.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void restart() noexcept { start_ = Clock::now(); }
+
+  double elapsed_s() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const noexcept { return elapsed_s() * 1e3; }
+  double elapsed_us() const noexcept { return elapsed_s() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates time across several start/stop windows; used for the per-phase
+// breakdowns (e.g. the Find-Minimum / Build-Merge-Tree / Merge phases of
+// Boruvka MST in Figure 4).
+class PhaseTimer {
+ public:
+  void start() noexcept { timer_.restart(); running_ = true; }
+
+  void stop() noexcept {
+    if (running_) {
+      total_s_ += timer_.elapsed_s();
+      running_ = false;
+    }
+  }
+
+  void reset() noexcept {
+    total_s_ = 0.0;
+    running_ = false;
+  }
+
+  double total_s() const noexcept { return total_s_; }
+  double total_ms() const noexcept { return total_s_ * 1e3; }
+
+ private:
+  WallTimer timer_;
+  double total_s_ = 0.0;
+  bool running_ = false;
+};
+
+// RAII window that adds its lifetime to a PhaseTimer.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(PhaseTimer& t) noexcept : timer_(t) { timer_.start(); }
+  ~ScopedPhase() { timer_.stop(); }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer& timer_;
+};
+
+}  // namespace pushpull

@@ -1,0 +1,91 @@
+// Shared corpus of small graphs for correctness tests: deterministic shapes
+// with known analytic properties plus seeded random graphs from every
+// generator family. All are undirected CSRs with sorted adjacency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+
+namespace pushpull::testing {
+
+struct ZooEntry {
+  std::string name;
+  Csr graph;
+};
+
+namespace detail {
+
+// Unweighted zoo: covers degenerate shapes, regular structures, skewed and
+// flat random graphs, and a disconnected case.
+inline std::vector<ZooEntry> build_unweighted_zoo() {
+  std::vector<ZooEntry> zoo;
+  zoo.push_back({"path50", make_undirected(50, path_edges(50))});
+  zoo.push_back({"cycle64", make_undirected(64, cycle_edges(64))});
+  zoo.push_back({"star65", make_undirected(65, star_edges(65))});
+  zoo.push_back({"complete24", make_undirected(24, complete_edges(24))});
+  zoo.push_back({"bipartite10x12", make_undirected(22, complete_bipartite_edges(10, 12))});
+  zoo.push_back({"tree6", make_undirected(63, binary_tree_edges(6))});
+  zoo.push_back({"grid12x12", make_undirected(144, grid2d_edges(12, 12, 1.0, 7))});
+  zoo.push_back({"grid_thin", make_undirected(240, grid2d_edges(12, 20, 0.7, 11))});
+  zoo.push_back({"er200", make_undirected(200, erdos_renyi_edges(200, 800, 13))});
+  zoo.push_back({"rmat8", make_undirected(256, rmat_edges(8, 8, 17))});
+  zoo.push_back({"ba300", make_undirected(300, barabasi_albert_edges(300, 3, 19))});
+  zoo.push_back({"ws128", make_undirected(128, watts_strogatz_edges(128, 4, 0.1, 23))});
+  {
+    // Two components: a cycle and a clique, no edges between them.
+    EdgeList edges = cycle_edges(20);
+    for (const Edge& e : complete_edges(10)) {
+      edges.push_back(Edge{static_cast<vid_t>(e.u + 20), static_cast<vid_t>(e.v + 20), 1.0f});
+    }
+    zoo.push_back({"two_components", make_undirected(30, edges)});
+  }
+  zoo.push_back({"isolated", make_undirected(8, EdgeList{Edge{0, 1, 1.0f}, Edge{2, 3, 1.0f}})});
+  return zoo;
+}
+
+// Weighted zoo: same structures with seeded uniform weights in [1, 10), plus
+// an all-equal-weights case (ties stress MST/SSSP determinism).
+inline std::vector<ZooEntry> build_weighted_zoo() {
+  std::vector<ZooEntry> zoo;
+  auto weighted = [](vid_t n, EdgeList edges, std::uint64_t seed) {
+    return make_undirected_weighted(n, std::move(edges), 1.0f, 10.0f, seed);
+  };
+  zoo.push_back({"w_path50", weighted(50, path_edges(50), 31)});
+  zoo.push_back({"w_cycle64", weighted(64, cycle_edges(64), 37)});
+  zoo.push_back({"w_grid12x12", weighted(144, grid2d_edges(12, 12, 1.0, 7), 41)});
+  zoo.push_back({"w_er200", weighted(200, erdos_renyi_edges(200, 800, 13), 43)});
+  zoo.push_back({"w_rmat8", weighted(256, rmat_edges(8, 8, 17), 47)});
+  zoo.push_back({"w_ba300", weighted(300, barabasi_albert_edges(300, 3, 19), 53)});
+  {
+    // All weights equal: exercises tie-breaking.
+    BuildOptions opts;
+    opts.keep_weights = true;
+    zoo.push_back({"w_ties_er", build_csr(150, erdos_renyi_edges(150, 600, 59), opts)});
+  }
+  {
+    BuildOptions opts;
+    opts.keep_weights = true;
+    zoo.push_back({"w_ties_grid", build_csr(100, grid2d_edges(10, 10, 1.0, 61), opts)});
+  }
+  return zoo;
+}
+
+}  // namespace detail
+
+// Cached accessors: references stay valid for the whole test run, so tests
+// may bind references to individual entries.
+inline const std::vector<ZooEntry>& unweighted_zoo() {
+  static const std::vector<ZooEntry> zoo = detail::build_unweighted_zoo();
+  return zoo;
+}
+
+inline const std::vector<ZooEntry>& weighted_zoo() {
+  static const std::vector<ZooEntry> zoo = detail::build_weighted_zoo();
+  return zoo;
+}
+
+}  // namespace pushpull::testing

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <cmath>
+
+#include "core/baselines/baselines.hpp"
+#include "core/bc.hpp"
+#include "graph_zoo.hpp"
+
+namespace pushpull {
+namespace {
+
+using BcParam = std::tuple<int, Direction, Direction>;
+
+constexpr double kTol = 1e-7;
+
+void expect_bc_match(const std::vector<double>& got,
+                     const std::vector<double>& want, const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t v = 0; v < got.size(); ++v) {
+    EXPECT_NEAR(got[v], want[v], kTol * (1.0 + std::abs(want[v])))
+        << label << " vertex " << v;
+  }
+}
+
+// (zoo index, forward dir, backward dir)
+class BcEquivalence
+    : public ::testing::TestWithParam<BcParam> {};
+
+TEST_P(BcEquivalence, MatchesSequentialBrandes) {
+  const auto& zoo = testing::unweighted_zoo();
+  const auto& [gi, fwd, bwd] = GetParam();
+  const auto& [name, g] = zoo[static_cast<std::size_t>(gi)];
+  omp_set_num_threads(4);
+
+  const auto ref = baseline::brandes_bc(g);
+  BcOptions opt;
+  opt.forward = fwd;
+  opt.backward = bwd;
+  const BcResult r = betweenness_centrality(g, opt);
+  expect_bc_match(r.bc, ref, name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ZooSweep, BcEquivalence,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 5, 6, 8, 9, 12, 13),
+                       ::testing::Values(Direction::Push, Direction::Pull),
+                       ::testing::Values(Direction::Push, Direction::Pull)),
+    [](const ::testing::TestParamInfo<BcParam>& info) {
+      const int gi = std::get<0>(info.param);
+      return pushpull::testing::unweighted_zoo()[gi].name + "_f" +
+             to_string(std::get<1>(info.param)) + "_b" +
+             to_string(std::get<2>(info.param));
+    });
+
+TEST(Bc, PathClosedForm) {
+  // On a path 0–1–2–…–(n-1): bc(v) = v·(n-1-v).
+  const vid_t n = 9;
+  Csr g = make_undirected(n, path_edges(n));
+  const BcResult r = betweenness_centrality(g);
+  for (vid_t v = 0; v < n; ++v) {
+    EXPECT_NEAR(r.bc[static_cast<std::size_t>(v)],
+                static_cast<double>(v) * (n - 1 - v), kTol);
+  }
+}
+
+TEST(Bc, StarClosedForm) {
+  // Hub lies on every leaf pair's unique shortest path: bc = C(k,2).
+  const int k = 12;
+  Csr g = make_undirected(k + 1, star_edges(k + 1));
+  const BcResult r = betweenness_centrality(g);
+  EXPECT_NEAR(r.bc[0], k * (k - 1) / 2.0, kTol);
+  for (int v = 1; v <= k; ++v) EXPECT_NEAR(r.bc[static_cast<std::size_t>(v)], 0.0, kTol);
+}
+
+TEST(Bc, CompleteGraphAllZero) {
+  Csr g = make_undirected(10, complete_edges(10));
+  const BcResult r = betweenness_centrality(g);
+  for (double x : r.bc) EXPECT_NEAR(x, 0.0, kTol);
+}
+
+TEST(Bc, CycleUniform) {
+  Csr g = make_undirected(12, cycle_edges(12));
+  const BcResult r = betweenness_centrality(g);
+  for (std::size_t v = 1; v < r.bc.size(); ++v) {
+    EXPECT_NEAR(r.bc[v], r.bc[0], kTol);
+  }
+  EXPECT_GT(r.bc[0], 0.0);
+}
+
+TEST(Bc, SampledSourcesConsistentAcrossDirections) {
+  Csr g = make_undirected(256, rmat_edges(8, 8, 17));
+  BcOptions a, b;
+  a.sources = {0, 17, 101};
+  b.sources = {0, 17, 101};
+  a.forward = Direction::Push;
+  a.backward = Direction::Push;
+  b.forward = Direction::Pull;
+  b.backward = Direction::Pull;
+  const BcResult ra = betweenness_centrality(g, a);
+  const BcResult rb = betweenness_centrality(g, b);
+  expect_bc_match(ra.bc, rb.bc, "sampled push vs pull");
+}
+
+TEST(Bc, PhaseTimersPopulated) {
+  Csr g = make_undirected(128, watts_strogatz_edges(128, 4, 0.1, 23));
+  const BcResult r = betweenness_centrality(g);
+  EXPECT_GT(r.forward_s, 0.0);
+  EXPECT_GT(r.backward_s, 0.0);
+}
+
+TEST(Bc, DisconnectedGraphContributesPerComponent) {
+  const auto& zoo = testing::unweighted_zoo();
+  const Csr& g = zoo[12].graph;  // two_components: cycle(20) + clique(10)
+  const auto ref = baseline::brandes_bc(g);
+  const BcResult r = betweenness_centrality(g);
+  expect_bc_match(r.bc, ref, "two_components");
+  // Clique vertices have zero centrality.
+  for (vid_t v = 20; v < 30; ++v) EXPECT_NEAR(r.bc[static_cast<std::size_t>(v)], 0.0, kTol);
+}
+
+}  // namespace
+}  // namespace pushpull

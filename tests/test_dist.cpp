@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/pagerank.hpp"
+#include "core/triangle_count.hpp"
+#include "dist/pr_dist.hpp"
+#include "dist/runtime.hpp"
+#include "dist/tc_dist.hpp"
+#include "graph_zoo.hpp"
+
+namespace pushpull::dist {
+namespace {
+
+using DistParam = std::tuple<int, DistVariant>;
+
+TEST(Runtime, RanksSeeTheirIds) {
+  World world(4);
+  std::vector<int> seen(4, -1);
+  world.run([&](Rank& rank) { seen[static_cast<std::size_t>(rank.id())] = rank.id(); });
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(seen[static_cast<std::size_t>(r)], r);
+}
+
+TEST(Runtime, BarrierCountsPerRank) {
+  World world(3);
+  world.run([&](Rank& rank) {
+    rank.barrier();
+    rank.barrier();
+  });
+  for (int r = 0; r < 3; ++r) EXPECT_EQ(world.stats(r).barriers, 2u);
+}
+
+TEST(Runtime, AllreduceSumsContributions) {
+  World world(5);
+  std::vector<double> results(5);
+  world.run([&](Rank& rank) {
+    results[static_cast<std::size_t>(rank.id())] =
+        rank.allreduce_sum(static_cast<double>(rank.id() + 1));
+  });
+  for (double r : results) EXPECT_EQ(r, 15.0);  // 1+2+3+4+5
+}
+
+TEST(Runtime, AlltoallvDeliversEverything) {
+  constexpr int kRanks = 4;
+  World world(kRanks);
+  std::vector<std::vector<int>> received(kRanks);
+  world.run([&](Rank& rank) {
+    // Rank r sends value 100*r + d to destination d.
+    std::vector<std::vector<int>> out(kRanks);
+    for (int d = 0; d < kRanks; ++d) out[static_cast<std::size_t>(d)] = {100 * rank.id() + d};
+    received[static_cast<std::size_t>(rank.id())] = rank.alltoallv(out);
+  });
+  for (int d = 0; d < kRanks; ++d) {
+    auto& in = received[static_cast<std::size_t>(d)];
+    ASSERT_EQ(in.size(), static_cast<std::size_t>(kRanks));
+    std::sort(in.begin(), in.end());
+    for (int s = 0; s < kRanks; ++s) EXPECT_EQ(in[static_cast<std::size_t>(s)], 100 * s + d);
+  }
+}
+
+TEST(Runtime, MessageCountersTrackSends) {
+  World world(2);
+  world.run([&](Rank& rank) {
+    if (rank.id() == 0) {
+      const int payload[3] = {1, 2, 3};
+      rank.send(1, payload, 3);
+    }
+    rank.barrier();
+    if (rank.id() == 1) {
+      const auto in = rank.template drain<int>();
+      EXPECT_EQ(in.size(), 3u);
+    }
+  });
+  EXPECT_EQ(world.stats(0).msgs_sent, 1u);
+  EXPECT_EQ(world.stats(0).bytes_sent, 3 * sizeof(int));
+  EXPECT_EQ(world.stats(1).msgs_sent, 0u);
+}
+
+TEST(Window, LocalAndRemoteOpsCountedSeparately) {
+  World world(2);
+  Window<double> win(10, 2);
+  world.run([&](Rank& rank) {
+    if (rank.id() == 0) {
+      win.put(rank, 0, 1.0);   // local (rank 0 owns [0,5))
+      win.put(rank, 7, 2.0);   // remote
+      win.accumulate(rank, 8, 0.5);  // remote float accumulate
+      (void)win.get(rank, 9);        // remote get
+      (void)win.get(rank, 1);        // local get
+    }
+    rank.barrier();
+  });
+  EXPECT_EQ(world.stats(0).rma_puts, 1u);
+  EXPECT_EQ(world.stats(0).rma_accs, 1u);
+  EXPECT_EQ(world.stats(0).rma_gets, 1u);
+  EXPECT_EQ(win.raw()[7], 2.0);
+  EXPECT_EQ(win.raw()[8], 0.5);
+}
+
+TEST(Window, IntegerFaaIsAtomicAcrossRanks) {
+  World world(4);
+  Window<std::int64_t> win(4, 4);
+  world.run([&](Rank& rank) {
+    for (int i = 0; i < 1000; ++i) win.faa(rank, 0, std::int64_t{1});
+  });
+  EXPECT_EQ(win.raw()[0], 4000);
+  // 3 of 4 ranks issued remote FAAs.
+  std::uint64_t remote = 0;
+  for (int r = 0; r < 4; ++r) remote += world.stats(r).rma_faas;
+  EXPECT_EQ(remote, 3000u);
+}
+
+TEST(CommModel, AccumulateCostsDominateFaa) {
+  const CommCosts costs;
+  RankStats acc_heavy, faa_heavy;
+  acc_heavy.rma_accs = 1000;
+  faa_heavy.rma_faas = 1000;
+  EXPECT_GT(acc_heavy.modeled_comm_us(costs), 5 * faa_heavy.modeled_comm_us(costs));
+}
+
+// --- Distributed PageRank -----------------------------------------------------
+
+class DistPr : public ::testing::TestWithParam<DistParam> {};
+
+TEST_P(DistPr, MatchesSharedMemoryPageRank) {
+  const auto& [nranks, variant] = GetParam();
+  Csr g = make_undirected(256, rmat_edges(8, 8, 17));
+  PageRankOptions opt;
+  opt.iterations = 10;
+  const auto want = pagerank_seq(g, opt);
+  const DistPrResult got = pagerank_dist(g, nranks, opt.iterations, opt.damping, variant);
+  ASSERT_EQ(got.pr.size(), want.size());
+  for (std::size_t v = 0; v < want.size(); ++v) {
+    EXPECT_NEAR(got.pr[v], want[v], 1e-9) << to_string(variant) << " v" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsAndRanks, DistPr,
+    ::testing::Combine(::testing::Values(1, 2, 4, 7),
+                       ::testing::Values(DistVariant::PushRma, DistVariant::PullRma,
+                                         DistVariant::MsgPassing)),
+    [](const ::testing::TestParamInfo<DistParam>& info) {
+      std::string v = to_string(std::get<1>(info.param));
+      std::replace(v.begin(), v.end(), '-', '_');
+      return v + "_r" + std::to_string(std::get<0>(info.param));
+    });
+
+TEST(DistPrCounters, PushIssuesAccumulatesPullIssuesGets) {
+  Csr g = make_undirected(128, erdos_renyi_edges(128, 512, 5));
+  const auto push = pagerank_dist(g, 4, 2, 0.85, DistVariant::PushRma);
+  EXPECT_GT(push.total.rma_accs, 0u);
+  EXPECT_EQ(push.total.rma_gets, 0u);
+
+  const auto pull = pagerank_dist(g, 4, 2, 0.85, DistVariant::PullRma);
+  EXPECT_GT(pull.total.rma_gets, 0u);
+  EXPECT_EQ(pull.total.rma_accs, 0u);
+  // Pulling fetches rank AND degree: gets come in pairs.
+  EXPECT_EQ(pull.total.rma_gets % 2, 0u);
+
+  const auto mp = pagerank_dist(g, 4, 2, 0.85, DistVariant::MsgPassing);
+  EXPECT_GT(mp.total.msgs_sent, 0u);
+  EXPECT_EQ(mp.total.rma_accs, 0u);
+  EXPECT_EQ(mp.total.rma_gets, 0u);
+  // Alltoallv sends at most R-1 messages per rank per iteration (plus the
+  // allreduce contribution), far fewer than push's per-edge accumulates.
+  EXPECT_LT(mp.total.msgs_sent, push.total.rma_accs);
+}
+
+TEST(DistPrModel, MsgPassingModeledFasterThanPushRma) {
+  // Figure 3's headline: MP ≫ RMA-push for PageRank.
+  Csr g = make_undirected(512, rmat_edges(9, 8, 21));
+  const CommCosts costs;
+  const auto push = pagerank_dist(g, 8, 3, 0.85, DistVariant::PushRma, costs);
+  const auto mp = pagerank_dist(g, 8, 3, 0.85, DistVariant::MsgPassing, costs);
+  EXPECT_LT(mp.max_comm_us, push.max_comm_us / 5.0);
+}
+
+// --- Distributed Triangle Counting ---------------------------------------------
+
+class DistTc : public ::testing::TestWithParam<DistParam> {};
+
+TEST_P(DistTc, MatchesSharedMemoryCounts) {
+  const auto& [nranks, variant] = GetParam();
+  Csr g = make_undirected(128, erdos_renyi_edges(128, 700, 29));
+  const auto want = triangle_count_fast(g);
+  DistTcOptions opt;
+  opt.variant = variant;
+  opt.mp_buffer_entries = 64;  // force mid-run flushes
+  const DistTcResult got = triangle_count_dist(g, nranks, opt);
+  ASSERT_EQ(got.tc.size(), want.size());
+  for (std::size_t v = 0; v < want.size(); ++v) {
+    EXPECT_EQ(got.tc[v], want[v]) << to_string(variant) << " v" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsAndRanks, DistTc,
+    ::testing::Combine(::testing::Values(1, 3, 4),
+                       ::testing::Values(DistVariant::PushRma, DistVariant::PullRma,
+                                         DistVariant::MsgPassing)),
+    [](const ::testing::TestParamInfo<DistParam>& info) {
+      std::string v = to_string(std::get<1>(info.param));
+      std::replace(v.begin(), v.end(), '-', '_');
+      return v + "_r" + std::to_string(std::get<0>(info.param));
+    });
+
+TEST(DistTcCounters, VariantsIssueExpectedOps) {
+  Csr g = make_undirected(128, erdos_renyi_edges(128, 700, 29));
+  DistTcOptions opt;
+  opt.variant = DistVariant::PushRma;
+  const auto push = triangle_count_dist(g, 4, opt);
+  EXPECT_GT(push.total.rma_faas, 0u);
+
+  opt.variant = DistVariant::PullRma;
+  const auto pull = triangle_count_dist(g, 4, opt);
+  EXPECT_EQ(pull.total.rma_faas, 0u);
+  EXPECT_GT(pull.total.rma_gets, 0u);  // adjacency fetches
+
+  opt.variant = DistVariant::MsgPassing;
+  opt.mp_buffer_entries = 16;
+  const auto mp = triangle_count_dist(g, 4, opt);
+  EXPECT_GT(mp.total.msgs_sent, 0u);
+  EXPECT_EQ(mp.total.rma_faas, 0u);
+}
+
+TEST(DistTcModel, RmaModeledFasterThanMsgPassing) {
+  // Figure 3 (TC): RMA variants beat MP; FAA fast path is cheap.
+  Csr g = make_undirected(256, erdos_renyi_edges(256, 2000, 31));
+  DistTcOptions rma_opt;
+  rma_opt.variant = DistVariant::PushRma;
+  DistTcOptions mp_opt;
+  mp_opt.variant = DistVariant::MsgPassing;
+  mp_opt.mp_buffer_entries = 8;  // paper's point: buffering/messaging overhead
+  const auto rma = triangle_count_dist(g, 8, rma_opt);
+  const auto mp = triangle_count_dist(g, 8, mp_opt);
+  EXPECT_LT(rma.max_comm_us, mp.max_comm_us);
+}
+
+}  // namespace
+}  // namespace pushpull::dist

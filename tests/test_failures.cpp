@@ -1,0 +1,89 @@
+// Failure injection: API misuse and corrupt inputs must fail loudly (the
+// library promises PP_CHECK aborts, not silent corruption).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/mst_boruvka.hpp"
+#include "core/pagerank.hpp"
+#include "core/sssp_delta.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace pushpull {
+namespace {
+
+using ::testing::TempDir;
+
+TEST(Failures, BuilderRejectsOutOfRangeEndpoints) {
+  EXPECT_DEATH(build_csr(3, EdgeList{Edge{0, 5, 1.f}}), "CHECK failed");
+  EXPECT_DEATH(build_csr(3, EdgeList{Edge{-1, 0, 1.f}}), "CHECK failed");
+}
+
+TEST(Failures, CsrRejectsMalformedOffsets) {
+  // Offsets not ending at adjacency size.
+  EXPECT_DEATH(Csr({0, 1, 4}, {0, 1}), "CHECK failed");
+  // Offsets not starting at zero.
+  EXPECT_DEATH(Csr({1, 2}, {0}), "CHECK failed");
+  // Weight array of the wrong length.
+  EXPECT_DEATH(Csr({0, 1}, {0}, {1.f, 2.f}), "CHECK failed");
+}
+
+TEST(Failures, IoMissingFileAborts) {
+  EXPECT_DEATH(read_edge_list("/nonexistent/path/graph.txt", nullptr),
+               "CHECK failed");
+  EXPECT_DEATH(read_csr_binary("/nonexistent/path/graph.bin"), "CHECK failed");
+}
+
+TEST(Failures, BinaryFormatRejectsBadMagic) {
+  const std::string path = TempDir() + "/pp_corrupt.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    const char junk[64] = "not a pushpull graph";
+    out.write(junk, sizeof junk);
+  }
+  EXPECT_DEATH(read_csr_binary(path), "CHECK failed");
+  std::filesystem::remove(path);
+}
+
+TEST(Failures, BinaryFormatRejectsTruncation) {
+  const std::string path = TempDir() + "/pp_truncated.bin";
+  Csr g = make_undirected(50, path_edges(50));
+  write_csr_binary(path, g);
+  // Chop off the tail.
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) / 2);
+  EXPECT_DEATH(read_csr_binary(path), "CHECK failed");
+  std::filesystem::remove(path);
+}
+
+TEST(Failures, SsspRequiresWeightsAndValidSource) {
+  Csr unweighted = make_undirected(10, path_edges(10));
+  EXPECT_DEATH(sssp_delta_push(unweighted, 0, 1.0f), "CHECK failed");
+  Csr weighted = make_undirected_weighted(10, path_edges(10), 1.f, 2.f, 1);
+  EXPECT_DEATH(sssp_delta_push(weighted, 99, 1.0f), "CHECK failed");
+  EXPECT_DEATH(sssp_delta_push(weighted, 0, 0.0f), "CHECK failed");  // Δ > 0
+}
+
+TEST(Failures, MstRequiresWeightsWhenEdgesExist) {
+  Csr unweighted = make_undirected(10, cycle_edges(10));
+  EXPECT_DEATH(mst_boruvka_push(unweighted), "CHECK failed");
+}
+
+TEST(Failures, PagerankRejectsEmptyVertexSet) {
+  Csr empty;
+  EXPECT_DEATH(pagerank_pull(empty, PageRankOptions{}), "CHECK failed");
+}
+
+TEST(Failures, GeneratorsValidateParameters) {
+  EXPECT_DEATH(rmat_edges(0, 4, 1), "CHECK failed");
+  EXPECT_DEATH(erdos_renyi_edges(4, 100, 1), "CHECK failed");  // m > C(n,2)
+  EXPECT_DEATH(grid2d_edges(4, 4, 0.0, 1), "CHECK failed");    // keep_prob > 0
+  EXPECT_DEATH(barabasi_albert_edges(3, 5, 1), "CHECK failed");
+  EXPECT_DEATH(watts_strogatz_edges(10, 6, 0.1, 1), "CHECK failed");  // 2k < n
+}
+
+}  // namespace
+}  // namespace pushpull

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <algorithm>
+
+#include "core/direction.hpp"
+#include "core/frontier.hpp"
+
+namespace pushpull {
+namespace {
+
+TEST(FrontierBuffers, MergeCollectsAllThreadBuffers) {
+  FrontierBuffers buffers(omp_get_max_threads());
+  constexpr int kItems = 10000;
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < kItems; ++i) {
+    buffers.push_local(i);
+  }
+  std::vector<vid_t> out;
+  buffers.merge_into(out);
+  ASSERT_EQ(out.size(), static_cast<std::size_t>(kItems));
+  std::sort(out.begin(), out.end());
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+}
+
+TEST(FrontierBuffers, MergeEmptiesBuffers) {
+  FrontierBuffers buffers(4);
+  buffers.push_to(0, 1);
+  buffers.push_to(3, 2);
+  EXPECT_FALSE(buffers.all_empty());
+  std::vector<vid_t> out;
+  buffers.merge_into(out);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(buffers.all_empty());
+  buffers.merge_into(out);
+  EXPECT_TRUE(out.empty());  // second merge clears the output
+}
+
+TEST(FrontierBuffers, PushToTargetsSpecificBuffer) {
+  FrontierBuffers buffers(3);
+  buffers.push_to(1, 42);
+  buffers.push_to(1, 43);
+  std::vector<vid_t> out;
+  buffers.merge_into(out);
+  EXPECT_EQ(out, (std::vector<vid_t>{42, 43}));
+}
+
+TEST(DenseFrontier, SetTestClear) {
+  DenseFrontier f(100);
+  EXPECT_FALSE(f.test(5));
+  f.set(5);
+  f.set(99);
+  EXPECT_TRUE(f.test(5));
+  EXPECT_TRUE(f.test(99));
+  EXPECT_FALSE(f.test(6));
+  f.clear();
+  EXPECT_FALSE(f.test(5));
+}
+
+TEST(DenseFrontier, BuildFromSparseReplacesContents) {
+  DenseFrontier f(50);
+  f.set(1);
+  f.build_from({10, 20, 30});
+  EXPECT_FALSE(f.test(1));
+  EXPECT_TRUE(f.test(10));
+  EXPECT_TRUE(f.test(20));
+  EXPECT_TRUE(f.test(30));
+}
+
+TEST(Direction, ToStringNames) {
+  EXPECT_STREQ(to_string(Direction::Push), "push");
+  EXPECT_STREQ(to_string(Direction::Pull), "pull");
+}
+
+}  // namespace
+}  // namespace pushpull

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <cmath>
+
+#include "core/baselines/baselines.hpp"
+#include "gas/gas.hpp"
+#include "gas/programs.hpp"
+#include "graph_zoo.hpp"
+
+namespace pushpull {
+namespace {
+
+TEST(GasEngine, SsspConvergesBothDirections) {
+  const auto& zoo = testing::weighted_zoo();
+  for (const auto& [name, g] : zoo) {
+    const auto ref = baseline::dijkstra(g, 0);
+    for (Direction dir : {Direction::Push, Direction::Pull}) {
+      const auto got = gas::gas_sssp(g, 0, dir);
+      ASSERT_EQ(got.size(), ref.size()) << name;
+      for (std::size_t v = 0; v < got.size(); ++v) {
+        if (std::isinf(ref[v])) {
+          EXPECT_TRUE(std::isinf(got[v])) << name << " v" << v;
+        } else {
+          EXPECT_NEAR(got[v], ref[v], 1e-4) << name << " v" << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(GasEngine, StatsReportIterationsAndActivations) {
+  const auto& zoo = testing::weighted_zoo();
+  const Csr& g = zoo[0].graph;  // w_path50
+  gas::SsspProgram prog(g.n(), 0);
+  const gas::GasStats stats = gas::run_gas(g, prog, Direction::Push);
+  // A path needs ~n rounds for the wave to travel.
+  EXPECT_GE(stats.iterations, 25);
+  EXPECT_GT(stats.total_activations, g.n());
+}
+
+TEST(GasEngine, MaxIterationsBoundsWork) {
+  const auto& zoo = testing::weighted_zoo();
+  const Csr& g = zoo[0].graph;
+  gas::SsspProgram prog(g.n(), 0);
+  const gas::GasStats stats = gas::run_gas(g, prog, Direction::Pull, 3);
+  EXPECT_LE(stats.iterations, 3);
+}
+
+TEST(GasColoring, ProperOnLowDegreeZoo) {
+  for (int gi : {0, 1, 5, 6, 7, 11}) {
+    const auto& [name, g] = testing::unweighted_zoo()[static_cast<std::size_t>(gi)];
+    for (Direction dir : {Direction::Push, Direction::Pull}) {
+      const auto colors = gas::gas_coloring(g, dir);
+      EXPECT_TRUE(baseline::is_proper_coloring(g, colors))
+          << name << "/" << to_string(dir);
+    }
+  }
+}
+
+TEST(GasColoring, PathUsesFewColors) {
+  Csr g = make_undirected(50, path_edges(50));
+  const auto colors = gas::gas_coloring(g, Direction::Pull);
+  int max_c = 0;
+  for (int c : colors) max_c = std::max(max_c, c);
+  EXPECT_LE(max_c, 2);  // paths are 2-colorable; engine may use 3
+}
+
+TEST(GasEngine, PushAndPullGiveSameSsspFixpoint) {
+  Csr g = testing::weighted_zoo()[4].graph;  // w_rmat8
+  const auto push = gas::gas_sssp(g, 0, Direction::Push);
+  const auto pull = gas::gas_sssp(g, 0, Direction::Pull);
+  for (std::size_t v = 0; v < push.size(); ++v) {
+    if (std::isinf(push[v])) {
+      EXPECT_TRUE(std::isinf(pull[v]));
+    } else {
+      EXPECT_NEAR(push[v], pull[v], 1e-4);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pushpull

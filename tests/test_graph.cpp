@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+
+#include "graph/analogs.hpp"
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+#include "graph_zoo.hpp"
+
+namespace pushpull {
+namespace {
+
+TEST(Builder, SortedDedupedSymmetric) {
+  // Duplicates, self loop, both orientations.
+  EdgeList edges = {{0, 1, 1.f}, {1, 0, 1.f}, {0, 1, 1.f}, {2, 2, 1.f}, {1, 2, 1.f}};
+  Csr g = build_csr(3, edges);
+  EXPECT_EQ(g.n(), 3);
+  EXPECT_EQ(g.num_arcs(), 4);  // {0,1} and {1,2}, both directions
+  EXPECT_EQ(g.m_undirected(), 2);
+  EXPECT_TRUE(is_symmetric(g));
+  for (vid_t v = 0; v < g.n(); ++v) {
+    auto nb = g.neighbors(v);
+    EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+    EXPECT_FALSE(std::binary_search(nb.begin(), nb.end(), v));  // no self loop
+  }
+}
+
+TEST(Builder, DedupKeepsMinimumWeight) {
+  EdgeList edges = {{0, 1, 5.f}, {0, 1, 2.f}, {0, 1, 9.f}};
+  BuildOptions opts;
+  opts.keep_weights = true;
+  Csr g = build_csr(2, edges, opts);
+  EXPECT_EQ(g.num_arcs(), 2);
+  EXPECT_EQ(g.weights(0)[0], 2.f);
+  EXPECT_EQ(g.weights(1)[0], 2.f);  // symmetric copy carries the same weight
+}
+
+TEST(Builder, DirectedGraphKeepsOrientation) {
+  Digraph d = build_digraph(3, {{0, 1, 1.f}, {1, 2, 1.f}});
+  EXPECT_EQ(d.out.degree(0), 1);
+  EXPECT_EQ(d.out.degree(2), 0);
+  EXPECT_EQ(d.in.degree(0), 0);
+  EXPECT_EQ(d.in.degree(2), 1);
+}
+
+TEST(Builder, RepresentationCellCount) {
+  // n + 2m cells: offsets (n+1) plus adjacency (2m).
+  Csr g = make_undirected(100, path_edges(100));
+  EXPECT_EQ(g.offsets().size(), 101u);
+  EXPECT_EQ(g.adj().size(), 2u * 99u);
+}
+
+TEST(Csr, HasEdgeMatchesAdjacency) {
+  Csr g = make_undirected(6, {{0, 1, 1.f}, {1, 2, 1.f}, {4, 5, 1.f}});
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(3, 4));
+  EXPECT_TRUE(g.has_edge(5, 4));
+}
+
+TEST(Csr, TransposeOfSymmetricIsIdentical) {
+  for (const auto& [name, g] : testing::unweighted_zoo()) {
+    Csr t = transpose(g);
+    ASSERT_EQ(t.n(), g.n()) << name;
+    ASSERT_EQ(t.adj(), g.adj()) << name;
+    ASSERT_EQ(t.offsets(), g.offsets()) << name;
+  }
+}
+
+TEST(Csr, TransposeReversesDirectedArcs) {
+  Digraph d = build_digraph(4, {{0, 1, 2.f}, {0, 2, 3.f}, {3, 1, 4.f}}, true);
+  EXPECT_EQ(d.in.degree(1), 2);
+  EXPECT_EQ(d.in.neighbors(1)[0], 0);
+  EXPECT_EQ(d.in.neighbors(1)[1], 3);
+  // Weights follow the arcs.
+  EXPECT_EQ(d.in.weights(1)[0], 2.f);
+  EXPECT_EQ(d.in.weights(1)[1], 4.f);
+}
+
+TEST(Csr, MaxAndAvgDegree) {
+  Csr g = make_undirected(65, star_edges(65));
+  EXPECT_EQ(g.max_degree(), 64);
+  EXPECT_NEAR(g.avg_degree(), 2.0 * 64 / 65, 1e-12);
+}
+
+TEST(Generators, PathCycleStarShapes) {
+  Csr p = make_undirected(10, path_edges(10));
+  EXPECT_EQ(p.m_undirected(), 9);
+  EXPECT_EQ(p.degree(0), 1);
+  EXPECT_EQ(p.degree(5), 2);
+
+  Csr c = make_undirected(10, cycle_edges(10));
+  EXPECT_EQ(c.m_undirected(), 10);
+  for (vid_t v = 0; v < 10; ++v) EXPECT_EQ(c.degree(v), 2);
+
+  Csr s = make_undirected(10, star_edges(10));
+  EXPECT_EQ(s.degree(0), 9);
+  EXPECT_EQ(s.degree(3), 1);
+}
+
+TEST(Generators, CompleteGraphEdgeCount) {
+  Csr g = make_undirected(12, complete_edges(12));
+  EXPECT_EQ(g.m_undirected(), 12 * 11 / 2);
+  EXPECT_EQ(g.max_degree(), 11);
+}
+
+TEST(Generators, CompleteBipartiteStructure) {
+  Csr g = make_undirected(7, complete_bipartite_edges(3, 4));
+  EXPECT_EQ(g.m_undirected(), 12);
+  for (vid_t v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 4);
+  for (vid_t v = 3; v < 7; ++v) EXPECT_EQ(g.degree(v), 3);
+}
+
+TEST(Generators, BinaryTreeStructure) {
+  Csr g = make_undirected(15, binary_tree_edges(4));
+  EXPECT_EQ(g.m_undirected(), 14);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(count_components(g), 1);
+}
+
+TEST(Generators, ErdosRenyiExactEdgeCount) {
+  Csr g = make_undirected(500, erdos_renyi_edges(500, 2000, 99));
+  EXPECT_EQ(g.m_undirected(), 2000);  // distinct by construction
+}
+
+TEST(Generators, ErdosRenyiDeterministicPerSeed) {
+  EdgeList a = erdos_renyi_edges(100, 300, 5);
+  EdgeList b = erdos_renyi_edges(100, 300, 5);
+  EdgeList c = erdos_renyi_edges(100, 300, 6);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Generators, RmatIsSkewed) {
+  Csr g = make_undirected(1 << 10, rmat_edges(10, 8, 3));
+  // Power-law-ish: max degree far above average.
+  EXPECT_GT(g.max_degree(), 4 * g.avg_degree());
+}
+
+TEST(Generators, RmatDeterministicPerSeed) {
+  EXPECT_EQ(rmat_edges(8, 4, 1), rmat_edges(8, 4, 1));
+  EXPECT_NE(rmat_edges(8, 4, 1), rmat_edges(8, 4, 2));
+}
+
+TEST(Generators, GridFullKeepProbability) {
+  // keep_prob = 1: interior degree 4, corner degree 2.
+  Csr g = make_undirected(25, grid2d_edges(5, 5, 1.0, 1));
+  EXPECT_EQ(g.m_undirected(), 2 * 5 * 4);  // 2 * rows * (cols-1)
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(12), 4);  // center
+}
+
+TEST(Generators, GridThinningReducesEdges) {
+  Csr full = make_undirected(400, grid2d_edges(20, 20, 1.0, 2));
+  Csr thin = make_undirected(400, grid2d_edges(20, 20, 0.5, 2));
+  EXPECT_LT(thin.m_undirected(), full.m_undirected());
+  EXPECT_GT(thin.m_undirected(), 0);
+}
+
+TEST(Generators, BarabasiAlbertDegreeSum) {
+  const vid_t n = 500;
+  const int attach = 3;
+  Csr g = make_undirected(n, barabasi_albert_edges(n, attach, 4));
+  // Seed clique + ~attach edges per later vertex (dedup can only drop a few).
+  EXPECT_GE(g.m_undirected(), static_cast<eid_t>((n - attach - 1) * attach));
+  EXPECT_EQ(count_components(g), 1);  // attachment keeps it connected
+  EXPECT_GT(g.max_degree(), 3 * g.avg_degree());  // hubs exist
+}
+
+TEST(Generators, WattsStrogatzRegularAtBetaZero) {
+  Csr g = make_undirected(100, watts_strogatz_edges(100, 3, 0.0, 5));
+  for (vid_t v = 0; v < g.n(); ++v) EXPECT_EQ(g.degree(v), 6);
+}
+
+TEST(Stats, PathDiameterAndComponents) {
+  Csr g = make_undirected(50, path_edges(50));
+  EXPECT_EQ(pseudo_diameter(g), 49);
+  EXPECT_EQ(count_components(g), 1);
+}
+
+TEST(Stats, CycleDiameter) {
+  Csr g = make_undirected(64, cycle_edges(64));
+  EXPECT_EQ(pseudo_diameter(g), 32);
+}
+
+TEST(Stats, StarDiameter) {
+  Csr g = make_undirected(65, star_edges(65));
+  EXPECT_EQ(pseudo_diameter(g), 2);
+}
+
+TEST(Stats, ComponentsAndIds) {
+  EdgeList edges = {{0, 1, 1.f}, {2, 3, 1.f}};
+  Csr g = make_undirected(6, edges);  // vertices 4, 5 isolated
+  EXPECT_EQ(count_components(g), 4);
+  const auto ids = component_ids(g);
+  EXPECT_EQ(ids[0], ids[1]);
+  EXPECT_EQ(ids[2], ids[3]);
+  EXPECT_NE(ids[0], ids[2]);
+  EXPECT_NE(ids[4], ids[5]);
+}
+
+TEST(Stats, DegreeHistogramSumsToN) {
+  for (const auto& [name, g] : testing::unweighted_zoo()) {
+    const auto hist = degree_histogram(g);
+    const eid_t total = std::accumulate(hist.begin(), hist.end(), eid_t{0});
+    EXPECT_EQ(total, g.n()) << name;
+  }
+}
+
+TEST(Stats, ComputeStatsConsistency) {
+  Csr g = make_undirected(144, grid2d_edges(12, 12, 1.0, 7));
+  const GraphStats s = compute_stats(g);
+  EXPECT_EQ(s.n, 144);
+  EXPECT_EQ(s.m_undirected, g.m_undirected());
+  EXPECT_EQ(s.components, 1);
+  EXPECT_EQ(s.pseudo_diameter, 22);  // (12-1) + (12-1)
+}
+
+TEST(Io, EdgeListRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/pp_edges.txt";
+  Csr g = make_undirected_weighted(30, erdos_renyi_edges(30, 60, 21), 1.f, 5.f, 22);
+  write_edge_list(path, g);
+  vid_t n = 0;
+  EdgeList edges = read_edge_list(path, &n);
+  EXPECT_EQ(n, 30);
+  BuildOptions opts;
+  opts.symmetrize = false;  // the file already stores both directions
+  opts.keep_weights = true;
+  Csr h = build_csr(n, std::move(edges), opts);
+  EXPECT_EQ(h.adj(), g.adj());
+  EXPECT_EQ(h.offsets(), g.offsets());
+  EXPECT_EQ(h.weight_array(), g.weight_array());
+  std::filesystem::remove(path);
+}
+
+TEST(Io, BinaryRoundTripPreservesEverything) {
+  const std::string path = ::testing::TempDir() + "/pp_graph.bin";
+  Csr g = make_undirected_weighted(64, rmat_edges(6, 6, 8), 1.f, 9.f, 23);
+  write_csr_binary(path, g);
+  Csr h = read_csr_binary(path);
+  EXPECT_EQ(h.n(), g.n());
+  EXPECT_EQ(h.adj(), g.adj());
+  EXPECT_EQ(h.offsets(), g.offsets());
+  EXPECT_EQ(h.weight_array(), g.weight_array());
+  std::filesystem::remove(path);
+}
+
+TEST(Io, CommentsAndBlankLinesIgnored) {
+  const std::string path = ::testing::TempDir() + "/pp_comments.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("# header comment\n\n0 1\n# mid comment\n1 2 2.5\n", f);
+  std::fclose(f);
+  vid_t n = 0;
+  EdgeList edges = read_edge_list(path, &n);
+  EXPECT_EQ(n, 3);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[1].w, 2.5f);
+  std::filesystem::remove(path);
+}
+
+TEST(Analogs, AllFiveBuildAndMatchRegimes) {
+  // Scaled down one notch to keep the test fast.
+  const Csr orc = orc_analog(-2);
+  const Csr rca = rca_analog(-2);
+  const Csr am = am_analog(-2);
+  // Social analog: dense and skewed.
+  EXPECT_GT(orc.avg_degree(), 15.0);
+  EXPECT_GT(orc.max_degree(), 8 * orc.avg_degree());
+  // Road analog: sparse, huge diameter relative to social.
+  EXPECT_LT(rca.avg_degree(), 4.0);
+  EXPECT_GT(pseudo_diameter(rca), 20 * pseudo_diameter(orc));
+  // Purchase analog: low degree, hubby.
+  EXPECT_LT(am.avg_degree(), 8.0);
+  EXPECT_GT(am.max_degree(), 10 * am.avg_degree());
+}
+
+TEST(Analogs, NamesResolve) {
+  for (const auto& name : analog_names()) {
+    const Csr g = analog_by_name(name, -3);
+    EXPECT_GT(g.n(), 0) << name;
+    EXPECT_TRUE(is_symmetric(g)) << name;
+  }
+  EXPECT_DEATH(analog_by_name("nope"), "unknown analog");
+}
+
+TEST(Analogs, WeightedVariantHasWeights) {
+  const Csr g = pok_analog(-3, /*weighted=*/true);
+  EXPECT_TRUE(g.has_weights());
+  for (vid_t v = 0; v < std::min<vid_t>(g.n(), 100); ++v) {
+    for (weight_t w : g.weights(v)) {
+      EXPECT_GE(w, 1.0f);
+      EXPECT_LT(w, 64.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pushpull

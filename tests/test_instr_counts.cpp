@@ -1,0 +1,205 @@
+// Cross-checks the instrumentation layer against the PRAM analysis (§4):
+// the measured operation counts of each kernel must match the paper's
+// conflict/atomic/lock accounting in *shape* (who has zero, who scales with
+// what), reproducing the qualitative content of Table 1.
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include "core/bc.hpp"
+#include "core/bfs.hpp"
+#include "core/coloring.hpp"
+#include "core/mst_boruvka.hpp"
+#include "core/pagerank.hpp"
+#include "core/sssp_delta.hpp"
+#include "core/triangle_count.hpp"
+#include "graph/partition_aware.hpp"
+#include "graph_zoo.hpp"
+#include "perf/instr.hpp"
+
+namespace pushpull {
+namespace {
+
+class InstrFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    omp_set_num_threads(4);
+    g_ = make_undirected(256, rmat_edges(8, 8, 17));
+    wg_ = make_undirected_weighted(256, rmat_edges(8, 8, 17), 1.f, 10.f, 99);
+  }
+
+  CounterBlock run_pr(Direction dir, int iters = 5) {
+    PerfCounters pc(omp_get_max_threads());
+    PageRankOptions opt;
+    opt.iterations = iters;
+    if (dir == Direction::Push) {
+      pagerank_push(g_, opt, CountingInstr(pc));
+    } else {
+      pagerank_pull(g_, opt, CountingInstr(pc));
+    }
+    return pc.total();
+  }
+
+  Csr g_;
+  Csr wg_;
+};
+
+TEST_F(InstrFixture, PageRankPushLocksAreLmPullHasNone) {
+  const int L = 5;
+  const CounterBlock push = run_pr(Direction::Push, L);
+  const CounterBlock pull = run_pr(Direction::Pull, L);
+  // §4.1: O(Lm) locks when pushing (one per edge per iteration), zero when
+  // pulling; zero integer atomics in both.
+  EXPECT_EQ(push.locks, static_cast<std::uint64_t>(L) * g_.num_arcs());
+  EXPECT_EQ(pull.locks, 0u);
+  EXPECT_EQ(push.atomics, 0u);
+  EXPECT_EQ(pull.atomics, 0u);
+  // Pulling reads both the neighbor rank and its degree: 2 reads per edge
+  // per iteration plus the dangling scan.
+  EXPECT_GE(pull.reads, static_cast<std::uint64_t>(L) * 2 * g_.num_arcs());
+  EXPECT_GT(pull.writes, 0u);
+}
+
+TEST_F(InstrFixture, PageRankPaMovesLocksToCutEdges) {
+  PerfCounters pc(omp_get_max_threads());
+  const int threads = 4;
+  PartitionAwareCsr pa(g_, Partition1D(g_.n(), threads));
+  PageRankOptions opt;
+  opt.iterations = 3;
+#pragma omp parallel num_threads(1)
+  {
+  }
+  pagerank_push_pa(g_, pa, opt, CountingInstr(pc));
+  const CounterBlock t = pc.total();
+  // Exactly one lock per remote arc per iteration — strictly fewer than
+  // plain pushing's one per arc.
+  EXPECT_EQ(t.locks, static_cast<std::uint64_t>(opt.iterations) * pa.num_remote_arcs());
+  EXPECT_LT(t.locks, static_cast<std::uint64_t>(opt.iterations) * g_.num_arcs());
+  // Local updates became plain writes.
+  EXPECT_GE(t.writes, static_cast<std::uint64_t>(opt.iterations) * pa.num_local_arcs());
+}
+
+TEST_F(InstrFixture, BfsPushAtomicsBoundedByArcsPullHasNone) {
+  PerfCounters pc(omp_get_max_threads());
+  bfs_push(g_, 0, CountingInstr(pc));
+  const CounterBlock push = pc.total();
+  EXPECT_GT(push.atomics, 0u);
+  EXPECT_LE(push.atomics, static_cast<std::uint64_t>(g_.num_arcs()));
+  EXPECT_EQ(push.locks, 0u);
+
+  pc.reset();
+  bfs_pull(g_, 0, CountingInstr(pc));
+  EXPECT_EQ(pc.total().atomics, 0u);
+
+  // The O(D·m) pull read blowup (§4.3) shows on *high-diameter* graphs (the
+  // paper calls out rca): every level rescans the unvisited remainder. On a
+  // grid, pull must read far more than push's one pass over each edge.
+  Csr road = make_undirected(32 * 32, grid2d_edges(32, 32, 1.0, 5));
+  pc.reset();
+  bfs_push(road, 0, CountingInstr(pc));
+  const std::uint64_t push_reads = pc.total().reads;
+  pc.reset();
+  bfs_pull(road, 0, CountingInstr(pc));
+  EXPECT_GT(pc.total().reads, 5 * push_reads);
+}
+
+TEST_F(InstrFixture, SsspPushCasPerImprovingRelaxationPullNone) {
+  PerfCounters pc(omp_get_max_threads());
+  sssp_delta_push(wg_, 0, 4.0f, CountingInstr(pc));
+  const CounterBlock push = pc.total();
+  EXPECT_GT(push.atomics, 0u);
+  EXPECT_EQ(push.locks, 0u);
+
+  pc.reset();
+  sssp_delta_pull(wg_, 0, 4.0f, CountingInstr(pc));
+  const CounterBlock pull = pc.total();
+  EXPECT_EQ(pull.atomics, 0u);
+  EXPECT_GT(pull.reads, push.reads);  // §4.4 read-conflict blowup
+}
+
+TEST_F(InstrFixture, ColoringPushAtomicsPullPlainWrites) {
+  ColoringOptions opt;
+  opt.max_iterations = 50;
+  PerfCounters pc(omp_get_max_threads());
+  boman_color_push(g_, opt, CountingInstr(pc));
+  const CounterBlock push = pc.total();
+
+  pc.reset();
+  boman_color_pull(g_, opt, CountingInstr(pc));
+  const CounterBlock pull = pc.total();
+
+  // Push resolves conflicts remotely via atomics; pull locally via writes.
+  EXPECT_EQ(pull.atomics, 0u);
+  EXPECT_GE(push.atomics, 0u);  // zero only if no conflicts occurred
+  EXPECT_EQ(push.locks, 0u);
+  EXPECT_EQ(pull.locks, 0u);
+}
+
+TEST_F(InstrFixture, MstPushAtomicMinsPullPrivateWrites) {
+  PerfCounters pc(omp_get_max_threads());
+  mst_boruvka(wg_, Direction::Push, CountingInstr(pc));
+  const CounterBlock push = pc.total();
+  EXPECT_GT(push.atomics, 0u);
+
+  pc.reset();
+  mst_boruvka(wg_, Direction::Pull, CountingInstr(pc));
+  const CounterBlock pull = pc.total();
+  EXPECT_EQ(pull.atomics, 0u);
+  EXPECT_GT(pull.writes, 0u);
+}
+
+TEST_F(InstrFixture, BcBackwardPushLocksPullNone) {
+  BcOptions push_opt;
+  push_opt.sources = {0, 11, 42};
+  push_opt.forward = Direction::Push;
+  push_opt.backward = Direction::Push;
+  PerfCounters pc(omp_get_max_threads());
+  betweenness_centrality(g_, push_opt, CountingInstr(pc));
+  const CounterBlock push = pc.total();
+  // Forward phase: integer atomics (CAS + σ FAA). Backward: float locks.
+  EXPECT_GT(push.atomics, 0u);
+  EXPECT_GT(push.locks, 0u);
+
+  BcOptions pull_opt = push_opt;
+  pull_opt.forward = Direction::Pull;
+  pull_opt.backward = Direction::Pull;
+  pc.reset();
+  betweenness_centrality(g_, pull_opt, CountingInstr(pc));
+  const CounterBlock pull = pc.total();
+  EXPECT_EQ(pull.atomics, 0u);
+  EXPECT_EQ(pull.locks, 0u);
+}
+
+TEST_F(InstrFixture, CacheSimPullMissesMoreThanPushForPr) {
+  // Table 1, PR rows: pull's scattered reads produce more L1 misses than
+  // push on the dense social graph (the paper reports 572M vs 335M).
+  omp_set_num_threads(1);  // cache simulation is single-core
+  PageRankOptions opt;
+  opt.iterations = 3;
+
+  PerfCounters pc1(1);
+  CacheHierarchy cache_push;
+  pagerank_push(g_, opt, CacheSimInstr(pc1, cache_push));
+
+  PerfCounters pc2(1);
+  CacheHierarchy cache_pull;
+  pagerank_pull(g_, opt, CacheSimInstr(pc2, cache_pull));
+
+  EXPECT_GT(cache_pull.stats().l1_misses, cache_push.stats().l1_misses);
+  omp_set_num_threads(4);
+}
+
+TEST_F(InstrFixture, TcCountsScaleWithIterationStructure) {
+  // Doubling the graph's edge factor increases both variants' reads;
+  // push/pull read counts stay equal (§4.2).
+  Csr small = make_undirected(128, rmat_edges(7, 4, 55));
+  Csr dense = make_undirected(128, rmat_edges(7, 8, 55));
+  PerfCounters pc(omp_get_max_threads());
+  triangle_count_pull(small, CountingInstr(pc));
+  const auto small_reads = pc.total().reads;
+  pc.reset();
+  triangle_count_pull(dense, CountingInstr(pc));
+  EXPECT_GT(pc.total().reads, small_reads);
+}
+
+}  // namespace
+}  // namespace pushpull

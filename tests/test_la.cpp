@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <cmath>
+#include <vector>
+
+#include "graph_zoo.hpp"
+#include "la/algorithms.hpp"
+#include "la/semiring.hpp"
+#include "la/spmv.hpp"
+
+namespace pushpull {
+namespace {
+
+using la::BoolOrAnd;
+using la::MinPlus;
+using la::PlusTimes;
+
+// Dense reference: y[i] = ⊕_j A(i,j) ⊗ x[j] over the stored arcs.
+template <class S>
+std::vector<typename S::value_type> dense_reference(
+    const Csr& g, const std::vector<typename S::value_type>& x, bool weights) {
+  using T = typename S::value_type;
+  std::vector<T> y(static_cast<std::size_t>(g.n()), S::zero());
+  for (vid_t i = 0; i < g.n(); ++i) {
+    for (eid_t e = g.edge_begin(i); e < g.edge_end(i); ++e) {
+      const T a = weights ? static_cast<T>(g.edge_weight(e)) : S::one();
+      y[static_cast<std::size_t>(i)] =
+          S::add(y[static_cast<std::size_t>(i)],
+                 S::mul(a, x[static_cast<std::size_t>(g.edge_target(e))]));
+    }
+  }
+  return y;
+}
+
+TEST(Semiring, AxiomsSpotChecks) {
+  EXPECT_EQ(PlusTimes<double>::add(PlusTimes<double>::zero(), 5.0), 5.0);
+  EXPECT_EQ(PlusTimes<double>::mul(PlusTimes<double>::one(), 5.0), 5.0);
+  EXPECT_EQ(PlusTimes<double>::mul(PlusTimes<double>::zero(), 5.0), 0.0);
+  EXPECT_EQ(MinPlus<float>::add(MinPlus<float>::zero(), 3.f), 3.f);
+  EXPECT_EQ(MinPlus<float>::mul(MinPlus<float>::one(), 3.f), 3.f);
+  EXPECT_TRUE(std::isinf(MinPlus<float>::mul(MinPlus<float>::zero(), 3.f)));
+  EXPECT_EQ(BoolOrAnd::add(false, true), true);
+  EXPECT_EQ(BoolOrAnd::mul(true, false), false);
+}
+
+TEST(Spmv, PullMatchesDenseReferencePlusTimes) {
+  for (const auto& [name, g] : testing::unweighted_zoo()) {
+    std::vector<double> x(static_cast<std::size_t>(g.n()));
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = 0.25 * static_cast<double>(i % 7);
+    const auto want = dense_reference<PlusTimes<double>>(g, x, false);
+    std::vector<double> y(x.size());
+    la::spmv_pull<PlusTimes<double>>(g, x, y);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      EXPECT_NEAR(y[i], want[i], 1e-9) << name << " " << i;
+    }
+  }
+}
+
+TEST(Spmv, PushMatchesPull) {
+  omp_set_num_threads(4);
+  for (const auto& [name, g] : testing::unweighted_zoo()) {
+    std::vector<double> x(static_cast<std::size_t>(g.n()));
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = 1.0 + static_cast<double>(i % 5);
+    std::vector<double> y_pull(x.size());
+    std::vector<double> y_push(x.size(), 0.0);
+    la::spmv_pull<PlusTimes<double>>(g, x, y_pull);
+    la::spmv_push<PlusTimes<double>>(g, x, y_push);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      EXPECT_NEAR(y_push[i], y_pull[i], 1e-9) << name << " " << i;
+    }
+  }
+}
+
+TEST(Spmv, WeightedMinPlusMatchesDense) {
+  for (const auto& [name, g] : testing::weighted_zoo()) {
+    std::vector<float> x(static_cast<std::size_t>(g.n()),
+                         MinPlus<float>::zero());
+    x[0] = 0.f;
+    x[x.size() / 2] = 1.f;
+    const auto want = dense_reference<MinPlus<float>>(g, x, true);
+    std::vector<float> y_pull(x.size());
+    std::vector<float> y_push(x.size(), MinPlus<float>::zero());
+    la::spmv_pull<MinPlus<float>>(g, x, y_pull, true);
+    la::spmv_push<MinPlus<float>>(g, x, y_push, true);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (std::isinf(want[i])) {
+        EXPECT_TRUE(std::isinf(y_pull[i])) << name;
+        EXPECT_TRUE(std::isinf(y_push[i])) << name;
+      } else {
+        EXPECT_NEAR(y_pull[i], want[i], 1e-4) << name;
+        EXPECT_NEAR(y_push[i], want[i], 1e-4) << name;
+      }
+    }
+  }
+}
+
+TEST(Spmspv, MatchesDenseSpmvOnSparseInput) {
+  Csr g = make_undirected(200, erdos_renyi_edges(200, 800, 13));
+  // Sparse x: three nonzero entries.
+  la::SparseVec<double> sx;
+  sx.idx = {3, 77, 150};
+  sx.val = {2.0, 1.0, 4.0};
+  std::vector<double> dense_x(200, 0.0);
+  for (std::size_t k = 0; k < sx.idx.size(); ++k) {
+    dense_x[static_cast<std::size_t>(sx.idx[k])] = sx.val[k];
+  }
+  const auto want = dense_reference<PlusTimes<double>>(g, dense_x, false);
+  std::vector<double> y(200, 0.0);
+  std::vector<vid_t> touched;
+  la::spmspv_push<PlusTimes<double>>(g, sx, y, touched);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], want[i], 1e-9);
+  // Touched covers exactly the union of the nonzero columns' neighborhoods.
+  EXPECT_FALSE(touched.empty());
+  for (vid_t t : touched) {
+    EXPECT_TRUE(g.has_edge(3, t) || g.has_edge(77, t) || g.has_edge(150, t));
+  }
+}
+
+TEST(Spmspv, EmptyInputTouchesNothing) {
+  Csr g = make_undirected(50, path_edges(50));
+  la::SparseVec<double> sx;
+  std::vector<double> y(50, 0.0);
+  std::vector<vid_t> touched;
+  la::spmspv_push<PlusTimes<double>>(g, sx, y, touched);
+  EXPECT_TRUE(touched.empty());
+  for (double v : y) EXPECT_EQ(v, 0.0);
+}
+
+TEST(AtomicAccumulate, ConcurrentMinPlus) {
+  float target = MinPlus<float>::zero();
+#pragma omp parallel for num_threads(4)
+  for (int i = 0; i < 10000; ++i) {
+    la::atomic_accumulate<MinPlus<float>>(target, static_cast<float>(10000 - i));
+  }
+  EXPECT_EQ(target, 1.0f);
+}
+
+TEST(AtomicAccumulate, ConcurrentPlusTimes) {
+  double target = 0.0;
+#pragma omp parallel for num_threads(4)
+  for (int i = 0; i < 20000; ++i) {
+    la::atomic_accumulate<PlusTimes<double>>(target, 1.0);
+  }
+  EXPECT_EQ(target, 20000.0);
+}
+
+}  // namespace
+}  // namespace pushpull

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+#include "graph/partition_aware.hpp"
+#include "graph_zoo.hpp"
+
+namespace pushpull {
+namespace {
+
+TEST(Partition1D, CoversAllVerticesExactlyOnce) {
+  for (vid_t n : {1, 7, 64, 1000}) {
+    for (int p : {1, 2, 3, 8, 16}) {
+      Partition1D part(n, p);
+      vid_t covered = 0;
+      for (int i = 0; i < p; ++i) {
+        EXPECT_LE(part.begin(i), part.end(i));
+        covered += part.part_size(i);
+        for (vid_t v = part.begin(i); v < part.end(i); ++v) {
+          EXPECT_EQ(part.owner(v), i);
+        }
+      }
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+TEST(Partition1D, MorePartsThanVertices) {
+  Partition1D part(3, 8);
+  std::set<int> owners;
+  for (vid_t v = 0; v < 3; ++v) owners.insert(part.owner(v));
+  EXPECT_EQ(owners.size(), 3u);
+  vid_t covered = 0;
+  for (int p = 0; p < 8; ++p) covered += part.part_size(p);
+  EXPECT_EQ(covered, 3);
+}
+
+TEST(Partition1D, BlocksAreContiguousAndOrdered) {
+  Partition1D part(100, 7);
+  for (int p = 0; p + 1 < 7; ++p) EXPECT_EQ(part.end(p), part.begin(p + 1));
+  EXPECT_EQ(part.begin(0), 0);
+  EXPECT_EQ(part.end(6), 100);
+}
+
+TEST(BorderVertices, PathSplitInTwo) {
+  Csr g = make_undirected(10, path_edges(10));
+  Partition1D part(10, 2);
+  const auto border = border_vertices(g, part);
+  // Only the two endpoints of the cut edge (4,5) are border vertices.
+  ASSERT_EQ(border.size(), 2u);
+  EXPECT_EQ(border[0], 4);
+  EXPECT_EQ(border[1], 5);
+}
+
+TEST(BorderVertices, SinglePartitionHasNoBorder) {
+  Csr g = make_undirected(64, cycle_edges(64));
+  Partition1D part(64, 1);
+  EXPECT_TRUE(border_vertices(g, part).empty());
+}
+
+TEST(BorderVertices, CompleteGraphAllBorder) {
+  Csr g = make_undirected(12, complete_edges(12));
+  Partition1D part(12, 3);
+  EXPECT_EQ(border_vertices(g, part).size(), 12u);
+}
+
+TEST(PartitionAware, SplitPreservesNeighborhoods) {
+  for (const auto& [name, g] : testing::unweighted_zoo()) {
+    for (int p : {1, 2, 4}) {
+      Partition1D part(g.n(), p);
+      PartitionAwareCsr pa(g, part);
+      ASSERT_EQ(pa.n(), g.n()) << name;
+      for (vid_t v = 0; v < g.n(); ++v) {
+        std::vector<vid_t> merged;
+        const int owner = part.owner(v);
+        for (vid_t u : pa.local_neighbors(v)) {
+          EXPECT_EQ(part.owner(u), owner) << name;
+          merged.push_back(u);
+        }
+        for (vid_t u : pa.remote_neighbors(v)) {
+          EXPECT_NE(part.owner(u), owner) << name;
+          merged.push_back(u);
+        }
+        std::sort(merged.begin(), merged.end());
+        const auto nb = g.neighbors(v);
+        ASSERT_TRUE(std::equal(merged.begin(), merged.end(), nb.begin(), nb.end()))
+            << name << " vertex " << v;
+        EXPECT_EQ(pa.degree(v), g.degree(v));
+      }
+    }
+  }
+}
+
+TEST(PartitionAware, RepresentationIs2nPlus2m) {
+  Csr g = make_undirected(100, erdos_renyi_edges(100, 400, 77));
+  Partition1D part(100, 4);
+  PartitionAwareCsr pa(g, part);
+  // 2(n+1) offset cells + 2m adjacency cells.
+  EXPECT_EQ(pa.representation_cells(),
+            2 * (static_cast<std::size_t>(g.n()) + 1) +
+                static_cast<std::size_t>(g.num_arcs()));
+  EXPECT_EQ(pa.num_local_arcs() + pa.num_remote_arcs(), g.num_arcs());
+}
+
+TEST(PartitionAware, SinglePartitionAllLocal) {
+  Csr g = make_undirected(64, cycle_edges(64));
+  PartitionAwareCsr pa(g, Partition1D(64, 1));
+  EXPECT_EQ(pa.num_remote_arcs(), 0);
+  EXPECT_EQ(pa.num_local_arcs(), g.num_arcs());
+}
+
+TEST(PartitionAware, BipartiteSplitAllRemote) {
+  // Complete bipartite with the parts exactly matching the partition blocks:
+  // every edge crosses, the paper's zero-local extreme (§5).
+  Csr g = make_undirected(8, complete_bipartite_edges(4, 4));
+  PartitionAwareCsr pa(g, Partition1D(8, 2));
+  EXPECT_EQ(pa.num_local_arcs(), 0);
+  EXPECT_EQ(pa.num_remote_arcs(), g.num_arcs());
+}
+
+}  // namespace
+}  // namespace pushpull

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <vector>
+
+#include "perf/cache_sim.hpp"
+#include "perf/counters.hpp"
+#include "perf/instr.hpp"
+
+namespace pushpull {
+namespace {
+
+TEST(Counters, AggregateAcrossThreads) {
+  PerfCounters pc(4);
+  pc.at(0).reads = 10;
+  pc.at(1).reads = 5;
+  pc.at(2).atomics = 3;
+  pc.at(3).locks = 7;
+  const CounterBlock total = pc.total();
+  EXPECT_EQ(total.reads, 15u);
+  EXPECT_EQ(total.atomics, 3u);
+  EXPECT_EQ(total.locks, 7u);
+  pc.reset();
+  EXPECT_EQ(pc.total().reads, 0u);
+}
+
+TEST(CountingInstr, CountsFromParallelRegion) {
+  PerfCounters pc(omp_get_max_threads());
+  CountingInstr instr(pc);
+  constexpr int kIters = 10000;
+  int dummy = 0;
+#pragma omp parallel for
+  for (int i = 0; i < kIters; ++i) {
+    instr.read(&dummy, sizeof(int));
+    instr.write(&dummy, sizeof(int));
+    instr.atomic(&dummy, sizeof(int));
+    instr.lock(&dummy);
+    instr.branch_cond();
+    instr.branch_uncond();
+  }
+  const CounterBlock t = pc.total();
+  EXPECT_EQ(t.reads, static_cast<std::uint64_t>(kIters));
+  EXPECT_EQ(t.writes, static_cast<std::uint64_t>(kIters));
+  EXPECT_EQ(t.atomics, static_cast<std::uint64_t>(kIters));
+  EXPECT_EQ(t.locks, static_cast<std::uint64_t>(kIters));
+  EXPECT_EQ(t.branch_cond, static_cast<std::uint64_t>(kIters));
+  EXPECT_EQ(t.branch_uncond, static_cast<std::uint64_t>(kIters));
+}
+
+TEST(NullInstr, IsZeroCostInterface) {
+  NullInstr instr;
+  instr.read(nullptr, 8);
+  instr.write(nullptr, 8);
+  instr.atomic(nullptr, 8);
+  instr.lock(nullptr);
+  instr.branch_cond();
+  instr.branch_uncond();
+  instr.code_region(1);
+  EXPECT_FALSE(NullInstr::kEnabled);
+  SUCCEED();
+}
+
+TEST(CacheLevel, HitsAfterInstall) {
+  CacheLevel l1(1024, 2, 64);  // 8 sets x 2 ways
+  EXPECT_FALSE(l1.access(0));  // cold miss
+  EXPECT_TRUE(l1.access(0));   // hit
+}
+
+TEST(CacheLevel, LruEvictsOldest) {
+  CacheLevel l1(1024, 2, 64);  // 8 sets, 2 ways
+  // Three lines mapping to the same set (stride = #sets).
+  EXPECT_FALSE(l1.access(0));
+  EXPECT_FALSE(l1.access(8));
+  EXPECT_FALSE(l1.access(16));  // evicts line 0 (LRU)
+  EXPECT_FALSE(l1.access(0));   // line 0 gone
+  EXPECT_TRUE(l1.access(16));   // line 16 still resident
+}
+
+TEST(CacheLevel, AssociativityHoldsWorkingSet) {
+  CacheLevel l1(1024, 2, 64);
+  l1.access(0);
+  l1.access(8);
+  // Two-way set holds both lines; repeat hits.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(l1.access(0));
+    EXPECT_TRUE(l1.access(8));
+  }
+}
+
+TEST(CacheHierarchy, SequentialStreamMissesOncePerLine) {
+  CacheHierarchy cache;
+  std::vector<char> buf(64 * 100);
+  for (std::size_t i = 0; i < buf.size(); ++i) cache.access(&buf[i], 1);
+  const CacheStats& s = cache.stats();
+  EXPECT_EQ(s.accesses, buf.size());
+  // One L1 miss per distinct 64B line (modulo the buffer's alignment: at
+  // most one extra line straddle).
+  EXPECT_GE(s.l1_misses, 100u);
+  EXPECT_LE(s.l1_misses, 101u);
+}
+
+TEST(CacheHierarchy, RepeatedSmallWorkingSetStaysInL1) {
+  CacheHierarchy cache;
+  std::vector<char> buf(4096);
+  for (int round = 0; round < 10; ++round) {
+    for (std::size_t i = 0; i < buf.size(); i += 64) cache.access(&buf[i], 1);
+  }
+  // Only the first round misses.
+  EXPECT_LE(cache.stats().l1_misses, 65u);
+}
+
+TEST(CacheHierarchy, LargeWorkingSetSpillsToL2ButNotL3) {
+  CacheHierarchy cache;
+  // 128 KiB: exceeds 32 KiB L1, fits 256 KiB L2.
+  std::vector<char> buf(128 * 1024);
+  for (int round = 0; round < 4; ++round) {
+    for (std::size_t i = 0; i < buf.size(); i += 64) cache.access(&buf[i], 1);
+  }
+  const CacheStats& s = cache.stats();
+  EXPECT_GT(s.l1_misses, 3 * 2048u);   // L1 thrashes on every round
+  EXPECT_LE(s.l2_misses, 2100u);       // ~cold misses only
+}
+
+TEST(CacheHierarchy, AccessSpanningTwoLinesTouchesBoth) {
+  CacheHierarchy cache;
+  alignas(64) char buf[128];
+  cache.access(buf + 60, 8);  // straddles the 64B boundary
+  EXPECT_EQ(cache.stats().accesses, 2u);
+}
+
+TEST(CacheHierarchy, DtlbMissesOncePerPage) {
+  CacheHierarchy cache;
+  std::vector<char> buf(4096 * 8);
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < buf.size(); i += 4096) cache.access(&buf[i], 1);
+  }
+  // 8 pages fit the 64-entry dTLB: only cold misses.
+  EXPECT_LE(cache.stats().dtlb_misses, 9u);
+}
+
+TEST(CacheHierarchy, DtlbThrashesBeyondReach) {
+  CacheHierarchyConfig cfg;
+  cfg.dtlb_entries = 4;
+  cfg.dtlb_ways = 4;
+  CacheHierarchy cache(cfg);
+  std::vector<char> buf(4096 * 16);
+  std::uint64_t rounds = 5;
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    for (std::size_t i = 0; i < buf.size(); i += 4096) cache.access(&buf[i], 1);
+  }
+  // 16 pages > 4 entries: every access misses.
+  EXPECT_GE(cache.stats().dtlb_misses, rounds * 16 - 16);
+}
+
+TEST(CacheHierarchy, ItlbCountsRegionChurn) {
+  CacheHierarchyConfig cfg;
+  cfg.itlb_entries = 2;
+  CacheHierarchy cache(cfg);
+  cache.code_region(1);
+  cache.code_region(1);
+  EXPECT_EQ(cache.stats().itlb_misses, 1u);  // second touch hits
+  cache.code_region(2);
+  cache.code_region(3);  // evicts region 1
+  cache.code_region(1);
+  EXPECT_GE(cache.stats().itlb_misses, 3u);
+}
+
+TEST(CacheHierarchy, ResetClearsEverything) {
+  CacheHierarchy cache;
+  int x = 0;
+  cache.access(&x, 4);
+  cache.reset();
+  EXPECT_EQ(cache.stats().accesses, 0u);
+  cache.access(&x, 4);
+  EXPECT_EQ(cache.stats().l1_misses, 1u);  // cold again after reset
+}
+
+TEST(CacheSimInstr, FeedsCountersAndCache) {
+  PerfCounters pc(1);
+  CacheHierarchy cache;
+  CacheSimInstr instr(pc, cache);
+  std::vector<double> data(100);
+  for (auto& d : data) instr.read(&d, sizeof(double));
+  EXPECT_EQ(pc.total().reads, 100u);
+  EXPECT_GT(cache.stats().accesses, 0u);
+  instr.lock(&data[0]);
+  EXPECT_EQ(pc.total().locks, 1u);
+}
+
+TEST(CacheSimInstr, RandomAccessMissesMoreThanSequential) {
+  // The central locality effect behind Table 1: scattered reads (pull-style
+  // neighbor access) miss more than streaming reads.
+  std::vector<double> data(1 << 20);  // 8 MiB > L1/L2
+
+  PerfCounters pc_seq(1);
+  CacheHierarchy cache_seq;
+  CacheSimInstr seq(pc_seq, cache_seq);
+  for (std::size_t i = 0; i < (1 << 16); ++i) seq.read(&data[i], sizeof(double));
+
+  PerfCounters pc_rnd(1);
+  CacheHierarchy cache_rnd;
+  CacheSimInstr rnd(pc_rnd, cache_rnd);
+  std::uint64_t state = 12345;
+  for (std::size_t i = 0; i < (1 << 16); ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    rnd.read(&data[(state >> 33) % data.size()], sizeof(double));
+  }
+
+  EXPECT_GT(cache_rnd.stats().l1_misses, 2 * cache_seq.stats().l1_misses);
+  EXPECT_GT(cache_rnd.stats().dtlb_misses, cache_seq.stats().dtlb_misses);
+}
+
+}  // namespace
+}  // namespace pushpull

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pram/model.hpp"
+
+namespace pushpull::pram {
+namespace {
+
+Params social() {
+  // orc-like: n = 3M, m = 117M, d̂ = 30k, P = 16.
+  return Params{3.0e6, 1.17e8, 3.0e4, 16};
+}
+
+Params road() {
+  // rca-like: n = 2M, m = 2.8M, d̂ = 8, P = 16.
+  return Params{2.0e6, 2.8e6, 8, 16};
+}
+
+TEST(Primitives, KBarFloorsAtOne) {
+  EXPECT_EQ(k_bar(4, 16), 1.0);
+  EXPECT_EQ(k_bar(64, 16), 4.0);
+}
+
+TEST(Primitives, PullRelaxationIsModelIndependent) {
+  const Params p = social();
+  const Cost crcw = k_relaxation(1e6, p, Model::CRCW_CB, Dir::Pull);
+  const Cost crew = k_relaxation(1e6, p, Model::CREW, Dir::Pull);
+  EXPECT_EQ(crcw.time, crew.time);
+  EXPECT_EQ(crcw.work, crew.work);
+}
+
+TEST(Primitives, PushPaysLogFactorInCrew) {
+  const Params p = social();
+  const Cost cb = k_relaxation(1e6, p, Model::CRCW_CB, Dir::Push);
+  const Cost crew = k_relaxation(1e6, p, Model::CREW, Dir::Push);
+  EXPECT_GT(crew.time, cb.time);
+  EXPECT_NEAR(crew.time / cb.time, std::log2(p.d_max), 1e-9);
+}
+
+TEST(Primitives, KFilterWorkCappedAtN) {
+  const Params p{100, 1000, 10, 4};
+  EXPECT_EQ(k_filter(5000, p).work, 100.0);
+  EXPECT_EQ(k_filter(50, p).work, 50.0);
+}
+
+TEST(Simulation, LimitProcessorsScalesTime) {
+  const Cost c{100, 1000};
+  const Cost limited = limit_processors(c, 16, 4);
+  EXPECT_EQ(limited.time, 400.0);
+  EXPECT_EQ(limited.work, 1000.0);
+  // No-op when P' >= P.
+  EXPECT_EQ(limit_processors(c, 4, 16).time, 100.0);
+}
+
+TEST(Simulation, CrcwOnErewLogSlowdown) {
+  const Cost c{10, 100};
+  const Cost sim = crcw_on_erew(c, 1024);
+  EXPECT_EQ(sim.time, 100.0);  // ×log2(1024) = 10
+}
+
+TEST(PageRank, PushEqualsPullInCrcwCb) {
+  const Params p = social();
+  const Cost push = pr_cost(p, 20, Model::CRCW_CB, Dir::Push);
+  const Cost pull = pr_cost(p, 20, Model::CRCW_CB, Dir::Pull);
+  EXPECT_EQ(push.time, pull.time);
+  EXPECT_EQ(push.work, pull.work);
+}
+
+TEST(PageRank, PullBeatsPushInCrewByLogFactor) {
+  // §4.9: "for PR and TC, pulling is faster than pushing in the PRAM CREW
+  // model by a logarithmic factor."
+  const Params p = social();
+  const Cost push = pr_cost(p, 20, Model::CREW, Dir::Push);
+  const Cost pull = pr_cost(p, 20, Model::CREW, Dir::Pull);
+  EXPECT_NEAR(push.work / pull.work, std::log2(p.d_max), 1e-9);
+}
+
+TEST(PageRank, ProfileMatchesPaper) {
+  const Params p = social();
+  const double L = 20;
+  const Profile push = pr_profile(p, L, Dir::Push);
+  const Profile pull = pr_profile(p, L, Dir::Pull);
+  // Pushing: O(Lm) write conflicts resolved with locks (floats).
+  EXPECT_EQ(push.write_conflicts, L * p.m);
+  EXPECT_EQ(push.locks, L * p.m);
+  EXPECT_EQ(push.atomics, 0.0);
+  // Pulling: read conflicts only, no atomics, no locks.
+  EXPECT_EQ(pull.read_conflicts, L * p.m);
+  EXPECT_EQ(pull.locks, 0.0);
+  EXPECT_EQ(pull.atomics, 0.0);
+  EXPECT_EQ(pull.write_conflicts, 0.0);
+}
+
+TEST(TriangleCounting, PullHasNoAtomics) {
+  const Params p = social();
+  EXPECT_EQ(tc_profile(p, Dir::Pull).atomics, 0.0);
+  EXPECT_GT(tc_profile(p, Dir::Push).atomics, 0.0);
+  // Both variants share the same read conflicts (adjacency checks).
+  EXPECT_EQ(tc_profile(p, Dir::Pull).read_conflicts,
+            tc_profile(p, Dir::Push).read_conflicts);
+}
+
+TEST(Bfs, PushIsWorkEfficientPullIsNot) {
+  const Params p = social();
+  const double D = 9;
+  const Cost push = bfs_cost(p, D, Model::CRCW_CB, Dir::Push);
+  const Cost pull = bfs_cost(p, D, Model::CRCW_CB, Dir::Pull);
+  // Pull re-checks all edges every level: O(Dm) vs O(m).
+  EXPECT_NEAR(pull.work / push.work, D, 1e-9);
+}
+
+TEST(Bfs, ProfileAtomicsVsReads) {
+  const Params p = road();
+  const double D = 849;
+  const Profile push = bfs_profile(p, D, Dir::Push);
+  const Profile pull = bfs_profile(p, D, Dir::Pull);
+  EXPECT_EQ(push.atomics, p.m);        // one CAS per edge
+  EXPECT_EQ(pull.atomics, 0.0);
+  EXPECT_EQ(pull.read_conflicts, D * p.m);  // the road-network blowup
+}
+
+TEST(Sssp, PushRelaxesEachEdgeInOneEpoch) {
+  const Params p = social();
+  const double epochs = 10, l_delta = 3;
+  const Cost push = sssp_cost(p, epochs, l_delta, Model::CRCW_CB, Dir::Push);
+  const Cost pull = sssp_cost(p, epochs, l_delta, Model::CRCW_CB, Dir::Pull);
+  EXPECT_NEAR(pull.work / push.work, epochs, 1e-9);
+}
+
+TEST(Bc, CostIs2nBfs) {
+  const Params p = road();
+  const double D = 100;
+  const Cost bfs1 = bfs_cost(p, D, Model::CRCW_CB, Dir::Push);
+  const Cost bc = bc_cost(p, D, Model::CRCW_CB, Dir::Push);
+  EXPECT_NEAR(bc.work / bfs1.work, 2.0 * p.n, 1e-6);
+}
+
+TEST(Bc, BackwardPushTurnsAtomicsIntoLocks) {
+  // §4.5/§4.9: the second phase accumulates floats, so pushing needs locks.
+  const Params p = social();
+  const Profile push = bc_profile(p, 9, Dir::Push);
+  const Profile pull = bc_profile(p, 9, Dir::Pull);
+  EXPECT_GT(push.locks, 0.0);
+  EXPECT_EQ(pull.locks, 0.0);
+}
+
+TEST(Coloring, ConflictCountsMirrorDirection) {
+  const Params p = road();
+  const double L = 50;
+  EXPECT_EQ(bgc_profile(p, L, Dir::Push).write_conflicts, L * p.m);
+  EXPECT_EQ(bgc_profile(p, L, Dir::Pull).read_conflicts, L * p.m);
+  EXPECT_EQ(bgc_profile(p, L, Dir::Pull).atomics, 0.0);
+}
+
+TEST(Mst, QuadraticWorkBothDirections) {
+  const Params p = road();
+  const Cost push = mst_cost(p, Model::CRCW_CB, Dir::Push);
+  const Cost pull = mst_cost(p, Model::CRCW_CB, Dir::Pull);
+  EXPECT_EQ(push.work, p.n * p.n);
+  EXPECT_EQ(pull.work, p.n * p.n);
+  EXPECT_GT(mst_cost(p, Model::CREW, Dir::Push).work, push.work);
+}
+
+TEST(AllAlgorithms, TimeDecreasesWithMoreProcessors) {
+  Params p = social();
+  Params p2 = p;
+  p2.P = 256;
+  EXPECT_LT(pr_cost(p2, 20, Model::CRCW_CB, Dir::Pull).time,
+            pr_cost(p, 20, Model::CRCW_CB, Dir::Pull).time);
+  EXPECT_LT(tc_cost(p2, Model::CRCW_CB, Dir::Push).time,
+            tc_cost(p, Model::CRCW_CB, Dir::Push).time);
+  EXPECT_LT(bfs_cost(p2, 9, Model::CRCW_CB, Dir::Push).time,
+            bfs_cost(p, 9, Model::CRCW_CB, Dir::Push).time);
+}
+
+}  // namespace
+}  // namespace pushpull::pram

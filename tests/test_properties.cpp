@@ -1,0 +1,192 @@
+// Property-based fuzzing: for a stream of seeded random graphs spanning all
+// generator families, every push/pull/abstraction variant of every algorithm
+// must agree with its oracle, and all structural invariants must hold.
+// These tests catch interaction bugs the targeted suites miss (odd component
+// structures, duplicate-heavy edge lists, degree-1 chains, ...).
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/baselines/baselines.hpp"
+#include "core/bc.hpp"
+#include "core/bfs.hpp"
+#include "core/coloring.hpp"
+#include "core/mst_boruvka.hpp"
+#include "core/pagerank.hpp"
+#include "core/sssp_delta.hpp"
+#include "core/triangle_count.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+#include "la/algorithms.hpp"
+#include "util/rng.hpp"
+
+namespace pushpull {
+namespace {
+
+// Deterministic random graph from a seed, cycling through families and
+// mixing in degenerate features (duplicates, isolated vertices).
+Csr fuzz_graph(std::uint64_t seed, bool weighted) {
+  Rng rng(seed);
+  const int family = static_cast<int>(rng.next_below(5));
+  const vid_t n = 32 + static_cast<vid_t>(rng.next_below(200));
+  EdgeList edges;
+  switch (family) {
+    case 0:
+      edges = erdos_renyi_edges(n, static_cast<eid_t>(n) * (1 + rng.next_below(4)),
+                                rng.next());
+      break;
+    case 1:
+      edges = rmat_edges(8, 1 + static_cast<int>(rng.next_below(6)), rng.next());
+      break;
+    case 2:
+      edges = barabasi_albert_edges(n, 1 + static_cast<int>(rng.next_below(3)),
+                                    rng.next());
+      break;
+    case 3:
+      edges = grid2d_edges(4 + static_cast<vid_t>(rng.next_below(12)),
+                           4 + static_cast<vid_t>(rng.next_below(12)),
+                           0.4 + 0.6 * rng.next_double(), rng.next());
+      break;
+    default:
+      edges = watts_strogatz_edges(n, 2, rng.next_double(), rng.next());
+      break;
+  }
+  // Inject duplicates to stress the builder.
+  const std::size_t original = edges.size();
+  for (std::size_t i = 0; i < original / 10 + 1 && !edges.empty(); ++i) {
+    edges.push_back(edges[rng.next_below(edges.size())]);
+  }
+  vid_t max_v = 0;
+  for (const Edge& e : edges) max_v = std::max({max_v, e.u, e.v});
+  const vid_t nn = max_v + 1 + static_cast<vid_t>(rng.next_below(4));  // isolated tail
+  if (weighted) {
+    return make_undirected_weighted(nn, std::move(edges), 0.5f, 20.0f, rng.next());
+  }
+  return make_undirected(nn, std::move(edges));
+}
+
+class Fuzz : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { omp_set_num_threads(1 + GetParam() % 4); }
+};
+
+TEST_P(Fuzz, PageRankInvariants) {
+  const Csr g = fuzz_graph(static_cast<std::uint64_t>(GetParam()) * 7919 + 1, false);
+  PageRankOptions opt;
+  opt.iterations = 12;
+  const auto seq = pagerank_seq(g, opt);
+  const auto push = pagerank_push(g, opt);
+  const auto pull = pagerank_pull(g, opt);
+  double mass = 0;
+  for (std::size_t v = 0; v < seq.size(); ++v) {
+    EXPECT_NEAR(push[v], seq[v], 1e-9);
+    EXPECT_NEAR(pull[v], seq[v], 1e-12);
+    EXPECT_GT(seq[v], 0.0);  // every vertex keeps positive rank
+    mass += seq[v];
+  }
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+TEST_P(Fuzz, TraversalInvariants) {
+  const Csr g = fuzz_graph(static_cast<std::uint64_t>(GetParam()) * 104729 + 2, false);
+  const auto ref = baseline::bfs(g, 0);
+  const BfsResult push = bfs_push(g, 0);
+  const BfsResult pull = bfs_pull(g, 0);
+  const BfsResult diropt = bfs_direction_optimizing(g, 0);
+  EXPECT_EQ(push.dist, ref.dist);
+  EXPECT_EQ(pull.dist, ref.dist);
+  EXPECT_EQ(diropt.dist, ref.dist);
+  EXPECT_TRUE(validate_bfs(g, 0, push));
+  EXPECT_TRUE(validate_bfs(g, 0, diropt));
+  EXPECT_EQ(la::bfs_la(g, 0, Direction::Push), ref.dist);
+}
+
+TEST_P(Fuzz, TriangleInvariants) {
+  const Csr g = fuzz_graph(static_cast<std::uint64_t>(GetParam()) * 1299709 + 3, false);
+  const auto pull = triangle_count_pull(g);
+  const auto fast = triangle_count_fast(g);
+  EXPECT_EQ(pull, fast);
+  // Total divisible by 3 and bounded by C(d(v), 2) per vertex.
+  std::int64_t total = 0;
+  for (vid_t v = 0; v < g.n(); ++v) {
+    const std::int64_t d = g.degree(v);
+    EXPECT_LE(pull[static_cast<std::size_t>(v)], d * (d - 1) / 2);
+    total += pull[static_cast<std::size_t>(v)];
+  }
+  EXPECT_EQ(total % 3, 0);
+}
+
+TEST_P(Fuzz, SsspInvariants) {
+  const Csr g = fuzz_graph(static_cast<std::uint64_t>(GetParam()) * 15485863 + 4, true);
+  const auto ref = baseline::dijkstra(g, 0);
+  const weight_t delta = static_cast<weight_t>(1 + (GetParam() % 5) * 7);
+  const auto push = sssp_delta_push(g, 0, delta);
+  const auto pull = sssp_delta_pull(g, 0, delta);
+  for (std::size_t v = 0; v < ref.size(); ++v) {
+    if (std::isinf(ref[v])) {
+      EXPECT_TRUE(std::isinf(push.dist[v]));
+      EXPECT_TRUE(std::isinf(pull.dist[v]));
+    } else {
+      EXPECT_NEAR(push.dist[v], ref[v], 1e-3);
+      EXPECT_NEAR(pull.dist[v], ref[v], 1e-3);
+    }
+  }
+  // Triangle inequality along every edge.
+  for (vid_t v = 0; v < g.n(); ++v) {
+    if (std::isinf(push.dist[static_cast<std::size_t>(v)])) continue;
+    const auto nb = g.neighbors(v);
+    const auto w = g.weights(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      EXPECT_LE(push.dist[static_cast<std::size_t>(nb[i])],
+                push.dist[static_cast<std::size_t>(v)] + w[i] + 1e-3f);
+    }
+  }
+}
+
+TEST_P(Fuzz, ColoringInvariants) {
+  const Csr g = fuzz_graph(static_cast<std::uint64_t>(GetParam()) * 32452843 + 5, false);
+  ColoringOptions opt;
+  opt.max_iterations = 300;
+  EXPECT_TRUE(baseline::is_proper_coloring(g, boman_color_push(g, opt).color));
+  EXPECT_TRUE(baseline::is_proper_coloring(g, boman_color_pull(g, opt).color));
+  ColoringOptions open;
+  open.max_iterations = 8 * g.n() + 16;
+  EXPECT_TRUE(baseline::is_proper_coloring(g, grs_color(g, open).color));
+  EXPECT_TRUE(baseline::is_proper_coloring(g, cr_color(g, opt).color));
+}
+
+TEST_P(Fuzz, MstInvariants) {
+  const Csr g = fuzz_graph(static_cast<std::uint64_t>(GetParam()) * 49979687 + 6, true);
+  const double want = baseline::kruskal_msf_weight(g);
+  const BoruvkaResult push = mst_boruvka_push(g);
+  const BoruvkaResult pull = mst_boruvka_pull(g);
+  EXPECT_NEAR(push.total_weight, want, 1e-2);
+  EXPECT_NEAR(pull.total_weight, want, 1e-2);
+  EXPECT_EQ(static_cast<vid_t>(push.tree_edges.size()), g.n() - count_components(g));
+}
+
+TEST_P(Fuzz, BcPushPullAgree) {
+  const Csr g = fuzz_graph(static_cast<std::uint64_t>(GetParam()) * 67867967 + 7, false);
+  BcOptions a;
+  a.sources = {0, g.n() / 2, g.n() - 1};
+  a.forward = Direction::Push;
+  a.backward = Direction::Push;
+  BcOptions b = a;
+  b.forward = Direction::Pull;
+  b.backward = Direction::Pull;
+  const auto ra = betweenness_centrality(g, a);
+  const auto rb = betweenness_centrality(g, b);
+  for (std::size_t v = 0; v < ra.bc.size(); ++v) {
+    EXPECT_NEAR(ra.bc[v], rb.bc[v], 1e-6 * (1.0 + std::abs(ra.bc[v])));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz, ::testing::Range(0, 12),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace pushpull

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <cmath>
+
+#include "core/baselines/baselines.hpp"
+#include "core/sssp_delta.hpp"
+#include "gas/programs.hpp"
+#include "graph_zoo.hpp"
+#include "la/algorithms.hpp"
+
+namespace pushpull {
+namespace {
+
+using SsspParam = std::tuple<int, int, float>;
+
+constexpr float kTol = 1e-4f;
+
+void expect_dist_match(const std::vector<weight_t>& got,
+                       const std::vector<weight_t>& want,
+                       const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t v = 0; v < got.size(); ++v) {
+    if (std::isinf(want[v])) {
+      EXPECT_TRUE(std::isinf(got[v])) << label << " vertex " << v;
+    } else {
+      EXPECT_NEAR(got[v], want[v], kTol) << label << " vertex " << v;
+    }
+  }
+}
+
+// (zoo index, threads, delta)
+class SsspEquivalence
+    : public ::testing::TestWithParam<SsspParam> {};
+
+TEST_P(SsspEquivalence, DeltaSteppingMatchesDijkstra) {
+  const auto& zoo = testing::weighted_zoo();
+  const auto& [gi, threads, delta] = GetParam();
+  const auto& [name, g] = zoo[static_cast<std::size_t>(gi)];
+  omp_set_num_threads(threads);
+
+  const auto ref = baseline::dijkstra(g, 0);
+  const auto push = sssp_delta_push(g, 0, delta);
+  const auto pull = sssp_delta_pull(g, 0, delta);
+  expect_dist_match(push.dist, ref, name + "/push");
+  expect_dist_match(pull.dist, ref, name + "/pull");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ZooSweep, SsspEquivalence,
+    ::testing::Combine(::testing::Range(0, 8), ::testing::Values(1, 4),
+                       ::testing::Values(0.5f, 4.0f, 1e6f)),
+    [](const ::testing::TestParamInfo<SsspParam>& info) {
+      const int gi = std::get<0>(info.param);
+      const int t = std::get<1>(info.param);
+      const float d = std::get<2>(info.param);
+      std::string dn = d < 1 ? "small" : (d < 100 ? "mid" : "huge");
+      return pushpull::testing::weighted_zoo()[gi].name + "_t" +
+             std::to_string(t) + "_d" + dn;
+    });
+
+TEST(Sssp, BaselinesAgreeWithEachOther) {
+  for (const auto& [name, g] : testing::weighted_zoo()) {
+    const auto dij = baseline::dijkstra(g, 0);
+    const auto bf = baseline::bellman_ford(g, 0);
+    expect_dist_match(bf, dij, name + "/bellman_ford");
+  }
+}
+
+TEST(Sssp, HugeDeltaDegeneratesToOneEpoch) {
+  // Δ larger than any path weight: a single bucket (Bellman-Ford regime).
+  const auto& zoo = testing::weighted_zoo();
+  const Csr& g = zoo[3].graph;  // w_er200
+  const auto r = sssp_delta_push(g, 0, 1e9f);
+  EXPECT_EQ(r.epochs, 1);
+}
+
+TEST(Sssp, SmallerDeltaMoreEpochs) {
+  const auto& zoo = testing::weighted_zoo();
+  const Csr& g = zoo[2].graph;  // w_grid12x12
+  const auto coarse = sssp_delta_push(g, 0, 50.0f);
+  const auto fine = sssp_delta_push(g, 0, 1.0f);
+  EXPECT_GT(fine.epochs, coarse.epochs);
+  EXPECT_EQ(coarse.epoch_times.size(), static_cast<std::size_t>(coarse.epochs));
+}
+
+TEST(Sssp, PullDoesMoreInnerIterationsWorkThanPush) {
+  // The pull variant rescans unsettled vertices every inner iteration; its
+  // iteration count can only match or exceed push for the same Δ.
+  const auto& zoo = testing::weighted_zoo();
+  const Csr& g = zoo[4].graph;  // w_rmat8
+  const auto push = sssp_delta_push(g, 0, 4.0f);
+  const auto pull = sssp_delta_pull(g, 0, 4.0f);
+  EXPECT_GE(pull.inner_iterations, push.epochs);
+  EXPECT_EQ(push.epochs, pull.epochs);  // same bucket structure
+}
+
+TEST(Sssp, UnreachableVerticesAreInfinite) {
+  BuildOptions opts;
+  opts.keep_weights = true;
+  Csr g = build_csr(6, EdgeList{Edge{0, 1, 2.f}, Edge{3, 4, 1.f}}, opts);
+  const auto r = sssp_delta_push(g, 0, 1.0f);
+  EXPECT_TRUE(std::isinf(r.dist[3]));
+  EXPECT_TRUE(std::isinf(r.dist[5]));
+  EXPECT_EQ(r.dist[1], 2.f);
+}
+
+TEST(Sssp, SourceDistanceIsZero) {
+  for (const auto& [name, g] : testing::weighted_zoo()) {
+    const auto r = sssp_delta_pull(g, 0, 2.0f);
+    EXPECT_EQ(r.dist[0], 0.0f) << name;
+  }
+}
+
+TEST(Sssp, GasVariantsMatchDijkstra) {
+  const auto& zoo = testing::weighted_zoo();
+  for (int gi : {0, 2, 4}) {
+    const auto& [name, g] = zoo[static_cast<std::size_t>(gi)];
+    const auto ref = baseline::dijkstra(g, 0);
+    expect_dist_match(gas::gas_sssp(g, 0, Direction::Push), ref, name + "/gas_push");
+    expect_dist_match(gas::gas_sssp(g, 0, Direction::Pull), ref, name + "/gas_pull");
+  }
+}
+
+TEST(Sssp, LinearAlgebraVariantsMatchDijkstra) {
+  const auto& zoo = testing::weighted_zoo();
+  for (int gi : {1, 3, 5}) {
+    const auto& [name, g] = zoo[static_cast<std::size_t>(gi)];
+    const auto ref = baseline::dijkstra(g, 0);
+    expect_dist_match(la::sssp_la(g, 0, Direction::Push), ref, name + "/la_push");
+    expect_dist_match(la::sssp_la(g, 0, Direction::Pull), ref, name + "/la_pull");
+  }
+}
+
+TEST(Sssp, TiedWeightsStillCorrect) {
+  // All-equal weights stress deterministic relaxation ordering.
+  const auto& zoo = testing::weighted_zoo();
+  const auto& [name, g] = zoo[6];  // w_ties_er
+  ASSERT_EQ(name, "w_ties_er");
+  const auto ref = baseline::dijkstra(g, 0);
+  expect_dist_match(sssp_delta_push(g, 0, 0.9f).dist, ref, name + "/push");
+  expect_dist_match(sssp_delta_pull(g, 0, 0.9f).dist, ref, name + "/pull");
+}
+
+}  // namespace
+}  // namespace pushpull

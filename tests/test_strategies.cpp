@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include "core/bfs.hpp"
+#include "core/coloring.hpp"
+#include "core/direction.hpp"
+#include "graph_zoo.hpp"
+
+namespace pushpull {
+namespace {
+
+TEST(SwitchController, StartsInRequestedDirection) {
+  SwitchController a(10, 10, Direction::Push);
+  EXPECT_EQ(a.current(), Direction::Push);
+  SwitchController b(10, 10, Direction::Pull);
+  EXPECT_EQ(b.current(), Direction::Pull);
+}
+
+TEST(SwitchController, PushToPullOnHeavyFrontier) {
+  SwitchController ctl(10, 10, Direction::Push);
+  // active_work below total/alpha: stay push.
+  EXPECT_EQ(ctl.step(5, 100, 1, 100), Direction::Push);
+  // active_work above total/alpha: flip to pull.
+  EXPECT_EQ(ctl.step(50, 100, 50, 100), Direction::Pull);
+}
+
+TEST(SwitchController, PullToPushOnSmallFrontier) {
+  SwitchController ctl(10, 10, Direction::Pull);
+  EXPECT_EQ(ctl.step(50, 100, 50, 100), Direction::Pull);
+  // active_count below total/beta: flip back to push.
+  EXPECT_EQ(ctl.step(1, 100, 5, 100), Direction::Push);
+}
+
+TEST(SwitchController, ForceOverrides) {
+  SwitchController ctl(10, 10, Direction::Push);
+  ctl.force(Direction::Pull);
+  EXPECT_EQ(ctl.current(), Direction::Pull);
+}
+
+TEST(DirOptBfs, UsesBothDirectionsOnSmallWorldGraph) {
+  // RMAT social graphs have an exploding frontier: a correct controller
+  // must spend the middle levels in pull mode.
+  Csr g = make_undirected(1 << 12, rmat_edges(12, 16, 3));
+  omp_set_num_threads(4);
+  const BfsResult r = bfs_direction_optimizing(g, 0, {.alpha = 14.0, .beta = 24.0});
+  bool saw_push = false, saw_pull = false;
+  for (Direction d : r.level_dirs) {
+    saw_push |= d == Direction::Push;
+    saw_pull |= d == Direction::Pull;
+  }
+  EXPECT_TRUE(saw_push);
+  EXPECT_TRUE(saw_pull);
+}
+
+TEST(DirOptBfs, MatchesPlainBfsDistancesOnAllZooGraphs) {
+  for (const auto& [name, g] : testing::unweighted_zoo()) {
+    const BfsResult a = bfs_push(g, 0);
+    const BfsResult b = bfs_direction_optimizing(g, 0);
+    EXPECT_EQ(a.dist, b.dist) << name;
+  }
+}
+
+TEST(GsColoring, SwitchReducesOrMatchesFePushIterations) {
+  // Generic-Switch's purpose (§5): never meaningfully worse than fixed push,
+  // much better when conflicts dominate.
+  for (int gi : {8, 9, 10}) {  // er200, rmat8, ba300
+    const auto& [name, g] = testing::unweighted_zoo()[static_cast<std::size_t>(gi)];
+    omp_set_num_threads(4);
+    ColoringOptions opt;
+    opt.max_iterations = 5000;
+    const auto fe = fe_color(g, Direction::Push, opt);
+    const auto gs = gs_color(g, opt);
+    EXPECT_LE(gs.iterations, fe.iterations + 2) << name;
+  }
+}
+
+TEST(GrsColoring, UsesOneSequentialTailIteration) {
+  Csr g = make_undirected(300, barabasi_albert_edges(300, 3, 19));
+  omp_set_num_threads(4);
+  ColoringOptions opt;
+  opt.grs_threshold = 1.1;  // everything below threshold: greedy immediately
+  const auto r = grs_color(g, opt);
+  EXPECT_EQ(r.iterations, 1);
+  EXPECT_EQ(r.colors_used, [&] {
+    int max_c = 0;
+    for (int c : r.color) max_c = std::max(max_c, c);
+    return max_c + 1;
+  }());
+}
+
+TEST(FeColoring, PullGeneratesFewerConflictsThanPush) {
+  // §5 Generic-Switch rationale: pull claims can observe same-wave
+  // neighbors and avoid collisions; push claims cannot.
+  Csr g = make_undirected(512, rmat_edges(9, 8, 77));
+  omp_set_num_threads(4);
+  ColoringOptions opt;
+  opt.max_iterations = 5000;
+  const auto push = fe_color(g, Direction::Push, opt);
+  const auto pull = fe_color(g, Direction::Pull, opt);
+  std::int64_t push_conflicts = 0, pull_conflicts = 0;
+  for (auto c : push.iter_conflicts) push_conflicts += c;
+  for (auto c : pull.iter_conflicts) pull_conflicts += c;
+  EXPECT_LE(pull_conflicts, push_conflicts);
+}
+
+}  // namespace
+}  // namespace pushpull

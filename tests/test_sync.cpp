@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "sync/atomics.hpp"
+#include "sync/barrier.hpp"
+#include "sync/spinlock.hpp"
+
+namespace pushpull {
+namespace {
+
+TEST(Spinlock, MutualExclusionUnderContention) {
+  Spinlock lock;
+  long counter = 0;
+  constexpr int kIters = 20000;
+#pragma omp parallel num_threads(4)
+  {
+#pragma omp for
+    for (int i = 0; i < kIters; ++i) {
+      SpinGuard guard(lock);
+      ++counter;  // non-atomic increment protected by the lock
+    }
+  }
+  EXPECT_EQ(counter, kIters);
+}
+
+TEST(Spinlock, TryLockReflectsState) {
+  Spinlock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(SpinlockPool, DistinctIndicesMayShare) {
+  SpinlockPool pool(4);
+  // Index i and i+4 hash to the same lock.
+  Spinlock& a = pool.for_index(1);
+  Spinlock& b = pool.for_index(5);
+  EXPECT_EQ(&a, &b);
+  Spinlock& c = pool.for_index(2);
+  EXPECT_NE(&a, &c);
+}
+
+TEST(Atomics, FaaSumsAcrossThreads) {
+  std::int64_t value = 0;
+  constexpr int kIters = 50000;
+#pragma omp parallel for num_threads(4)
+  for (int i = 0; i < kIters; ++i) {
+    faa(value, std::int64_t{1});
+  }
+  EXPECT_EQ(value, kIters);
+}
+
+TEST(Atomics, FaaReturnsPreviousValue) {
+  int x = 5;
+  EXPECT_EQ(faa(x, 3), 5);
+  EXPECT_EQ(x, 8);
+}
+
+TEST(Atomics, CasSucceedsAndFails) {
+  int x = 10;
+  int expected = 10;
+  EXPECT_TRUE(cas(x, expected, 20));
+  EXPECT_EQ(x, 20);
+  expected = 10;  // stale
+  EXPECT_FALSE(cas(x, expected, 30));
+  EXPECT_EQ(expected, 20);  // updated with the observed value
+  EXPECT_EQ(x, 20);
+}
+
+TEST(Atomics, AtomicMinConvergesToMinimum) {
+  float value = 1e30f;
+  std::vector<float> inputs;
+  for (int i = 0; i < 1000; ++i) inputs.push_back(static_cast<float>(1000 - i));
+#pragma omp parallel for num_threads(4)
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    atomic_min(value, inputs[i]);
+  }
+  EXPECT_EQ(value, 1.0f);
+}
+
+TEST(Atomics, AtomicMinReportsWinner) {
+  int value = 10;
+  EXPECT_TRUE(atomic_min(value, 5));
+  EXPECT_FALSE(atomic_min(value, 7));
+  EXPECT_EQ(value, 5);
+}
+
+TEST(Atomics, FloatAtomicAddIsExactOnInts) {
+  double value = 0.0;
+  constexpr int kIters = 40000;
+#pragma omp parallel for num_threads(4)
+  for (int i = 0; i < kIters; ++i) {
+    atomic_add(value, 1.0);  // integers ≤ 2^53 add exactly in double
+  }
+  EXPECT_EQ(value, static_cast<double>(kIters));
+}
+
+TEST(Atomics, LoadStoreRoundTrip) {
+  double x = 0.0;
+  atomic_store(x, 3.25);
+  EXPECT_EQ(atomic_load(x), 3.25);
+}
+
+TEST(Barrier, SynchronizesPhases) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 100;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> threads;
+  std::atomic<bool> ok{true};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        counter.fetch_add(1);
+        barrier.arrive_and_wait();
+        // After the barrier every thread of round r has incremented.
+        if (counter.load() < (r + 1) * kThreads) ok = false;
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(counter.load(), kThreads * kRounds);
+}
+
+TEST(Barrier, SingleParticipantNeverBlocks) {
+  SpinBarrier barrier(1);
+  for (int i = 0; i < 10; ++i) barrier.arrive_and_wait();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace pushpull

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <thread>
+
+#include "util/padded.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace pushpull {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(10));
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);  // mean of U[0,1)
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.next_bool(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(9);
+  Rng b = a.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(SplitMix64, KnownFirstOutputsDiffer) {
+  SplitMix64 sm(0);
+  const std::uint64_t x0 = sm.next();
+  const std::uint64_t x1 = sm.next();
+  EXPECT_NE(x0, x1);
+}
+
+TEST(Timer, ElapsedIsMonotone) {
+  WallTimer t;
+  const double a = t.elapsed_s();
+  const double b = t.elapsed_s();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+TEST(Timer, PhaseTimerAccumulates) {
+  PhaseTimer p;
+  p.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  p.stop();
+  const double first = p.total_s();
+  EXPECT_GT(first, 0.0);
+  p.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  p.stop();
+  EXPECT_GT(p.total_s(), first);
+  p.reset();
+  EXPECT_EQ(p.total_s(), 0.0);
+}
+
+TEST(Timer, ScopedPhaseAddsTime) {
+  PhaseTimer p;
+  { ScopedPhase scope(p); }
+  EXPECT_GE(p.total_s(), 0.0);
+}
+
+TEST(Padded, ElementsOnDistinctCacheLines) {
+  std::vector<Padded<int>> v(4);
+  const auto a = reinterpret_cast<std::uintptr_t>(&v[0].value);
+  const auto b = reinterpret_cast<std::uintptr_t>(&v[1].value);
+  EXPECT_GE(b - a, kCacheLineBytes);
+  EXPECT_EQ(a % kCacheLineBytes, 0u);
+}
+
+TEST(Table, AlignsColumnsAndFormats) {
+  Table t({"Graph", "Time"});
+  t.add_row({"orc", Table::num(1.5, 1)});
+  t.add_row({"livejournal", Table::num(10.25, 2)});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Graph"), std::string::npos);
+  EXPECT_NE(s.find("livejournal"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("10.25"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, CountInsertsThousandsSeparators) {
+  EXPECT_EQ(Table::count(0), "0");
+  EXPECT_EQ(Table::count(999), "999");
+  EXPECT_EQ(Table::count(1000), "1,000");
+  EXPECT_EQ(Table::count(1234567), "1,234,567");
+  EXPECT_EQ(Table::count(1000000000ull), "1,000,000,000");
+}
+
+}  // namespace
+}  // namespace pushpull
