@@ -1,0 +1,376 @@
+// In-process emulation of an MPI-like distributed-memory runtime (§3.8, §6).
+//
+// The paper's distributed experiments compare three communication styles on
+// top of a 1D vertex partition: one-sided *pushing* (MPI_Accumulate / FAA),
+// one-sided *pulling* (MPI_Get), and two-sided *message passing* with
+// per-destination combining. This module reproduces those tradeoffs on a
+// single machine (DESIGN.md §3): every rank is a plain std::thread, windows
+// are shared arrays with atomic element access, and each rank's communication
+// is *counted* per operation. Reported "communication time" is the CommCosts
+// model applied to those counters, not wall time — the container has 1-2
+// cores, so wall time of oversubscribed threads would measure the scheduler,
+// not the algorithm.
+//
+// The cost model encodes the paper's central asymmetry: a floating-point
+// MPI_Accumulate runs a lock-protocol (remote lock, get, add, put, unlock —
+// §4.1), while an integer fetch-and-add maps to the NIC/hardware fast path
+// (§4.2); messages pay a fixed injection/matching overhead plus bandwidth.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "graph/partition.hpp"
+#include "sync/atomics.hpp"
+#include "util/check.hpp"
+
+namespace pushpull::dist {
+
+// Which communication style a distributed kernel uses (§3.8).
+enum class DistVariant {
+  PushRma,     // one-sided writes into remote windows (accumulate / FAA)
+  PullRma,     // one-sided reads of remote windows (get)
+  MsgPassing,  // two-sided, contributions combined per destination rank
+};
+
+inline const char* to_string(DistVariant v) {
+  switch (v) {
+    case DistVariant::PushRma: return "push-rma";
+    case DistVariant::PullRma: return "pull-rma";
+    case DistVariant::MsgPassing: return "msg-passing";
+  }
+  return "unknown";
+}
+
+// Per-operation costs in microseconds. Calibrated to the relative magnitudes
+// the paper reports for a Cray Aries interconnect (§6): the float-accumulate
+// lock protocol is an order of magnitude above the integer FAA fast path, and
+// a matched two-sided message costs far more than any single RMA op.
+struct CommCosts {
+  double us_per_msg = 10.0;    // two-sided injection + matching overhead
+  double us_per_byte = 0.005;  // ~200 MB/s effective payload bandwidth
+  double us_per_put = 0.5;     // MPI_Put
+  double us_per_get = 0.8;     // MPI_Get round trip
+  double us_per_acc = 3.0;     // MPI_Accumulate on floats: lock protocol (§4.1)
+  double us_per_faa = 0.3;     // integer fetch-and-add fast path (§4.2)
+  double us_per_barrier = 5.0; // dissemination barrier
+};
+
+// Communication counters for one rank. Local window accesses are tracked
+// separately from remote ones and carry no modeled cost: only operations that
+// would cross the network are charged.
+struct RankStats {
+  std::uint64_t barriers = 0;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t rma_puts = 0;
+  std::uint64_t rma_gets = 0;
+  std::uint64_t rma_accs = 0;
+  std::uint64_t rma_faas = 0;
+  std::uint64_t local_puts = 0;
+  std::uint64_t local_gets = 0;
+  std::uint64_t local_accs = 0;
+  std::uint64_t local_faas = 0;
+  // Compute proxy filled by the distributed kernels: edges (PR) or neighbor
+  // pairs (TC) processed by this rank.
+  std::uint64_t edge_ops = 0;
+
+  double modeled_comm_us(const CommCosts& c) const {
+    return static_cast<double>(msgs_sent) * c.us_per_msg +
+           static_cast<double>(bytes_sent) * c.us_per_byte +
+           static_cast<double>(rma_puts) * c.us_per_put +
+           static_cast<double>(rma_gets) * c.us_per_get +
+           static_cast<double>(rma_accs) * c.us_per_acc +
+           static_cast<double>(rma_faas) * c.us_per_faa +
+           static_cast<double>(barriers) * c.us_per_barrier;
+  }
+
+  RankStats& operator+=(const RankStats& o) {
+    barriers += o.barriers;
+    msgs_sent += o.msgs_sent;
+    bytes_sent += o.bytes_sent;
+    rma_puts += o.rma_puts;
+    rma_gets += o.rma_gets;
+    rma_accs += o.rma_accs;
+    rma_faas += o.rma_faas;
+    local_puts += o.local_puts;
+    local_gets += o.local_gets;
+    local_accs += o.local_accs;
+    local_faas += o.local_faas;
+    edge_ops += o.edge_ops;
+    return *this;
+  }
+};
+
+class Rank;
+
+// Spawns one thread per rank and hands each a Rank handle. The container is
+// heavily oversubscribed (more ranks than cores), so the internal barrier
+// sleeps on a condition variable instead of spinning.
+class World {
+ public:
+  explicit World(int nranks) : nranks_(nranks), stats_(static_cast<std::size_t>(nranks)) {
+    PP_CHECK(nranks >= 1);
+    inboxes_.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) inboxes_.push_back(std::make_unique<Inbox>());
+    red_slots_.resize(static_cast<std::size_t>(nranks), 0.0);
+    a2a_slots_.resize(static_cast<std::size_t>(nranks), nullptr);
+  }
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int nranks() const noexcept { return nranks_; }
+
+  // SPMD entry point: fn(Rank&) runs once on every rank, concurrently.
+  template <class F>
+  void run(F&& fn);
+
+  const RankStats& stats(int r) const {
+    PP_CHECK(r >= 0 && r < nranks_);
+    return stats_[static_cast<std::size_t>(r)];
+  }
+
+  RankStats total_stats() const {
+    RankStats t;
+    for (const RankStats& s : stats_) t += s;
+    return t;
+  }
+
+  double max_modeled_comm_us(const CommCosts& c) const {
+    double m = 0.0;
+    for (const RankStats& s : stats_) m = std::max(m, s.modeled_comm_us(c));
+    return m;
+  }
+
+  std::uint64_t max_edge_ops() const {
+    std::uint64_t m = 0;
+    for (const RankStats& s : stats_) m = std::max(m, s.edge_ops);
+    return m;
+  }
+
+ private:
+  friend class Rank;
+
+  struct Inbox {
+    std::mutex mu;
+    std::vector<std::byte> bytes;
+  };
+
+  // Internal barrier used both by Rank::barrier() (counted) and by the
+  // collectives (uncounted: their cost is modeled through msgs/bytes).
+  void barrier_wait() {
+    std::unique_lock<std::mutex> lk(bar_mu_);
+    const std::uint64_t phase = bar_phase_;
+    if (++bar_arrived_ == nranks_) {
+      bar_arrived_ = 0;
+      ++bar_phase_;
+      bar_cv_.notify_all();
+    } else {
+      bar_cv_.wait(lk, [&] { return bar_phase_ != phase; });
+    }
+  }
+
+  int nranks_;
+  std::vector<RankStats> stats_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+
+  std::mutex bar_mu_;
+  std::condition_variable bar_cv_;
+  int bar_arrived_ = 0;
+  std::uint64_t bar_phase_ = 0;
+
+  // Scratch for allreduce / alltoallv; protected by the barrier protocol.
+  std::vector<double> red_slots_;
+  std::vector<const void*> a2a_slots_;
+};
+
+// A rank's handle to the world: identity, synchronization, collectives, and
+// two-sided messaging. All methods are called from the rank's own thread.
+class Rank {
+ public:
+  Rank(World& world, int id)
+      : world_(&world), id_(id), stats_(&world.stats_[static_cast<std::size_t>(id)]) {}
+
+  int id() const noexcept { return id_; }
+  int nranks() const noexcept { return world_->nranks_; }
+  RankStats& stats() noexcept { return *stats_; }
+
+  void barrier() {
+    ++stats_->barriers;
+    world_->barrier_wait();
+  }
+
+  // Sum-allreduce over all ranks. Modeled as one message per rank (the
+  // reduction tree's injection); free when the world has a single rank.
+  // Restricted to floating-point: the reduction scratch is double, which
+  // would silently round integer contributions above 2^53.
+  template <class T>
+  T allreduce_sum(T v) {
+    static_assert(std::is_floating_point_v<T>);
+    world_->red_slots_[static_cast<std::size_t>(id_)] = static_cast<double>(v);
+    world_->barrier_wait();
+    double sum = 0.0;
+    for (double s : world_->red_slots_) sum += s;
+    world_->barrier_wait();  // slots must not be overwritten until all ranks read
+    if (world_->nranks_ > 1) {
+      ++stats_->msgs_sent;
+      stats_->bytes_sent += sizeof(T);
+    }
+    return static_cast<T>(sum);
+  }
+
+  // Personalized all-to-all: out[d] is this rank's payload for destination d.
+  // Returns the concatenation of every source's payload for this rank. Only
+  // non-empty lanes to *other* ranks count as sent messages.
+  template <class T>
+  std::vector<T> alltoallv(const std::vector<std::vector<T>>& out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PP_CHECK(static_cast<int>(out.size()) == world_->nranks_);
+    for (int d = 0; d < world_->nranks_; ++d) {
+      const auto& lane = out[static_cast<std::size_t>(d)];
+      if (d != id_ && !lane.empty()) {
+        ++stats_->msgs_sent;
+        stats_->bytes_sent += lane.size() * sizeof(T);
+      }
+    }
+    world_->a2a_slots_[static_cast<std::size_t>(id_)] = &out;
+    world_->barrier_wait();
+    std::vector<T> in;
+    for (int s = 0; s < world_->nranks_; ++s) {
+      const auto* src = static_cast<const std::vector<std::vector<T>>*>(
+          world_->a2a_slots_[static_cast<std::size_t>(s)]);
+      const auto& lane = (*src)[static_cast<std::size_t>(id_)];
+      in.insert(in.end(), lane.begin(), lane.end());
+    }
+    world_->barrier_wait();  // every rank done reading before `out` buffers die
+    return in;
+  }
+
+  // Two-sided send: `count` elements are delivered into dest's inbox
+  // immediately (eager protocol); the receiver picks them up with drain<T>().
+  template <class T>
+  void send(int dest, const T* data, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PP_CHECK(dest >= 0 && dest < world_->nranks_);
+    const std::size_t nbytes = count * sizeof(T);
+    auto& inbox = *world_->inboxes_[static_cast<std::size_t>(dest)];
+    {
+      std::lock_guard<std::mutex> lk(inbox.mu);
+      const std::size_t off = inbox.bytes.size();
+      inbox.bytes.resize(off + nbytes);
+      std::memcpy(inbox.bytes.data() + off, data, nbytes);
+    }
+    // Self-sends stay in memory; only network-crossing traffic is charged.
+    if (dest != id_) {
+      ++stats_->msgs_sent;
+      stats_->bytes_sent += nbytes;
+    }
+  }
+
+  // Empties this rank's inbox, reinterpreting the accumulated bytes as T.
+  // Callers are responsible (via barriers) for ensuring all in-flight sends
+  // of this phase have landed and that one phase never mixes element types.
+  template <class T>
+  std::vector<T> drain() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto& inbox = *world_->inboxes_[static_cast<std::size_t>(id_)];
+    std::lock_guard<std::mutex> lk(inbox.mu);
+    PP_CHECK(inbox.bytes.size() % sizeof(T) == 0);
+    std::vector<T> out(inbox.bytes.size() / sizeof(T));
+    std::memcpy(out.data(), inbox.bytes.data(), inbox.bytes.size());
+    inbox.bytes.clear();
+    return out;
+  }
+
+ private:
+  World* world_;
+  int id_;
+  RankStats* stats_;
+};
+
+template <class F>
+void World::run(F&& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([this, r, &fn] {
+      Rank rank(*this, r);
+      fn(rank);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+// A one-sided window: element i lives on the rank that owns i under the same
+// 1D block partition the kernels use. Accesses go through a Rank handle so
+// local and remote operations are attributed to the caller's counters; all
+// element accesses are atomic, and accumulate/faa are atomic read-modify-write
+// so concurrent remote updates from many ranks are safe.
+template <class T>
+class Window {
+ public:
+  Window(std::size_t n, int nranks)
+      : data_(n, T{}), part_(static_cast<vid_t>(n), nranks) {
+    PP_CHECK(nranks >= 1);
+  }
+
+  int owner(std::size_t i) const noexcept {
+    return part_.owner(static_cast<vid_t>(i));
+  }
+
+  void put(Rank& rank, std::size_t i, T value) {
+    PP_DCHECK(i < data_.size());
+    count(rank, i, rank.stats().local_puts, rank.stats().rma_puts);
+    atomic_store(data_[i], value);
+  }
+
+  T get(Rank& rank, std::size_t i) {
+    PP_DCHECK(i < data_.size());
+    count(rank, i, rank.stats().local_gets, rank.stats().rma_gets);
+    return atomic_load(data_[i]);
+  }
+
+  // MPI_Accumulate(SUM). For floating-point T this is the CAS-loop lock
+  // protocol the cost model charges heavily; for integers it is a plain
+  // atomic add.
+  void accumulate(Rank& rank, std::size_t i, T value) {
+    PP_DCHECK(i < data_.size());
+    count(rank, i, rank.stats().local_accs, rank.stats().rma_accs);
+    if constexpr (std::is_floating_point_v<T>) {
+      atomic_add(data_[i], value);
+    } else {
+      pushpull::faa(data_[i], value);
+    }
+  }
+
+  // Integer fetch-and-add (MPI_Fetch_and_op): the hardware fast path.
+  T faa(Rank& rank, std::size_t i, T value)
+    requires std::is_integral_v<T>
+  {
+    PP_DCHECK(i < data_.size());
+    count(rank, i, rank.stats().local_faas, rank.stats().rma_faas);
+    return pushpull::faa(data_[i], value);
+  }
+
+  std::vector<T>& raw() noexcept { return data_; }
+  const std::vector<T>& raw() const noexcept { return data_; }
+  const Partition1D& partition() const noexcept { return part_; }
+
+ private:
+  void count(Rank& rank, std::size_t i, std::uint64_t& local, std::uint64_t& remote) const {
+    (owner(i) == rank.id() ? local : remote) += 1;
+  }
+
+  std::vector<T> data_;
+  Partition1D part_;
+};
+
+}  // namespace pushpull::dist

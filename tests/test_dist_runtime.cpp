@@ -1,0 +1,133 @@
+// Edge cases of the emulated distributed runtime beyond test_dist.cpp's
+// contract: single-rank degenerate collectives, empty alltoallv lanes, empty
+// inbox drains, window ownership boundaries, and collective-scratch reuse.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/pr_dist.hpp"
+#include "dist/runtime.hpp"
+#include "dist/tc_dist.hpp"
+#include "graph/generators.hpp"
+
+namespace pushpull::dist {
+namespace {
+
+TEST(RuntimeEdge, SingleRankDegeneratePaths) {
+  World world(1);
+  world.run([](Rank& rank) {
+    EXPECT_EQ(rank.id(), 0);
+    EXPECT_EQ(rank.nranks(), 1);
+    rank.barrier();
+    // Allreduce over one rank is the identity and crosses no network.
+    EXPECT_EQ(rank.allreduce_sum(3.5), 3.5);
+    // Alltoallv with one rank just hands the self-lane back.
+    std::vector<std::vector<int>> out(1);
+    out[0] = {1, 2, 3};
+    EXPECT_EQ(rank.alltoallv(out), (std::vector<int>{1, 2, 3}));
+  });
+  EXPECT_EQ(world.stats(0).barriers, 1u);
+  EXPECT_EQ(world.stats(0).msgs_sent, 0u);
+  EXPECT_EQ(world.stats(0).bytes_sent, 0u);
+}
+
+TEST(RuntimeEdge, EmptyAlltoallvLanesSendNothing) {
+  constexpr int kRanks = 3;
+  World world(kRanks);
+  world.run([](Rank& rank) {
+    std::vector<std::vector<double>> out(kRanks);  // all lanes empty
+    EXPECT_TRUE(rank.alltoallv(out).empty());
+  });
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(world.stats(r).msgs_sent, 0u);
+    EXPECT_EQ(world.stats(r).bytes_sent, 0u);
+  }
+}
+
+TEST(RuntimeEdge, DrainOnEmptyInboxReturnsEmpty) {
+  World world(2);
+  world.run([](Rank& rank) {
+    EXPECT_TRUE(rank.template drain<std::int64_t>().empty());
+    // Draining twice is also fine: the inbox stays empty.
+    EXPECT_TRUE(rank.template drain<std::int64_t>().empty());
+  });
+}
+
+TEST(RuntimeEdge, AllreduceScratchIsReusableAcrossRounds) {
+  constexpr int kRanks = 4;
+  World world(kRanks);
+  std::vector<double> second(kRanks);
+  world.run([&](Rank& rank) {
+    const double first = rank.allreduce_sum(1.0);
+    second[static_cast<std::size_t>(rank.id())] = rank.allreduce_sum(first);
+  });
+  // Round 1 sums to 4 on every rank; round 2 sums four 4s to 16.
+  for (double s : second) EXPECT_EQ(s, 16.0);
+}
+
+TEST(RuntimeEdge, SelfSendIsDeliveredToOwnInbox) {
+  World world(2);
+  world.run([](Rank& rank) {
+    const int payload[2] = {rank.id(), rank.id() + 10};
+    rank.send(rank.id(), payload, 2);
+    const auto in = rank.template drain<int>();
+    ASSERT_EQ(in.size(), 2u);
+    EXPECT_EQ(in[0], rank.id());
+    EXPECT_EQ(in[1], rank.id() + 10);
+  });
+}
+
+TEST(WindowEdge, SingleRankOwnsEverythingAllOpsLocal) {
+  World world(1);
+  Window<std::int64_t> win(8, 1);
+  world.run([&](Rank& rank) {
+    win.put(rank, 0, std::int64_t{5});
+    win.accumulate(rank, 0, std::int64_t{2});
+    EXPECT_EQ(win.faa(rank, 0, std::int64_t{1}), 7);
+    EXPECT_EQ(win.get(rank, 0), 8);
+  });
+  const RankStats& s = world.stats(0);
+  EXPECT_EQ(s.rma_puts + s.rma_gets + s.rma_accs + s.rma_faas, 0u);
+  EXPECT_EQ(s.local_puts, 1u);
+  EXPECT_EQ(s.local_accs, 1u);
+  EXPECT_EQ(s.local_faas, 1u);
+  EXPECT_EQ(s.local_gets, 1u);
+}
+
+TEST(WindowEdge, OwnershipBoundariesMatchBlockPartition) {
+  // 10 elements over 3 ranks: chunk = ceil(10/3) = 4 → [0,4) [4,8) [8,10).
+  Window<double> win(10, 3);
+  EXPECT_EQ(win.owner(0), 0);
+  EXPECT_EQ(win.owner(3), 0);
+  EXPECT_EQ(win.owner(4), 1);
+  EXPECT_EQ(win.owner(7), 1);
+  EXPECT_EQ(win.owner(8), 2);
+  EXPECT_EQ(win.owner(9), 2);
+}
+
+TEST(DistEdge, MoreRanksThanNonEmptyPartsStillCorrect) {
+  // 12 vertices over 7 ranks leaves trailing ranks with empty slices; both
+  // kernels must run those ranks through every collective without deadlock.
+  Csr g = make_undirected(12, cycle_edges(12));
+  const auto pr = pagerank_dist(g, 7, 3, 0.85, DistVariant::MsgPassing);
+  double sum = 0.0;
+  for (double p : pr.pr) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+
+  DistTcOptions opt;
+  opt.variant = DistVariant::MsgPassing;
+  opt.mp_buffer_entries = 1;  // flush on every entry
+  const auto tc = triangle_count_dist(g, 7, opt);
+  for (std::int64_t c : tc.tc) EXPECT_EQ(c, 0);  // a 12-cycle has no triangles
+}
+
+TEST(DistEdge, ZeroIterationPagerankReturnsUniformVector) {
+  Csr g = make_undirected(8, cycle_edges(8));
+  const auto res = pagerank_dist(g, 2, 0, 0.85, DistVariant::PushRma);
+  for (double p : res.pr) EXPECT_EQ(p, 1.0 / 8);
+  EXPECT_EQ(res.total.rma_accs, 0u);
+}
+
+}  // namespace
+}  // namespace pushpull::dist

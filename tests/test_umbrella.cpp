@@ -1,0 +1,45 @@
+// Compile-and-link test for the umbrella header: src/pushpull.hpp advertises
+// the complete public API (including the dist/ headers that once did not
+// exist), so this TU guards against the umbrella silently rotting when a
+// module is added, moved, or removed.
+#include "pushpull.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pushpull {
+namespace {
+
+TEST(Umbrella, PublicApiCompilesAndLinks) {
+  // One symbol per layer, so a dropped library source shows up as a link
+  // error here even if no dedicated test includes it.
+  Csr g = make_undirected(16, cycle_edges(16));
+  EXPECT_EQ(g.n(), 16);
+  EXPECT_EQ(g.num_arcs(), 32);
+
+  PageRankOptions opt;
+  opt.iterations = 2;
+  const auto pr = pagerank_seq(g, opt);
+  EXPECT_EQ(pr.size(), 16u);
+
+  const auto tc = triangle_count_fast(g);
+  EXPECT_EQ(total_triangles(tc), 0);
+}
+
+TEST(Umbrella, DistributedLayerIsReachable) {
+  dist::World world(2);
+  world.run([](dist::Rank& rank) { rank.barrier(); });
+  EXPECT_EQ(world.stats(0).barriers, 1u);
+  EXPECT_EQ(world.stats(1).barriers, 1u);
+
+  Csr g = make_undirected(32, cycle_edges(32));
+  const auto res = dist::pagerank_dist(g, 2, 1, 0.85, dist::DistVariant::MsgPassing);
+  EXPECT_EQ(res.pr.size(), 32u);
+
+  dist::DistTcOptions tc_opt;
+  tc_opt.variant = dist::DistVariant::PullRma;
+  const auto tc = dist::triangle_count_dist(g, 2, tc_opt);
+  EXPECT_EQ(tc.tc.size(), 32u);
+}
+
+}  // namespace
+}  // namespace pushpull
