@@ -65,6 +65,15 @@ class DenseFrontier {
 
   void clear() { std::fill(bits_.begin(), bits_.end(), std::uint8_t{0}); }
 
+  // Clears only [begin, end): lets a partitioned owner (a thread or an
+  // emulated rank) reset its own slice while other owners rebuild theirs
+  // concurrently. Used by the rank-granular frontier in dist/frontier_dist.hpp.
+  void clear_range(vid_t begin, vid_t end) {
+    PP_DCHECK(begin >= 0 && begin <= end &&
+              static_cast<std::size_t>(end) <= bits_.size());
+    std::fill(bits_.begin() + begin, bits_.begin() + end, std::uint8_t{0});
+  }
+
   void set(vid_t v) noexcept { bits_[static_cast<std::size_t>(v)] = 1; }
   bool test(vid_t v) const noexcept { return bits_[static_cast<std::size_t>(v)] != 0; }
 

@@ -38,14 +38,21 @@ struct DeltaSteppingResult {
   std::vector<double> epoch_times;  // wall seconds per bucket epoch
 };
 
-namespace detail {
-
-inline constexpr weight_t kInf = std::numeric_limits<weight_t>::infinity();
+// Δ-bucket arithmetic, public so the distributed Δ-stepping kernel
+// (dist/sssp_dist.hpp) reuses exactly the same mapping instead of copying it:
+// any divergence here would silently break the dist-vs-core equality tests.
+inline constexpr weight_t kInfWeight = std::numeric_limits<weight_t>::infinity();
 
 inline std::int64_t bucket_of(weight_t d, weight_t delta) noexcept {
-  return d == kInf ? std::numeric_limits<std::int64_t>::max()
-                   : static_cast<std::int64_t>(d / delta);
+  return d == kInfWeight ? std::numeric_limits<std::int64_t>::max()
+                         : static_cast<std::int64_t>(d / delta);
 }
+
+namespace detail {
+
+inline constexpr weight_t kInf = kInfWeight;
+
+using pushpull::bucket_of;
 
 // Smallest bucket index > b over all vertices; max() if none.
 inline std::int64_t next_bucket(const std::vector<weight_t>& d, weight_t delta,

@@ -1,0 +1,295 @@
+// Distributed-memory Betweenness Centrality over the emulated runtime
+// (§3.8, §4.5, Figure 3) — rank-parallel Brandes.
+//
+// Per source: a level-synchronous forward BFS computes shortest-path counts
+// σ (frontier managed by DistFrontier), then a backward sweep over the
+// recorded levels accumulates dependencies δ. Both phases exist in all three
+// communication styles, and the paper's §4.5 asymmetry is visible in the
+// counters: the forward push accumulates *integer* σ with the FAA fast path,
+// while the backward push accumulates *float* dependency shares through the
+// lock-protocol accumulate.
+//
+//   Pushing-RMA  — forward: frontier edges FAA σ contributions into a
+//                  staging window; owners claim any vertex with a non-zero
+//                  stage (so no separate claim op is needed). backward:
+//                  deeper-level vertices blindly accumulate their coefficient
+//                  (1+δ_w)/σ_w into every in-neighbor's staging slot (float
+//                  acc); owners apply σ_v · stage to exactly the vertices one
+//                  level up.
+//   Pulling-RMA  — forward: unvisited owned vertices read remote (level, σ)
+//                  pairs; backward: level-l vertices read remote (level,
+//                  coefficient) pairs. Counted gets, owner-local writes.
+//   Msg-Passing  — both phases combine contributions per destination vertex
+//                  (sum) and exchange one alltoallv lane per destination
+//                  rank.
+//
+// Results match the shared-memory betweenness_centrality to 1e-9 (float
+// accumulation order differs across rank counts). Sources semantics mirror
+// core/bc.hpp: empty = all vertices, and the final halving applies exactly
+// when all vertices are sources (undirected double-counting).
+//
+// For directed graphs pass the transposed in-CSR as `in` (forward pull and
+// the backward push/combine walk in-neighbors); default `in = &g` is correct
+// for symmetric graphs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "dist/frontier_dist.hpp"
+#include "dist/runtime.hpp"
+#include "graph/csr.hpp"
+#include "graph/partition.hpp"
+#include "util/check.hpp"
+
+namespace pushpull::dist {
+
+struct BcDistOptions {
+  DistVariant variant = DistVariant::MsgPassing;
+  // Sources to process; empty = all vertices (exact BC, halved like core).
+  std::vector<vid_t> sources;
+  CommCosts costs{};
+};
+
+struct BcDistResult {
+  std::vector<double> bc;
+  RankStats total;
+  double max_comm_us = 0.0;
+  std::uint64_t max_rank_edge_ops = 0;
+};
+
+inline BcDistResult betweenness_centrality_dist(const Csr& g, int nranks,
+                                                const BcDistOptions& opt = {},
+                                                const Csr* in = nullptr) {
+  const Csr& gin = in ? *in : g;
+  const vid_t n = g.n();
+  PP_CHECK(nranks >= 1);
+  BcDistResult res;
+  res.bc.assign(static_cast<std::size_t>(n), 0.0);
+  if (n == 0) return res;
+  PP_CHECK(gin.n() == n);
+
+  std::vector<vid_t> sources = opt.sources;
+  if (sources.empty()) {
+    sources.resize(static_cast<std::size_t>(n));
+    for (vid_t v = 0; v < n; ++v) sources[static_cast<std::size_t>(v)] = v;
+  }
+
+  World world(nranks);
+  const Partition1D part(n, nranks);
+  DistFrontier frontier(g, part, nranks);
+  Window<vid_t> lvl(static_cast<std::size_t>(n), nranks);      // BFS level
+  Window<std::int64_t> sigma(static_cast<std::size_t>(n), nranks);
+  Window<std::int64_t> sigma_next(static_cast<std::size_t>(n), nranks);
+  Window<double> coef(static_cast<std::size_t>(n), nranks);    // (1+δ)/σ
+  Window<double> dep(static_cast<std::size_t>(n), nranks);     // backward stage
+  std::vector<double> delta(static_cast<std::size_t>(n), 0.0);  // owner-local
+
+  world.run([&](Rank& rank) {
+    const int me = rank.id();
+    const vid_t vbeg = part.begin(me);
+    const vid_t vend = part.end(me);
+    auto& L = lvl.raw();
+    auto& S = sigma.raw();
+    auto& SN = sigma_next.raw();
+    auto& C = coef.raw();
+    auto& D = dep.raw();
+    CombiningBuffers<std::int64_t> fwd_lanes(part, nranks);  // σ contributions
+    CombiningBuffers<double> bwd_lanes(part, nranks);        // δ coefficients
+    std::vector<std::vector<vid_t>> levels;  // owned frontier per level
+    const auto sum_i64 = [](std::int64_t& a, std::int64_t b) { a += b; };
+    const auto sum_f64 = [](double& a, double b) { a += b; };
+
+    for (vid_t s : sources) {
+      PP_CHECK(s >= 0 && s < n);
+      // All remote reads of the previous source's state are done before any
+      // owner resets its slice.
+      rank.barrier();
+      for (vid_t v = vbeg; v < vend; ++v) {
+        const auto i = static_cast<std::size_t>(v);
+        L[i] = -1;
+        S[i] = 0;
+        SN[i] = 0;
+        C[i] = 0.0;
+        D[i] = 0.0;
+        delta[i] = 0.0;
+      }
+      const bool own_src = part.owner(s) == me;
+      if (own_src) {
+        L[static_cast<std::size_t>(s)] = 0;
+        S[static_cast<std::size_t>(s)] = 1;
+      }
+      levels.clear();
+      frontier.advance(rank, own_src ? std::vector<vid_t>{s}
+                                     : std::vector<vid_t>{});
+
+      // ----- Forward phase: level-synchronous σ-counting BFS ---------------
+      vid_t level = 0;
+      while (!frontier.globally_empty(rank)) {
+        levels.push_back(frontier.owned(rank));
+        ++level;
+        std::vector<vid_t> next;
+        // Claims any owned vertex whose σ stage is non-zero: contributions
+        // only ever target the next level, so a non-zero stage on an
+        // unvisited vertex *is* the claim, and stages on visited vertices
+        // are stale and discarded.
+        const auto finalize = [&] {
+          for (vid_t v = vbeg; v < vend; ++v) {
+            const auto i = static_cast<std::size_t>(v);
+            if (SN[i] == 0) continue;
+            if (L[i] == -1) {
+              L[i] = level;
+              S[i] = SN[i];
+              next.push_back(v);
+            }
+            SN[i] = 0;
+          }
+        };
+
+        switch (opt.variant) {
+          case DistVariant::PushRma: {
+            for (vid_t v : frontier.owned(rank)) {
+              const std::int64_t sv = S[static_cast<std::size_t>(v)];
+              for (vid_t u : g.neighbors(v)) {
+                ++rank.stats().edge_ops;
+                sigma_next.faa(rank, static_cast<std::size_t>(u), sv);
+              }
+            }
+            rank.barrier();  // all σ FAAs landed
+            finalize();
+            break;
+          }
+          case DistVariant::PullRma: {
+            for (vid_t v = vbeg; v < vend; ++v) {
+              if (L[static_cast<std::size_t>(v)] != -1) continue;
+              std::int64_t paths = 0;
+              for (vid_t u : gin.neighbors(v)) {
+                ++rank.stats().edge_ops;
+                if (lvl.get(rank, static_cast<std::size_t>(u)) == level - 1) {
+                  paths += sigma.get(rank, static_cast<std::size_t>(u));
+                }
+              }
+              if (paths > 0) {
+                // Atomic (counted local) puts: other ranks concurrently probe
+                // these slots with one-sided gets.
+                lvl.put(rank, static_cast<std::size_t>(v), level);
+                sigma.put(rank, static_cast<std::size_t>(v), paths);
+                next.push_back(v);
+              }
+            }
+            break;
+          }
+          case DistVariant::MsgPassing: {
+            for (vid_t v : frontier.owned(rank)) {
+              const std::int64_t sv = S[static_cast<std::size_t>(v)];
+              for (vid_t u : g.neighbors(v)) {
+                ++rank.stats().edge_ops;
+                if (part.owner(u) == me) {
+                  SN[static_cast<std::size_t>(u)] += sv;
+                } else {
+                  fwd_lanes.stage(u, sv, sum_i64);
+                }
+              }
+            }
+            for (const auto& e : fwd_lanes.exchange(rank)) {
+              SN[static_cast<std::size_t>(e.v)] += e.val;
+            }
+            finalize();
+            break;
+          }
+        }
+        frontier.advance(rank, std::move(next));
+      }
+
+      // ----- Backward phase: dependency accumulation over the levels -------
+      for (int l = static_cast<int>(levels.size()) - 2; l >= 0; --l) {
+        const auto& here = levels[static_cast<std::size_t>(l)];
+        const auto& deeper = levels[static_cast<std::size_t>(l) + 1];
+        // Publish the deeper level's coefficients and zero the staging slice
+        // before any rank starts pushing into it.
+        for (vid_t w : deeper) {
+          const auto i = static_cast<std::size_t>(w);
+          C[i] = (1.0 + delta[i]) / static_cast<double>(S[i]);
+        }
+        if (opt.variant != DistVariant::PullRma) {
+          for (vid_t v : here) D[static_cast<std::size_t>(v)] = 0.0;
+        }
+        rank.barrier();
+
+        switch (opt.variant) {
+          case DistVariant::PushRma: {
+            for (vid_t w : deeper) {
+              const double cw = C[static_cast<std::size_t>(w)];
+              for (vid_t v : gin.neighbors(w)) {
+                ++rank.stats().edge_ops;
+                // Blind float accumulate (§4.1 lock protocol): the pusher
+                // cannot test the target's level remotely; owners discard
+                // stages outside level l.
+                dep.accumulate(rank, static_cast<std::size_t>(v), cw);
+              }
+            }
+            rank.barrier();  // all dependency shares landed
+            for (vid_t v : here) {
+              const auto i = static_cast<std::size_t>(v);
+              delta[i] += static_cast<double>(S[i]) * D[i];
+            }
+            break;
+          }
+          case DistVariant::PullRma: {
+            for (vid_t v : here) {
+              const auto i = static_cast<std::size_t>(v);
+              double acc = 0.0;
+              for (vid_t w : g.neighbors(v)) {
+                ++rank.stats().edge_ops;
+                if (lvl.get(rank, static_cast<std::size_t>(w)) == l + 1) {
+                  acc += coef.get(rank, static_cast<std::size_t>(w));
+                }
+              }
+              delta[i] += static_cast<double>(S[i]) * acc;
+            }
+            break;
+          }
+          case DistVariant::MsgPassing: {
+            for (vid_t w : deeper) {
+              const double cw = C[static_cast<std::size_t>(w)];
+              for (vid_t v : gin.neighbors(w)) {
+                ++rank.stats().edge_ops;
+                if (part.owner(v) == me) {
+                  D[static_cast<std::size_t>(v)] += cw;
+                } else {
+                  bwd_lanes.stage(v, cw, sum_f64);
+                }
+              }
+            }
+            for (const auto& e : bwd_lanes.exchange(rank)) {
+              D[static_cast<std::size_t>(e.v)] += e.val;
+            }
+            for (vid_t v : here) {
+              const auto i = static_cast<std::size_t>(v);
+              delta[i] += static_cast<double>(S[i]) * D[i];
+            }
+            break;
+          }
+        }
+      }
+
+      for (vid_t v = vbeg; v < vend; ++v) {
+        if (v != s) res.bc[static_cast<std::size_t>(v)] += delta[static_cast<std::size_t>(v)];
+      }
+    }
+
+    // Undirected all-sources BC counts each (s, t) pair twice (core/bc.hpp
+    // convention, mirrored exactly).
+    if (sources.size() == static_cast<std::size_t>(n)) {
+      for (vid_t v = vbeg; v < vend; ++v) res.bc[static_cast<std::size_t>(v)] /= 2.0;
+    }
+  });
+
+  res.total = world.total_stats();
+  res.max_comm_us = world.max_modeled_comm_us(opt.costs);
+  res.max_rank_edge_ops = world.max_edge_ops();
+  return res;
+}
+
+}  // namespace pushpull::dist

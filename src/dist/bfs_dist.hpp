@@ -1,0 +1,202 @@
+// Distributed-memory BFS over the emulated runtime (§3.8, §4.3, Figure 3).
+//
+// Level-synchronous BFS on a 1D vertex partition, built on the distributed
+// frontier (dist/frontier_dist.hpp). Claims are packed (level, parent) int64
+// words resolved by MIN, which makes parents deterministic across variants
+// and rank counts: a vertex's parent is always its *minimum* frontier
+// neighbor at the previous level.
+//
+//   Pushing-RMA  — every frontier edge issues a blind MPI_Accumulate(MIN)
+//                  into the target's claim word: one lock-protocol remote op
+//                  per cut edge (the pusher cannot test "visited?" remotely
+//                  without paying a get).
+//   Pulling-RMA  — bottom-up rounds: every unvisited owned vertex probes its
+//                  in-neighbors against the dense frontier window; each probe
+//                  of a remote bit is a counted get, writes stay owner-local.
+//   Msg-Passing  — frontier edges whose target is remote are combined per
+//                  destination vertex (min parent) and shipped as one
+//                  alltoallv lane per destination rank; owners claim locally.
+//
+// With `direction_optimizing` set, sparse rounds use the variant's own
+// expansion and dense rounds always use the bitmap-probing pull expansion —
+// the Beamer switch driven by DistFrontier's allreduced counts. Levels and
+// distances are invariant under the switch.
+//
+// For directed graphs pass the transposed in-CSR as `in` (pull rounds scan
+// in-neighbors); by default `in = &g`, correct for symmetric graphs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "dist/frontier_dist.hpp"
+#include "dist/runtime.hpp"
+#include "graph/csr.hpp"
+#include "graph/partition.hpp"
+#include "util/check.hpp"
+
+namespace pushpull::dist {
+
+struct BfsDistOptions {
+  DistVariant variant = DistVariant::MsgPassing;
+  // Per-superstep sparse/dense switching. Meaningful for PushRma and
+  // MsgPassing; PullRma runs every round dense regardless.
+  bool direction_optimizing = false;
+  DistFrontier::Heuristic heuristic{};
+  CommCosts costs{};
+};
+
+struct BfsDistResult {
+  std::vector<vid_t> dist;    // hop distance; -1 = unreachable
+  std::vector<vid_t> parent;  // min-parent BFS tree; -1 = root/unreachable
+  int levels = 0;             // non-empty frontiers processed
+  std::vector<FrontierMode> level_modes;  // expansion mode per level
+  RankStats total;
+  double max_comm_us = 0.0;
+  std::uint64_t max_rank_edge_ops = 0;
+};
+
+namespace detail {
+
+// Unvisited claim word: larger than any packed (level, parent).
+inline constexpr std::int64_t kUnclaimed = std::numeric_limits<std::int64_t>::max();
+
+// Packs (level, parent) so that int64 MIN orders first by level, then by
+// parent id. parent = -1 (the root) packs as the largest parent value, which
+// is irrelevant: the root's claim is pre-installed at level 0.
+inline std::int64_t pack_claim(vid_t level, vid_t parent) noexcept {
+  return (static_cast<std::int64_t>(level) << 32) |
+         static_cast<std::int64_t>(static_cast<std::uint32_t>(parent));
+}
+inline vid_t claim_level(std::int64_t packed) noexcept {
+  return static_cast<vid_t>(packed >> 32);
+}
+inline vid_t claim_parent(std::int64_t packed) noexcept {
+  return static_cast<vid_t>(static_cast<std::int32_t>(packed & 0xffffffff));
+}
+
+}  // namespace detail
+
+inline BfsDistResult bfs_dist(const Csr& g, vid_t root, int nranks,
+                              const BfsDistOptions& opt = {},
+                              const Csr* in = nullptr) {
+  const Csr& gin = in ? *in : g;
+  const vid_t n = g.n();
+  PP_CHECK(n > 0 && nranks >= 1);
+  PP_CHECK(root >= 0 && root < n);
+  PP_CHECK(gin.n() == n);
+
+  World world(nranks);
+  const Partition1D part(n, nranks);
+  DistFrontier frontier(g, part, nranks, opt.heuristic);
+  Window<std::int64_t> claim(static_cast<std::size_t>(n), nranks);
+  std::fill(claim.raw().begin(), claim.raw().end(), detail::kUnclaimed);
+  claim.raw()[static_cast<std::size_t>(root)] =
+      detail::pack_claim(0, kInvalidVertex);
+
+  BfsDistResult res;
+  res.dist.assign(static_cast<std::size_t>(n), -1);
+  res.parent.assign(static_cast<std::size_t>(n), -1);
+
+  world.run([&](Rank& rank) {
+    const int me = rank.id();
+    const vid_t vbeg = part.begin(me);
+    const vid_t vend = part.end(me);
+    auto& craw = claim.raw();
+    CombiningBuffers<vid_t> lanes(part, nranks);  // payload: proposed parent
+
+    frontier.advance(rank, part.owner(root) == me ? std::vector<vid_t>{root}
+                                                  : std::vector<vid_t>{});
+    vid_t level = 0;
+    while (!frontier.globally_empty(rank)) {
+      ++level;
+      const bool dense =
+          opt.variant == DistVariant::PullRma ||
+          (opt.direction_optimizing &&
+           frontier.mode(rank) == FrontierMode::Dense);
+      if (me == 0) {
+        ++res.levels;
+        res.level_modes.push_back(dense ? FrontierMode::Dense
+                                        : FrontierMode::Sparse);
+      }
+      std::vector<vid_t> next;
+
+      if (dense) {
+        // Bottom-up: unvisited owned vertices scan their in-neighbors for a
+        // frontier member; the first hit in the sorted in-list is the minimum
+        // parent, matching the sparse variants' MIN-combined claims.
+        for (vid_t v = vbeg; v < vend; ++v) {
+          if (craw[static_cast<std::size_t>(v)] != detail::kUnclaimed) continue;
+          for (vid_t u : gin.neighbors(v)) {
+            ++rank.stats().edge_ops;
+            if (frontier.test(rank, u)) {
+              craw[static_cast<std::size_t>(v)] = detail::pack_claim(level, u);
+              next.push_back(v);
+              break;
+            }
+          }
+        }
+      } else if (opt.variant == DistVariant::PushRma) {
+        for (vid_t v : frontier.owned(rank)) {
+          const std::int64_t packed = detail::pack_claim(level, v);
+          for (vid_t u : g.neighbors(v)) {
+            ++rank.stats().edge_ops;
+            claim.accumulate_min(rank, static_cast<std::size_t>(u), packed);
+          }
+        }
+        rank.barrier();  // all remote claims landed
+        for (vid_t v = vbeg; v < vend; ++v) {
+          const std::int64_t c = craw[static_cast<std::size_t>(v)];
+          if (c != detail::kUnclaimed && detail::claim_level(c) == level) {
+            next.push_back(v);
+          }
+        }
+      } else {  // MsgPassing sparse round
+        const auto claim_min = [](vid_t& a, vid_t b) { a = std::min(a, b); };
+        for (vid_t v : frontier.owned(rank)) {
+          for (vid_t u : g.neighbors(v)) {
+            ++rank.stats().edge_ops;
+            if (part.owner(u) == me) {
+              std::int64_t& c = craw[static_cast<std::size_t>(u)];
+              if (c == detail::kUnclaimed) {
+                c = detail::pack_claim(level, v);
+                next.push_back(u);
+              } else if (detail::claim_level(c) == level) {
+                c = std::min(c, detail::pack_claim(level, v));
+              }
+            } else {
+              lanes.stage(u, v, claim_min);
+            }
+          }
+        }
+        for (const auto& e : lanes.exchange(rank)) {
+          std::int64_t& c = craw[static_cast<std::size_t>(e.v)];
+          if (c == detail::kUnclaimed) {
+            c = detail::pack_claim(level, e.val);
+            next.push_back(e.v);
+          } else if (detail::claim_level(c) == level) {
+            c = std::min(c, detail::pack_claim(level, e.val));
+          }
+        }
+      }
+      frontier.advance(rank, std::move(next));
+    }
+
+    // Owner publishes its slice of the result.
+    for (vid_t v = vbeg; v < vend; ++v) {
+      const std::int64_t c = craw[static_cast<std::size_t>(v)];
+      if (c == detail::kUnclaimed) continue;
+      res.dist[static_cast<std::size_t>(v)] = detail::claim_level(c);
+      res.parent[static_cast<std::size_t>(v)] = detail::claim_parent(c);
+    }
+  });
+
+  res.total = world.total_stats();
+  res.max_comm_us = world.max_modeled_comm_us(opt.costs);
+  res.max_rank_edge_ops = world.max_edge_ops();
+  return res;
+}
+
+}  // namespace pushpull::dist

@@ -1,0 +1,243 @@
+// Rank-partitioned frontier machinery for the distributed traversal kernels
+// (BFS, Δ-stepping SSSP, BC — §3.8, Figure 3).
+//
+// Mirrors the shared-memory frontier pair of core/frontier.hpp at rank
+// granularity:
+//
+//   CombiningBuffers<T>  — per-destination-rank sparse append lanes with
+//                          per-destination-*vertex* combining: the distributed
+//                          analog of Algorithm 3's per-thread `my_F` buffers,
+//                          fused with the message-combining optimization that
+//                          makes two-sided traversal traffic cheap. Each
+//                          destination vertex occupies exactly one entry per
+//                          superstep (duplicates merge via min / sum), and the
+//                          exchange ships one alltoallv lane per destination
+//                          rank — O(P) messages instead of O(cut edges).
+//   DenseFrontierWindow  — a byte-per-vertex membership window (the core
+//                          DenseFrontier bitmap behind a counted one-sided
+//                          interface) for pull-direction rounds: the owner
+//                          writes its slice locally, remote probes are counted
+//                          rma_gets.
+//   DistFrontier         — the frontier proper: a sorted owned vertex list per
+//                          rank, the dense window kept in sync, a global
+//                          emptiness/size test via allreduce_sum, and a
+//                          direction-optimization heuristic (the core
+//                          SwitchController) that flips sparse/dense per
+//                          superstep from the allreduced frontier size and
+//                          out-degree mass — the Beamer switch at rank
+//                          granularity.
+//
+// All DistFrontier operations marked *collective* must be called by every
+// rank of the world in the same order (with possibly empty local arguments);
+// they embed the barriers that make slice updates visible.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/direction.hpp"
+#include "core/frontier.hpp"
+#include "dist/runtime.hpp"
+#include "graph/csr.hpp"
+#include "graph/partition.hpp"
+#include "util/check.hpp"
+#include "util/padded.hpp"
+
+namespace pushpull::dist {
+
+// Sparse = iterate the frontier members (push/msg-passing expansion);
+// Dense = iterate the unvisited vertices and probe the membership window
+// (pull/bottom-up expansion).
+enum class FrontierMode { Sparse, Dense };
+
+inline const char* to_string(FrontierMode m) {
+  return m == FrontierMode::Sparse ? "sparse" : "dense";
+}
+
+// Per-destination-rank staging of (destination vertex, payload) entries with
+// per-destination-vertex combining. `slot_` maps a staged vertex to its lane
+// position (owner(v) fixes the lane), so re-staging the same vertex within a
+// superstep merges payloads instead of growing the message.
+template <class T>
+class CombiningBuffers {
+ public:
+  struct Entry {
+    vid_t v;
+    T val;
+  };
+  static_assert(std::is_trivially_copyable_v<T>);
+
+  CombiningBuffers(const Partition1D& part, int nranks)
+      : part_(&part), lanes_(static_cast<std::size_t>(nranks)),
+        slot_(static_cast<std::size_t>(part.n()), -1) {
+    PP_CHECK(nranks >= 1);
+  }
+
+  // Stages `val` for destination vertex v; duplicates merge with
+  // comb(T& staged, const T& incoming) — min for BFS parents and SSSP
+  // tentative distances, sum for BC σ/δ contributions.
+  template <class Combine>
+  void stage(vid_t v, const T& val, Combine&& comb) {
+    std::int32_t& s = slot_[static_cast<std::size_t>(v)];
+    auto& lane = lanes_[static_cast<std::size_t>(part_->owner(v))];
+    if (s >= 0) {
+      comb(lane[static_cast<std::size_t>(s)].val, val);
+    } else {
+      s = static_cast<std::int32_t>(lane.size());
+      lane.push_back(Entry{v, val});
+    }
+  }
+
+  bool all_empty() const {
+    for (const auto& lane : lanes_) {
+      if (!lane.empty()) return false;
+    }
+    return true;
+  }
+
+  // Collective: ships every lane to its destination rank (the self lane stays
+  // in memory and is free, empty lanes are skipped by the runtime) and resets
+  // the staging state. Entries from *different* source ranks are not merged —
+  // applying them is the receiver's job, which holds the authoritative state.
+  std::vector<Entry> exchange(Rank& rank) {
+    std::vector<Entry> in = rank.alltoallv(lanes_);
+    for (auto& lane : lanes_) {
+      for (const Entry& e : lane) slot_[static_cast<std::size_t>(e.v)] = -1;
+      lane.clear();
+    }
+    return in;
+  }
+
+ private:
+  const Partition1D* part_;
+  std::vector<std::vector<Entry>> lanes_;
+  std::vector<std::int32_t> slot_;
+};
+
+// The core DenseFrontier bitmap behind a counted one-sided interface: element
+// v belongs to owner(v); probing or setting a remote element is charged as
+// one RMA op, local accesses are attributed but free (same convention as
+// Window<T>).
+class DenseFrontierWindow {
+ public:
+  DenseFrontierWindow(vid_t n, const Partition1D& part) : bits_(n), part_(&part) {}
+
+  void set(Rank& rank, vid_t v) {
+    (part_->owner(v) == rank.id() ? rank.stats().local_puts
+                                  : rank.stats().rma_puts) += 1;
+    bits_.set(v);
+  }
+
+  bool test(Rank& rank, vid_t v) const {
+    (part_->owner(v) == rank.id() ? rank.stats().local_gets
+                                  : rank.stats().rma_gets) += 1;
+    return bits_.test(v);
+  }
+
+  // Owner-side maintenance (uncounted, like zeroing a Window's raw slice).
+  void clear_owned(const Rank& rank) {
+    bits_.clear_range(part_->begin(rank.id()), part_->end(rank.id()));
+  }
+
+  const DenseFrontier& raw() const noexcept { return bits_; }
+
+ private:
+  DenseFrontier bits_;
+  const Partition1D* part_;
+};
+
+// Direction-optimization thresholds (the Beamer constants, same defaults as
+// core DirOptParams). Namespace-scope so it can serve as an in-class default
+// argument below.
+struct FrontierHeuristic {
+  double alpha = 14.0;  // sparse→dense when frontier out-edges > m/alpha
+  double beta = 24.0;   // dense→sparse when frontier size < n/beta
+};
+
+// Rank-partitioned frontier: each rank holds the sorted list of frontier
+// vertices it owns, all ranks agree on the global size / out-degree mass via
+// allreduce, and every rank independently (but identically, from the same
+// allreduced inputs) steps the sparse/dense switch.
+class DistFrontier {
+ public:
+  using Heuristic = FrontierHeuristic;
+
+  DistFrontier(const Csr& g, const Partition1D& part, int nranks,
+               Heuristic h = {})
+      : g_(&g), part_(&part), bitmap_(g.n(), part),
+        ranks_(static_cast<std::size_t>(nranks)) {
+    PP_CHECK(nranks >= 1);
+    for (auto& p : ranks_) {
+      p.value.ctl = SwitchController(h.alpha, h.beta, Direction::Push);
+    }
+  }
+
+  // This rank's owned slice of the current frontier, sorted ascending.
+  const std::vector<vid_t>& owned(const Rank& rank) const {
+    return state(rank).owned;
+  }
+
+  // Counted membership probe against the current frontier's dense window.
+  bool test(Rank& rank, vid_t v) const { return bitmap_.test(rank, v); }
+
+  FrontierMode mode(const Rank& rank) const { return state(rank).mode; }
+  bool globally_empty(const Rank& rank) const { return global_size(rank) == 0; }
+  std::uint64_t global_size(const Rank& rank) const {
+    return static_cast<std::uint64_t>(state(rank).global_size);
+  }
+  double global_out_degree(const Rank& rank) const {
+    return state(rank).global_out_degree;
+  }
+
+  // Collective: installs `next` (each vertex owned by the caller; sorted and
+  // deduplicated here) as this rank's slice of the next frontier, refreshes
+  // the dense window, allreduces the global frontier size and out-degree
+  // mass, and steps the sparse/dense heuristic. The leading barrier (counted:
+  // it is real synchronization the superstep needs) guarantees every rank is
+  // done probing the old window before any slice changes.
+  void advance(Rank& rank, std::vector<vid_t> next) {
+    PerRank& st = state(rank);
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    rank.barrier();
+    bitmap_.clear_owned(rank);
+    double out_degree = 0.0;
+    for (vid_t v : next) {
+      PP_DCHECK(part_->owner(v) == rank.id());
+      bitmap_.set(rank, v);
+      out_degree += static_cast<double>(g_->degree(v));
+    }
+    st.owned = std::move(next);
+    st.global_size = rank.allreduce_sum(static_cast<double>(st.owned.size()));
+    st.global_out_degree = rank.allreduce_sum(out_degree);
+    const Direction d =
+        st.ctl.step(st.global_out_degree, static_cast<double>(g_->num_arcs()),
+                    st.global_size, static_cast<double>(g_->n()));
+    st.mode = d == Direction::Pull ? FrontierMode::Dense : FrontierMode::Sparse;
+  }
+
+ private:
+  struct PerRank {
+    std::vector<vid_t> owned;
+    SwitchController ctl{FrontierHeuristic{}.alpha, FrontierHeuristic{}.beta,
+                         Direction::Push};
+    FrontierMode mode = FrontierMode::Sparse;
+    double global_size = 0.0;
+    double global_out_degree = 0.0;
+  };
+
+  PerRank& state(const Rank& rank) {
+    return ranks_[static_cast<std::size_t>(rank.id())].value;
+  }
+  const PerRank& state(const Rank& rank) const {
+    return ranks_[static_cast<std::size_t>(rank.id())].value;
+  }
+
+  const Csr* g_;
+  const Partition1D* part_;
+  DenseFrontierWindow bitmap_;
+  std::vector<Padded<PerRank>> ranks_;
+};
+
+}  // namespace pushpull::dist

@@ -214,17 +214,14 @@ class Rank {
   // would silently round integer contributions above 2^53.
   template <class T>
   T allreduce_sum(T v) {
-    static_assert(std::is_floating_point_v<T>);
-    world_->red_slots_[static_cast<std::size_t>(id_)] = static_cast<double>(v);
-    world_->barrier_wait();
-    double sum = 0.0;
-    for (double s : world_->red_slots_) sum += s;
-    world_->barrier_wait();  // slots must not be overwritten until all ranks read
-    if (world_->nranks_ > 1) {
-      ++stats_->msgs_sent;
-      stats_->bytes_sent += sizeof(T);
-    }
-    return static_cast<T>(sum);
+    return allreduce<T>(v, [](double a, double b) { return a + b; });
+  }
+
+  // Min-allreduce over all ranks; same cost model. Used by the distributed
+  // Δ-stepping kernel to agree on the next non-empty bucket.
+  template <class T>
+  T allreduce_min(T v) {
+    return allreduce<T>(v, [](double a, double b) { return std::min(a, b); });
   }
 
   // Personalized all-to-all: out[d] is this rank's payload for destination d.
@@ -291,6 +288,26 @@ class Rank {
   }
 
  private:
+  // Shared slot-write / barrier / fold / barrier protocol of the allreduce
+  // collectives. The trailing barrier keeps the slots alive until every rank
+  // has read them; only multi-rank worlds are charged.
+  template <class T, class Fold>
+  T allreduce(T v, Fold&& fold) {
+    static_assert(std::is_floating_point_v<T>);
+    world_->red_slots_[static_cast<std::size_t>(id_)] = static_cast<double>(v);
+    world_->barrier_wait();
+    double acc = world_->red_slots_.front();
+    for (std::size_t r = 1; r < world_->red_slots_.size(); ++r) {
+      acc = fold(acc, world_->red_slots_[r]);
+    }
+    world_->barrier_wait();
+    if (world_->nranks_ > 1) {
+      ++stats_->msgs_sent;
+      stats_->bytes_sent += sizeof(T);
+    }
+    return static_cast<T>(acc);
+  }
+
   World* world_;
   int id_;
   RankStats* stats_;
@@ -349,6 +366,17 @@ class Window {
     } else {
       pushpull::faa(data_[i], value);
     }
+  }
+
+  // MPI_Accumulate(MIN): the traversal kernels' one-sided claim/relax
+  // primitive (BFS level claims, SSSP distance relaxations). Like the SUM
+  // accumulate above, this is the lock-protocol op class (§4.1) — MIN is not
+  // a NIC fast-path op — so it is counted through the acc counters for every
+  // element type.
+  void accumulate_min(Rank& rank, std::size_t i, T value) {
+    PP_DCHECK(i < data_.size());
+    count(rank, i, rank.stats().local_accs, rank.stats().rma_accs);
+    pushpull::atomic_min(data_[i], value);
   }
 
   // Integer fetch-and-add (MPI_Fetch_and_op): the hardware fast path.

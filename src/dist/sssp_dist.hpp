@@ -1,0 +1,209 @@
+// Distributed-memory Δ-stepping SSSP over the emulated runtime (§3.8, §4.4,
+// Figure 3).
+//
+// Vertices are 1D block-partitioned; tentative distances live in a one-sided
+// float window. Buckets of width Δ are processed in order, globally agreed on
+// with an allreduce-min; within a bucket, relaxation rounds repeat until the
+// allreduced active-set size (tracked by DistFrontier) reaches zero. Bucket
+// arithmetic is the shared-memory `bucket_of` — the dist and core kernels
+// compute the identical fixpoint, so distances match exactly.
+//
+//   Pushing-RMA  — each active vertex relaxes its out-edges with a blind
+//                  MPI_Accumulate(MIN) per edge (float min = lock protocol,
+//                  §4.1); owners detect improvements by rescanning their
+//                  slice against a shadow copy.
+//   Pulling-RMA  — each unsettled owned vertex scans its in-neighbors,
+//                  paying one counted get per edge for the remote distance,
+//                  and relaxes itself (owner-local writes only).
+//   Msg-Passing  — relaxations of remote targets are combined per
+//                  destination vertex (keeping only the minimum candidate)
+//                  and exchanged as one alltoallv lane per destination rank.
+//
+// For directed graphs pass the transposed in-CSR (with weights) as `in`;
+// by default `in = &g`, correct for symmetric graphs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/sssp_delta.hpp"
+#include "dist/frontier_dist.hpp"
+#include "dist/runtime.hpp"
+#include "graph/csr.hpp"
+#include "graph/partition.hpp"
+#include "util/check.hpp"
+
+namespace pushpull::dist {
+
+struct SsspDistOptions {
+  DistVariant variant = DistVariant::MsgPassing;
+  weight_t delta = 4.0f;  // bucket width Δ
+  CommCosts costs{};
+};
+
+struct SsspDistResult {
+  std::vector<weight_t> dist;  // +inf = unreachable
+  int epochs = 0;              // processed buckets
+  int inner_iterations = 0;    // global relaxation rounds
+  RankStats total;
+  double max_comm_us = 0.0;
+  std::uint64_t max_rank_edge_ops = 0;
+};
+
+inline SsspDistResult sssp_dist(const Csr& g, vid_t src, int nranks,
+                                const SsspDistOptions& opt = {},
+                                const Csr* in = nullptr) {
+  const Csr& gin = in ? *in : g;
+  const vid_t n = g.n();
+  PP_CHECK(n > 0 && nranks >= 1);
+  PP_CHECK(src >= 0 && src < n);
+  PP_CHECK(g.has_weights() && gin.has_weights());
+  PP_CHECK(opt.delta > 0);
+  PP_CHECK(gin.n() == n);
+
+  World world(nranks);
+  const Partition1D part(n, nranks);
+  DistFrontier frontier(g, part, nranks);  // active-set bookkeeping
+  Window<weight_t> dwin(static_cast<std::size_t>(n), nranks);
+  std::fill(dwin.raw().begin(), dwin.raw().end(), kInfWeight);
+  dwin.raw()[static_cast<std::size_t>(src)] = 0.0f;
+
+  SsspDistResult res;
+  constexpr double kNoBucket = std::numeric_limits<double>::infinity();
+
+  world.run([&](Rank& rank) {
+    const int me = rank.id();
+    const vid_t vbeg = part.begin(me);
+    const vid_t vend = part.end(me);
+    auto& d = dwin.raw();
+    CombiningBuffers<weight_t> lanes(part, nranks);  // payload: candidate dist
+    std::vector<weight_t> shadow(static_cast<std::size_t>(vend - vbeg));
+    const auto relax_min = [](weight_t& a, weight_t b) { a = std::min(a, b); };
+
+    std::int64_t b = 0;  // bucket 0 is globally non-empty: it holds src
+    while (true) {
+      // Epoch init: owned vertices currently in bucket b are active.
+      std::vector<vid_t> active;
+      for (vid_t v = vbeg; v < vend; ++v) {
+        if (bucket_of(d[static_cast<std::size_t>(v)], opt.delta) == b) {
+          active.push_back(v);
+        }
+      }
+      frontier.advance(rank, std::move(active));
+      if (me == 0) ++res.epochs;
+
+      while (!frontier.globally_empty(rank)) {
+        if (me == 0) ++res.inner_iterations;
+        std::vector<vid_t> next_active;
+
+        switch (opt.variant) {
+          case DistVariant::PushRma: {
+            for (vid_t v = vbeg; v < vend; ++v) {
+              shadow[static_cast<std::size_t>(v - vbeg)] =
+                  d[static_cast<std::size_t>(v)];
+            }
+            // Fence (MPI_Win_fence semantics): every rank's shadow snapshot
+            // is taken before any accumulate lands, or an early remote
+            // relaxation could hide inside the snapshot and never activate
+            // its target.
+            rank.barrier();
+            for (vid_t v : frontier.owned(rank)) {
+              // Atomic read: this rank's own vertices are themselves targets
+              // of concurrent remote accumulates.
+              const weight_t dv = atomic_load(d[static_cast<std::size_t>(v)]);
+              const auto nb = g.neighbors(v);
+              const auto wgt = g.weights(v);
+              for (std::size_t i = 0; i < nb.size(); ++i) {
+                ++rank.stats().edge_ops;
+                dwin.accumulate_min(rank, static_cast<std::size_t>(nb[i]),
+                                    dv + wgt[i]);
+              }
+            }
+            rank.barrier();  // all remote relaxations landed
+            for (vid_t v = vbeg; v < vend; ++v) {
+              const weight_t dv = d[static_cast<std::size_t>(v)];
+              if (dv < shadow[static_cast<std::size_t>(v - vbeg)] &&
+                  bucket_of(dv, opt.delta) == b) {
+                next_active.push_back(v);
+              }
+            }
+            break;
+          }
+          case DistVariant::PullRma: {
+            for (vid_t v = vbeg; v < vend; ++v) {
+              const weight_t dv = d[static_cast<std::size_t>(v)];
+              if (bucket_of(dv, opt.delta) < b) continue;  // settled
+              weight_t best = dv;
+              const auto nb = gin.neighbors(v);
+              const auto wgt = gin.weights(v);
+              for (std::size_t i = 0; i < nb.size(); ++i) {
+                ++rank.stats().edge_ops;
+                const weight_t du =
+                    dwin.get(rank, static_cast<std::size_t>(nb[i]));
+                if (bucket_of(du, opt.delta) != b) continue;
+                best = std::min(best, du + wgt[i]);
+              }
+              if (best < dv) {
+                dwin.put(rank, static_cast<std::size_t>(v), best);
+                if (bucket_of(best, opt.delta) == b) next_active.push_back(v);
+              }
+            }
+            break;
+          }
+          case DistVariant::MsgPassing: {
+            for (vid_t v : frontier.owned(rank)) {
+              const weight_t dv = d[static_cast<std::size_t>(v)];
+              const auto nb = g.neighbors(v);
+              const auto wgt = g.weights(v);
+              for (std::size_t i = 0; i < nb.size(); ++i) {
+                ++rank.stats().edge_ops;
+                const vid_t u = nb[i];
+                const weight_t nd = dv + wgt[i];
+                if (part.owner(u) == me) {
+                  weight_t& du = d[static_cast<std::size_t>(u)];
+                  if (nd < du) {
+                    du = nd;
+                    if (bucket_of(nd, opt.delta) == b) next_active.push_back(u);
+                  }
+                } else {
+                  lanes.stage(u, nd, relax_min);
+                }
+              }
+            }
+            for (const auto& e : lanes.exchange(rank)) {
+              weight_t& du = d[static_cast<std::size_t>(e.v)];
+              if (e.val < du) {
+                du = e.val;
+                if (bucket_of(e.val, opt.delta) == b) next_active.push_back(e.v);
+              }
+            }
+            break;
+          }
+        }
+        frontier.advance(rank, std::move(next_active));
+      }
+
+      // Globally agree on the next non-empty bucket.
+      double local_next = kNoBucket;
+      for (vid_t v = vbeg; v < vend; ++v) {
+        const weight_t dv = d[static_cast<std::size_t>(v)];
+        if (dv == kInfWeight) continue;
+        const std::int64_t bv = bucket_of(dv, opt.delta);
+        if (bv > b) local_next = std::min(local_next, static_cast<double>(bv));
+      }
+      const double gnext = rank.allreduce_min(local_next);
+      if (gnext == kNoBucket) break;
+      b = static_cast<std::int64_t>(gnext);
+    }
+  });
+
+  res.dist = dwin.raw();
+  res.total = world.total_stats();
+  res.max_comm_us = world.max_modeled_comm_us(opt.costs);
+  res.max_rank_edge_ops = world.max_edge_ops();
+  return res;
+}
+
+}  // namespace pushpull::dist

@@ -47,8 +47,12 @@
 #include "la/spmv.hpp"
 
 // Distributed-memory emulation.
+#include "dist/bc_dist.hpp"
+#include "dist/bfs_dist.hpp"
+#include "dist/frontier_dist.hpp"
 #include "dist/pr_dist.hpp"
 #include "dist/runtime.hpp"
+#include "dist/sssp_dist.hpp"
 #include "dist/tc_dist.hpp"
 
 // Analysis.

@@ -1,0 +1,210 @@
+// Unit tests for the rank-partitioned frontier machinery
+// (dist/frontier_dist.hpp): combining buffers, the dense membership window,
+// global emptiness, the sparse/dense switch hysteresis, and the degenerate
+// partitions (empty ranks, single-rank frontiers, more ranks than vertices).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "dist/frontier_dist.hpp"
+#include "graph/generators.hpp"
+
+namespace pushpull::dist {
+namespace {
+
+TEST(CombiningBuffers, CombinesPerDestinationVertex) {
+  constexpr int kRanks = 2;
+  World world(kRanks);
+  const Partition1D part(10, kRanks);  // rank 0 owns [0,5), rank 1 owns [5,10)
+  std::vector<std::vector<CombiningBuffers<int>::Entry>> got(kRanks);
+  world.run([&](Rank& rank) {
+    CombiningBuffers<int> buf(part, kRanks);
+    const auto sum = [](int& a, int b) { a += b; };
+    if (rank.id() == 0) {
+      buf.stage(7, 1, sum);
+      buf.stage(7, 2, sum);  // merges: one entry, value 3
+      buf.stage(2, 5, sum);  // self lane
+    }
+    EXPECT_EQ(buf.all_empty(), rank.id() != 0);
+    got[static_cast<std::size_t>(rank.id())] = buf.exchange(rank);
+    EXPECT_TRUE(buf.all_empty());
+  });
+  ASSERT_EQ(got[0].size(), 1u);  // self-lane delivery
+  EXPECT_EQ(got[0][0].v, 2);
+  EXPECT_EQ(got[0][0].val, 5);
+  ASSERT_EQ(got[1].size(), 1u);  // combined remote entry
+  EXPECT_EQ(got[1][0].v, 7);
+  EXPECT_EQ(got[1][0].val, 3);
+  // One combined message (rank 0 → rank 1); the self lane is free.
+  EXPECT_EQ(world.stats(0).msgs_sent, 1u);
+  EXPECT_EQ(world.stats(1).msgs_sent, 0u);
+}
+
+TEST(CombiningBuffers, SlotsResetAcrossSupersteps) {
+  World world(1);
+  const Partition1D part(4, 1);
+  world.run([&](Rank& rank) {
+    CombiningBuffers<int> buf(part, 1);
+    const auto min = [](int& a, int b) { a = std::min(a, b); };
+    buf.stage(3, 9, min);
+    buf.stage(3, 4, min);
+    auto first = buf.exchange(rank);
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_EQ(first[0].val, 4);
+    // Re-staging the same vertex after an exchange starts a fresh entry.
+    buf.stage(3, 7, min);
+    auto second = buf.exchange(rank);
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_EQ(second[0].val, 7);
+  });
+}
+
+TEST(DenseFrontierWindow, CountsLocalAndRemoteProbes) {
+  constexpr int kRanks = 2;
+  World world(kRanks);
+  const Partition1D part(8, kRanks);
+  DenseFrontierWindow win(8, part);
+  world.run([&](Rank& rank) {
+    if (rank.id() == 0) win.set(rank, 1);  // local put
+    rank.barrier();
+    if (rank.id() == 1) {
+      EXPECT_TRUE(win.test(rank, 1));   // remote probe
+      EXPECT_FALSE(win.test(rank, 5));  // local probe
+    }
+    rank.barrier();
+  });
+  EXPECT_EQ(world.stats(0).local_puts, 1u);
+  EXPECT_EQ(world.stats(1).rma_gets, 1u);
+  EXPECT_EQ(world.stats(1).local_gets, 1u);
+}
+
+TEST(DistFrontier, EmptyOnSubsetOfRanksStillGloballyNonEmpty) {
+  constexpr int kRanks = 4;
+  Csr g = make_undirected(64, cycle_edges(64));
+  const Partition1D part(64, kRanks);
+  World world(kRanks);
+  DistFrontier frontier(g, part, kRanks);
+  world.run([&](Rank& rank) {
+    // Only rank 2 contributes vertices.
+    std::vector<vid_t> mine;
+    if (rank.id() == 2) mine = {part.begin(2), static_cast<vid_t>(part.begin(2) + 1)};
+    frontier.advance(rank, std::move(mine));
+    EXPECT_FALSE(frontier.globally_empty(rank));
+    EXPECT_EQ(frontier.global_size(rank), 2u);
+    EXPECT_EQ(frontier.owned(rank).size(), rank.id() == 2 ? 2u : 0u);
+    // Every rank can probe the single owner's bits.
+    EXPECT_TRUE(frontier.test(rank, part.begin(2)));
+    EXPECT_FALSE(frontier.test(rank, part.begin(0)));
+    // All-empty advance: emptiness is agreed on globally.
+    frontier.advance(rank, {});
+    EXPECT_TRUE(frontier.globally_empty(rank));
+  });
+}
+
+TEST(DistFrontier, FrontierEntirelyOnOneRank) {
+  constexpr int kRanks = 3;
+  Csr g = make_undirected(30, path_edges(30));
+  const Partition1D part(30, kRanks);
+  World world(kRanks);
+  DistFrontier frontier(g, part, kRanks);
+  world.run([&](Rank& rank) {
+    std::vector<vid_t> mine;
+    if (rank.id() == 0) {
+      for (vid_t v = part.begin(0); v < part.end(0); ++v) mine.push_back(v);
+    }
+    frontier.advance(rank, std::move(mine));
+    EXPECT_EQ(frontier.global_size(rank),
+              static_cast<std::uint64_t>(part.part_size(0)));
+    // Out-degree mass equals the sum of the slice's degrees, allreduced.
+    double want = 0.0;
+    for (vid_t v = part.begin(0); v < part.end(0); ++v) want += g.degree(v);
+    EXPECT_DOUBLE_EQ(frontier.global_out_degree(rank), want);
+  });
+}
+
+TEST(DistFrontier, MoreRanksThanFrontierVertices) {
+  constexpr int kRanks = 8;
+  Csr g = make_undirected(4, path_edges(4));
+  const Partition1D part(4, kRanks);  // ranks 4..7 own empty slices
+  World world(kRanks);
+  DistFrontier frontier(g, part, kRanks);
+  world.run([&](Rank& rank) {
+    std::vector<vid_t> mine;
+    if (rank.id() < 4) mine = {static_cast<vid_t>(rank.id())};
+    frontier.advance(rank, std::move(mine));
+    EXPECT_EQ(frontier.global_size(rank), 4u);
+    for (vid_t v = 0; v < 4; ++v) EXPECT_TRUE(frontier.test(rank, v));
+    frontier.advance(rank, {});
+    EXPECT_TRUE(frontier.globally_empty(rank));
+  });
+}
+
+TEST(DistFrontier, AdvanceSortsAndDeduplicatesOwnedSlice) {
+  Csr g = make_undirected(16, cycle_edges(16));
+  const Partition1D part(16, 1);
+  World world(1);
+  DistFrontier frontier(g, part, 1);
+  world.run([&](Rank& rank) {
+    frontier.advance(rank, {9, 3, 9, 1, 3});
+    const std::vector<vid_t> want{1, 3, 9};
+    EXPECT_EQ(frontier.owned(rank), want);
+    EXPECT_EQ(frontier.global_size(rank), 3u);
+  });
+}
+
+// The Beamer switch with hysteresis: star graph, n = 65, num_arcs = 128.
+// alpha = 2 → sparse→dense when frontier out-edges > 64; beta = 4 →
+// dense→sparse when frontier size < 65/4 = 16.25.
+TEST(DistFrontier, SparseDenseSwitchHysteresis) {
+  Csr g = make_undirected(65, star_edges(65));
+  ASSERT_EQ(g.num_arcs(), 128);
+  const Partition1D part(65, 1);
+  World world(1);
+  DistFrontier::Heuristic h;
+  h.alpha = 2.0;
+  h.beta = 4.0;
+  DistFrontier frontier(g, part, 1, h);
+  world.run([&](Rank& rank) {
+    // Center alone: 64 out-edges, not > 64 — stays sparse.
+    frontier.advance(rank, {0});
+    EXPECT_EQ(frontier.mode(rank), FrontierMode::Sparse);
+    // Center + one leaf: 65 out-edges > 64 — switches to dense.
+    frontier.advance(rank, {0, 1});
+    EXPECT_EQ(frontier.mode(rank), FrontierMode::Dense);
+    // 20 leaves: only 20 out-edges, but 20 ≥ 16.25 vertices — hysteresis
+    // keeps it dense instead of flapping back.
+    std::vector<vid_t> leaves;
+    for (vid_t v = 1; v <= 20; ++v) leaves.push_back(v);
+    frontier.advance(rank, std::move(leaves));
+    EXPECT_EQ(frontier.mode(rank), FrontierMode::Dense);
+    // 10 leaves: 10 < 16.25 — now it returns to sparse.
+    frontier.advance(rank, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+    EXPECT_EQ(frontier.mode(rank), FrontierMode::Sparse);
+  });
+}
+
+TEST(DistFrontier, ModeAgreesAcrossRanks) {
+  constexpr int kRanks = 4;
+  const Csr g = make_undirected(256, rmat_edges(8, 8, 17));  // skewed
+  const Partition1D part(g.n(), kRanks);
+  World world(kRanks);
+  DistFrontier frontier(g, part, kRanks);
+  std::vector<std::vector<FrontierMode>> seen(kRanks);
+  world.run([&](Rank& rank) {
+    // Simulated BFS-ish growth: every rank submits a growing slice.
+    for (int step = 1; step <= 4; ++step) {
+      std::vector<vid_t> mine;
+      const vid_t lo = part.begin(rank.id());
+      const vid_t hi = std::min<vid_t>(part.end(rank.id()),
+                                       static_cast<vid_t>(lo + (1 << (2 * step))));
+      for (vid_t v = lo; v < hi; ++v) mine.push_back(v);
+      frontier.advance(rank, std::move(mine));
+      seen[static_cast<std::size_t>(rank.id())].push_back(frontier.mode(rank));
+    }
+  });
+  for (int r = 1; r < kRanks; ++r) EXPECT_EQ(seen[static_cast<std::size_t>(r)], seen[0]);
+}
+
+}  // namespace
+}  // namespace pushpull::dist

@@ -41,5 +41,31 @@ TEST(Umbrella, DistributedLayerIsReachable) {
   EXPECT_EQ(tc.tc.size(), 32u);
 }
 
+TEST(Umbrella, DistributedFrontierSubsystemIsReachable) {
+  Csr g = make_undirected(32, cycle_edges(32));
+
+  const auto bfs = dist::bfs_dist(g, 0, 2);
+  EXPECT_EQ(bfs.dist.size(), 32u);
+  EXPECT_EQ(bfs.dist[16], 16);
+
+  Csr wg = make_undirected_weighted(32, cycle_edges(32), 1.0f, 2.0f, 7);
+  dist::SsspDistOptions sopt;
+  sopt.variant = dist::DistVariant::PullRma;
+  const auto sssp = dist::sssp_dist(wg, 0, 2, sopt);
+  EXPECT_EQ(sssp.dist.size(), 32u);
+  EXPECT_EQ(sssp.dist[0], 0.0f);
+
+  dist::BcDistOptions bopt;
+  bopt.variant = dist::DistVariant::PushRma;
+  bopt.sources = {0, 5};
+  const auto bc = dist::betweenness_centrality_dist(g, 2, bopt);
+  EXPECT_EQ(bc.bc.size(), 32u);
+
+  const Partition1D part(32, 2);
+  dist::DistFrontier frontier(g, part, 2);
+  EXPECT_EQ(to_string(dist::FrontierMode::Sparse), std::string("sparse"));
+  (void)frontier;
+}
+
 }  // namespace
 }  // namespace pushpull
