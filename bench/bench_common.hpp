@@ -9,10 +9,13 @@
 
 #include <omp.h>
 
+#include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "dist/runtime.hpp"
 #include "graph/analogs.hpp"
 #include "graph/csr.hpp"
 #include "util/cli.hpp"
@@ -46,6 +49,100 @@ double time_s(F&& fn, int repeats = 1) {
     best = std::min(best, t.elapsed_s());
   }
   return best;
+}
+
+// Shared CLI surface of the distributed benches (fig3_dm_scaling,
+// fig3_dm_traversals, weak_scaling): the graph-size shift, the rank-count
+// sweep (powers of two), and the transport backend selection.
+struct DistCli {
+  int scale = 0;
+  int max_ranks = 16;
+  std::vector<int> ranks;                    // 1, 2, 4, ..., max_ranks
+  std::vector<dist::BackendKind> backends;   // from --backend=emu|shm|both
+};
+
+// Parses --<scale_flag>/--max-ranks/--backend with shared semantics
+// (weak_scaling keeps its historical --base-scale spelling via scale_flag).
+// Requesting shm on a platform without process-shared primitives drops the
+// backend with a note instead of failing, so scripted sweeps keep working.
+inline DistCli parse_dist_cli(Cli& cli, int default_scale, int default_max_ranks,
+                              const char* scale_flag = "scale") {
+  DistCli out;
+  out.scale = static_cast<int>(cli.get_int(scale_flag, default_scale));
+  out.max_ranks = static_cast<int>(cli.get_int("max-ranks", default_max_ranks));
+  for (int r = 1; r <= out.max_ranks; r *= 2) out.ranks.push_back(r);
+  const std::string backend = cli.get_string("backend", "emu");
+  if (backend != "emu" && backend != "shm" && backend != "both") {
+    std::fprintf(stderr, "unknown --backend=%s (expected emu, shm or both)\n",
+                 backend.c_str());
+    std::exit(2);
+  }
+  if (backend == "emu" || backend == "both") {
+    out.backends.push_back(dist::BackendKind::Emu);
+  }
+  if (backend == "shm" || backend == "both") {
+    if (dist::shm_backend_available()) {
+      out.backends.push_back(dist::BackendKind::Shm);
+    } else {
+      std::printf("note: shm backend unavailable on this platform; skipped\n");
+    }
+  }
+  return out;
+}
+
+// The three communication styles in the order every distributed bench
+// sweeps and prints them.
+inline constexpr dist::DistVariant kDistVariants[3] = {
+    dist::DistVariant::PushRma, dist::DistVariant::PullRma,
+    dist::DistVariant::MsgPassing};
+
+// One (modeled, measured) timing pair per variant for one rank count.
+struct VariantTimes {
+  double modeled_s = 0.0;
+  double wall_s = 0.0;
+};
+
+// The side-by-side timing tables shared by the strong-scaling benches: one
+// table of modeled seconds (authoritative for emu) and one of measured
+// wall-clock seconds (authoritative for shm), columns in kDistVariants
+// order. `mp_speedup` appends the paper's headline ratio column.
+inline void print_variant_tables(const std::string& what,
+                                 const std::string& label,
+                                 const std::vector<int>& ranks,
+                                 const std::vector<std::array<VariantTimes, 3>>& runs,
+                                 bool mp_speedup) {
+  const auto emit = [&](const char* kind, double VariantTimes::* metric) {
+    std::printf("\n%s, %s (%s):\n", what.c_str(), label.c_str(), kind);
+    std::vector<std::string> header{"P", "Pushing-RMA", "Pulling-RMA",
+                                    "Msg-Passing"};
+    if (mp_speedup) header.push_back("MP speedup vs push");
+    Table table(header);
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+      std::vector<std::string> row{std::to_string(ranks[i]),
+                                   Table::num(runs[i][0].*metric, 4),
+                                   Table::num(runs[i][1].*metric, 4),
+                                   Table::num(runs[i][2].*metric, 4)};
+      if (mp_speedup) {
+        row.push_back(Table::num(runs[i][0].*metric / runs[i][2].*metric, 1) +
+                      "x");
+      }
+      table.add_row(row);
+    }
+    table.print();
+  };
+  emit("modeled seconds", &VariantTimes::modeled_s);
+  emit("measured wall-clock seconds, slowest rank", &VariantTimes::wall_s);
+}
+
+// One line explaining which of the side-by-side timings is authoritative for
+// the chosen backend.
+inline void print_backend_banner(dist::BackendKind k) {
+  std::printf("\n=== backend: %s — %s ===\n", dist::to_string(k),
+              k == dist::BackendKind::Emu
+                  ? "ranks are threads; modeled CommCosts time is "
+                    "authoritative, wall clock measures the scheduler"
+                  : "ranks are processes over POSIX shared memory; wall "
+                    "clock is real, modeled time shown for comparison");
 }
 
 }  // namespace pushpull::bench

@@ -1,15 +1,25 @@
 // Figure 3: distributed-memory strong scaling — PR on orc/ljn/rmat and TC on
 // orc/ljn for Pushing-RMA, Pulling-RMA and Msg-Passing.
 //
-// Ranks are emulated in-process (DESIGN.md §3); reported "time" is the
-// modeled critical path: slowest rank's compute proxy (edge ops × a
-// calibrated per-edge cost) + its modeled communication (per-op costs, with
-// MPI_Accumulate's float lock-protocol ≫ integer FAA fast path).
+// Runs on either transport backend (--backend=emu|shm|both, DESIGN.md §3)
+// and reports modeled and measured time side by side: the modeled critical
+// path (slowest rank's edge ops × a calibrated per-edge cost + CommCosts
+// communication, with MPI_Accumulate's float lock-protocol ≫ integer FAA
+// fast path) is authoritative for the emu backend; real per-process wall
+// clock is authoritative for shm.
 //
 // Paper shape: for PR, Msg-Passing wins by >10x and Pushing-RMA is slowest;
-// for TC, the RMA variants beat Msg-Passing and pull ≥ push.
+// for TC, the RMA variants beat Msg-Passing. --verify cross-checks every
+// variant/rank-count against the src/core/ shared-memory kernels (PR to
+// 1e-9, TC exactly) and, on the shm backend, checks the ordering on
+// measured wall clock at the largest P; any failure exits non-zero.
+#include <algorithm>
+#include <array>
+#include <cmath>
+
 #include "bench_common.hpp"
 #include "core/pagerank.hpp"
+#include "core/triangle_count.hpp"
 #include "dist/pr_dist.hpp"
 #include "dist/tc_dist.hpp"
 #include "graph/generators.hpp"
@@ -18,6 +28,8 @@ using namespace pushpull;
 using namespace pushpull::dist;
 
 namespace {
+
+int failures = 0;
 
 // Calibrates the per-edge compute cost from a single-rank run.
 double calibrate_edge_cost_us(const Csr& g) {
@@ -28,57 +40,104 @@ double calibrate_edge_cost_us(const Csr& g) {
 }
 
 void pr_scaling(const std::string& label, const Csr& g, int iters,
-                const std::vector<int>& ranks, double edge_us) {
-  std::printf("\nPR strong scaling, %s (modeled seconds; %d iterations):\n",
-              label.c_str(), iters);
-  Table table({"P", "Pushing-RMA", "Pulling-RMA", "Msg-Passing", "MP speedup vs push"});
-  const CommCosts costs;
-  for (int r : ranks) {
-    double modeled[3] = {0, 0, 0};
-    const DistVariant variants[3] = {DistVariant::PushRma, DistVariant::PullRma,
-                                     DistVariant::MsgPassing};
-    for (int i = 0; i < 3; ++i) {
-      const DistPrResult res = pagerank_dist(g, r, iters, 0.85, variants[i], costs);
-      modeled[i] = (static_cast<double>(res.max_rank_edge_ops) * edge_us +
-                    res.max_comm_us) /
-                   1e6;
-    }
-    table.add_row({std::to_string(r), Table::num(modeled[0], 4),
-                   Table::num(modeled[1], 4), Table::num(modeled[2], 4),
-                   Table::num(modeled[0] / modeled[2], 1) + "x"});
+                const std::vector<int>& ranks, double edge_us,
+                BackendKind backend, bool verify) {
+  std::vector<double> want;
+  if (verify) {
+    PageRankOptions core_opt;
+    core_opt.iterations = iters;
+    want = pagerank_seq(g, core_opt);
   }
-  table.print();
+  const CommCosts costs;
+  std::vector<std::array<bench::VariantTimes, 3>> runs;
+  for (int r : ranks) {
+    std::array<bench::VariantTimes, 3> row;
+    for (int i = 0; i < 3; ++i) {
+      const DistPrResult res =
+          pagerank_dist(g, r, iters, 0.85, bench::kDistVariants[i], costs, backend);
+      row[static_cast<std::size_t>(i)] = {
+          (static_cast<double>(res.max_rank_edge_ops) * edge_us +
+           res.max_comm_us) / 1e6,
+          res.max_rank_wall_us / 1e6};
+      if (verify) {
+        for (std::size_t v = 0; v < want.size(); ++v) {
+          if (std::abs(res.pr[v] - want[v]) > 1e-9) {
+            std::fprintf(stderr,
+                         "VERIFY FAILED: PR %s at P=%d (%s backend) disagrees "
+                         "with pagerank_seq\n",
+                         to_string(bench::kDistVariants[i]), r, to_string(backend));
+            ++failures;
+            break;
+          }
+        }
+      }
+    }
+    runs.push_back(row);
+  }
+  bench::print_variant_tables("PR strong scaling", label, ranks, runs,
+                              /*mp_speedup=*/true);
+  if (backend == BackendKind::Shm && ranks.back() >= 2 &&
+      runs.back()[2].wall_s >= runs.back()[0].wall_s) {
+    std::fprintf(stderr,
+                 "WALL SHAPE VIOLATION: PR MP (%.4fs) does not beat push-RMA "
+                 "(%.4fs) at P=%d on %s\n",
+                 runs.back()[2].wall_s, runs.back()[0].wall_s, ranks.back(),
+                 label.c_str());
+    if (verify) ++failures;
+  }
 }
 
 void tc_scaling(const std::string& label, const Csr& g,
-                const std::vector<int>& ranks, double edge_us) {
-  std::printf("\nTC strong scaling, %s (modeled seconds):\n", label.c_str());
-  Table table({"P", "Pushing-RMA", "Pulling-RMA", "Msg-Passing"});
+                const std::vector<int>& ranks, double edge_us,
+                BackendKind backend, bool verify) {
+  std::vector<std::int64_t> want;
+  if (verify) want = triangle_count_fast(g);
+  std::vector<std::array<bench::VariantTimes, 3>> runs;
   for (int r : ranks) {
-    double modeled[3] = {0, 0, 0};
-    const DistVariant variants[3] = {DistVariant::PushRma, DistVariant::PullRma,
-                                     DistVariant::MsgPassing};
+    std::array<bench::VariantTimes, 3> row;
     for (int i = 0; i < 3; ++i) {
       DistTcOptions opt;
-      opt.variant = variants[i];
+      opt.variant = bench::kDistVariants[i];
+      opt.backend = backend;
       const DistTcResult res = triangle_count_dist(g, r, opt);
-      modeled[i] = (static_cast<double>(res.max_rank_edge_ops) * edge_us +
-                    res.max_comm_us) /
-                   1e6;
+      row[static_cast<std::size_t>(i)] = {
+          (static_cast<double>(res.max_rank_edge_ops) * edge_us +
+           res.max_comm_us) / 1e6,
+          res.max_rank_wall_us / 1e6};
+      if (verify && res.tc != want) {
+        std::fprintf(stderr,
+                     "VERIFY FAILED: TC %s at P=%d (%s backend) disagrees "
+                     "with triangle_count_fast\n",
+                     to_string(bench::kDistVariants[i]), r, to_string(backend));
+        ++failures;
+      }
     }
-    table.add_row({std::to_string(r), Table::num(modeled[0], 4),
-                   Table::num(modeled[1], 4), Table::num(modeled[2], 4)});
+    runs.push_back(row);
   }
-  table.print();
+  bench::print_variant_tables("TC strong scaling", label, ranks, runs,
+                              /*mp_speedup=*/false);
+  // TC's paper shape is inverted: the RMA variants beat Msg-Passing (§4.2
+  // int-FAA fast path / plain gets vs per-pair query shipping), so the best
+  // RMA variant is gated against MP.
+  const double best_rma =
+      std::min(runs.back()[0].wall_s, runs.back()[1].wall_s);
+  if (backend == BackendKind::Shm && ranks.back() >= 2 &&
+      best_rma >= runs.back()[2].wall_s) {
+    std::fprintf(stderr,
+                 "WALL SHAPE VIOLATION: TC best RMA (%.4fs) does not beat MP "
+                 "(%.4fs) at P=%d on %s\n",
+                 best_rma, runs.back()[2].wall_s, ranks.back(), label.c_str());
+    if (verify) ++failures;
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
-  const int scale = static_cast<int>(cli.get_int("scale", -3));
+  bench::DistCli dist_cli = bench::parse_dist_cli(cli, -3, 16);
   const int iters = static_cast<int>(cli.get_int("pr-iters", 3));
-  const int max_ranks = static_cast<int>(cli.get_int("max-ranks", 16));
+  const bool verify = cli.get_bool("verify");
   cli.check();
 
   bench::print_banner(
@@ -86,24 +145,28 @@ int main(int argc, char** argv) {
       "PR: MP wins by >10x, push-RMA slowest (float accumulate = lock protocol); "
       "TC: RMA wins (int FAA fast path), MP slowest");
 
-  std::vector<int> ranks;
-  for (int r = 1; r <= max_ranks; r *= 2) ranks.push_back(r);
+  const Csr orc = analog_by_name("orc", dist_cli.scale);
+  bench::print_graph_line("orc*", orc);
+  const double edge_us = calibrate_edge_cost_us(orc);
+  std::printf("calibrated compute cost: %.4f us/edge\n", edge_us);
+  const Csr ljn = analog_by_name("ljn", dist_cli.scale);
+  const Csr rmat = make_undirected(vid_t{1} << 13, rmat_edges(13, 8, 42));
+  const Csr orc_tc = analog_by_name("orc", dist_cli.scale - 1);
+  const Csr ljn_tc = analog_by_name("ljn", dist_cli.scale - 1);
 
-  {
-    const Csr orc = analog_by_name("orc", scale);
-    bench::print_graph_line("orc*", orc);
-    const double edge_us = calibrate_edge_cost_us(orc);
-    std::printf("calibrated compute cost: %.4f us/edge\n", edge_us);
-    pr_scaling("orc*", orc, iters, ranks, edge_us);
+  for (const BackendKind backend : dist_cli.backends) {
+    bench::print_backend_banner(backend);
+    pr_scaling("orc*", orc, iters, dist_cli.ranks, edge_us, backend, verify);
+    pr_scaling("ljn*", ljn, iters, dist_cli.ranks, edge_us, backend, verify);
+    pr_scaling("rmat (2^13, d=16)", rmat, iters, dist_cli.ranks, edge_us,
+               backend, verify);
+    tc_scaling("orc*", orc_tc, dist_cli.ranks, edge_us, backend, verify);
+    tc_scaling("ljn*", ljn_tc, dist_cli.ranks, edge_us, backend, verify);
+  }
 
-    const Csr ljn = analog_by_name("ljn", scale);
-    pr_scaling("ljn*", ljn, iters, ranks, edge_us);
-
-    const Csr rmat = make_undirected(vid_t{1} << 13, rmat_edges(13, 8, 42));
-    pr_scaling("rmat (2^13, d=16)", rmat, iters, ranks, edge_us);
-
-    tc_scaling("orc*", analog_by_name("orc", scale - 1), ranks, edge_us);
-    tc_scaling("ljn*", analog_by_name("ljn", scale - 1), ranks, edge_us);
+  if (failures > 0) {
+    std::fprintf(stderr, "%d failure(s)\n", failures);
+    return 1;
   }
   return 0;
 }

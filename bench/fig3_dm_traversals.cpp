@@ -3,9 +3,13 @@
 // Pulling-RMA and Msg-Passing — completing the Figure 3 algorithm set next
 // to fig3_dm_scaling's PR & TC.
 //
-// Ranks are emulated in-process (DESIGN.md §3); reported "time" is the
-// modeled critical path: slowest rank's compute proxy (edge ops × a
-// calibrated per-edge cost) + its CommCosts-modeled communication.
+// Runs on either transport backend (--backend=emu|shm|both, DESIGN.md §3)
+// and reports both timings side by side for each:
+//   modeled   slowest rank's compute proxy (edge ops × a calibrated per-edge
+//             cost) + its CommCosts-modeled communication — authoritative
+//             for the emu backend (threads on a 1-2 core box).
+//   measured  slowest rank's real wall clock — authoritative for the shm
+//             backend (one process per rank over POSIX shared memory).
 //
 // Paper shape: for *frontier-driven* algorithms, per-destination message
 // combining wins — Msg-Passing beats Pushing-RMA on all three (one combined
@@ -14,8 +18,11 @@
 // is irregular reads / int-FAA fast-path writes).
 //
 // --verify cross-checks every variant against the src/core/ shared-memory
-// kernels (exact for BFS distances and SSSP, 1e-9 for BC) and exits non-zero
-// on the first mismatch; CI smoke-runs this.
+// kernels (exact for BFS distances and SSSP, 1e-9 for BC), checks the
+// modeled ordering at every P >= 2, and on the shm backend additionally
+// checks the ordering on measured wall clock at the largest P; any failure
+// exits non-zero. CI smoke-runs this on both backends.
+#include <array>
 #include <cmath>
 #include <cstdlib>
 
@@ -32,9 +39,6 @@ using namespace pushpull::dist;
 
 namespace {
 
-constexpr DistVariant kVariants[3] = {DistVariant::PushRma, DistVariant::PullRma,
-                                      DistVariant::MsgPassing};
-
 // Calibrates the per-edge compute cost from a single shared-memory BFS.
 double calibrate_edge_cost_us(const Csr& g, vid_t root) {
   const double s = pushpull::bench::time_s([&] { bfs_push(g, root); });
@@ -43,31 +47,30 @@ double calibrate_edge_cost_us(const Csr& g, vid_t root) {
 
 int failures = 0;
 
-void report_mismatch(const char* algo, DistVariant v, int ranks) {
-  std::fprintf(stderr, "VERIFY FAILED: %s %s at P=%d disagrees with src/core\n",
-               algo, to_string(v), ranks);
+void report_mismatch(const char* algo, DistVariant v, int ranks,
+                     BackendKind backend) {
+  std::fprintf(stderr,
+               "VERIFY FAILED: %s %s at P=%d (%s backend) disagrees with "
+               "src/core\n",
+               algo, to_string(v), ranks, to_string(backend));
   ++failures;
 }
 
 struct VariantRun {
   RankStats total;
-  double modeled_s = 0.0;
+  bench::VariantTimes times;
   double comm_us = 0.0;
 };
 
-void print_scaling_table(const char* algo, const std::string& label,
-                         const std::vector<int>& ranks,
-                         const std::vector<std::array<VariantRun, 3>>& runs) {
-  std::printf("\n%s, %s (modeled seconds):\n", algo, label.c_str());
-  Table table({"P", "Pushing-RMA", "Pulling-RMA", "Msg-Passing",
-               "MP speedup vs push"});
-  for (std::size_t i = 0; i < ranks.size(); ++i) {
-    table.add_row({std::to_string(ranks[i]), Table::num(runs[i][0].modeled_s, 4),
-                   Table::num(runs[i][1].modeled_s, 4),
-                   Table::num(runs[i][2].modeled_s, 4),
-                   Table::num(runs[i][0].modeled_s / runs[i][2].modeled_s, 1) + "x"});
+void print_scaling_tables(const char* algo, const std::string& label,
+                          const std::vector<int>& ranks,
+                          const std::vector<std::array<VariantRun, 3>>& runs) {
+  std::vector<std::array<bench::VariantTimes, 3>> times;
+  times.reserve(runs.size());
+  for (const auto& row : runs) {
+    times.push_back({row[0].times, row[1].times, row[2].times});
   }
-  table.print();
+  bench::print_variant_tables(algo, label, ranks, times, /*mp_speedup=*/true);
 }
 
 void print_counter_table(const char* algo, int ranks,
@@ -78,7 +81,7 @@ void print_counter_table(const char* algo, int ranks,
                "comm ms (slowest rank)"});
   for (int i = 0; i < 3; ++i) {
     const RankStats& t = runs[i].total;
-    table.add_row({to_string(kVariants[i]), std::to_string(t.msgs_sent),
+    table.add_row({to_string(bench::kDistVariants[i]), std::to_string(t.msgs_sent),
                    Table::num(static_cast<double>(t.bytes_sent) / 1024.0, 1),
                    std::to_string(t.rma_accs), std::to_string(t.rma_gets),
                    std::to_string(t.rma_faas), Table::num(runs[i].comm_us / 1e3, 2)});
@@ -90,8 +93,7 @@ void print_counter_table(const char* algo, int ranks,
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
-  const int scale = static_cast<int>(cli.get_int("scale", -3));
-  const int max_ranks = static_cast<int>(cli.get_int("max-ranks", 16));
+  bench::DistCli dist_cli = bench::parse_dist_cli(cli, -3, 16);
   const double delta = cli.get_double("delta", 8.0);
   const int num_sources = static_cast<int>(cli.get_int("bc-sources", 4));
   const bool verify = cli.get_bool("verify");
@@ -103,13 +105,9 @@ int main(int argc, char** argv) {
       "frontier algorithms favor message combining: MP beats push-RMA on all "
       "three (vs TC in fig3_dm_scaling, where RMA wins)");
 
-  std::vector<int> ranks;
-  for (int r = 1; r <= max_ranks; r *= 2) ranks.push_back(r);
-  const CommCosts costs;
-
   for (const std::string& name : {std::string("orc"), std::string("ljn")}) {
-    const Csr g = analog_by_name(name, scale);
-    const Csr wg = analog_by_name(name, scale, /*weighted=*/true);
+    const Csr g = analog_by_name(name, dist_cli.scale);
+    const Csr wg = analog_by_name(name, dist_cli.scale, /*weighted=*/true);
     const std::string label = name + "*";
     bench::print_graph_line(label, g);
     const vid_t root = 0;  // the analogs' low ids are hubs
@@ -134,82 +132,117 @@ int main(int argc, char** argv) {
       bc_want = betweenness_centrality(g, bc_opt);
     }
 
-    std::vector<std::array<VariantRun, 3>> bfs_runs, sssp_runs, bc_runs;
-    for (int r : ranks) {
-      std::array<VariantRun, 3> bfs_row, sssp_row, bc_row;
-      for (int i = 0; i < 3; ++i) {
-        const DistVariant variant = kVariants[i];
+    for (const BackendKind backend : dist_cli.backends) {
+      bench::print_backend_banner(backend);
 
-        BfsDistOptions bfs_opt;
-        bfs_opt.variant = variant;
-        const BfsDistResult bfs_res = bfs_dist(g, root, r, bfs_opt);
-        bfs_row[static_cast<std::size_t>(i)] = {
-            bfs_res.total,
-            (static_cast<double>(bfs_res.max_rank_edge_ops) * edge_us +
-             bfs_res.max_comm_us) / 1e6,
-            bfs_res.max_comm_us};
-        if (verify && bfs_res.dist != bfs_want.dist) {
-          report_mismatch("bfs", variant, r);
-        }
+      std::vector<std::array<VariantRun, 3>> bfs_runs, sssp_runs, bc_runs;
+      for (int r : dist_cli.ranks) {
+        std::array<VariantRun, 3> bfs_row, sssp_row, bc_row;
+        for (int i = 0; i < 3; ++i) {
+          const DistVariant variant = bench::kDistVariants[i];
 
-        SsspDistOptions sssp_opt;
-        sssp_opt.variant = variant;
-        sssp_opt.delta = static_cast<weight_t>(delta);
-        const SsspDistResult sssp_res = sssp_dist(wg, root, r, sssp_opt);
-        sssp_row[static_cast<std::size_t>(i)] = {
-            sssp_res.total,
-            (static_cast<double>(sssp_res.max_rank_edge_ops) * edge_us +
-             sssp_res.max_comm_us) / 1e6,
-            sssp_res.max_comm_us};
-        if (verify && sssp_res.dist != sssp_want.dist) {
-          report_mismatch("sssp", variant, r);
-        }
+          BfsDistOptions bfs_opt;
+          bfs_opt.variant = variant;
+          bfs_opt.backend = backend;
+          const BfsDistResult bfs_res = bfs_dist(g, root, r, bfs_opt);
+          bfs_row[static_cast<std::size_t>(i)] = {
+              bfs_res.total,
+              {(static_cast<double>(bfs_res.max_rank_edge_ops) * edge_us +
+                bfs_res.max_comm_us) / 1e6,
+               bfs_res.max_rank_wall_us / 1e6},
+              bfs_res.max_comm_us};
+          if (verify && bfs_res.dist != bfs_want.dist) {
+            report_mismatch("bfs", variant, r, backend);
+          }
 
-        BcDistOptions bc_opt;
-        bc_opt.variant = variant;
-        bc_opt.sources = sources;
-        const BcDistResult bc_res = betweenness_centrality_dist(g, r, bc_opt);
-        bc_row[static_cast<std::size_t>(i)] = {
-            bc_res.total,
-            (static_cast<double>(bc_res.max_rank_edge_ops) * edge_us +
-             bc_res.max_comm_us) / 1e6,
-            bc_res.max_comm_us};
-        if (verify) {
-          for (std::size_t v = 0; v < bc_want.bc.size(); ++v) {
-            if (std::abs(bc_res.bc[v] - bc_want.bc[v]) >
-                1e-9 * (1.0 + std::abs(bc_want.bc[v]))) {
-              report_mismatch("bc", variant, r);
-              break;
+          SsspDistOptions sssp_opt;
+          sssp_opt.variant = variant;
+          sssp_opt.backend = backend;
+          sssp_opt.delta = static_cast<weight_t>(delta);
+          const SsspDistResult sssp_res = sssp_dist(wg, root, r, sssp_opt);
+          sssp_row[static_cast<std::size_t>(i)] = {
+              sssp_res.total,
+              {(static_cast<double>(sssp_res.max_rank_edge_ops) * edge_us +
+                sssp_res.max_comm_us) / 1e6,
+               sssp_res.max_rank_wall_us / 1e6},
+              sssp_res.max_comm_us};
+          if (verify && sssp_res.dist != sssp_want.dist) {
+            report_mismatch("sssp", variant, r, backend);
+          }
+
+          BcDistOptions bc_opt;
+          bc_opt.variant = variant;
+          bc_opt.backend = backend;
+          bc_opt.sources = sources;
+          const BcDistResult bc_res = betweenness_centrality_dist(g, r, bc_opt);
+          bc_row[static_cast<std::size_t>(i)] = {
+              bc_res.total,
+              {(static_cast<double>(bc_res.max_rank_edge_ops) * edge_us +
+                bc_res.max_comm_us) / 1e6,
+               bc_res.max_rank_wall_us / 1e6},
+              bc_res.max_comm_us};
+          if (verify) {
+            for (std::size_t v = 0; v < bc_want.bc.size(); ++v) {
+              if (std::abs(bc_res.bc[v] - bc_want.bc[v]) >
+                  1e-9 * (1.0 + std::abs(bc_want.bc[v]))) {
+                report_mismatch("bc", variant, r, backend);
+                break;
+              }
             }
           }
         }
+        bfs_runs.push_back(bfs_row);
+        sssp_runs.push_back(sssp_row);
+        bc_runs.push_back(bc_row);
       }
-      bfs_runs.push_back(bfs_row);
-      sssp_runs.push_back(sssp_row);
-      bc_runs.push_back(bc_row);
-    }
 
-    print_scaling_table("BFS", label, ranks, bfs_runs);
-    print_scaling_table("SSSP-Δ", label, ranks, sssp_runs);
-    print_scaling_table("BC", label + " (" + std::to_string(num_sources) + " sources)",
-                        ranks, bc_runs);
-    print_counter_table("BFS", ranks.back(), bfs_runs.back());
-    print_counter_table("SSSP-Δ", ranks.back(), sssp_runs.back());
-    print_counter_table("BC", ranks.back(), bc_runs.back());
+      print_scaling_tables("BFS", label, dist_cli.ranks, bfs_runs);
+      print_scaling_tables("SSSP-Δ", label, dist_cli.ranks, sssp_runs);
+      print_scaling_tables("BC", label + " (" + std::to_string(num_sources) +
+                           " sources)", dist_cli.ranks, bc_runs);
+      print_counter_table("BFS", dist_cli.ranks.back(), bfs_runs.back());
+      print_counter_table("SSSP-Δ", dist_cli.ranks.back(), sssp_runs.back());
+      print_counter_table("BC", dist_cli.ranks.back(), bc_runs.back());
 
-    // The paper's qualitative claim, checked mechanically at every P >= 2.
-    // Always printed; only gates the exit code under --verify (exploratory
-    // runs after a cost-model tweak should not fail silently mid-table).
-    for (std::size_t i = 0; i < ranks.size(); ++i) {
-      if (ranks[i] < 2) continue;
-      if (bfs_runs[i][2].comm_us >= bfs_runs[i][0].comm_us ||
-          sssp_runs[i][2].comm_us >= sssp_runs[i][0].comm_us ||
-          bc_runs[i][2].comm_us >= bc_runs[i][0].comm_us) {
-        std::fprintf(stderr,
-                     "SHAPE VIOLATION: MP does not beat push-RMA on modeled "
-                     "comm at P=%d on %s\n",
-                     ranks[i], label.c_str());
-        if (verify) ++failures;
+      // The paper's qualitative claim on modeled communication, checked
+      // mechanically at every P >= 2. Always printed; only gates the exit
+      // code under --verify (exploratory runs after a cost-model tweak
+      // should not fail silently mid-table). Counters are backend-invariant,
+      // so under --backend=both this runs for the first backend only.
+      for (std::size_t i = 0;
+           backend == dist_cli.backends.front() && i < dist_cli.ranks.size();
+           ++i) {
+        if (dist_cli.ranks[i] < 2) continue;
+        if (bfs_runs[i][2].comm_us >= bfs_runs[i][0].comm_us ||
+            sssp_runs[i][2].comm_us >= sssp_runs[i][0].comm_us ||
+            bc_runs[i][2].comm_us >= bc_runs[i][0].comm_us) {
+          std::fprintf(stderr,
+                       "SHAPE VIOLATION: MP does not beat push-RMA on modeled "
+                       "comm at P=%d on %s (%s backend)\n",
+                       dist_cli.ranks[i], label.c_str(), to_string(backend));
+          if (verify) ++failures;
+        }
+      }
+
+      // On the process backend the same ordering must hold on *measured*
+      // wall clock at the largest rank count — the lock-protocol accumulates
+      // per cut edge are real there.
+      if (backend == BackendKind::Shm && dist_cli.ranks.back() >= 2) {
+        const auto& bfs_last = bfs_runs.back();
+        const auto& sssp_last = sssp_runs.back();
+        const auto& bc_last = bc_runs.back();
+        const struct { const char* algo; const std::array<VariantRun, 3>& row; }
+            checks[] = {{"bfs", bfs_last}, {"sssp", sssp_last}, {"bc", bc_last}};
+        for (const auto& c : checks) {
+          if (c.row[2].times.wall_s >= c.row[0].times.wall_s) {
+            std::fprintf(stderr,
+                         "WALL SHAPE VIOLATION: %s MP (%.4fs) does not beat "
+                         "push-RMA (%.4fs) at P=%d on %s\n",
+                         c.algo, c.row[2].times.wall_s, c.row[0].times.wall_s,
+                         dist_cli.ranks.back(), label.c_str());
+            if (verify) ++failures;
+          }
+        }
       }
     }
   }

@@ -2,6 +2,10 @@
 // weak-scaling): distributed PageRank with a constant per-rank workload —
 // the graph doubles with the rank count.
 //
+// Runs on either transport backend (--backend=emu|shm|both) and reports the
+// modeled time (authoritative for emu) and the measured per-process wall
+// clock (authoritative for shm) side by side.
+//
 // Shape to verify: Msg-Passing stays near-flat (per-rank message volume is
 // constant), Pushing-RMA degrades fastest (the remote-accumulate share of
 // each rank's edges grows with the rank count).
@@ -14,9 +18,8 @@ using namespace pushpull::dist;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
-  const int base_scale = static_cast<int>(cli.get_int("base-scale", 10));
+  bench::DistCli dist_cli = bench::parse_dist_cli(cli, 10, 8, "base-scale");
   const int iters = static_cast<int>(cli.get_int("pr-iters", 2));
-  const int max_ranks = static_cast<int>(cli.get_int("max-ranks", 8));
   cli.check();
 
   bench::print_banner(
@@ -25,24 +28,31 @@ int main(int argc, char** argv) {
       "(all variants grow with the 1D hub imbalance)");
 
   const CommCosts costs;
-  Table table({"P", "n", "Pushing-RMA [s]", "Pulling-RMA [s]", "Msg-Passing [s]"});
   const double edge_us = 0.05;  // fixed compute proxy; communication is the object
-  int scale = base_scale;
-  for (int r = 1; r <= max_ranks; r *= 2, ++scale) {
-    const Csr g = make_undirected(vid_t{1} << scale, rmat_edges(scale, 8, 123));
-    double modeled[3];
-    const DistVariant variants[3] = {DistVariant::PushRma, DistVariant::PullRma,
-                                     DistVariant::MsgPassing};
-    for (int i = 0; i < 3; ++i) {
-      const DistPrResult res = pagerank_dist(g, r, iters, 0.85, variants[i], costs);
-      modeled[i] = (static_cast<double>(res.max_rank_edge_ops) * edge_us +
-                    res.max_comm_us) /
-                   1e6;
+  for (const BackendKind backend : dist_cli.backends) {
+    bench::print_backend_banner(backend);
+    Table table({"P", "n", "Pushing-RMA [s]", "Pulling-RMA [s]",
+                 "Msg-Passing [s]", "push wall [s]", "pull wall [s]",
+                 "MP wall [s]"});
+    int scale = dist_cli.scale;
+    for (int r = 1; r <= dist_cli.max_ranks; r *= 2, ++scale) {
+      const Csr g = make_undirected(vid_t{1} << scale, rmat_edges(scale, 8, 123));
+      double modeled[3];
+      double wall[3];
+      for (int i = 0; i < 3; ++i) {
+        const DistPrResult res =
+            pagerank_dist(g, r, iters, 0.85, bench::kDistVariants[i], costs, backend);
+        modeled[i] = (static_cast<double>(res.max_rank_edge_ops) * edge_us +
+                      res.max_comm_us) /
+                     1e6;
+        wall[i] = res.max_rank_wall_us / 1e6;
+      }
+      table.add_row({std::to_string(r), std::to_string(vid_t{1} << scale),
+                     Table::num(modeled[0], 4), Table::num(modeled[1], 4),
+                     Table::num(modeled[2], 4), Table::num(wall[0], 4),
+                     Table::num(wall[1], 4), Table::num(wall[2], 4)});
     }
-    table.add_row({std::to_string(r), std::to_string(vid_t{1} << scale),
-                   Table::num(modeled[0], 4), Table::num(modeled[1], 4),
-                   Table::num(modeled[2], 4)});
+    table.print();
   }
-  table.print();
   return 0;
 }

@@ -23,6 +23,13 @@
 //                  (sum) and exchange one alltoallv lane per destination
 //                  rank.
 //
+// With `direction_optimizing` set, the forward phase flips per superstep
+// between the variant's own sparse expansion and the pulling (bottom-up)
+// expansion, driven by DistFrontier's allreduced frontier size and
+// out-degree mass — the Beamer switch on Brandes' σ-counting BFS. σ values
+// are exact integer sums, so they are invariant under the switch. The
+// backward sweep keeps the variant's own communication style.
+//
 // Results match the shared-memory betweenness_centrality to 1e-9 (float
 // accumulation order differs across rank counts). Sources semantics mirror
 // core/bc.hpp: empty = all vertices, and the final halving applies exactly
@@ -35,6 +42,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "dist/frontier_dist.hpp"
@@ -47,15 +55,23 @@ namespace pushpull::dist {
 
 struct BcDistOptions {
   DistVariant variant = DistVariant::MsgPassing;
+  BackendKind backend = BackendKind::Emu;
   // Sources to process; empty = all vertices (exact BC, halved like core).
   std::vector<vid_t> sources;
+  // Forward-phase sparse/dense switching (meaningful for PushRma and
+  // MsgPassing; PullRma's forward phase is always dense).
+  bool direction_optimizing = false;
+  DistFrontier::Heuristic heuristic{};
   CommCosts costs{};
 };
 
 struct BcDistResult {
   std::vector<double> bc;
+  int dense_rounds = 0;   // forward supersteps expanded bottom-up (pull)
+  int sparse_rounds = 0;  // forward supersteps expanded in the variant's style
   RankStats total;
   double max_comm_us = 0.0;
+  double max_rank_wall_us = 0.0;
   std::uint64_t max_rank_edge_ops = 0;
 };
 
@@ -76,25 +92,30 @@ inline BcDistResult betweenness_centrality_dist(const Csr& g, int nranks,
     for (vid_t v = 0; v < n; ++v) sources[static_cast<std::size_t>(v)] = v;
   }
 
-  World world(nranks);
+  World world(nranks, opt.backend);
   const Partition1D part(n, nranks);
-  DistFrontier frontier(g, part, nranks);
-  Window<vid_t> lvl(static_cast<std::size_t>(n), nranks);      // BFS level
-  Window<std::int64_t> sigma(static_cast<std::size_t>(n), nranks);
-  Window<std::int64_t> sigma_next(static_cast<std::size_t>(n), nranks);
-  Window<double> coef(static_cast<std::size_t>(n), nranks);    // (1+δ)/σ
-  Window<double> dep(static_cast<std::size_t>(n), nranks);     // backward stage
+  DistFrontier frontier(world, g, part, opt.heuristic);
+  Window<vid_t> lvl(world, static_cast<std::size_t>(n));      // BFS level
+  Window<std::int64_t> sigma(world, static_cast<std::size_t>(n));
+  Window<std::int64_t> sigma_next(world, static_cast<std::size_t>(n));
+  Window<double> coef(world, static_cast<std::size_t>(n));    // (1+δ)/σ
+  Window<double> dep(world, static_cast<std::size_t>(n));     // backward stage
   std::vector<double> delta(static_cast<std::size_t>(n), 0.0);  // owner-local
+  // Owner-published result slice and rank-0 forward round counters
+  // (dense, sparse); shared so process-backed ranks reach the parent.
+  const std::span<double> bc_out =
+      world.shared_array<double>(static_cast<std::size_t>(n));
+  const std::span<std::int32_t> rounds_out = world.shared_array<std::int32_t>(2);
 
   world.run([&](Rank& rank) {
     const int me = rank.id();
     const vid_t vbeg = part.begin(me);
     const vid_t vend = part.end(me);
-    auto& L = lvl.raw();
-    auto& S = sigma.raw();
-    auto& SN = sigma_next.raw();
-    auto& C = coef.raw();
-    auto& D = dep.raw();
+    const std::span<vid_t> L = lvl.raw();
+    const std::span<std::int64_t> S = sigma.raw();
+    const std::span<std::int64_t> SN = sigma_next.raw();
+    const std::span<double> C = coef.raw();
+    const std::span<double> D = dep.raw();
     CombiningBuffers<std::int64_t> fwd_lanes(part, nranks);  // σ contributions
     CombiningBuffers<double> bwd_lanes(part, nranks);        // δ coefficients
     std::vector<std::vector<vid_t>> levels;  // owned frontier per level
@@ -129,6 +150,11 @@ inline BcDistResult betweenness_centrality_dist(const Csr& g, int nranks,
       while (!frontier.globally_empty(rank)) {
         levels.push_back(frontier.owned(rank));
         ++level;
+        const bool dense =
+            opt.variant == DistVariant::PullRma ||
+            (opt.direction_optimizing &&
+             frontier.mode(rank) == FrontierMode::Dense);
+        if (me == 0) ++rounds_out[dense ? 0 : 1];
         std::vector<vid_t> next;
         // Claims any owned vertex whose σ stage is non-zero: contributions
         // only ever target the next level, so a non-zero stage on an
@@ -147,57 +173,52 @@ inline BcDistResult betweenness_centrality_dist(const Csr& g, int nranks,
           }
         };
 
-        switch (opt.variant) {
-          case DistVariant::PushRma: {
-            for (vid_t v : frontier.owned(rank)) {
-              const std::int64_t sv = S[static_cast<std::size_t>(v)];
-              for (vid_t u : g.neighbors(v)) {
-                ++rank.stats().edge_ops;
-                sigma_next.faa(rank, static_cast<std::size_t>(u), sv);
+        if (dense) {
+          // Bottom-up: unvisited owned vertices pull (level, σ) pairs from
+          // their in-neighbors; writes stay owner-local.
+          for (vid_t v = vbeg; v < vend; ++v) {
+            if (L[static_cast<std::size_t>(v)] != -1) continue;
+            std::int64_t paths = 0;
+            for (vid_t u : gin.neighbors(v)) {
+              ++rank.stats().edge_ops;
+              if (lvl.get(rank, static_cast<std::size_t>(u)) == level - 1) {
+                paths += sigma.get(rank, static_cast<std::size_t>(u));
               }
             }
-            rank.barrier();  // all σ FAAs landed
-            finalize();
-            break;
+            if (paths > 0) {
+              // Atomic (counted local) puts: other ranks concurrently probe
+              // these slots with one-sided gets.
+              lvl.put(rank, static_cast<std::size_t>(v), level);
+              sigma.put(rank, static_cast<std::size_t>(v), paths);
+              next.push_back(v);
+            }
           }
-          case DistVariant::PullRma: {
-            for (vid_t v = vbeg; v < vend; ++v) {
-              if (L[static_cast<std::size_t>(v)] != -1) continue;
-              std::int64_t paths = 0;
-              for (vid_t u : gin.neighbors(v)) {
-                ++rank.stats().edge_ops;
-                if (lvl.get(rank, static_cast<std::size_t>(u)) == level - 1) {
-                  paths += sigma.get(rank, static_cast<std::size_t>(u));
-                }
-              }
-              if (paths > 0) {
-                // Atomic (counted local) puts: other ranks concurrently probe
-                // these slots with one-sided gets.
-                lvl.put(rank, static_cast<std::size_t>(v), level);
-                sigma.put(rank, static_cast<std::size_t>(v), paths);
-                next.push_back(v);
-              }
+        } else if (opt.variant == DistVariant::PushRma) {
+          for (vid_t v : frontier.owned(rank)) {
+            const std::int64_t sv = S[static_cast<std::size_t>(v)];
+            for (vid_t u : g.neighbors(v)) {
+              ++rank.stats().edge_ops;
+              sigma_next.faa(rank, static_cast<std::size_t>(u), sv);
             }
-            break;
           }
-          case DistVariant::MsgPassing: {
-            for (vid_t v : frontier.owned(rank)) {
-              const std::int64_t sv = S[static_cast<std::size_t>(v)];
-              for (vid_t u : g.neighbors(v)) {
-                ++rank.stats().edge_ops;
-                if (part.owner(u) == me) {
-                  SN[static_cast<std::size_t>(u)] += sv;
-                } else {
-                  fwd_lanes.stage(u, sv, sum_i64);
-                }
+          rank.barrier();  // all σ FAAs landed
+          finalize();
+        } else {  // MsgPassing sparse round
+          for (vid_t v : frontier.owned(rank)) {
+            const std::int64_t sv = S[static_cast<std::size_t>(v)];
+            for (vid_t u : g.neighbors(v)) {
+              ++rank.stats().edge_ops;
+              if (part.owner(u) == me) {
+                SN[static_cast<std::size_t>(u)] += sv;
+              } else {
+                fwd_lanes.stage(u, sv, sum_i64);
               }
             }
-            for (const auto& e : fwd_lanes.exchange(rank)) {
-              SN[static_cast<std::size_t>(e.v)] += e.val;
-            }
-            finalize();
-            break;
           }
+          for (const auto& e : fwd_lanes.exchange(rank)) {
+            SN[static_cast<std::size_t>(e.v)] += e.val;
+          }
+          finalize();
         }
         frontier.advance(rank, std::move(next));
       }
@@ -275,20 +296,24 @@ inline BcDistResult betweenness_centrality_dist(const Csr& g, int nranks,
       }
 
       for (vid_t v = vbeg; v < vend; ++v) {
-        if (v != s) res.bc[static_cast<std::size_t>(v)] += delta[static_cast<std::size_t>(v)];
+        if (v != s) bc_out[static_cast<std::size_t>(v)] += delta[static_cast<std::size_t>(v)];
       }
     }
 
     // Undirected all-sources BC counts each (s, t) pair twice (core/bc.hpp
     // convention, mirrored exactly).
     if (sources.size() == static_cast<std::size_t>(n)) {
-      for (vid_t v = vbeg; v < vend; ++v) res.bc[static_cast<std::size_t>(v)] /= 2.0;
+      for (vid_t v = vbeg; v < vend; ++v) bc_out[static_cast<std::size_t>(v)] /= 2.0;
     }
   });
 
+  res.bc.assign(bc_out.begin(), bc_out.end());
+  res.dense_rounds = rounds_out[0];
+  res.sparse_rounds = rounds_out[1];
   res.total = world.total_stats();
   res.max_comm_us = world.max_modeled_comm_us(opt.costs);
   res.max_rank_edge_ops = world.max_edge_ops();
+  res.max_rank_wall_us = world.max_rank_wall_us();
   return res;
 }
 

@@ -29,6 +29,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "dist/frontier_dist.hpp"
@@ -41,6 +42,7 @@ namespace pushpull::dist {
 
 struct BfsDistOptions {
   DistVariant variant = DistVariant::MsgPassing;
+  BackendKind backend = BackendKind::Emu;
   // Per-superstep sparse/dense switching. Meaningful for PushRma and
   // MsgPassing; PullRma runs every round dense regardless.
   bool direction_optimizing = false;
@@ -55,6 +57,7 @@ struct BfsDistResult {
   std::vector<FrontierMode> level_modes;  // expansion mode per level
   RankStats total;
   double max_comm_us = 0.0;
+  double max_rank_wall_us = 0.0;
   std::uint64_t max_rank_edge_ops = 0;
 };
 
@@ -88,23 +91,32 @@ inline BfsDistResult bfs_dist(const Csr& g, vid_t root, int nranks,
   PP_CHECK(root >= 0 && root < n);
   PP_CHECK(gin.n() == n);
 
-  World world(nranks);
+  World world(nranks, opt.backend);
   const Partition1D part(n, nranks);
-  DistFrontier frontier(g, part, nranks, opt.heuristic);
-  Window<std::int64_t> claim(static_cast<std::size_t>(n), nranks);
+  DistFrontier frontier(world, g, part, opt.heuristic);
+  Window<std::int64_t> claim(world, static_cast<std::size_t>(n));
   std::fill(claim.raw().begin(), claim.raw().end(), detail::kUnclaimed);
   claim.raw()[static_cast<std::size_t>(root)] =
       detail::pack_claim(0, kInvalidVertex);
 
-  BfsDistResult res;
-  res.dist.assign(static_cast<std::size_t>(n), -1);
-  res.parent.assign(static_cast<std::size_t>(n), -1);
+  // Owner-published result slices and rank-0 level metadata; shared so
+  // process-backed ranks reach the controlling process. A BFS has at most n
+  // non-empty levels.
+  const std::span<vid_t> dist_out =
+      world.shared_array<vid_t>(static_cast<std::size_t>(n));
+  const std::span<vid_t> parent_out =
+      world.shared_array<vid_t>(static_cast<std::size_t>(n));
+  const std::span<FrontierMode> mode_out =
+      world.shared_array<FrontierMode>(static_cast<std::size_t>(n) + 1);
+  const std::span<std::int32_t> levels_out = world.shared_array<std::int32_t>(1);
+  std::fill(dist_out.begin(), dist_out.end(), vid_t{-1});
+  std::fill(parent_out.begin(), parent_out.end(), vid_t{-1});
 
   world.run([&](Rank& rank) {
     const int me = rank.id();
     const vid_t vbeg = part.begin(me);
     const vid_t vend = part.end(me);
-    auto& craw = claim.raw();
+    const std::span<std::int64_t> craw = claim.raw();
     CombiningBuffers<vid_t> lanes(part, nranks);  // payload: proposed parent
 
     frontier.advance(rank, part.owner(root) == me ? std::vector<vid_t>{root}
@@ -117,9 +129,8 @@ inline BfsDistResult bfs_dist(const Csr& g, vid_t root, int nranks,
           (opt.direction_optimizing &&
            frontier.mode(rank) == FrontierMode::Dense);
       if (me == 0) {
-        ++res.levels;
-        res.level_modes.push_back(dense ? FrontierMode::Dense
-                                        : FrontierMode::Sparse);
+        mode_out[static_cast<std::size_t>(levels_out[0]++)] =
+            dense ? FrontierMode::Dense : FrontierMode::Sparse;
       }
       std::vector<vid_t> next;
 
@@ -188,14 +199,21 @@ inline BfsDistResult bfs_dist(const Csr& g, vid_t root, int nranks,
     for (vid_t v = vbeg; v < vend; ++v) {
       const std::int64_t c = craw[static_cast<std::size_t>(v)];
       if (c == detail::kUnclaimed) continue;
-      res.dist[static_cast<std::size_t>(v)] = detail::claim_level(c);
-      res.parent[static_cast<std::size_t>(v)] = detail::claim_parent(c);
+      dist_out[static_cast<std::size_t>(v)] = detail::claim_level(c);
+      parent_out[static_cast<std::size_t>(v)] = detail::claim_parent(c);
     }
   });
 
+  BfsDistResult res;
+  res.dist.assign(dist_out.begin(), dist_out.end());
+  res.parent.assign(parent_out.begin(), parent_out.end());
+  res.levels = levels_out[0];
+  res.level_modes.assign(mode_out.begin(),
+                         mode_out.begin() + levels_out[0]);
   res.total = world.total_stats();
   res.max_comm_us = world.max_modeled_comm_us(opt.costs);
   res.max_rank_edge_ops = world.max_edge_ops();
+  res.max_rank_wall_us = world.max_rank_wall_us();
   return res;
 }
 

@@ -34,6 +34,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/direction.hpp"
@@ -115,35 +116,38 @@ class CombiningBuffers {
   std::vector<std::int32_t> slot_;
 };
 
-// The core DenseFrontier bitmap behind a counted one-sided interface: element
-// v belongs to owner(v); probing or setting a remote element is charged as
-// one RMA op, local accesses are attributed but free (same convention as
-// Window<T>).
+// The core DenseFrontier byte-per-vertex bitmap behind a counted one-sided
+// interface: element v belongs to owner(v); probing or setting a remote
+// element is charged as one RMA op, local accesses are attributed but free
+// (same convention as Window<T>). The bytes live in the World's shared arena
+// so process-backed ranks probe the same memory; writes and probes of a
+// superstep are separated by DistFrontier's collective barriers.
 class DenseFrontierWindow {
  public:
-  DenseFrontierWindow(vid_t n, const Partition1D& part) : bits_(n), part_(&part) {}
+  DenseFrontierWindow(World& world, vid_t n, const Partition1D& part)
+      : bits_(world.shared_array<std::uint8_t>(static_cast<std::size_t>(n))),
+        part_(&part) {}
 
   void set(Rank& rank, vid_t v) {
-    (part_->owner(v) == rank.id() ? rank.stats().local_puts
-                                  : rank.stats().rma_puts) += 1;
-    bits_.set(v);
+    rank.count_put(part_->owner(v) != rank.id());
+    bits_[static_cast<std::size_t>(v)] = 1;
   }
 
   bool test(Rank& rank, vid_t v) const {
-    (part_->owner(v) == rank.id() ? rank.stats().local_gets
-                                  : rank.stats().rma_gets) += 1;
-    return bits_.test(v);
+    rank.count_get(part_->owner(v) != rank.id());
+    return bits_[static_cast<std::size_t>(v)] != 0;
   }
 
   // Owner-side maintenance (uncounted, like zeroing a Window's raw slice).
   void clear_owned(const Rank& rank) {
-    bits_.clear_range(part_->begin(rank.id()), part_->end(rank.id()));
+    std::fill(bits_.begin() + part_->begin(rank.id()),
+              bits_.begin() + part_->end(rank.id()), std::uint8_t{0});
   }
 
-  const DenseFrontier& raw() const noexcept { return bits_; }
+  std::span<const std::uint8_t> raw() const noexcept { return bits_; }
 
  private:
-  DenseFrontier bits_;
+  std::span<std::uint8_t> bits_;
   const Partition1D* part_;
 };
 
@@ -163,11 +167,10 @@ class DistFrontier {
  public:
   using Heuristic = FrontierHeuristic;
 
-  DistFrontier(const Csr& g, const Partition1D& part, int nranks,
+  DistFrontier(World& world, const Csr& g, const Partition1D& part,
                Heuristic h = {})
-      : g_(&g), part_(&part), bitmap_(g.n(), part),
-        ranks_(static_cast<std::size_t>(nranks)) {
-    PP_CHECK(nranks >= 1);
+      : g_(&g), part_(&part), bitmap_(world, g.n(), part),
+        ranks_(static_cast<std::size_t>(world.nranks())) {
     for (auto& p : ranks_) {
       p.value.ctl = SwitchController(h.alpha, h.beta, Direction::Push);
     }

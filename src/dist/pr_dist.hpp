@@ -21,6 +21,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "dist/runtime.hpp"
@@ -34,6 +35,7 @@ struct DistPrResult {
   std::vector<double> pr;           // final rank vector, all vertices
   RankStats total;                  // counters summed over ranks
   double max_comm_us = 0.0;         // slowest rank's modeled communication
+  double max_rank_wall_us = 0.0;    // slowest rank's measured wall clock
   std::uint64_t max_rank_edge_ops = 0;  // slowest rank's compute proxy
 };
 
@@ -48,18 +50,19 @@ struct PrContribution {
 }  // namespace detail
 
 inline DistPrResult pagerank_dist(const Csr& g, int nranks, int iters, double damping,
-                                  DistVariant variant, const CommCosts& costs = CommCosts{}) {
+                                  DistVariant variant, const CommCosts& costs = CommCosts{},
+                                  BackendKind backend = BackendKind::Emu) {
   const vid_t n = g.n();
   PP_CHECK(n > 0 && nranks >= 1 && iters >= 0);
 
-  World world(nranks);
+  World world(nranks, backend);
   const Partition1D part(n, nranks);
   // Double-buffered rank windows: iteration l reads bufs[l%2], writes
   // bufs[(l+1)%2]. Degrees are mirrored into a window so the pull variant's
   // paired rank+degree fetches go through counted gets.
-  Window<double> buf_a(static_cast<std::size_t>(n), nranks);
-  Window<double> buf_b(static_cast<std::size_t>(n), nranks);
-  Window<double> deg_win(static_cast<std::size_t>(n), nranks);
+  Window<double> buf_a(world, static_cast<std::size_t>(n));
+  Window<double> buf_b(world, static_cast<std::size_t>(n));
+  Window<double> deg_win(world, static_cast<std::size_t>(n));
   std::fill(buf_a.raw().begin(), buf_a.raw().end(), 1.0 / n);
   for (vid_t v = 0; v < n; ++v) {
     deg_win.raw()[static_cast<std::size_t>(v)] = static_cast<double>(g.degree(v));
@@ -83,8 +86,8 @@ inline DistPrResult pagerank_dist(const Csr& g, int nranks, int iters, double da
     for (int l = 0; l < iters; ++l) {
       Window<double>& cur = (l % 2 == 0) ? buf_a : buf_b;
       Window<double>& nxt = (l % 2 == 0) ? buf_b : buf_a;
-      std::vector<double>& curv = cur.raw();
-      std::vector<double>& nxtv = nxt.raw();
+      const std::span<double> curv = cur.raw();
+      const std::span<double> nxtv = nxt.raw();
 
       // Owner zeroes its slice of the target buffer; the allreduce below
       // doubles as the barrier that makes the zeroes visible before any rank
@@ -167,10 +170,13 @@ inline DistPrResult pagerank_dist(const Csr& g, int nranks, int iters, double da
   });
 
   DistPrResult res;
-  res.pr = (iters % 2 == 0) ? buf_a.raw() : buf_b.raw();
+  const std::span<const double> final_pr =
+      (iters % 2 == 0) ? buf_a.raw() : buf_b.raw();
+  res.pr.assign(final_pr.begin(), final_pr.end());
   res.total = world.total_stats();
   res.max_comm_us = world.max_modeled_comm_us(costs);
   res.max_rank_edge_ops = world.max_edge_ops();
+  res.max_rank_wall_us = world.max_rank_wall_us();
   return res;
 }
 

@@ -1,15 +1,28 @@
-// In-process emulation of an MPI-like distributed-memory runtime (§3.8, §6).
+// Distributed-memory runtime façade (§3.8, §6; DESIGN.md §3).
 //
 // The paper's distributed experiments compare three communication styles on
 // top of a 1D vertex partition: one-sided *pushing* (MPI_Accumulate / FAA),
 // one-sided *pulling* (MPI_Get), and two-sided *message passing* with
-// per-destination combining. This module reproduces those tradeoffs on a
-// single machine (DESIGN.md §3): every rank is a plain std::thread, windows
-// are shared arrays with atomic element access, and each rank's communication
-// is *counted* per operation. Reported "communication time" is the CommCosts
-// model applied to those counters, not wall time — the container has 1-2
-// cores, so wall time of oversubscribed threads would measure the scheduler,
-// not the algorithm.
+// per-destination combining. `World`/`Rank`/`Window<T>` reproduce those
+// tradeoffs as a thin façade over a pluggable Transport backend
+// (dist/transport.hpp), selected once at World construction:
+//
+//   World(n, BackendKind::Emu)  thread-per-rank emulation; reported
+//                               communication time is the CommCosts model
+//                               applied to RankStats counters (the container
+//                               has 1-2 cores — wall time of oversubscribed
+//                               threads would measure the scheduler).
+//   World(n, BackendKind::Shm)  forked processes over POSIX shared memory;
+//                               windows use real process-shared atomics, the
+//                               float-accumulate lock protocol is a real
+//                               striped lock, and per-rank wall-clock time
+//                               is measured.
+//
+// The façade owns everything backend-independent: counter attribution
+// (RankStats, identical across backends), the allreduce slot-fold protocol,
+// message counting, and the Window ownership/counting rules. Cross-rank
+// state (windows, result slices) must come from World::shared_array so it is
+// visible to process-backed ranks; everything else a rank touches is private.
 //
 // The cost model encodes the paper's central asymmetry: a floating-point
 // MPI_Accumulate runs a lock-protocol (remote lock, get, add, put, unlock —
@@ -18,15 +31,16 @@
 #pragma once
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <mutex>
-#include <thread>
+#include <span>
 #include <type_traits>
 #include <vector>
 
+#include "dist/transport.hpp"
+#include "dist/transport_emu.hpp"
+#include "dist/transport_shm.hpp"
 #include "graph/partition.hpp"
 #include "sync/atomics.hpp"
 #include "util/check.hpp"
@@ -65,7 +79,8 @@ struct CommCosts {
 
 // Communication counters for one rank. Local window accesses are tracked
 // separately from remote ones and carry no modeled cost: only operations that
-// would cross the network are charged.
+// would cross the network are charged. Counters are backend-independent —
+// the same run produces the same counts on emu and shm ranks.
 struct RankStats {
   std::uint64_t barriers = 0;
   std::uint64_t msgs_sent = 0;
@@ -111,23 +126,43 @@ struct RankStats {
 
 class Rank;
 
-// Spawns one thread per rank and hands each a Rank handle. The container is
-// heavily oversubscribed (more ranks than cores), so the internal barrier
-// sleeps on a condition variable instead of spinning.
+// Owns the transport and hands each rank a Rank handle. All shared state —
+// including the RankStats array — is allocated through the transport so
+// process-backed ranks and the controlling process see the same memory.
 class World {
  public:
-  explicit World(int nranks) : nranks_(nranks), stats_(static_cast<std::size_t>(nranks)) {
+  explicit World(int nranks, BackendKind backend = BackendKind::Emu,
+                 std::size_t shm_segment_bytes = kDefaultShmSegmentBytes)
+      : nranks_(nranks) {
     PP_CHECK(nranks >= 1);
-    inboxes_.reserve(static_cast<std::size_t>(nranks));
-    for (int r = 0; r < nranks; ++r) inboxes_.push_back(std::make_unique<Inbox>());
-    red_slots_.resize(static_cast<std::size_t>(nranks), 0.0);
-    a2a_slots_.resize(static_cast<std::size_t>(nranks), nullptr);
+    if (backend == BackendKind::Shm) {
+      PP_CHECK(shm_backend_available());
+      transport_ = std::make_unique<ShmTransport>(nranks, shm_segment_bytes);
+    } else {
+      transport_ = std::make_unique<EmuTransport>(nranks);
+    }
+    stats_ = shared_array<RankStats>(static_cast<std::size_t>(nranks)).data();
   }
 
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
   int nranks() const noexcept { return nranks_; }
+  BackendKind backend() const noexcept { return transport_->kind(); }
+  Transport& transport() noexcept { return *transport_; }
+
+  // Zero-initialized cross-rank storage for windows, bitmaps, and result
+  // slices. Call from the controlling process (before or between runs),
+  // never from inside a rank function.
+  template <class T>
+  std::span<T> shared_array(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                  std::is_trivially_destructible_v<T>);
+    T* p = static_cast<T*>(
+        transport_->shared_alloc(count * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < count; ++i) new (p + i) T{};
+    return {p, count};
+  }
 
   // SPMD entry point: fn(Rank&) runs once on every rank, concurrently.
   template <class F>
@@ -140,72 +175,80 @@ class World {
 
   RankStats total_stats() const {
     RankStats t;
-    for (const RankStats& s : stats_) t += s;
+    for (int r = 0; r < nranks_; ++r) t += stats_[static_cast<std::size_t>(r)];
     return t;
   }
 
   double max_modeled_comm_us(const CommCosts& c) const {
     double m = 0.0;
-    for (const RankStats& s : stats_) m = std::max(m, s.modeled_comm_us(c));
+    for (int r = 0; r < nranks_; ++r) {
+      m = std::max(m, stats_[static_cast<std::size_t>(r)].modeled_comm_us(c));
+    }
     return m;
   }
 
   std::uint64_t max_edge_ops() const {
     std::uint64_t m = 0;
-    for (const RankStats& s : stats_) m = std::max(m, s.edge_ops);
+    for (int r = 0; r < nranks_; ++r) {
+      m = std::max(m, stats_[static_cast<std::size_t>(r)].edge_ops);
+    }
+    return m;
+  }
+
+  // Slowest rank's measured wall-clock time, accumulated over run() calls.
+  // Meaningful for the shm backend; for emu it measures oversubscribed
+  // threads (use max_modeled_comm_us instead).
+  double max_rank_wall_us() const {
+    const double* w = transport_->rank_wall_us();
+    double m = 0.0;
+    for (int r = 0; r < nranks_; ++r) m = std::max(m, w[r]);
     return m;
   }
 
  private:
   friend class Rank;
 
-  struct Inbox {
-    std::mutex mu;
-    std::vector<std::byte> bytes;
-  };
-
-  // Internal barrier used both by Rank::barrier() (counted) and by the
-  // collectives (uncounted: their cost is modeled through msgs/bytes).
-  void barrier_wait() {
-    std::unique_lock<std::mutex> lk(bar_mu_);
-    const std::uint64_t phase = bar_phase_;
-    if (++bar_arrived_ == nranks_) {
-      bar_arrived_ = 0;
-      ++bar_phase_;
-      bar_cv_.notify_all();
-    } else {
-      bar_cv_.wait(lk, [&] { return bar_phase_ != phase; });
-    }
-  }
-
   int nranks_;
-  std::vector<RankStats> stats_;
-  std::vector<std::unique_ptr<Inbox>> inboxes_;
-
-  std::mutex bar_mu_;
-  std::condition_variable bar_cv_;
-  int bar_arrived_ = 0;
-  std::uint64_t bar_phase_ = 0;
-
-  // Scratch for allreduce / alltoallv; protected by the barrier protocol.
-  std::vector<double> red_slots_;
-  std::vector<const void*> a2a_slots_;
+  std::unique_ptr<Transport> transport_;
+  RankStats* stats_ = nullptr;
 };
 
 // A rank's handle to the world: identity, synchronization, collectives, and
-// two-sided messaging. All methods are called from the rank's own thread.
+// two-sided messaging. All methods are called from the rank's own
+// thread/process. Counter attribution lives here, above the transport, so
+// both backends count identically.
 class Rank {
  public:
   Rank(World& world, int id)
-      : world_(&world), id_(id), stats_(&world.stats_[static_cast<std::size_t>(id)]) {}
+      : world_(&world), id_(id),
+        stats_(&world.stats_[static_cast<std::size_t>(id)]) {}
 
   int id() const noexcept { return id_; }
   int nranks() const noexcept { return world_->nranks_; }
   RankStats& stats() noexcept { return *stats_; }
+  Transport& transport() noexcept { return *world_->transport_; }
 
   void barrier() {
     ++stats_->barriers;
-    world_->barrier_wait();
+    world_->transport_->barrier(id_);
+  }
+
+  // Attribution + wire charge for one window-class operation: remote ops
+  // count against the rma_* counters and pay the transport's emulated wire
+  // service time; local ops count separately and are free. Window<T> and the
+  // storage-less probes (dense frontier bitmap, TC's modeled adjacency
+  // fetches) all funnel through here so both backends count identically.
+  void count_put(bool remote) {
+    count_op(remote, stats_->local_puts, stats_->rma_puts, RemoteOpClass::Put);
+  }
+  void count_get(bool remote) {
+    count_op(remote, stats_->local_gets, stats_->rma_gets, RemoteOpClass::Get);
+  }
+  void count_acc(bool remote) {
+    count_op(remote, stats_->local_accs, stats_->rma_accs, RemoteOpClass::Acc);
+  }
+  void count_faa(bool remote) {
+    count_op(remote, stats_->local_faas, stats_->rma_faas, RemoteOpClass::Faa);
   }
 
   // Sum-allreduce over all ranks. Modeled as one message per rank (the
@@ -214,14 +257,14 @@ class Rank {
   // would silently round integer contributions above 2^53.
   template <class T>
   T allreduce_sum(T v) {
-    return allreduce<T>(v, [](double a, double b) { return a + b; });
+    return allreduce<T>(v, /*take_min=*/false);
   }
 
   // Min-allreduce over all ranks; same cost model. Used by the distributed
   // Δ-stepping kernel to agree on the next non-empty bucket.
   template <class T>
   T allreduce_min(T v) {
-    return allreduce<T>(v, [](double a, double b) { return std::min(a, b); });
+    return allreduce<T>(v, /*take_min=*/true);
   }
 
   // Personalized all-to-all: out[d] is this rank's payload for destination d.
@@ -231,24 +274,18 @@ class Rank {
   std::vector<T> alltoallv(const std::vector<std::vector<T>>& out) {
     static_assert(std::is_trivially_copyable_v<T>);
     PP_CHECK(static_cast<int>(out.size()) == world_->nranks_);
+    std::vector<ByteLane> lanes(out.size());
     for (int d = 0; d < world_->nranks_; ++d) {
       const auto& lane = out[static_cast<std::size_t>(d)];
+      lanes[static_cast<std::size_t>(d)] = {lane.data(), lane.size() * sizeof(T)};
       if (d != id_ && !lane.empty()) {
         ++stats_->msgs_sent;
         stats_->bytes_sent += lane.size() * sizeof(T);
       }
     }
-    world_->a2a_slots_[static_cast<std::size_t>(id_)] = &out;
-    world_->barrier_wait();
-    std::vector<T> in;
-    for (int s = 0; s < world_->nranks_; ++s) {
-      const auto* src = static_cast<const std::vector<std::vector<T>>*>(
-          world_->a2a_slots_[static_cast<std::size_t>(s)]);
-      const auto& lane = (*src)[static_cast<std::size_t>(id_)];
-      in.insert(in.end(), lane.begin(), lane.end());
-    }
-    world_->barrier_wait();  // every rank done reading before `out` buffers die
-    return in;
+    std::vector<std::byte> bytes;
+    world_->transport_->alltoallv(id_, lanes.data(), bytes);
+    return from_bytes<T>(bytes);
   }
 
   // Two-sided send: `count` elements are delivered into dest's inbox
@@ -258,13 +295,7 @@ class Rank {
     static_assert(std::is_trivially_copyable_v<T>);
     PP_CHECK(dest >= 0 && dest < world_->nranks_);
     const std::size_t nbytes = count * sizeof(T);
-    auto& inbox = *world_->inboxes_[static_cast<std::size_t>(dest)];
-    {
-      std::lock_guard<std::mutex> lk(inbox.mu);
-      const std::size_t off = inbox.bytes.size();
-      inbox.bytes.resize(off + nbytes);
-      std::memcpy(inbox.bytes.data() + off, data, nbytes);
-    }
+    world_->transport_->send(id_, dest, data, nbytes);
     // Self-sends stay in memory; only network-crossing traffic is charged.
     if (dest != id_) {
       ++stats_->msgs_sent;
@@ -278,34 +309,43 @@ class Rank {
   template <class T>
   std::vector<T> drain() {
     static_assert(std::is_trivially_copyable_v<T>);
-    auto& inbox = *world_->inboxes_[static_cast<std::size_t>(id_)];
-    std::lock_guard<std::mutex> lk(inbox.mu);
-    PP_CHECK(inbox.bytes.size() % sizeof(T) == 0);
-    std::vector<T> out(inbox.bytes.size() / sizeof(T));
-    std::memcpy(out.data(), inbox.bytes.data(), inbox.bytes.size());
-    inbox.bytes.clear();
-    return out;
+    std::vector<std::byte> bytes;
+    world_->transport_->drain(id_, bytes);
+    return from_bytes<T>(bytes);
   }
 
  private:
-  // Shared slot-write / barrier / fold / barrier protocol of the allreduce
-  // collectives. The trailing barrier keeps the slots alive until every rank
-  // has read them; only multi-rank worlds are charged.
-  template <class T, class Fold>
-  T allreduce(T v, Fold&& fold) {
+  // Backend-provided slot-fold reduction; only multi-rank worlds are
+  // charged. Every backend folds contributions in rank order, so the result
+  // is deterministic and identical across backends.
+  template <class T>
+  T allreduce(T v, bool take_min) {
     static_assert(std::is_floating_point_v<T>);
-    world_->red_slots_[static_cast<std::size_t>(id_)] = static_cast<double>(v);
-    world_->barrier_wait();
-    double acc = world_->red_slots_.front();
-    for (std::size_t r = 1; r < world_->red_slots_.size(); ++r) {
-      acc = fold(acc, world_->red_slots_[r]);
-    }
-    world_->barrier_wait();
+    const double acc =
+        world_->transport_->allreduce(id_, static_cast<double>(v), take_min);
     if (world_->nranks_ > 1) {
       ++stats_->msgs_sent;
       stats_->bytes_sent += sizeof(T);
     }
     return static_cast<T>(acc);
+  }
+
+  void count_op(bool remote, std::uint64_t& local, std::uint64_t& remote_ctr,
+                RemoteOpClass cls) {
+    if (remote) {
+      ++remote_ctr;
+      world_->transport_->charge_remote(cls);
+    } else {
+      ++local;
+    }
+  }
+
+  template <class T>
+  static std::vector<T> from_bytes(const std::vector<std::byte>& bytes) {
+    PP_CHECK(bytes.size() % sizeof(T) == 0);
+    std::vector<T> out(bytes.size() / sizeof(T));
+    if (!bytes.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
   }
 
   World* world_;
@@ -315,29 +355,27 @@ class Rank {
 
 template <class F>
 void World::run(F&& fn) {
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(nranks_));
-  for (int r = 0; r < nranks_; ++r) {
-    threads.emplace_back([this, r, &fn] {
-      Rank rank(*this, r);
-      fn(rank);
-    });
-  }
-  for (std::thread& t : threads) t.join();
+  transport_->run([this, &fn](int r) {
+    Rank rank(*this, r);
+    fn(rank);
+  });
 }
 
 // A one-sided window: element i lives on the rank that owns i under the same
-// 1D block partition the kernels use. Accesses go through a Rank handle so
-// local and remote operations are attributed to the caller's counters; all
-// element accesses are atomic, and accumulate/faa are atomic read-modify-write
-// so concurrent remote updates from many ranks are safe.
+// 1D block partition the kernels use. Storage comes from the World's shared
+// arena so process-backed ranks address the same memory. Accesses go through
+// a Rank handle so local and remote operations are attributed to the
+// caller's counters; all element accesses are atomic, and accumulate/faa are
+// atomic read-modify-write so concurrent remote updates from many ranks are
+// safe. Float accumulates additionally run the transport's §4.1 lock
+// protocol (a real striped lock on shm, a no-op on emu where the CAS loop
+// already serializes threads).
 template <class T>
 class Window {
  public:
-  Window(std::size_t n, int nranks)
-      : data_(n, T{}), part_(static_cast<vid_t>(n), nranks) {
-    PP_CHECK(nranks >= 1);
-  }
+  Window(World& world, std::size_t n)
+      : transport_(&world.transport()), data_(world.shared_array<T>(n)),
+        part_(static_cast<vid_t>(n), world.nranks()) {}
 
   int owner(std::size_t i) const noexcept {
     return part_.owner(static_cast<vid_t>(i));
@@ -345,38 +383,48 @@ class Window {
 
   void put(Rank& rank, std::size_t i, T value) {
     PP_DCHECK(i < data_.size());
-    count(rank, i, rank.stats().local_puts, rank.stats().rma_puts);
+    rank.count_put(owner(i) != rank.id());
     atomic_store(data_[i], value);
   }
 
   T get(Rank& rank, std::size_t i) {
     PP_DCHECK(i < data_.size());
-    count(rank, i, rank.stats().local_gets, rank.stats().rma_gets);
+    rank.count_get(owner(i) != rank.id());
     return atomic_load(data_[i]);
   }
 
-  // MPI_Accumulate(SUM). For floating-point T this is the CAS-loop lock
-  // protocol the cost model charges heavily; for integers it is a plain
-  // atomic add.
+  // MPI_Accumulate(SUM): the lock-protocol op class the cost model charges
+  // heavily (§4.1). A *remote* accumulate additionally runs the transport's
+  // lock protocol — remote lock, read-modify-write, unlock — which is a real
+  // process-shared lock on shm and a no-op on emu; local accumulates and the
+  // underlying atomicity (CAS loop for floats, atomic add for integers) are
+  // backend-independent. Mirrors the counter convention: only operations
+  // that would cross the network pay the op-class cost.
   void accumulate(Rank& rank, std::size_t i, T value) {
     PP_DCHECK(i < data_.size());
-    count(rank, i, rank.stats().local_accs, rank.stats().rma_accs);
+    const bool remote = owner(i) != rank.id();
+    rank.count_acc(remote);
+    if (remote) transport_->rmw_lock(i);
     if constexpr (std::is_floating_point_v<T>) {
       atomic_add(data_[i], value);
     } else {
       pushpull::faa(data_[i], value);
     }
+    if (remote) transport_->rmw_unlock(i);
   }
 
   // MPI_Accumulate(MIN): the traversal kernels' one-sided claim/relax
   // primitive (BFS level claims, SSSP distance relaxations). Like the SUM
   // accumulate above, this is the lock-protocol op class (§4.1) — MIN is not
-  // a NIC fast-path op — so it is counted through the acc counters for every
-  // element type.
+  // a NIC fast-path op — so it is counted through the acc counters and runs
+  // the remote lock protocol for every element type.
   void accumulate_min(Rank& rank, std::size_t i, T value) {
     PP_DCHECK(i < data_.size());
-    count(rank, i, rank.stats().local_accs, rank.stats().rma_accs);
+    const bool remote = owner(i) != rank.id();
+    rank.count_acc(remote);
+    if (remote) transport_->rmw_lock(i);
     pushpull::atomic_min(data_[i], value);
+    if (remote) transport_->rmw_unlock(i);
   }
 
   // Integer fetch-and-add (MPI_Fetch_and_op): the hardware fast path.
@@ -384,20 +432,17 @@ class Window {
     requires std::is_integral_v<T>
   {
     PP_DCHECK(i < data_.size());
-    count(rank, i, rank.stats().local_faas, rank.stats().rma_faas);
+    rank.count_faa(owner(i) != rank.id());
     return pushpull::faa(data_[i], value);
   }
 
-  std::vector<T>& raw() noexcept { return data_; }
-  const std::vector<T>& raw() const noexcept { return data_; }
+  std::span<T> raw() noexcept { return data_; }
+  std::span<const T> raw() const noexcept { return data_; }
   const Partition1D& partition() const noexcept { return part_; }
 
  private:
-  void count(Rank& rank, std::size_t i, std::uint64_t& local, std::uint64_t& remote) const {
-    (owner(i) == rank.id() ? local : remote) += 1;
-  }
-
-  std::vector<T> data_;
+  Transport* transport_;
+  std::span<T> data_;
   Partition1D part_;
 };
 

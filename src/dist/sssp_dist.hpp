@@ -1,4 +1,4 @@
-// Distributed-memory Δ-stepping SSSP over the emulated runtime (§3.8, §4.4,
+// Distributed-memory Δ-stepping SSSP over the dist runtime (§3.8, §4.4,
 // Figure 3).
 //
 // Vertices are 1D block-partitioned; tentative distances live in a one-sided
@@ -19,6 +19,15 @@
 //                  destination vertex (keeping only the minimum candidate)
 //                  and exchanged as one alltoallv lane per destination rank.
 //
+// With `direction_optimizing` set, sparse rounds use the variant's own
+// relaxation and dense rounds switch to the pulling expansion (every
+// unsettled owned vertex rescans its in-neighbors in bucket b) — the Beamer
+// switch driven by DistFrontier's allreduced active-set size and out-degree
+// mass, now at bucket-relaxation granularity. The pull round relaxes from
+// *all* bucket-b vertices, a superset of the active set, so the extra
+// relaxations are no-ops and the fixpoint (and the final distances) are
+// invariant under the switch. PullRma runs every round dense regardless.
+//
 // For directed graphs pass the transposed in-CSR (with weights) as `in`;
 // by default `in = &g`, correct for symmetric graphs.
 #pragma once
@@ -26,6 +35,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "core/sssp_delta.hpp"
@@ -39,7 +49,12 @@ namespace pushpull::dist {
 
 struct SsspDistOptions {
   DistVariant variant = DistVariant::MsgPassing;
+  BackendKind backend = BackendKind::Emu;
   weight_t delta = 4.0f;  // bucket width Δ
+  // Per-round sparse/dense switching (meaningful for PushRma and MsgPassing;
+  // PullRma is always dense).
+  bool direction_optimizing = false;
+  DistFrontier::Heuristic heuristic{};
   CommCosts costs{};
 };
 
@@ -47,8 +62,11 @@ struct SsspDistResult {
   std::vector<weight_t> dist;  // +inf = unreachable
   int epochs = 0;              // processed buckets
   int inner_iterations = 0;    // global relaxation rounds
+  int dense_rounds = 0;        // rounds relaxed in the pulling direction
+  int sparse_rounds = 0;       // rounds relaxed in the variant's own direction
   RankStats total;
   double max_comm_us = 0.0;
+  double max_rank_wall_us = 0.0;
   std::uint64_t max_rank_edge_ops = 0;
 };
 
@@ -63,21 +81,24 @@ inline SsspDistResult sssp_dist(const Csr& g, vid_t src, int nranks,
   PP_CHECK(opt.delta > 0);
   PP_CHECK(gin.n() == n);
 
-  World world(nranks);
+  World world(nranks, opt.backend);
   const Partition1D part(n, nranks);
-  DistFrontier frontier(g, part, nranks);  // active-set bookkeeping
-  Window<weight_t> dwin(static_cast<std::size_t>(n), nranks);
+  DistFrontier frontier(world, g, part, opt.heuristic);  // active-set bookkeeping
+  Window<weight_t> dwin(world, static_cast<std::size_t>(n));
   std::fill(dwin.raw().begin(), dwin.raw().end(), kInfWeight);
   dwin.raw()[static_cast<std::size_t>(src)] = 0.0f;
 
-  SsspDistResult res;
+  // Rank-0 round bookkeeping, shared so process-backed ranks reach the
+  // controlling process: epochs, inner rounds, dense/sparse round counts.
+  const std::span<std::int32_t> meta_out = world.shared_array<std::int32_t>(4);
+
   constexpr double kNoBucket = std::numeric_limits<double>::infinity();
 
   world.run([&](Rank& rank) {
     const int me = rank.id();
     const vid_t vbeg = part.begin(me);
     const vid_t vend = part.end(me);
-    auto& d = dwin.raw();
+    const std::span<weight_t> d = dwin.raw();
     CombiningBuffers<weight_t> lanes(part, nranks);  // payload: candidate dist
     std::vector<weight_t> shadow(static_cast<std::size_t>(vend - vbeg));
     const auto relax_min = [](weight_t& a, weight_t b) { a = std::min(a, b); };
@@ -92,94 +113,96 @@ inline SsspDistResult sssp_dist(const Csr& g, vid_t src, int nranks,
         }
       }
       frontier.advance(rank, std::move(active));
-      if (me == 0) ++res.epochs;
+      if (me == 0) ++meta_out[0];
 
       while (!frontier.globally_empty(rank)) {
-        if (me == 0) ++res.inner_iterations;
+        const bool dense =
+            opt.variant == DistVariant::PullRma ||
+            (opt.direction_optimizing &&
+             frontier.mode(rank) == FrontierMode::Dense);
+        if (me == 0) {
+          ++meta_out[1];
+          ++meta_out[dense ? 2 : 3];
+        }
         std::vector<vid_t> next_active;
 
-        switch (opt.variant) {
-          case DistVariant::PushRma: {
-            for (vid_t v = vbeg; v < vend; ++v) {
-              shadow[static_cast<std::size_t>(v - vbeg)] =
-                  d[static_cast<std::size_t>(v)];
+        if (dense) {
+          // Pulling round: every unsettled owned vertex rescans its
+          // in-neighbors for bucket-b sources and relaxes itself.
+          for (vid_t v = vbeg; v < vend; ++v) {
+            const weight_t dv = d[static_cast<std::size_t>(v)];
+            if (bucket_of(dv, opt.delta) < b) continue;  // settled
+            weight_t best = dv;
+            const auto nb = gin.neighbors(v);
+            const auto wgt = gin.weights(v);
+            for (std::size_t i = 0; i < nb.size(); ++i) {
+              ++rank.stats().edge_ops;
+              const weight_t du =
+                  dwin.get(rank, static_cast<std::size_t>(nb[i]));
+              if (bucket_of(du, opt.delta) != b) continue;
+              best = std::min(best, du + wgt[i]);
             }
-            // Fence (MPI_Win_fence semantics): every rank's shadow snapshot
-            // is taken before any accumulate lands, or an early remote
-            // relaxation could hide inside the snapshot and never activate
-            // its target.
-            rank.barrier();
-            for (vid_t v : frontier.owned(rank)) {
-              // Atomic read: this rank's own vertices are themselves targets
-              // of concurrent remote accumulates.
-              const weight_t dv = atomic_load(d[static_cast<std::size_t>(v)]);
-              const auto nb = g.neighbors(v);
-              const auto wgt = g.weights(v);
-              for (std::size_t i = 0; i < nb.size(); ++i) {
-                ++rank.stats().edge_ops;
-                dwin.accumulate_min(rank, static_cast<std::size_t>(nb[i]),
-                                    dv + wgt[i]);
-              }
+            if (best < dv) {
+              dwin.put(rank, static_cast<std::size_t>(v), best);
+              if (bucket_of(best, opt.delta) == b) next_active.push_back(v);
             }
-            rank.barrier();  // all remote relaxations landed
-            for (vid_t v = vbeg; v < vend; ++v) {
-              const weight_t dv = d[static_cast<std::size_t>(v)];
-              if (dv < shadow[static_cast<std::size_t>(v - vbeg)] &&
-                  bucket_of(dv, opt.delta) == b) {
-                next_active.push_back(v);
-              }
-            }
-            break;
           }
-          case DistVariant::PullRma: {
-            for (vid_t v = vbeg; v < vend; ++v) {
-              const weight_t dv = d[static_cast<std::size_t>(v)];
-              if (bucket_of(dv, opt.delta) < b) continue;  // settled
-              weight_t best = dv;
-              const auto nb = gin.neighbors(v);
-              const auto wgt = gin.weights(v);
-              for (std::size_t i = 0; i < nb.size(); ++i) {
-                ++rank.stats().edge_ops;
-                const weight_t du =
-                    dwin.get(rank, static_cast<std::size_t>(nb[i]));
-                if (bucket_of(du, opt.delta) != b) continue;
-                best = std::min(best, du + wgt[i]);
-              }
-              if (best < dv) {
-                dwin.put(rank, static_cast<std::size_t>(v), best);
-                if (bucket_of(best, opt.delta) == b) next_active.push_back(v);
-              }
-            }
-            break;
+        } else if (opt.variant == DistVariant::PushRma) {
+          for (vid_t v = vbeg; v < vend; ++v) {
+            shadow[static_cast<std::size_t>(v - vbeg)] =
+                d[static_cast<std::size_t>(v)];
           }
-          case DistVariant::MsgPassing: {
-            for (vid_t v : frontier.owned(rank)) {
-              const weight_t dv = d[static_cast<std::size_t>(v)];
-              const auto nb = g.neighbors(v);
-              const auto wgt = g.weights(v);
-              for (std::size_t i = 0; i < nb.size(); ++i) {
-                ++rank.stats().edge_ops;
-                const vid_t u = nb[i];
-                const weight_t nd = dv + wgt[i];
-                if (part.owner(u) == me) {
-                  weight_t& du = d[static_cast<std::size_t>(u)];
-                  if (nd < du) {
-                    du = nd;
-                    if (bucket_of(nd, opt.delta) == b) next_active.push_back(u);
-                  }
-                } else {
-                  lanes.stage(u, nd, relax_min);
+          // Fence (MPI_Win_fence semantics): every rank's shadow snapshot
+          // is taken before any accumulate lands, or an early remote
+          // relaxation could hide inside the snapshot and never activate
+          // its target.
+          rank.barrier();
+          for (vid_t v : frontier.owned(rank)) {
+            // Atomic read: this rank's own vertices are themselves targets
+            // of concurrent remote accumulates.
+            const weight_t dv = atomic_load(d[static_cast<std::size_t>(v)]);
+            const auto nb = g.neighbors(v);
+            const auto wgt = g.weights(v);
+            for (std::size_t i = 0; i < nb.size(); ++i) {
+              ++rank.stats().edge_ops;
+              dwin.accumulate_min(rank, static_cast<std::size_t>(nb[i]),
+                                  dv + wgt[i]);
+            }
+          }
+          rank.barrier();  // all remote relaxations landed
+          for (vid_t v = vbeg; v < vend; ++v) {
+            const weight_t dv = d[static_cast<std::size_t>(v)];
+            if (dv < shadow[static_cast<std::size_t>(v - vbeg)] &&
+                bucket_of(dv, opt.delta) == b) {
+              next_active.push_back(v);
+            }
+          }
+        } else {  // MsgPassing sparse round
+          for (vid_t v : frontier.owned(rank)) {
+            const weight_t dv = d[static_cast<std::size_t>(v)];
+            const auto nb = g.neighbors(v);
+            const auto wgt = g.weights(v);
+            for (std::size_t i = 0; i < nb.size(); ++i) {
+              ++rank.stats().edge_ops;
+              const vid_t u = nb[i];
+              const weight_t nd = dv + wgt[i];
+              if (part.owner(u) == me) {
+                weight_t& du = d[static_cast<std::size_t>(u)];
+                if (nd < du) {
+                  du = nd;
+                  if (bucket_of(nd, opt.delta) == b) next_active.push_back(u);
                 }
+              } else {
+                lanes.stage(u, nd, relax_min);
               }
             }
-            for (const auto& e : lanes.exchange(rank)) {
-              weight_t& du = d[static_cast<std::size_t>(e.v)];
-              if (e.val < du) {
-                du = e.val;
-                if (bucket_of(e.val, opt.delta) == b) next_active.push_back(e.v);
-              }
+          }
+          for (const auto& e : lanes.exchange(rank)) {
+            weight_t& du = d[static_cast<std::size_t>(e.v)];
+            if (e.val < du) {
+              du = e.val;
+              if (bucket_of(e.val, opt.delta) == b) next_active.push_back(e.v);
             }
-            break;
           }
         }
         frontier.advance(rank, std::move(next_active));
@@ -199,10 +222,17 @@ inline SsspDistResult sssp_dist(const Csr& g, vid_t src, int nranks,
     }
   });
 
-  res.dist = dwin.raw();
+  SsspDistResult res;
+  const std::span<const weight_t> final_d = dwin.raw();
+  res.dist.assign(final_d.begin(), final_d.end());
+  res.epochs = meta_out[0];
+  res.inner_iterations = meta_out[1];
+  res.dense_rounds = meta_out[2];
+  res.sparse_rounds = meta_out[3];
   res.total = world.total_stats();
   res.max_comm_us = world.max_modeled_comm_us(opt.costs);
   res.max_rank_edge_ops = world.max_edge_ops();
+  res.max_rank_wall_us = world.max_rank_wall_us();
   return res;
 }
 

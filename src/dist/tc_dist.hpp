@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "dist/runtime.hpp"
@@ -35,6 +36,7 @@ namespace pushpull::dist {
 
 struct DistTcOptions {
   DistVariant variant = DistVariant::PushRma;
+  BackendKind backend = BackendKind::Emu;
   // Msg-Passing flushes a destination's buffer whenever it holds this many
   // entries (the eager-protocol payload bound); small values force many
   // mid-run flushes.
@@ -46,6 +48,7 @@ struct DistTcResult {
   std::vector<std::int64_t> tc;     // per-vertex triangle counts
   RankStats total;                  // counters summed over ranks
   double max_comm_us = 0.0;         // slowest rank's modeled communication
+  double max_rank_wall_us = 0.0;    // slowest rank's measured wall clock
   std::uint64_t max_rank_edge_ops = 0;  // slowest rank's pair tests
 };
 
@@ -91,10 +94,11 @@ class BoundedBuffers {
   std::vector<std::vector<T>> lanes_;
 };
 
-// Models fetching N(w1) before testing its pairs: one counted get when the
-// pair-head is owned by another rank, a local read otherwise.
+// Models fetching N(w1) before testing its pairs: one counted (and, on real
+// backends, wire-charged) get when the pair-head is owned by another rank, a
+// local read otherwise.
 inline void count_adjacency_fetch(Rank& rank, const Partition1D& part, vid_t head) {
-  (part.owner(head) == rank.id() ? rank.stats().local_gets : rank.stats().rma_gets) += 1;
+  rank.count_get(part.owner(head) != rank.id());
 }
 
 }  // namespace detail
@@ -104,17 +108,19 @@ inline DistTcResult triangle_count_dist(const Csr& g, int nranks,
   const vid_t n = g.n();
   PP_CHECK(n > 0 && nranks >= 1);
 
-  World world(nranks);
+  World world(nranks, opt.backend);
   const Partition1D part(n, nranks);
 
   DistTcResult res;
-  res.tc.assign(static_cast<std::size_t>(n), 0);
+  // Result slice every owner publishes into (shared: ranks may be processes).
+  const std::span<std::int64_t> tc_out =
+      world.shared_array<std::int64_t>(static_cast<std::size_t>(n));
   // Only push needs a window (for the remote FAAs); pull and MP write
-  // owner-local counters straight into the result vector (disjoint slices
+  // owner-local counters straight into the result slice (disjoint slices
   // per rank).
   std::optional<Window<std::int64_t>> tc_win;
   if (opt.variant == DistVariant::PushRma) {
-    tc_win.emplace(static_cast<std::size_t>(n), nranks);
+    tc_win.emplace(world, static_cast<std::size_t>(n));
   }
 
   world.run([&](Rank& rank) {
@@ -142,7 +148,7 @@ inline DistTcResult triangle_count_dist(const Csr& g, int nranks,
         for (vid_t v = vbeg; v < vend; ++v) {
           const std::int64_t doubled = tc_win->raw()[static_cast<std::size_t>(v)];
           PP_DCHECK(doubled % 2 == 0);
-          res.tc[static_cast<std::size_t>(v)] = doubled / 2;
+          tc_out[static_cast<std::size_t>(v)] = doubled / 2;
         }
         break;
       }
@@ -157,7 +163,7 @@ inline DistTcResult triangle_count_dist(const Csr& g, int nranks,
               if (g.has_edge(nb[i], nb[j])) ++local;
             }
           }
-          res.tc[static_cast<std::size_t>(v)] = local;
+          tc_out[static_cast<std::size_t>(v)] = local;
         }
         break;
       }
@@ -173,7 +179,7 @@ inline DistTcResult triangle_count_dist(const Csr& g, int nranks,
             for (std::size_t j = i + 1; j < nb.size(); ++j) {
               ++rank.stats().edge_ops;
               if (head_owner == me) {
-                if (g.has_edge(w1, nb[j])) ++res.tc[static_cast<std::size_t>(v)];
+                if (g.has_edge(w1, nb[j])) ++tc_out[static_cast<std::size_t>(v)];
               } else {
                 queries.add(head_owner, detail::TcQuery{w1, nb[j], v});
               }
@@ -192,7 +198,7 @@ inline DistTcResult triangle_count_dist(const Csr& g, int nranks,
         for (const detail::TcQuery& q : inbound) {
           if (!g.has_edge(q.w1, q.w2)) continue;
           if (part.owner(q.v) == me) {
-            ++res.tc[static_cast<std::size_t>(q.v)];
+            ++tc_out[static_cast<std::size_t>(q.v)];
           } else {
             hits.add(part.owner(q.v), q.v);
           }
@@ -201,7 +207,7 @@ inline DistTcResult triangle_count_dist(const Csr& g, int nranks,
         rank.barrier();  // all hits delivered
 
         for (vid_t v : rank.template drain<vid_t>()) {
-          ++res.tc[static_cast<std::size_t>(v)];
+          ++tc_out[static_cast<std::size_t>(v)];
         }
         break;
       }
@@ -209,9 +215,11 @@ inline DistTcResult triangle_count_dist(const Csr& g, int nranks,
     rank.barrier();
   });
 
+  res.tc.assign(tc_out.begin(), tc_out.end());
   res.total = world.total_stats();
   res.max_comm_us = world.max_modeled_comm_us(opt.costs);
   res.max_rank_edge_ops = world.max_edge_ops();
+  res.max_rank_wall_us = world.max_rank_wall_us();
   return res;
 }
 

@@ -1,0 +1,176 @@
+// The transport seam of the distributed runtime (DESIGN.md §3).
+//
+// `World`/`Rank`/`Window<T>` (dist/runtime.hpp) are a thin façade over this
+// interface: everything that actually moves bytes between ranks — barriers,
+// collective scratch, personalized all-to-all, eager two-sided messaging,
+// and the memory that one-sided windows live in — is a Transport method, and
+// nothing above the façade may assume how ranks are realized. Two backends
+// implement it:
+//
+//   EmuTransport (transport_emu.hpp)  — ranks are std::threads in one
+//       process; communication time is *modeled* from RankStats counters.
+//   ShmTransport (transport_shm.hpp)  — ranks are forked processes sharing a
+//       POSIX MAP_SHARED segment; communication time is *measured* wall
+//       clock, and the §4.1 float-accumulate lock protocol is emulated with
+//       real process-shared locks.
+//
+// The façade keeps all counter attribution (RankStats) and all collective
+// protocols (allreduce slot-fold, message counting) backend-independent, so
+// the two backends produce identical counters for identical runs. A future
+// MPI or socket backend slots in by implementing this interface alone.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pushpull::dist {
+
+// Which backend realizes the ranks of a World. Chosen once, at World
+// construction; algorithm code never branches on it.
+enum class BackendKind {
+  Emu,  // thread-per-rank emulation, modeled CommCosts time
+  Shm,  // process-per-rank over POSIX shared memory, wall-clock time
+};
+
+inline const char* to_string(BackendKind k) {
+  return k == BackendKind::Emu ? "emu" : "shm";
+}
+
+// One rank's outgoing payload for one destination in an alltoallv exchange.
+struct ByteLane {
+  const void* data = nullptr;
+  std::size_t bytes = 0;
+};
+
+// Window-operation classes a transport may charge differently (§4.1/§4.2):
+// Acc is the lock-protocol class (float accumulate / accumulate-min), Faa
+// the NIC fast path, Put/Get the one-sided transfer primitives.
+enum class RemoteOpClass { Put, Get, Acc, Faa };
+
+// Emulated interconnect service times, microseconds of real origin-side time
+// per *remote* operation — the same §4.1/§4.2 relative magnitudes as the
+// CommCosts model (runtime.hpp), realized as busy-wait by backends whose
+// ranks otherwise share silicon. A blocking MPI op occupies the origin for
+// its wire round trips; on a box where a "remote" atomic is a ~30ns cache
+// transaction, spinning the class's service time is what makes measured wall
+// clock carry the paper's asymmetry instead of the memory system's. Local
+// operations are never charged (the counter convention). Zero everything to
+// measure raw shared-memory time.
+struct WireDelays {
+  double us_per_msg = 10.0;    // two-sided injection + matching overhead
+  double us_per_byte = 0.005;  // payload bandwidth
+  double us_per_put = 0.5;
+  double us_per_get = 0.8;
+  double us_per_acc = 3.0;     // lock protocol (§4.1)
+  double us_per_faa = 0.3;     // hardware fast path (§4.2)
+
+  double op_us(RemoteOpClass c) const {
+    switch (c) {
+      case RemoteOpClass::Put: return us_per_put;
+      case RemoteOpClass::Get: return us_per_get;
+      case RemoteOpClass::Acc: return us_per_acc;
+      case RemoteOpClass::Faa: return us_per_faa;
+    }
+    return 0.0;
+  }
+};
+
+// Process-wide default consulted by backends at World construction.
+inline WireDelays& default_wire_delays() {
+  static WireDelays delays;
+  return delays;
+}
+
+// Exit status a process-backed rank uses to report a *soft* failure: the
+// rank function completed (so peers are not stuck in a barrier) but a test
+// probe flagged an assertion failure. Transports translate it into a thrown
+// exception after every rank has been reaped.
+inline constexpr int kRankSoftFailExit = 42;
+
+// Optional probe consulted by process-backed transports after the rank
+// function returns; its result becomes the child's exit status. Lets a test
+// harness (tests/dist_test_common.hpp) turn in-rank gtest failures into a
+// parent-visible World::run failure. Must be a capture-free function.
+using RankStatusProbe = int (*)();
+inline RankStatusProbe& rank_status_probe() {
+  static RankStatusProbe probe = nullptr;
+  return probe;
+}
+
+// Backend contract. All collective methods (barrier, alltoallv) must be
+// called by every rank in the same order; send/drain are point-to-point with
+// barrier-separated phases (the façade documents the exact semantics).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  virtual BackendKind kind() const noexcept = 0;
+  int nranks() const noexcept { return nranks_; }
+
+  // Zeroed storage readable and writable by every rank (and, for process
+  // backends, by the parent after run()). Windows, result slices, and the
+  // façade's RankStats array live here. Call only from the controlling
+  // process, not from inside a rank function.
+  virtual void* shared_alloc(std::size_t bytes, std::size_t align) = 0;
+
+  // SPMD entry point: fn(rank_id) runs once per rank, concurrently. Also
+  // accumulates each rank's wall-clock time into rank_wall_us(). Throws on
+  // rank failure (process backends) after reaping every rank.
+  virtual void run(const std::function<void(int)>& fn) = 0;
+
+  // Rendezvous of all ranks. Uncounted here: the façade attributes counted
+  // barriers and embeds this one in its collective protocols.
+  virtual void barrier(int rank) = 0;
+
+  // Collective reduction: every rank contributes `value`, every rank gets
+  // the fold over all contributions in rank order (deterministic — every
+  // backend folds slot 0, 1, ..., P-1). The façade layers the message
+  // counting on top.
+  virtual double allreduce(int rank, double value, bool take_min) = 0;
+
+  // Personalized all-to-all: lanes[d] is `rank`'s payload for destination d
+  // (nranks lanes, possibly empty). Appends the concatenation of every
+  // source's lane for `rank`, in source order, to `in` (cleared first).
+  // Collective; lanes must stay valid until it returns.
+  virtual void alltoallv(int rank, const ByteLane* lanes,
+                         std::vector<std::byte>& in) = 0;
+
+  // Eager two-sided send into dest's inbox; drain empties the caller's own
+  // inbox (cleared first, `in` receives the accumulated bytes). The caller
+  // provides phase separation via barriers.
+  virtual void send(int rank, int dest, const void* data, std::size_t bytes) = 0;
+  virtual void drain(int rank, std::vector<std::byte>& in) = 0;
+
+  // Charges one remote window op of the given class: a no-op on emu (whose
+  // time is modeled from the counters), an origin-side busy-wait of the
+  // class's WireDelays service time on shm. The façade calls this for every
+  // network-crossing op it attributes, never for local ones.
+  virtual void charge_remote(RemoteOpClass cls) { (void)cls; }
+
+  // The §4.1 lock protocol for window read-modify-writes with no hardware
+  // atomic (accumulate / accumulate-min). The emu backend's CAS loops
+  // already serialize its threads, so its implementation is a no-op; the shm
+  // backend takes a real process-shared striped lock.
+  virtual void rmw_lock(std::size_t element) { (void)element; }
+  virtual void rmw_unlock(std::size_t element) { (void)element; }
+
+  // Per-rank wall-clock microseconds accumulated over run() calls. For the
+  // emu backend this measures oversubscribed threads (scheduler noise — the
+  // modeled CommCosts time is the meaningful metric); for shm it is the real
+  // per-process time the benches report.
+  virtual const double* rank_wall_us() const noexcept = 0;
+
+ protected:
+  explicit Transport(int nranks) : nranks_(nranks) { PP_CHECK(nranks >= 1); }
+
+  int nranks_;
+};
+
+}  // namespace pushpull::dist

@@ -1,0 +1,154 @@
+// Thread-per-rank emulation backend (DESIGN.md §3) — the original in-process
+// runtime behind the Transport seam, behavior-preserving.
+//
+// Every rank is a plain std::thread; the container is heavily oversubscribed
+// (more ranks than cores), so the barrier sleeps on a condition variable
+// instead of spinning. "Shared" allocations are ordinary heap memory (one
+// address space), the alltoallv is zero-copy (receivers read the senders'
+// lane buffers directly between two barriers), and inboxes are mutex-guarded
+// byte vectors. Wall-clock time of oversubscribed threads would measure the
+// scheduler, not the algorithm — reported communication time for this
+// backend is the CommCosts model applied to the façade's RankStats counters.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dist/transport.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace pushpull::dist {
+
+class EmuTransport final : public Transport {
+ public:
+  explicit EmuTransport(int nranks)
+      : Transport(nranks),
+        red_slots_(static_cast<std::size_t>(nranks), 0.0),
+        wall_us_(static_cast<std::size_t>(nranks), 0.0),
+        a2a_slots_(static_cast<std::size_t>(nranks), nullptr) {
+    inboxes_.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) inboxes_.push_back(std::make_unique<Inbox>());
+  }
+
+  BackendKind kind() const noexcept override { return BackendKind::Emu; }
+
+  void* shared_alloc(std::size_t bytes, std::size_t align) override {
+    if (bytes == 0) bytes = 1;
+    allocs_.emplace_back(
+        static_cast<std::byte*>(::operator new(bytes, std::align_val_t{align})),
+        Deleter{align});
+    std::memset(allocs_.back().get(), 0, bytes);
+    return allocs_.back().get();
+  }
+
+  void run(const std::function<void(int)>& fn) override {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks_));
+    for (int r = 0; r < nranks_; ++r) {
+      threads.emplace_back([this, r, &fn] {
+        WallTimer t;
+        fn(r);
+        wall_us_[static_cast<std::size_t>(r)] += t.elapsed_us();
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  void barrier(int) override {
+    std::unique_lock<std::mutex> lk(bar_mu_);
+    const std::uint64_t phase = bar_phase_;
+    if (++bar_arrived_ == nranks_) {
+      bar_arrived_ = 0;
+      ++bar_phase_;
+      bar_cv_.notify_all();
+    } else {
+      bar_cv_.wait(lk, [&] { return bar_phase_ != phase; });
+    }
+  }
+
+  // Slot-write / barrier / fold / barrier: the trailing barrier keeps the
+  // slots alive until every rank has read them. Every rank folds the same
+  // slot order, so the result is deterministic.
+  double allreduce(int rank, double value, bool take_min) override {
+    red_slots_[static_cast<std::size_t>(rank)] = value;
+    barrier(rank);
+    double acc = red_slots_.front();
+    for (std::size_t r = 1; r < red_slots_.size(); ++r) {
+      acc = take_min ? std::min(acc, red_slots_[r]) : acc + red_slots_[r];
+    }
+    barrier(rank);
+    return acc;
+  }
+
+  // Zero-copy: each rank publishes a pointer to its lane descriptors, and
+  // receivers read the senders' buffers directly. The trailing barrier keeps
+  // every sender's lanes alive until every receiver is done.
+  void alltoallv(int rank, const ByteLane* lanes, std::vector<std::byte>& in) override {
+    a2a_slots_[static_cast<std::size_t>(rank)] = lanes;
+    barrier(rank);
+    in.clear();
+    std::size_t total = 0;
+    for (int s = 0; s < nranks_; ++s) {
+      total += a2a_slots_[static_cast<std::size_t>(s)][rank].bytes;
+    }
+    in.resize(total);
+    std::size_t off = 0;
+    for (int s = 0; s < nranks_; ++s) {
+      const ByteLane& lane = a2a_slots_[static_cast<std::size_t>(s)][rank];
+      if (lane.bytes > 0) std::memcpy(in.data() + off, lane.data, lane.bytes);
+      off += lane.bytes;
+    }
+    barrier(rank);
+  }
+
+  void send(int, int dest, const void* data, std::size_t bytes) override {
+    auto& inbox = *inboxes_[static_cast<std::size_t>(dest)];
+    std::lock_guard<std::mutex> lk(inbox.mu);
+    const std::size_t off = inbox.bytes.size();
+    inbox.bytes.resize(off + bytes);
+    std::memcpy(inbox.bytes.data() + off, data, bytes);
+  }
+
+  void drain(int rank, std::vector<std::byte>& in) override {
+    auto& inbox = *inboxes_[static_cast<std::size_t>(rank)];
+    std::lock_guard<std::mutex> lk(inbox.mu);
+    in.assign(inbox.bytes.begin(), inbox.bytes.end());
+    inbox.bytes.clear();
+  }
+
+  const double* rank_wall_us() const noexcept override { return wall_us_.data(); }
+
+ private:
+  struct Inbox {
+    std::mutex mu;
+    std::vector<std::byte> bytes;
+  };
+
+  struct Deleter {
+    std::size_t align;
+    void operator()(std::byte* p) const {
+      ::operator delete(p, std::align_val_t{align});
+    }
+  };
+
+  std::vector<std::unique_ptr<std::byte, Deleter>> allocs_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+  std::vector<double> red_slots_;
+  std::vector<double> wall_us_;
+
+  std::mutex bar_mu_;
+  std::condition_variable bar_cv_;
+  int bar_arrived_ = 0;
+  std::uint64_t bar_phase_ = 0;
+
+  std::vector<const ByteLane*> a2a_slots_;
+};
+
+}  // namespace pushpull::dist

@@ -1,0 +1,458 @@
+// Process-per-rank backend over POSIX shared memory (DESIGN.md §3).
+//
+// Real multi-process execution of the same SPMD programs the emulation runs:
+// the World maps one anonymous MAP_SHARED segment up front, forks one child
+// per rank, and every cross-rank structure — windows, result slices, the
+// RankStats array, collective scratch, alltoallv staging, inboxes — lives in
+// that segment. Everything else a rank touches (the graph, per-rank frontier
+// state, combining lanes) is copy-on-write private, exactly as it would be
+// on a real distributed machine.
+//
+//   barrier      pthread_barrier_t with PTHREAD_PROCESS_SHARED
+//   allreduce    slot write / barrier / deterministic fold; slots are
+//                double-buffered by call parity so one barrier per call
+//                suffices (phase p is rewritten only two collectives later,
+//                by which point every reader has passed a later barrier)
+//   alltoallv    copy lanes into a per-rank staging region, publish
+//                (offset, bytes) per destination, barrier, receivers copy
+//                out; staging and metadata are double-buffered like the
+//                reduction slots, so the exchange costs one barrier — the
+//                same synchronization count as a one-sided superstep flush
+//   send/drain   spinlock-guarded bounded inbox per rank
+//   atomics      std::atomic_ref / std::atomic_flag on the shared mapping
+//                (address-free on every supported platform)
+//   rmw_lock     process-shared striped spinlocks emulating the §4.1
+//                lock protocol around remote accumulates
+//   wire time    every *remote* operation busy-waits its WireDelays service
+//                time at the origin (transport.hpp): ranks on one box share
+//                silicon, so a "remote" atomic would otherwise be a ~30ns
+//                cache transaction and every variant would tie — the spin is
+//                what a blocking MPI op does to its origin during the wire
+//                round trips, and it is what makes the paper's §4.1/§4.2
+//                asymmetry real in the measured numbers
+//   timing      real: each child accumulates its own wall-clock microseconds
+//                (compute + synchronization + emulated wire time) into a
+//                shared slot; the model stays computable from the
+//                (identical) counters for side-by-side reporting
+//
+// Failure containment: a rank that dies mid-superstep (abort, signal) would
+// leave its peers blocked in a barrier, so the parent reaps with
+// waitpid(-1), kills the survivors on the first hard failure, and throws.
+// Soft failures (kRankSoftFailExit from the rank_status_probe hook) let all
+// ranks finish before run() throws.
+#pragma once
+
+#include <unistd.h>
+
+#if defined(_POSIX_THREAD_PROCESS_SHARED) && defined(_POSIX_BARRIERS) && \
+    _POSIX_THREAD_PROCESS_SHARED > 0 && _POSIX_BARRIERS > 0
+#define PUSHPULL_SHM_TRANSPORT 1
+#else
+#define PUSHPULL_SHM_TRANSPORT 0
+#endif
+
+#if PUSHPULL_SHM_TRANSPORT
+#include <pthread.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <time.h>
+
+#include <cerrno>
+#endif
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dist/transport.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace pushpull::dist {
+
+// True when this platform can run the process backend (process-shared
+// pthread barriers + anonymous shared mappings). Callers gate World
+// construction and tests skip gracefully when false.
+inline bool shm_backend_available() noexcept {
+  return PUSHPULL_SHM_TRANSPORT != 0;
+}
+
+// Segment reserved per shm World. Virtual reservation only — pages are
+// backed on first touch, so the default is deliberately generous: half goes
+// to the window/result arena, a quarter each to alltoallv staging and
+// inboxes (split evenly across ranks).
+inline constexpr std::size_t kDefaultShmSegmentBytes = std::size_t{512} << 20;
+
+#if PUSHPULL_SHM_TRANSPORT
+
+class ShmTransport final : public Transport {
+ public:
+  ShmTransport(int nranks, std::size_t segment_bytes)
+      : Transport(nranks), wire_(default_wire_delays()) {
+    const std::size_t p = static_cast<std::size_t>(nranks);
+    // Fixed-offset layout; every region is computed before the mapping is
+    // created so children inherit identical addresses.
+    std::size_t off = 0;
+    const auto take = [&off](std::size_t bytes, std::size_t align) {
+      off = align_up(off, align);
+      const std::size_t at = off;
+      off += bytes;
+      return at;
+    };
+    const std::size_t control_off = take(sizeof(Control), alignof(Control));
+    const std::size_t reduce_off = take(2 * p * sizeof(double), alignof(double));
+    const std::size_t wall_off = take(p * sizeof(double), alignof(double));
+    const std::size_t rmw_off =
+        take(kRmwStripes * sizeof(SpinLock), alignof(SpinLock));
+    const std::size_t meta_off =
+        take(2 * p * p * sizeof(LaneMeta), alignof(LaneMeta));
+    const std::size_t fixed = align_up(off, kPageBytes);
+
+    PP_CHECK(segment_bytes > fixed + 8 * kPageBytes * p);
+    const std::size_t quarter = (segment_bytes - fixed) / 4;
+    staging_cap_ = align_up(quarter / (2 * p), 64) - 64;  // per phase
+    inbox_cap_ = 2 * staging_cap_;
+    const std::size_t staging_off = fixed;
+    staging_stride_ = align_up(2 * staging_cap_, kPageBytes);
+    const std::size_t inbox_off = staging_off + p * staging_stride_;
+    inbox_stride_ = align_up(sizeof(InboxHeader) + inbox_cap_, kPageBytes);
+    arena_off_ = inbox_off + p * inbox_stride_;
+    PP_CHECK(arena_off_ < segment_bytes);
+    segment_bytes_ = segment_bytes;
+
+    void* base = ::mmap(nullptr, segment_bytes_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    PP_CHECK(base != MAP_FAILED);
+    base_ = static_cast<std::byte*>(base);
+
+    control_ = new (base_ + control_off) Control();
+    reduce_slots_ = new (base_ + reduce_off) double[2 * p]();
+    wall_us_ = new (base_ + wall_off) double[p]();
+    rmw_locks_ = new (base_ + rmw_off) SpinLock[kRmwStripes]();
+    a2a_meta_ = new (base_ + meta_off) LaneMeta[2 * p * p]();
+    staging_base_ = base_ + staging_off;
+    inbox_base_ = base_ + inbox_off;
+    for (int r = 0; r < nranks; ++r) new (inbox_header(r)) InboxHeader();
+
+    pthread_barrierattr_t attr;
+    PP_CHECK(pthread_barrierattr_init(&attr) == 0);
+    PP_CHECK(pthread_barrierattr_setpshared(&attr, PTHREAD_PROCESS_SHARED) == 0);
+    PP_CHECK(pthread_barrier_init(&control_->barrier, &attr,
+                                  static_cast<unsigned>(nranks)) == 0);
+    pthread_barrierattr_destroy(&attr);
+  }
+
+  ~ShmTransport() override {
+    pthread_barrier_destroy(&control_->barrier);
+    ::munmap(base_, segment_bytes_);
+  }
+
+  BackendKind kind() const noexcept override { return BackendKind::Shm; }
+
+  void* shared_alloc(std::size_t bytes, std::size_t align) override {
+    bump_ = align_up(bump_, align);
+    if (arena_off_ + bump_ + bytes > segment_bytes_) {
+      std::fprintf(stderr,
+                   "shm arena exhausted (%zu B requested, %zu B segment); "
+                   "construct World with a larger shm segment\n",
+                   bytes, segment_bytes_);
+      std::abort();
+    }
+    void* p = base_ + arena_off_ + bump_;
+    bump_ += bytes;
+    return p;  // fresh anonymous pages are already zero
+  }
+
+  void run(const std::function<void(int)>& fn) override {
+    std::fflush(nullptr);  // children must not re-flush inherited buffers
+    std::vector<pid_t> pids(static_cast<std::size_t>(nranks_), -1);
+    for (int r = 0; r < nranks_; ++r) {
+      const pid_t pid = ::fork();
+      PP_CHECK(pid >= 0);
+      if (pid == 0) {
+        int status = 0;
+        try {
+          WallTimer t;
+          fn(r);
+          wall_us_[static_cast<std::size_t>(r)] += t.elapsed_us();
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "shm rank %d: %s\n", r, e.what());
+          status = 1;
+        } catch (...) {
+          std::fprintf(stderr, "shm rank %d: unknown exception\n", r);
+          status = 1;
+        }
+        if (status == 0 && rank_status_probe() != nullptr) {
+          status = rank_status_probe()();
+        }
+        std::fflush(nullptr);
+        ::_exit(status);
+      }
+      pids[static_cast<std::size_t>(r)] = pid;
+    }
+
+    // Reap in completion order so a crashed rank (peers now blocked in a
+    // barrier forever) is noticed promptly and the survivors are killed.
+    // Non-blocking per-pid waits, never waitpid(-1): an embedding process
+    // may own unrelated children whose statuses must not be consumed.
+    bool soft_fail = false;
+    std::string hard_fail;
+    int remaining = nranks_;
+    while (remaining > 0) {
+      bool progressed = false;
+      for (int r = 0; r < nranks_; ++r) {
+        const pid_t pid = pids[static_cast<std::size_t>(r)];
+        if (pid <= 0) continue;
+        int status = 0;
+        const pid_t got = ::waitpid(pid, &status, WNOHANG);
+        if (got == 0) continue;  // still running
+        progressed = true;
+        pids[static_cast<std::size_t>(r)] = -1;
+        --remaining;
+        if (got < 0) {
+          // EINTR cannot happen with WNOHANG; ECHILD means something else
+          // reaped our rank — its verdict is lost, treat as a hard failure.
+          if (hard_fail.empty()) {
+            hard_fail = "shm rank " + std::to_string(r) +
+                        " was reaped out from under the transport (waitpid: " +
+                        std::to_string(errno) + ")";
+          }
+        } else if (WIFEXITED(status)) {
+          const int code = WEXITSTATUS(status);
+          if (code == kRankSoftFailExit) {
+            soft_fail = true;
+          } else if (code != 0 && hard_fail.empty()) {
+            hard_fail = "shm rank " + std::to_string(r) + " exited with code " +
+                        std::to_string(code);
+          }
+        } else if (WIFSIGNALED(status) && hard_fail.empty()) {
+          hard_fail = "shm rank " + std::to_string(r) + " killed by signal " +
+                      std::to_string(WTERMSIG(status));
+        }
+        if (!hard_fail.empty()) {
+          for (pid_t p : pids) {
+            if (p > 0) ::kill(p, SIGKILL);
+          }
+        }
+      }
+      if (!progressed && remaining > 0) {
+        // Idle poll interval; run() durations are milliseconds and up, so
+        // 0.2 ms of reap latency is noise.
+        struct timespec ts = {0, 200000};
+        ::nanosleep(&ts, nullptr);
+      }
+    }
+    if (!hard_fail.empty()) throw std::runtime_error(hard_fail);
+    if (soft_fail) {
+      throw std::runtime_error(
+          "shm rank(s) reported in-rank assertion failures (see rank output)");
+    }
+  }
+
+  void barrier(int) override {
+    const int rc = pthread_barrier_wait(&control_->barrier);
+    PP_CHECK(rc == 0 || rc == PTHREAD_BARRIER_SERIAL_THREAD);
+  }
+
+  void charge_remote(RemoteOpClass cls) override { spin_us(wire_.op_us(cls)); }
+
+  // Double-buffered one-barrier collectives. Safety argument for reusing
+  // phase p two calls later: a rank reads phase-p data strictly before it
+  // enters the *next* collective's barrier, and phase p is rewritten only
+  // after that next barrier completes — i.e. after every rank has entered
+  // it, hence after every phase-p read. Ranks run SPMD (same collective
+  // sequence), which the façade already requires.
+  double allreduce(int rank, double value, bool take_min) override {
+    double* slots =
+        reduce_slots_ + static_cast<std::size_t>(red_phase_) *
+                            static_cast<std::size_t>(nranks_);
+    red_phase_ ^= 1;  // per-process copy; all ranks flip in lockstep
+    // One reduction-tree injection per rank (the façade's cost convention).
+    if (nranks_ > 1) spin_us(wire_.us_per_msg + 8 * wire_.us_per_byte);
+    slots[rank] = value;
+    barrier(rank);
+    double acc = slots[0];
+    for (int r = 1; r < nranks_; ++r) {
+      acc = take_min ? std::min(acc, slots[r]) : acc + slots[r];
+    }
+    return acc;
+  }
+
+  void alltoallv(int rank, const ByteLane* lanes, std::vector<std::byte>& in) override {
+    const std::size_t phase = static_cast<std::size_t>(a2a_phase_);
+    a2a_phase_ ^= 1;  // per-process copy; all ranks flip in lockstep
+    std::byte* stage = staging(rank) + phase * staging_cap_;
+    std::size_t off = 0;
+    for (int d = 0; d < nranks_; ++d) {
+      const ByteLane& lane = lanes[d];
+      if (off + lane.bytes > staging_cap_) overflow("alltoallv staging");
+      if (lane.bytes > 0) std::memcpy(stage + off, lane.data, lane.bytes);
+      if (d != rank && lane.bytes > 0) {
+        spin_us(wire_.us_per_msg +
+                static_cast<double>(lane.bytes) * wire_.us_per_byte);
+      }
+      lane_meta(phase, rank, d) = LaneMeta{off, lane.bytes};
+      off += lane.bytes;
+    }
+    barrier(rank);
+    in.clear();
+    std::size_t total = 0;
+    for (int s = 0; s < nranks_; ++s) total += lane_meta(phase, s, rank).bytes;
+    in.resize(total);
+    std::size_t w = 0;
+    for (int s = 0; s < nranks_; ++s) {
+      const LaneMeta& m = lane_meta(phase, s, rank);
+      if (m.bytes > 0) {
+        std::memcpy(in.data() + w, staging(s) + phase * staging_cap_ + m.offset,
+                    m.bytes);
+      }
+      w += m.bytes;
+    }
+  }
+
+  void send(int rank, int dest, const void* data, std::size_t bytes) override {
+    if (dest != rank) {
+      spin_us(wire_.us_per_msg + static_cast<double>(bytes) * wire_.us_per_byte);
+    }
+    InboxHeader* h = inbox_header(dest);
+    h->lock.lock();
+    if (h->size + bytes > inbox_cap_) {
+      h->lock.unlock();
+      overflow("inbox");
+    }
+    std::memcpy(inbox_data(dest) + h->size, data, bytes);
+    h->size += bytes;
+    h->lock.unlock();
+  }
+
+  void drain(int rank, std::vector<std::byte>& in) override {
+    InboxHeader* h = inbox_header(rank);
+    h->lock.lock();
+    in.assign(inbox_data(rank), inbox_data(rank) + h->size);
+    h->size = 0;
+    h->lock.unlock();
+  }
+
+  void rmw_lock(std::size_t element) override {
+    rmw_locks_[element & (kRmwStripes - 1)].lock();
+  }
+  void rmw_unlock(std::size_t element) override {
+    rmw_locks_[element & (kRmwStripes - 1)].unlock();
+  }
+
+  const double* rank_wall_us() const noexcept override { return wall_us_; }
+
+ private:
+  static constexpr std::size_t kPageBytes = 4096;
+  static constexpr std::size_t kRmwStripes = 1024;  // power of two
+
+  // Process-shared spinlock; ranks heavily outnumber cores, so yield.
+  struct SpinLock {
+    std::atomic_flag flag = ATOMIC_FLAG_INIT;
+    void lock() noexcept {
+      while (flag.test_and_set(std::memory_order_acquire)) ::sched_yield();
+    }
+    void unlock() noexcept { flag.clear(std::memory_order_release); }
+  };
+
+  struct Control {
+    pthread_barrier_t barrier;
+  };
+
+  struct LaneMeta {
+    std::size_t offset = 0;
+    std::size_t bytes = 0;
+  };
+
+  struct InboxHeader {
+    SpinLock lock;
+    std::size_t size = 0;
+  };
+
+  static constexpr std::size_t align_up(std::size_t v, std::size_t a) {
+    return (v + a - 1) / a * a;
+  }
+
+  // Origin-blocking wire emulation: a blocking one-sided op or message
+  // injection occupies the calling rank for its service time.
+  static void spin_us(double us) {
+    if (us <= 0.0) return;
+    WallTimer t;
+    while (t.elapsed_us() < us) {
+    }
+  }
+
+  [[noreturn]] void overflow(const char* what) const {
+    std::fprintf(stderr,
+                 "shm %s overflow (cap %zu B); construct World with a larger "
+                 "shm segment\n",
+                 what, staging_cap_);
+    std::abort();
+  }
+
+  std::byte* staging(int rank) const {
+    return staging_base_ + static_cast<std::size_t>(rank) * staging_stride_;
+  }
+  LaneMeta& lane_meta(std::size_t phase, int src, int dest) const {
+    const std::size_t p = static_cast<std::size_t>(nranks_);
+    return a2a_meta_[phase * p * p + static_cast<std::size_t>(src) * p +
+                     static_cast<std::size_t>(dest)];
+  }
+  InboxHeader* inbox_header(int rank) const {
+    return reinterpret_cast<InboxHeader*>(
+        inbox_base_ + static_cast<std::size_t>(rank) * inbox_stride_);
+  }
+  std::byte* inbox_data(int rank) const {
+    return reinterpret_cast<std::byte*>(inbox_header(rank)) + sizeof(InboxHeader);
+  }
+
+  std::byte* base_ = nullptr;
+  std::size_t segment_bytes_ = 0;
+  Control* control_ = nullptr;
+  double* reduce_slots_ = nullptr;
+  double* wall_us_ = nullptr;
+  SpinLock* rmw_locks_ = nullptr;
+  LaneMeta* a2a_meta_ = nullptr;
+  std::byte* staging_base_ = nullptr;
+  std::size_t staging_cap_ = 0;
+  std::size_t staging_stride_ = 0;
+  std::byte* inbox_base_ = nullptr;
+  std::size_t inbox_cap_ = 0;
+  std::size_t inbox_stride_ = 0;
+  std::size_t arena_off_ = 0;
+  std::size_t bump_ = 0;  // parent-side cursor; ranks never allocate
+  int red_phase_ = 0;     // per-process collective parities (SPMD lockstep)
+  int a2a_phase_ = 0;
+  WireDelays wire_;
+};
+
+#else  // !PUSHPULL_SHM_TRANSPORT
+
+// Stub so World code compiles on platforms without process-shared
+// primitives; construction is rejected (shm_backend_available() is false).
+class ShmTransport final : public Transport {
+ public:
+  ShmTransport(int nranks, std::size_t) : Transport(nranks) {
+    PP_CHECK(!"shm backend unavailable on this platform");
+  }
+  BackendKind kind() const noexcept override { return BackendKind::Shm; }
+  void* shared_alloc(std::size_t, std::size_t) override { return nullptr; }
+  void run(const std::function<void(int)>&) override {}
+  void barrier(int) override {}
+  double allreduce(int, double value, bool) override { return value; }
+  void alltoallv(int, const ByteLane*, std::vector<std::byte>&) override {}
+  void send(int, int, const void*, std::size_t) override {}
+  void drain(int, std::vector<std::byte>&) override {}
+  const double* rank_wall_us() const noexcept override { return nullptr; }
+};
+
+#endif  // PUSHPULL_SHM_TRANSPORT
+
+}  // namespace pushpull::dist

@@ -54,6 +54,9 @@
 #include "dist/runtime.hpp"
 #include "dist/sssp_dist.hpp"
 #include "dist/tc_dist.hpp"
+#include "dist/transport.hpp"
+#include "dist/transport_emu.hpp"
+#include "dist/transport_shm.hpp"
 
 // Analysis.
 #include "pram/model.hpp"

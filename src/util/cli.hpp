@@ -16,17 +16,17 @@ class Cli {
  public:
   Cli(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
-      std::string arg = argv[i];
+      const std::string arg = argv[i];
       if (arg.rfind("--", 0) != 0) {
         std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
         std::exit(2);
       }
-      arg = arg.substr(2);
-      auto eq = arg.find('=');
+      const std::string body = arg.substr(2);
+      auto eq = body.find('=');
       if (eq == std::string::npos) {
-        args_[arg] = "1";
+        args_.insert_or_assign(body, std::string("1"));
       } else {
-        args_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        args_.insert_or_assign(body.substr(0, eq), body.substr(eq + 1));
       }
     }
   }

@@ -1,0 +1,77 @@
+// Shared plumbing for backend-parameterized distributed-runtime tests: the
+// {emu, shm} parameter axis, graceful skipping where the shm backend cannot
+// run, and the probe that turns in-rank gtest failures into a parent-visible
+// World::run failure on the process backend.
+//
+// Usage:
+//   class MySuite : public pushpull::dist::testing::BackendTest {};
+//   TEST_P(MySuite, ...) { World world(4, backend()); ... }
+//   INSTANTIATE_TEST_SUITE_P(Backends, MySuite, pushpull::dist::testing::AllBackends(),
+//                            pushpull::dist::testing::BackendParamName);
+//
+// On the emu backend, EXPECT/ASSERT inside world.run run in threads of the
+// test process and fail the test directly. On the shm backend they run in a
+// forked rank process: the failure text is printed by the child, and the
+// installed rank_status_probe makes the child exit kRankSoftFailExit, which
+// ShmTransport::run converts into an exception after all ranks finish —
+// gtest reports the thrown exception as the test failure.
+//
+// Set PUSHPULL_DIST_BACKENDS=emu (or shm) to restrict the matrix — the CI
+// ThreadSanitizer job uses this: TSan instruments threads, not forked
+// children, so the shm half is skipped there.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "dist/runtime.hpp"
+
+namespace pushpull::dist::testing {
+
+inline void install_rank_status_probe() {
+  rank_status_probe() = [] {
+    return ::testing::Test::HasFailure() ? kRankSoftFailExit : 0;
+  };
+}
+
+// True when the given backend should be skipped in this environment: the
+// platform lacks process-shared primitives, or PUSHPULL_DIST_BACKENDS
+// excludes it.
+inline bool backend_unavailable(BackendKind k) {
+  if (k == BackendKind::Shm && !shm_backend_available()) return true;
+  if (const char* env = std::getenv("PUSHPULL_DIST_BACKENDS")) {
+    if (std::string(env).find(to_string(k)) == std::string::npos) return true;
+  }
+  return false;
+}
+
+#define PUSHPULL_SKIP_IF_BACKEND_UNAVAILABLE(kind)                            \
+  do {                                                                        \
+    if (pushpull::dist::testing::backend_unavailable(kind)) {                 \
+      GTEST_SKIP() << "backend " << pushpull::dist::to_string(kind)           \
+                   << " unavailable (platform or PUSHPULL_DIST_BACKENDS)";    \
+    }                                                                         \
+  } while (0)
+
+class BackendTest : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  void SetUp() override {
+    install_rank_status_probe();
+    PUSHPULL_SKIP_IF_BACKEND_UNAVAILABLE(GetParam());
+  }
+
+  BackendKind backend() const { return GetParam(); }
+};
+
+inline auto AllBackends() {
+  return ::testing::Values(BackendKind::Emu, BackendKind::Shm);
+}
+
+inline std::string BackendParamName(
+    const ::testing::TestParamInfo<BackendKind>& info) {
+  return to_string(info.param);
+}
+
+}  // namespace pushpull::dist::testing

@@ -70,7 +70,9 @@ TEST_P(DirectedSweep, BfsPushPullMatchSequential) {
 
 INSTANTIATE_TEST_SUITE_P(Threads, DirectedSweep, ::testing::Values(1, 2, 4),
                          [](const ::testing::TestParamInfo<int>& info) {
-                           return "t" + std::to_string(info.param);
+                           std::string name("t");
+                           name += std::to_string(info.param);
+                           return name;
                          });
 
 TEST(DirectedPr, MassConservation) {

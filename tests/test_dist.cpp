@@ -79,7 +79,7 @@ TEST(Runtime, MessageCountersTrackSends) {
 
 TEST(Window, LocalAndRemoteOpsCountedSeparately) {
   World world(2);
-  Window<double> win(10, 2);
+  Window<double> win(world, 10);
   world.run([&](Rank& rank) {
     if (rank.id() == 0) {
       win.put(rank, 0, 1.0);   // local (rank 0 owns [0,5))
@@ -99,7 +99,7 @@ TEST(Window, LocalAndRemoteOpsCountedSeparately) {
 
 TEST(Window, IntegerFaaIsAtomicAcrossRanks) {
   World world(4);
-  Window<std::int64_t> win(4, 4);
+  Window<std::int64_t> win(world, 4);
   world.run([&](Rank& rank) {
     for (int i = 0; i < 1000; ++i) win.faa(rank, 0, std::int64_t{1});
   });

@@ -1,23 +1,29 @@
 // Unit tests for the rank-partitioned frontier machinery
-// (dist/frontier_dist.hpp): combining buffers, the dense membership window,
-// global emptiness, the sparse/dense switch hysteresis, and the degenerate
-// partitions (empty ranks, single-rank frontiers, more ranks than vertices).
+// (dist/frontier_dist.hpp), run on both transport backends: combining
+// buffers, the dense membership window, global emptiness, the sparse/dense
+// switch hysteresis, and the degenerate partitions (empty ranks, single-rank
+// frontiers, more ranks than vertices). Assertions that concern a single
+// rank's view run inside the rank function (shm ranks are processes — the
+// probe in dist_test_common.hpp propagates their failures); cross-rank
+// counter checks run in the parent on the shared RankStats.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <vector>
 
 #include "dist/frontier_dist.hpp"
+#include "dist_test_common.hpp"
 #include "graph/generators.hpp"
 
 namespace pushpull::dist {
 namespace {
 
-TEST(CombiningBuffers, CombinesPerDestinationVertex) {
+class FrontierBackend : public pushpull::dist::testing::BackendTest {};
+
+TEST_P(FrontierBackend, CombiningBuffersCombinePerDestinationVertex) {
   constexpr int kRanks = 2;
-  World world(kRanks);
+  World world(kRanks, backend());
   const Partition1D part(10, kRanks);  // rank 0 owns [0,5), rank 1 owns [5,10)
-  std::vector<std::vector<CombiningBuffers<int>::Entry>> got(kRanks);
   world.run([&](Rank& rank) {
     CombiningBuffers<int> buf(part, kRanks);
     const auto sum = [](int& a, int b) { a += b; };
@@ -27,22 +33,25 @@ TEST(CombiningBuffers, CombinesPerDestinationVertex) {
       buf.stage(2, 5, sum);  // self lane
     }
     EXPECT_EQ(buf.all_empty(), rank.id() != 0);
-    got[static_cast<std::size_t>(rank.id())] = buf.exchange(rank);
+    const auto got = buf.exchange(rank);
     EXPECT_TRUE(buf.all_empty());
+    if (rank.id() == 0) {
+      ASSERT_EQ(got.size(), 1u);  // self-lane delivery
+      EXPECT_EQ(got[0].v, 2);
+      EXPECT_EQ(got[0].val, 5);
+    } else {
+      ASSERT_EQ(got.size(), 1u);  // combined remote entry
+      EXPECT_EQ(got[0].v, 7);
+      EXPECT_EQ(got[0].val, 3);
+    }
   });
-  ASSERT_EQ(got[0].size(), 1u);  // self-lane delivery
-  EXPECT_EQ(got[0][0].v, 2);
-  EXPECT_EQ(got[0][0].val, 5);
-  ASSERT_EQ(got[1].size(), 1u);  // combined remote entry
-  EXPECT_EQ(got[1][0].v, 7);
-  EXPECT_EQ(got[1][0].val, 3);
   // One combined message (rank 0 → rank 1); the self lane is free.
   EXPECT_EQ(world.stats(0).msgs_sent, 1u);
   EXPECT_EQ(world.stats(1).msgs_sent, 0u);
 }
 
-TEST(CombiningBuffers, SlotsResetAcrossSupersteps) {
-  World world(1);
+TEST_P(FrontierBackend, CombiningBufferSlotsResetAcrossSupersteps) {
+  World world(1, backend());
   const Partition1D part(4, 1);
   world.run([&](Rank& rank) {
     CombiningBuffers<int> buf(part, 1);
@@ -60,11 +69,11 @@ TEST(CombiningBuffers, SlotsResetAcrossSupersteps) {
   });
 }
 
-TEST(DenseFrontierWindow, CountsLocalAndRemoteProbes) {
+TEST_P(FrontierBackend, DenseWindowCountsLocalAndRemoteProbes) {
   constexpr int kRanks = 2;
-  World world(kRanks);
+  World world(kRanks, backend());
   const Partition1D part(8, kRanks);
-  DenseFrontierWindow win(8, part);
+  DenseFrontierWindow win(world, 8, part);
   world.run([&](Rank& rank) {
     if (rank.id() == 0) win.set(rank, 1);  // local put
     rank.barrier();
@@ -79,12 +88,12 @@ TEST(DenseFrontierWindow, CountsLocalAndRemoteProbes) {
   EXPECT_EQ(world.stats(1).local_gets, 1u);
 }
 
-TEST(DistFrontier, EmptyOnSubsetOfRanksStillGloballyNonEmpty) {
+TEST_P(FrontierBackend, EmptyOnSubsetOfRanksStillGloballyNonEmpty) {
   constexpr int kRanks = 4;
   Csr g = make_undirected(64, cycle_edges(64));
   const Partition1D part(64, kRanks);
-  World world(kRanks);
-  DistFrontier frontier(g, part, kRanks);
+  World world(kRanks, backend());
+  DistFrontier frontier(world, g, part);
   world.run([&](Rank& rank) {
     // Only rank 2 contributes vertices.
     std::vector<vid_t> mine;
@@ -102,12 +111,12 @@ TEST(DistFrontier, EmptyOnSubsetOfRanksStillGloballyNonEmpty) {
   });
 }
 
-TEST(DistFrontier, FrontierEntirelyOnOneRank) {
+TEST_P(FrontierBackend, FrontierEntirelyOnOneRank) {
   constexpr int kRanks = 3;
   Csr g = make_undirected(30, path_edges(30));
   const Partition1D part(30, kRanks);
-  World world(kRanks);
-  DistFrontier frontier(g, part, kRanks);
+  World world(kRanks, backend());
+  DistFrontier frontier(world, g, part);
   world.run([&](Rank& rank) {
     std::vector<vid_t> mine;
     if (rank.id() == 0) {
@@ -123,12 +132,12 @@ TEST(DistFrontier, FrontierEntirelyOnOneRank) {
   });
 }
 
-TEST(DistFrontier, MoreRanksThanFrontierVertices) {
+TEST_P(FrontierBackend, MoreRanksThanFrontierVertices) {
   constexpr int kRanks = 8;
   Csr g = make_undirected(4, path_edges(4));
   const Partition1D part(4, kRanks);  // ranks 4..7 own empty slices
-  World world(kRanks);
-  DistFrontier frontier(g, part, kRanks);
+  World world(kRanks, backend());
+  DistFrontier frontier(world, g, part);
   world.run([&](Rank& rank) {
     std::vector<vid_t> mine;
     if (rank.id() < 4) mine = {static_cast<vid_t>(rank.id())};
@@ -140,11 +149,11 @@ TEST(DistFrontier, MoreRanksThanFrontierVertices) {
   });
 }
 
-TEST(DistFrontier, AdvanceSortsAndDeduplicatesOwnedSlice) {
+TEST_P(FrontierBackend, AdvanceSortsAndDeduplicatesOwnedSlice) {
   Csr g = make_undirected(16, cycle_edges(16));
   const Partition1D part(16, 1);
-  World world(1);
-  DistFrontier frontier(g, part, 1);
+  World world(1, backend());
+  DistFrontier frontier(world, g, part);
   world.run([&](Rank& rank) {
     frontier.advance(rank, {9, 3, 9, 1, 3});
     const std::vector<vid_t> want{1, 3, 9};
@@ -156,15 +165,15 @@ TEST(DistFrontier, AdvanceSortsAndDeduplicatesOwnedSlice) {
 // The Beamer switch with hysteresis: star graph, n = 65, num_arcs = 128.
 // alpha = 2 → sparse→dense when frontier out-edges > 64; beta = 4 →
 // dense→sparse when frontier size < 65/4 = 16.25.
-TEST(DistFrontier, SparseDenseSwitchHysteresis) {
+TEST_P(FrontierBackend, SparseDenseSwitchHysteresis) {
   Csr g = make_undirected(65, star_edges(65));
   ASSERT_EQ(g.num_arcs(), 128);
   const Partition1D part(65, 1);
-  World world(1);
+  World world(1, backend());
   DistFrontier::Heuristic h;
   h.alpha = 2.0;
   h.beta = 4.0;
-  DistFrontier frontier(g, part, 1, h);
+  DistFrontier frontier(world, g, part, h);
   world.run([&](Rank& rank) {
     // Center alone: 64 out-edges, not > 64 — stays sparse.
     frontier.advance(rank, {0});
@@ -184,15 +193,15 @@ TEST(DistFrontier, SparseDenseSwitchHysteresis) {
   });
 }
 
-TEST(DistFrontier, ModeAgreesAcrossRanks) {
+TEST_P(FrontierBackend, ModeAgreesAcrossRanks) {
   constexpr int kRanks = 4;
   const Csr g = make_undirected(256, rmat_edges(8, 8, 17));  // skewed
   const Partition1D part(g.n(), kRanks);
-  World world(kRanks);
-  DistFrontier frontier(g, part, kRanks);
-  std::vector<std::vector<FrontierMode>> seen(kRanks);
+  World world(kRanks, backend());
+  DistFrontier frontier(world, g, part);
   world.run([&](Rank& rank) {
-    // Simulated BFS-ish growth: every rank submits a growing slice.
+    // Simulated BFS-ish growth: every rank submits a growing slice and
+    // checks agreement via an allreduce (works for process-backed ranks).
     for (int step = 1; step <= 4; ++step) {
       std::vector<vid_t> mine;
       const vid_t lo = part.begin(rank.id());
@@ -200,11 +209,17 @@ TEST(DistFrontier, ModeAgreesAcrossRanks) {
                                        static_cast<vid_t>(lo + (1 << (2 * step))));
       for (vid_t v = lo; v < hi; ++v) mine.push_back(v);
       frontier.advance(rank, std::move(mine));
-      seen[static_cast<std::size_t>(rank.id())].push_back(frontier.mode(rank));
+      const double dense = frontier.mode(rank) == FrontierMode::Dense ? 1.0 : 0.0;
+      const double agreeing = rank.allreduce_sum(dense);
+      EXPECT_TRUE(agreeing == 0.0 || agreeing == static_cast<double>(kRanks))
+          << "step " << step << ": ranks disagree on the mode";
     }
   });
-  for (int r = 1; r < kRanks; ++r) EXPECT_EQ(seen[static_cast<std::size_t>(r)], seen[0]);
 }
+
+INSTANTIATE_TEST_SUITE_P(Backends, FrontierBackend,
+                         pushpull::dist::testing::AllBackends(),
+                         pushpull::dist::testing::BackendParamName);
 
 }  // namespace
 }  // namespace pushpull::dist

@@ -1,9 +1,11 @@
 // Validation of the distributed traversal kernels (dist/bfs_dist.hpp,
 // dist/sssp_dist.hpp, dist/bc_dist.hpp) against the shared-memory
 // implementations in src/core/, across all three DistVariants at 1, 2, 4 and
-// 8 ranks, on undirected, disconnected, and directed graphs — plus the
-// Figure 3 modeled-communication ordering (message passing beats pushing-RMA
-// for every frontier algorithm).
+// 8 ranks on both transport backends (emu threads, shm processes), on
+// undirected, disconnected, and directed graphs — plus direction
+// optimization for BFS, SSSP bucket relaxation and BC's forward phase, and
+// the Figure 3 modeled-communication ordering (message passing beats
+// pushing-RMA for every frontier algorithm).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -19,6 +21,7 @@
 #include "dist/bc_dist.hpp"
 #include "dist/bfs_dist.hpp"
 #include "dist/sssp_dist.hpp"
+#include "dist_test_common.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "graph_zoo.hpp"
@@ -26,17 +29,38 @@
 namespace pushpull::dist {
 namespace {
 
-using DistParam = std::tuple<int, DistVariant>;
+using DistParam = std::tuple<int, DistVariant, BackendKind>;
 
 const std::vector<int> kRanks{1, 2, 4, 8};
 const std::vector<DistVariant> kVariants{
     DistVariant::PushRma, DistVariant::PullRma, DistVariant::MsgPassing};
+const std::vector<BackendKind> kBackends{BackendKind::Emu, BackendKind::Shm};
 
 std::string param_name(const ::testing::TestParamInfo<DistParam>& info) {
   std::string v = to_string(std::get<1>(info.param));
   std::replace(v.begin(), v.end(), '-', '_');
-  return v + "_r" + std::to_string(std::get<0>(info.param));
+  return std::string(to_string(std::get<2>(info.param))) + "_" + v + "_r" +
+         std::to_string(std::get<0>(info.param));
 }
+
+// All result assertions run in the parent (the algorithms publish results
+// through shared arrays), so the full matrix works unchanged on the process
+// backend; SetUp skips backends this platform cannot run.
+class TraversalTest : public ::testing::TestWithParam<DistParam> {
+ protected:
+  void SetUp() override {
+    pushpull::dist::testing::install_rank_status_probe();
+    PUSHPULL_SKIP_IF_BACKEND_UNAVAILABLE(std::get<2>(GetParam()));
+  }
+};
+
+#define PUSHPULL_TRAVERSAL_SUITE(suite)                                  \
+  INSTANTIATE_TEST_SUITE_P(                                              \
+      VariantsRanksBackends, suite,                                      \
+      ::testing::Combine(::testing::ValuesIn(kRanks),                    \
+                         ::testing::ValuesIn(kVariants),                 \
+                         ::testing::ValuesIn(kBackends)),                \
+      param_name)
 
 // Structural check that `parent` is a valid tree for the given distances:
 // the parent sits one level up and the tree edge exists in the graph.
@@ -60,10 +84,10 @@ void check_parents(const Csr& g, const Csr& gin, vid_t root,
 
 // --- BFS -----------------------------------------------------------------
 
-class DistBfs : public ::testing::TestWithParam<DistParam> {};
+class DistBfs : public TraversalTest {};
 
 TEST_P(DistBfs, MatchesCoreOnUndirectedAndDisconnected) {
-  const auto& [nranks, variant] = GetParam();
+  const auto& [nranks, variant, backend] = GetParam();
   for (const auto& entry : pushpull::testing::unweighted_zoo()) {
     // two_components covers the disconnected case (root side + unreached).
     const Csr& g = entry.graph;
@@ -71,6 +95,7 @@ TEST_P(DistBfs, MatchesCoreOnUndirectedAndDisconnected) {
     const BfsResult want = bfs_push(g, root);
     BfsDistOptions opt;
     opt.variant = variant;
+    opt.backend = backend;
     const BfsDistResult got = bfs_dist(g, root, nranks, opt);
     ASSERT_EQ(got.dist.size(), want.dist.size());
     for (std::size_t v = 0; v < want.dist.size(); ++v) {
@@ -84,12 +109,13 @@ TEST_P(DistBfs, MatchesCoreOnUndirectedAndDisconnected) {
 }
 
 TEST_P(DistBfs, MatchesCoreOnDirectedGraphs) {
-  const auto& [nranks, variant] = GetParam();
+  const auto& [nranks, variant, backend] = GetParam();
   const Digraph dg = build_digraph(256, rmat_edges(8, 6, 77));
   const vid_t root = 0;
   const std::vector<vid_t> want = bfs_digraph(dg, root, Direction::Push);
   BfsDistOptions opt;
   opt.variant = variant;
+  opt.backend = backend;
   const BfsDistResult got = bfs_dist(dg.out, root, nranks, opt, &dg.in);
   ASSERT_EQ(got.dist.size(), want.size());
   for (std::size_t v = 0; v < want.size(); ++v) {
@@ -98,25 +124,27 @@ TEST_P(DistBfs, MatchesCoreOnDirectedGraphs) {
   check_parents(dg.out, dg.in, root, got.dist, got.parent, to_string(variant));
 }
 
-INSTANTIATE_TEST_SUITE_P(VariantsAndRanks, DistBfs,
-                         ::testing::Combine(::testing::ValuesIn(kRanks),
-                                            ::testing::ValuesIn(kVariants)),
-                         param_name);
+PUSHPULL_TRAVERSAL_SUITE(DistBfs);
 
-TEST(DistBfsDeterminism, ParentsIdenticalAcrossVariantsAndRanks) {
+TEST(DistBfsDeterminism, ParentsIdenticalAcrossVariantsRanksAndBackends) {
   // Min-combined claims make the BFS tree canonical: every variant at every
-  // rank count picks the minimum parent at the minimum level.
+  // rank count on every backend picks the minimum parent at the minimum
+  // level.
   Csr g = make_undirected(256, rmat_edges(8, 8, 17));
   BfsDistOptions base;
   base.variant = DistVariant::MsgPassing;
   const BfsDistResult ref = bfs_dist(g, 3, 1, base);
-  for (int nranks : kRanks) {
-    for (DistVariant variant : kVariants) {
-      BfsDistOptions opt;
-      opt.variant = variant;
-      const BfsDistResult got = bfs_dist(g, 3, nranks, opt);
-      EXPECT_EQ(got.parent, ref.parent)
-          << to_string(variant) << " r" << nranks;
+  for (BackendKind backend : kBackends) {
+    if (pushpull::dist::testing::backend_unavailable(backend)) continue;
+    for (int nranks : kRanks) {
+      for (DistVariant variant : kVariants) {
+        BfsDistOptions opt;
+        opt.variant = variant;
+        opt.backend = backend;
+        const BfsDistResult got = bfs_dist(g, 3, nranks, opt);
+        EXPECT_EQ(got.parent, ref.parent)
+            << to_string(backend) << " " << to_string(variant) << " r" << nranks;
+      }
     }
   }
 }
@@ -133,35 +161,40 @@ TEST(DistBfsDirOpt, DirectionOptimizingMatchesAndGoesDense) {
     }
   }
   const BfsResult want = bfs_push(g, root);
-  for (DistVariant variant : {DistVariant::PushRma, DistVariant::MsgPassing}) {
-    BfsDistOptions opt;
-    opt.variant = variant;
-    opt.direction_optimizing = true;
-    const BfsDistResult got = bfs_dist(g, root, 4, opt);
-    EXPECT_EQ(got.dist, want.dist) << to_string(variant);
-    // The skewed rmat frontier must actually trigger at least one dense
-    // (bottom-up) round, or this test is vacuous.
-    EXPECT_TRUE(std::any_of(got.level_modes.begin(), got.level_modes.end(),
-                            [](FrontierMode m) { return m == FrontierMode::Dense; }))
-        << to_string(variant);
-    EXPECT_TRUE(std::any_of(got.level_modes.begin(), got.level_modes.end(),
-                            [](FrontierMode m) { return m == FrontierMode::Sparse; }))
-        << to_string(variant);
+  for (BackendKind backend : kBackends) {
+    if (pushpull::dist::testing::backend_unavailable(backend)) continue;
+    for (DistVariant variant : {DistVariant::PushRma, DistVariant::MsgPassing}) {
+      BfsDistOptions opt;
+      opt.variant = variant;
+      opt.backend = backend;
+      opt.direction_optimizing = true;
+      const BfsDistResult got = bfs_dist(g, root, 4, opt);
+      EXPECT_EQ(got.dist, want.dist) << to_string(variant);
+      // The skewed rmat frontier must actually trigger at least one dense
+      // (bottom-up) round, or this test is vacuous.
+      EXPECT_TRUE(std::any_of(got.level_modes.begin(), got.level_modes.end(),
+                              [](FrontierMode m) { return m == FrontierMode::Dense; }))
+          << to_string(variant);
+      EXPECT_TRUE(std::any_of(got.level_modes.begin(), got.level_modes.end(),
+                              [](FrontierMode m) { return m == FrontierMode::Sparse; }))
+          << to_string(variant);
+    }
   }
 }
 
 // --- SSSP ----------------------------------------------------------------
 
-class DistSssp : public ::testing::TestWithParam<DistParam> {};
+class DistSssp : public TraversalTest {};
 
 TEST_P(DistSssp, MatchesCoreOnWeightedZoo) {
-  const auto& [nranks, variant] = GetParam();
+  const auto& [nranks, variant, backend] = GetParam();
   for (const auto& entry : pushpull::testing::weighted_zoo()) {
     const Csr& g = entry.graph;
     const weight_t delta = 2.0f;
     const DeltaSteppingResult want = sssp_delta_push(g, 0, delta);
     SsspDistOptions opt;
     opt.variant = variant;
+    opt.backend = backend;
     opt.delta = delta;
     const SsspDistResult got = sssp_dist(g, 0, nranks, opt);
     ASSERT_EQ(got.dist.size(), want.dist.size());
@@ -173,7 +206,7 @@ TEST_P(DistSssp, MatchesCoreOnWeightedZoo) {
 }
 
 TEST_P(DistSssp, MatchesCoreOnDisconnectedGraph) {
-  const auto& [nranks, variant] = GetParam();
+  const auto& [nranks, variant, backend] = GetParam();
   // A weighted cycle plus an unreachable clique: distances on the far
   // component must stay +inf on every rank layout.
   EdgeList edges = cycle_edges(20);
@@ -185,6 +218,7 @@ TEST_P(DistSssp, MatchesCoreOnDisconnectedGraph) {
   const DeltaSteppingResult want = sssp_delta_push(g, 0, 3.0f);
   SsspDistOptions opt;
   opt.variant = variant;
+  opt.backend = backend;
   opt.delta = 3.0f;
   const SsspDistResult got = sssp_dist(g, 0, nranks, opt);
   EXPECT_EQ(got.dist, want.dist) << to_string(variant);
@@ -194,7 +228,7 @@ TEST_P(DistSssp, MatchesCoreOnDisconnectedGraph) {
 }
 
 TEST_P(DistSssp, MatchesCoreOnDirectedGraphs) {
-  const auto& [nranks, variant] = GetParam();
+  const auto& [nranks, variant, backend] = GetParam();
   const Digraph dg =
       build_digraph(256, with_uniform_weights(rmat_edges(8, 6, 91), 1.0f, 9.0f, 93),
                     /*keep_weights=*/true);
@@ -202,19 +236,51 @@ TEST_P(DistSssp, MatchesCoreOnDirectedGraphs) {
   const DeltaSteppingResult want = sssp_delta_push(dg.out, 0, 4.0f);
   SsspDistOptions opt;
   opt.variant = variant;
+  opt.backend = backend;
   opt.delta = 4.0f;
   const SsspDistResult got = sssp_dist(dg.out, 0, nranks, opt, &dg.in);
   EXPECT_EQ(got.dist, want.dist) << to_string(variant);
 }
 
-INSTANTIATE_TEST_SUITE_P(VariantsAndRanks, DistSssp,
-                         ::testing::Combine(::testing::ValuesIn(kRanks),
-                                            ::testing::ValuesIn(kVariants)),
-                         param_name);
+PUSHPULL_TRAVERSAL_SUITE(DistSssp);
+
+TEST(DistSsspDirOpt, DirectionOptimizingMatchesAndUsesBothModes) {
+  // A wide bucket on a skewed graph makes the active set balloon like a BFS
+  // frontier: the switch must go dense mid-bucket and come back sparse as
+  // the bucket drains, with distances identical to core Δ-stepping.
+  const Csr g = make_undirected_weighted(512, rmat_edges(9, 8, 21), 1.0f, 9.0f, 23);
+  const weight_t delta = 64.0f;  // every relaxation lands in bucket 0
+  const DeltaSteppingResult want = sssp_delta_push(g, 0, delta);
+  for (BackendKind backend : kBackends) {
+    if (pushpull::dist::testing::backend_unavailable(backend)) continue;
+    for (DistVariant variant : {DistVariant::PushRma, DistVariant::MsgPassing}) {
+      SsspDistOptions opt;
+      opt.variant = variant;
+      opt.backend = backend;
+      opt.delta = delta;
+      opt.direction_optimizing = true;
+      const SsspDistResult got = sssp_dist(g, 0, 4, opt);
+      EXPECT_EQ(got.dist, want.dist)
+          << to_string(backend) << " " << to_string(variant);
+      EXPECT_GT(got.dense_rounds, 0) << to_string(variant);
+      EXPECT_GT(got.sparse_rounds, 0) << to_string(variant);
+      EXPECT_EQ(got.dense_rounds + got.sparse_rounds, got.inner_iterations);
+    }
+  }
+}
+
+TEST(DistSsspDirOpt, PullRmaIsAlwaysDense) {
+  const Csr g = make_undirected_weighted(128, rmat_edges(7, 6, 5), 1.0f, 9.0f, 7);
+  SsspDistOptions opt;
+  opt.variant = DistVariant::PullRma;
+  const SsspDistResult got = sssp_dist(g, 0, 4, opt);
+  EXPECT_EQ(got.sparse_rounds, 0);
+  EXPECT_EQ(got.dense_rounds, got.inner_iterations);
+}
 
 // --- BC ------------------------------------------------------------------
 
-class DistBc : public ::testing::TestWithParam<DistParam> {};
+class DistBc : public TraversalTest {};
 
 void expect_bc_near(const std::vector<double>& got, const std::vector<double>& want,
                     const std::string& label) {
@@ -226,7 +292,7 @@ void expect_bc_near(const std::vector<double>& got, const std::vector<double>& w
 }
 
 TEST_P(DistBc, MatchesCoreAllSourcesOnSmallGraphs) {
-  const auto& [nranks, variant] = GetParam();
+  const auto& [nranks, variant, backend] = GetParam();
   // Exact (all-sources) BC on shallow small shapes; deep graphs like path50
   // would be barrier-bound here (sources × levels supersteps) and their
   // traversal structure is already covered by the BFS/SSSP zoo sweeps.
@@ -239,26 +305,28 @@ TEST_P(DistBc, MatchesCoreAllSourcesOnSmallGraphs) {
     const BcResult want = betweenness_centrality(entry.graph);
     BcDistOptions opt;
     opt.variant = variant;
+    opt.backend = backend;
     const BcDistResult got = betweenness_centrality_dist(entry.graph, nranks, opt);
     expect_bc_near(got.bc, want.bc, entry.name + " " + to_string(variant));
   }
 }
 
 TEST_P(DistBc, MatchesCoreSampledSourcesOnSkewedGraph) {
-  const auto& [nranks, variant] = GetParam();
+  const auto& [nranks, variant, backend] = GetParam();
   Csr g = make_undirected(256, rmat_edges(8, 8, 17));
   BcOptions core_opt;
   core_opt.sources = {0, 7, 31, 100, 200, 255};
   const BcResult want = betweenness_centrality(g, core_opt);
   BcDistOptions opt;
   opt.variant = variant;
+  opt.backend = backend;
   opt.sources = core_opt.sources;
   const BcDistResult got = betweenness_centrality_dist(g, nranks, opt);
   expect_bc_near(got.bc, want.bc, to_string(variant));
 }
 
 TEST_P(DistBc, DirectedPathHasAnalyticCentrality) {
-  const auto& [nranks, variant] = GetParam();
+  const auto& [nranks, variant, backend] = GetParam();
   // Directed path 0→1→2→3→4 with sources {0,1,2,3}: δ counts pairs (s,t)
   // with v interior on the unique s→t path. Also exercises n < nranks.
   EdgeList edges;
@@ -266,16 +334,49 @@ TEST_P(DistBc, DirectedPathHasAnalyticCentrality) {
   const Digraph dg = build_digraph(5, std::move(edges));
   BcDistOptions opt;
   opt.variant = variant;
+  opt.backend = backend;
   opt.sources = {0, 1, 2, 3};  // not all 5: no undirected halving
   const BcDistResult got = betweenness_centrality_dist(dg.out, nranks, opt, &dg.in);
   const std::vector<double> want{0.0, 3.0, 4.0, 3.0, 0.0};
   expect_bc_near(got.bc, want, to_string(variant));
 }
 
-INSTANTIATE_TEST_SUITE_P(VariantsAndRanks, DistBc,
-                         ::testing::Combine(::testing::ValuesIn(kRanks),
-                                            ::testing::ValuesIn(kVariants)),
-                         param_name);
+PUSHPULL_TRAVERSAL_SUITE(DistBc);
+
+TEST(DistBcDirOpt, ForwardDirectionOptimizingMatchesAndUsesBothModes) {
+  // The skewed rmat frontier balloons after one hop from a hub source: the
+  // forward σ-counting phase must flip to bottom-up and back, with BC values
+  // identical (σ sums are exact integers under either expansion).
+  Csr g = make_undirected(256, rmat_edges(8, 8, 17));
+  BcOptions core_opt;
+  core_opt.sources = {0, 31, 100, 255};
+  const BcResult want = betweenness_centrality(g, core_opt);
+  for (BackendKind backend : kBackends) {
+    if (pushpull::dist::testing::backend_unavailable(backend)) continue;
+    for (DistVariant variant : {DistVariant::PushRma, DistVariant::MsgPassing}) {
+      BcDistOptions opt;
+      opt.variant = variant;
+      opt.backend = backend;
+      opt.sources = core_opt.sources;
+      opt.direction_optimizing = true;
+      const BcDistResult got = betweenness_centrality_dist(g, 4, opt);
+      expect_bc_near(got.bc, want.bc,
+                     std::string(to_string(backend)) + " " + to_string(variant));
+      EXPECT_GT(got.dense_rounds, 0) << to_string(variant);
+      EXPECT_GT(got.sparse_rounds, 0) << to_string(variant);
+    }
+  }
+}
+
+TEST(DistBcDirOpt, PullRmaForwardIsAlwaysDense) {
+  Csr g = make_undirected(128, rmat_edges(7, 6, 5));
+  BcDistOptions opt;
+  opt.variant = DistVariant::PullRma;
+  opt.sources = {0, 1};
+  const BcDistResult got = betweenness_centrality_dist(g, 4, opt);
+  EXPECT_EQ(got.sparse_rounds, 0);
+  EXPECT_GT(got.dense_rounds, 0);
+}
 
 // --- Counters and the Figure 3 modeled ordering ---------------------------
 
@@ -317,6 +418,30 @@ TEST(DistTraversalCounters, VariantsIssueTheExpectedOpClasses) {
   EXPECT_EQ(bc_mp_res.total.rma_faas, 0u);
   EXPECT_EQ(bc_mp_res.total.rma_accs, 0u);
   EXPECT_EQ(bc_mp_res.total.rma_gets, 0u);
+}
+
+TEST(DistTraversalCounters, CountersAreBackendIndependent) {
+  // The façade attributes every counted operation above the transport, so a
+  // run produces identical RankStats on emu threads and shm processes.
+  if (pushpull::dist::testing::backend_unavailable(BackendKind::Shm)) {
+    GTEST_SKIP() << "shm backend unavailable";
+  }
+  pushpull::dist::testing::install_rank_status_probe();
+  Csr g = make_undirected(256, rmat_edges(8, 8, 17));
+  for (DistVariant variant : kVariants) {
+    BfsDistOptions opt;
+    opt.variant = variant;
+    opt.backend = BackendKind::Emu;
+    const auto emu = bfs_dist(g, 0, 4, opt);
+    opt.backend = BackendKind::Shm;
+    const auto shm = bfs_dist(g, 0, 4, opt);
+    EXPECT_EQ(emu.total.msgs_sent, shm.total.msgs_sent) << to_string(variant);
+    EXPECT_EQ(emu.total.bytes_sent, shm.total.bytes_sent) << to_string(variant);
+    EXPECT_EQ(emu.total.rma_accs, shm.total.rma_accs) << to_string(variant);
+    EXPECT_EQ(emu.total.rma_gets, shm.total.rma_gets) << to_string(variant);
+    EXPECT_EQ(emu.total.rma_faas, shm.total.rma_faas) << to_string(variant);
+    EXPECT_EQ(emu.total.barriers, shm.total.barriers) << to_string(variant);
+  }
 }
 
 TEST(DistTraversalModel, MsgPassingBeatsPushRmaForAllFrontierAlgorithms) {

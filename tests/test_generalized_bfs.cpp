@@ -44,7 +44,9 @@ TEST_P(GenBfsSweep, Ready1ReproducesStandardBfs) {
 
 INSTANTIATE_TEST_SUITE_P(Threads, GenBfsSweep, ::testing::Range(0, 3),
                          [](const ::testing::TestParamInfo<int>& info) {
-                           return "t" + std::to_string(1 + info.param % 4);
+                           std::string name("t");
+                           name += std::to_string(1 + info.param % 4);
+                           return name;
                          });
 
 TEST(GenBfs, TreeAggregationWithExactReadyCounts) {

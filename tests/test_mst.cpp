@@ -138,7 +138,9 @@ TEST(MstPrim, ParentEdgesExistAndRoundsEqualN) {
   EXPECT_EQ(r.rounds, g.n());
   for (vid_t v = 0; v < g.n(); ++v) {
     const vid_t p = r.parent[static_cast<std::size_t>(v)];
-    if (p >= 0) EXPECT_TRUE(g.has_edge(p, v)) << name;
+    if (p >= 0) {
+      EXPECT_TRUE(g.has_edge(p, v)) << name;
+    }
   }
 }
 

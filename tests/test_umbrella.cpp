@@ -61,9 +61,11 @@ TEST(Umbrella, DistributedFrontierSubsystemIsReachable) {
   const auto bc = dist::betweenness_centrality_dist(g, 2, bopt);
   EXPECT_EQ(bc.bc.size(), 32u);
 
+  dist::World world(2);
   const Partition1D part(32, 2);
-  dist::DistFrontier frontier(g, part, 2);
+  dist::DistFrontier frontier(world, g, part);
   EXPECT_EQ(to_string(dist::FrontierMode::Sparse), std::string("sparse"));
+  EXPECT_TRUE(world.backend() == dist::BackendKind::Emu);
   (void)frontier;
 }
 
