@@ -12,12 +12,16 @@
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "dist/runtime.hpp"
+#include "engine/policy.hpp"
 #include "graph/analogs.hpp"
+#include "graph/builder.hpp"
 #include "graph/csr.hpp"
+#include "graph/io.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -49,6 +53,64 @@ double time_s(F&& fn, int repeats = 1) {
     best = std::min(best, t.elapsed_s());
   }
   return best;
+}
+
+// Shared CLI surface of the shared-memory benches (fig1_coloring, fig2_sssp,
+// fig5_bc_scaling, fig6_strategies, micro_kernels): the graph-size shift, the
+// engine-policy selection, and an optional real edge-list file. Every binary
+// accepts the identical flag set:
+//   --scale=K                     shift the synthetic analogs by K powers of 2
+//   --policy=push|pull|gs|grs|fe|pa|all   engine strategies to sweep
+//   --graph=FILE                  load a SNAP-style edge list instead of the
+//                                 analogs (weights read when present)
+struct SmCli {
+  int scale = 0;
+  std::vector<engine::StrategyKind> policies;
+  std::string graph_path;  // empty = the synthetic analogs
+  // Built-graph cache: a multi-GB --graph file is parsed and symmetrized
+  // once per (name, weighted) even when a bench loads it in several sections.
+  mutable std::map<std::string, Csr> cache;
+};
+
+inline SmCli parse_sm_cli(Cli& cli, int default_scale,
+                          const char* default_policy = "all") {
+  SmCli out;
+  out.scale = static_cast<int>(cli.get_int("scale", default_scale));
+  out.policies =
+      engine::parse_strategy_list(cli.get_string("policy", default_policy));
+  out.graph_path = cli.get_string("graph", "");
+  return out;
+}
+
+// Graph names this run sweeps: the loaded file (basename) or the analogs.
+inline std::vector<std::string> sm_graph_names(const SmCli& sm) {
+  if (!sm.graph_path.empty()) {
+    const auto slash = sm.graph_path.find_last_of('/');
+    return {slash == std::string::npos ? sm.graph_path
+                                       : sm.graph_path.substr(slash + 1)};
+  }
+  return analog_names();
+}
+
+// Loads one graph of the sweep: the --graph file (symmetrized; when a
+// weighted graph is requested the file's weight column is honored as-is —
+// files without one get the parser's unit weights, never synthesized values)
+// or the named analog. Cached per (name, weighted) for the life of the run.
+inline const Csr& sm_load_graph(const SmCli& sm, const std::string& name,
+                                bool weighted = false) {
+  const std::string key = name + (weighted ? "#w" : "");
+  auto it = sm.cache.find(key);
+  if (it != sm.cache.end()) return it->second;
+  if (sm.graph_path.empty()) {
+    return sm.cache.emplace(key, analog_by_name(name, sm.scale, weighted))
+        .first->second;
+  }
+  vid_t n = 0;
+  EdgeList edges = read_edge_list(sm.graph_path, &n);
+  BuildOptions opts;
+  opts.keep_weights = weighted;
+  return sm.cache.emplace(key, build_csr(n, std::move(edges), opts))
+      .first->second;
 }
 
 // Shared CLI surface of the distributed benches (fig3_dm_scaling,

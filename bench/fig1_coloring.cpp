@@ -11,7 +11,7 @@ using namespace pushpull;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
-  const int scale = static_cast<int>(cli.get_int("scale", -1));
+  bench::SmCli sm = bench::parse_sm_cli(cli, /*default_scale=*/-1);
   const int iters = static_cast<int>(cli.get_int("iters", 50));
   cli.check();
 
@@ -19,8 +19,10 @@ int main(int argc, char** argv) {
       "Figure 1 — Boman graph coloring: time per iteration, Pull vs Push vs GrS",
       "pushing beats pulling per iteration; Greedy-Switch finishes in fewer steps");
 
-  for (const std::string& name : {std::string("orc"), std::string("ljn"), std::string("rca")}) {
-    const Csr g = analog_by_name(name, scale);
+  std::vector<std::string> names = bench::sm_graph_names(sm);
+  if (sm.graph_path.empty()) names = {"orc", "ljn", "rca"};
+  for (const std::string& name : names) {
+    const Csr& g = bench::sm_load_graph(sm, name);
     bench::print_graph_line(name + "*", g);
 
     ColoringOptions opt;

@@ -14,7 +14,7 @@ using namespace pushpull;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
-  const int scale = static_cast<int>(cli.get_int("scale", -1));
+  bench::SmCli sm = bench::parse_sm_cli(cli, /*default_scale=*/-1);
   const double delta0 = cli.get_double("delta", 16.0);
   cli.check();
 
@@ -24,8 +24,10 @@ int main(int argc, char** argv) {
       "push-BFS wins, most visibly on the road network");
 
   // (a)+(b): per-epoch times.
-  for (const std::string& name : {std::string("orc"), std::string("am")}) {
-    const Csr g = analog_by_name(name, scale, /*weighted=*/true);
+  std::vector<std::string> epoch_names = bench::sm_graph_names(sm);
+  if (sm.graph_path.empty()) epoch_names = {"orc", "am"};
+  for (const std::string& name : epoch_names) {
+    const Csr& g = bench::sm_load_graph(sm, name, /*weighted=*/true);
     bench::print_graph_line(name + "*", g);
     const auto push = sssp_delta_push(g, 0, static_cast<weight_t>(delta0));
     const auto pull = sssp_delta_pull(g, 0, static_cast<weight_t>(delta0));
@@ -43,9 +45,9 @@ int main(int argc, char** argv) {
                 pull.inner_iterations);
   }
 
-  // (c): Δ sweep on orc.
+  // (c): Δ sweep on orc (or the loaded graph).
   {
-    const Csr g = analog_by_name("orc", scale, /*weighted=*/true);
+    const Csr& g = bench::sm_load_graph(sm, "orc", /*weighted=*/true);
     Table table({"Delta", "Pushing [s]", "Pulling [s]", "push/pull"});
     for (double d : {1.0, 4.0, 16.0, 64.0, 256.0, 4096.0, 1e6}) {
       const double push_s =
@@ -65,8 +67,8 @@ int main(int argc, char** argv) {
     std::printf("\nBFS (total time, root 0; paper: push wins in most cases, most "
                 "visibly on rca):\n");
     Table table({"Graph", "Push [ms]", "Pull [ms]", "Dir-opt [ms]"});
-    for (const std::string& name : analog_names()) {
-      const Csr g = analog_by_name(name, scale);
+    for (const std::string& name : bench::sm_graph_names(sm)) {
+      const Csr& g = bench::sm_load_graph(sm, name);
       const double push_s = bench::time_s([&] { bfs_push(g, 0); }, 3);
       const double pull_s = bench::time_s([&] { bfs_pull(g, 0); }, 3);
       const double diropt_s =

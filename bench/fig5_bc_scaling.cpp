@@ -12,7 +12,7 @@ using namespace pushpull;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
-  const int scale = static_cast<int>(cli.get_int("scale", -2));
+  bench::SmCli sm = bench::parse_sm_cli(cli, /*default_scale=*/-2);
   const int num_sources = static_cast<int>(cli.get_int("sources", 24));
   const int max_threads = static_cast<int>(cli.get_int("max-threads", 8));
   cli.check();
@@ -22,8 +22,8 @@ int main(int argc, char** argv) {
       "pull beats push in both phases (float locks in backward, CAS+FAA in "
       "forward)");
 
-  const Csr g = analog_by_name("orc", scale);
-  bench::print_graph_line("orc*", g);
+  const Csr& g = bench::sm_load_graph(sm, "orc");
+  bench::print_graph_line(bench::sm_graph_names(sm)[0] + "*", g);
 
   // Fixed source sample (seeded) — the paper uses full BC; we sample to keep
   // the sweep in seconds on 2 cores.

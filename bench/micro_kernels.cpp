@@ -6,8 +6,11 @@
 #include <omp.h>
 
 #include "core/bfs.hpp"
+#include "core/connected_components.hpp"
 #include "core/frontier.hpp"
 #include "core/pagerank.hpp"
+#include "engine/edge_map.hpp"
+#include "engine/policy.hpp"
 #include "graph/analogs.hpp"
 #include "graph/partition_aware.hpp"
 #include "sync/atomics.hpp"
@@ -161,6 +164,82 @@ void BM_BfsDirOpt(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BfsDirOpt);
+
+// --- raw engine edge_map throughput, one label-min round per loop shape ------
+//
+// The same CcPropagate functor through every traversal mode: the deltas
+// between these rows are pure engine/loop-shape costs (k-filter merge vs
+// dense sweep vs membership filter), with the per-edge work held constant.
+
+void BM_EdgeMapSparsePush(benchmark::State& state) {
+  const Csr& g = micro_graph();
+  std::vector<vid_t> comp(static_cast<std::size_t>(g.n()));
+  engine::Workspace ws(g.n());
+  engine::VertexSet in = engine::VertexSet::all(g.n());
+  engine::EdgeMapOptions opt;
+  opt.dedup_output = true;
+  for (auto _ : state) {
+    for (vid_t v = 0; v < g.n(); ++v) comp[static_cast<std::size_t>(v)] = v;
+    auto out = engine::sparse_push(
+        g, ws, in, detail::CcPropagate{comp.data(), nullptr}, opt);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_EdgeMapSparsePush);
+
+void BM_EdgeMapDensePush(benchmark::State& state) {
+  const Csr& g = micro_graph();
+  std::vector<vid_t> comp(static_cast<std::size_t>(g.n()));
+  engine::Workspace ws(g.n());
+  engine::EdgeMapOptions opt;
+  opt.dedup_output = true;
+  for (auto _ : state) {
+    for (vid_t v = 0; v < g.n(); ++v) comp[static_cast<std::size_t>(v)] = v;
+    auto out = engine::dense_push(g, ws, nullptr,
+                                  detail::CcPropagate{comp.data(), nullptr}, opt);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_EdgeMapDensePush);
+
+void BM_EdgeMapDensePull(benchmark::State& state) {
+  const Csr& g = micro_graph();
+  std::vector<vid_t> comp(static_cast<std::size_t>(g.n()));
+  engine::Workspace ws(g.n());
+  for (auto _ : state) {
+    for (vid_t v = 0; v < g.n(); ++v) comp[static_cast<std::size_t>(v)] = v;
+    auto out = engine::dense_pull(g, ws,
+                                  detail::CcPropagate{comp.data(), nullptr});
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_EdgeMapDensePull);
+
+// --- full CC runs under each §5 policy bundle --------------------------------
+
+void cc_policy_bench(benchmark::State& state, engine::StrategyKind k) {
+  const Csr& g = micro_graph();
+  CcOptions opt;
+  opt.strategy = k;
+  for (auto _ : state) {
+    auto r = connected_components(g, opt);
+    benchmark::DoNotOptimize(r.comp.data());
+  }
+}
+
+void BM_CcStaticPush(benchmark::State& s) { cc_policy_bench(s, engine::StrategyKind::StaticPush); }
+void BM_CcStaticPull(benchmark::State& s) { cc_policy_bench(s, engine::StrategyKind::StaticPull); }
+void BM_CcFrontierExploit(benchmark::State& s) { cc_policy_bench(s, engine::StrategyKind::FrontierExploit); }
+void BM_CcGenericSwitch(benchmark::State& s) { cc_policy_bench(s, engine::StrategyKind::GenericSwitch); }
+void BM_CcGreedySwitch(benchmark::State& s) { cc_policy_bench(s, engine::StrategyKind::GreedySwitch); }
+BENCHMARK(BM_CcStaticPush);
+BENCHMARK(BM_CcStaticPull);
+BENCHMARK(BM_CcFrontierExploit);
+BENCHMARK(BM_CcGenericSwitch);
+BENCHMARK(BM_CcGreedySwitch);
 
 }  // namespace
 }  // namespace pushpull

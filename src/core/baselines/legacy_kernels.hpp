@@ -1,0 +1,512 @@
+// Pre-refactor shared-memory kernels, frozen as differential baselines.
+//
+// These are the hand-rolled push/pull OpenMP loops that lived in core/bfs.hpp,
+// sssp_delta.hpp, pagerank.hpp, bc.hpp and coloring.hpp before the engine
+// refactor (PR 4) rebased the kernels onto engine/edge_map.hpp. They are kept
+// verbatim in behavior (instrumentation hooks stripped) so the engine-based
+// kernels can be asserted bit-identical against them across the graph zoo —
+// see tests/test_engine_differential.cpp. Do not "improve" these: their value
+// is that they never change.
+#pragma once
+
+#include <omp.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/coloring.hpp"
+#include "core/direction.hpp"
+#include "core/frontier.hpp"
+#include "core/pagerank.hpp"
+#include "core/sssp_delta.hpp"
+#include "graph/csr.hpp"
+#include "graph/partition.hpp"
+#include "graph/partition_aware.hpp"
+#include "sync/atomics.hpp"
+#include "util/check.hpp"
+
+namespace pushpull::legacy {
+
+// --- BFS ---------------------------------------------------------------------
+
+struct BfsRef {
+  std::vector<vid_t> dist;
+  std::vector<vid_t> parent;
+  int levels = 0;
+};
+
+inline BfsRef bfs_push(const Csr& g, vid_t root) {
+  const vid_t n = g.n();
+  PP_CHECK(root >= 0 && root < n);
+  BfsRef r;
+  r.dist.assign(static_cast<std::size_t>(n), -1);
+  r.parent.assign(static_cast<std::size_t>(n), -1);
+  r.dist[static_cast<std::size_t>(root)] = 0;
+
+  FrontierBuffers buffers(omp_get_max_threads());
+  std::vector<vid_t> frontier{root};
+  vid_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+#pragma omp parallel for schedule(dynamic, 64)
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      const vid_t v = frontier[i];
+      for (vid_t u : g.neighbors(v)) {
+        if (atomic_load(r.dist[static_cast<std::size_t>(u)]) >= 0) continue;
+        vid_t expected = -1;
+        if (cas(r.dist[static_cast<std::size_t>(u)], expected, level)) {
+          r.parent[static_cast<std::size_t>(u)] = v;
+          buffers.push_local(u);
+        }
+      }
+    }
+    buffers.merge_into(frontier);
+    ++r.levels;
+  }
+  return r;
+}
+
+inline BfsRef bfs_pull(const Csr& g, vid_t root) {
+  const vid_t n = g.n();
+  PP_CHECK(root >= 0 && root < n);
+  BfsRef r;
+  r.dist.assign(static_cast<std::size_t>(n), -1);
+  r.parent.assign(static_cast<std::size_t>(n), -1);
+  r.dist[static_cast<std::size_t>(root)] = 0;
+
+  vid_t level = 0;
+  bool advanced = true;
+  while (advanced) {
+    advanced = false;
+    ++level;
+    bool any = false;
+#pragma omp parallel for schedule(dynamic, 256) reduction(|| : any)
+    for (vid_t v = 0; v < n; ++v) {
+      if (r.dist[static_cast<std::size_t>(v)] >= 0) continue;
+      for (vid_t u : g.neighbors(v)) {
+        if (r.dist[static_cast<std::size_t>(u)] == level - 1) {
+          r.dist[static_cast<std::size_t>(v)] = level;
+          r.parent[static_cast<std::size_t>(v)] = u;
+          any = true;
+          break;
+        }
+      }
+    }
+    advanced = any;
+    if (advanced) ++r.levels;
+  }
+  return r;
+}
+
+// --- Δ-stepping SSSP ---------------------------------------------------------
+
+inline constexpr weight_t kInf = std::numeric_limits<weight_t>::infinity();
+
+inline std::int64_t next_bucket(const std::vector<weight_t>& d, weight_t delta,
+                                std::int64_t b) {
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  for (std::size_t v = 0; v < d.size(); ++v) {
+    const std::int64_t bv = bucket_of(d[v], delta);
+    if (bv > b && bv < best) best = bv;
+  }
+  return best;
+}
+
+inline std::vector<weight_t> sssp_delta_push(const Csr& g, vid_t src,
+                                             weight_t delta) {
+  PP_CHECK(g.has_weights());
+  const vid_t n = g.n();
+  std::vector<weight_t> dist(static_cast<std::size_t>(n), kInf);
+  dist[static_cast<std::size_t>(src)] = 0;
+  std::vector<std::uint8_t> active(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint8_t> active_next(static_cast<std::size_t>(n), 0);
+
+  std::int64_t b = 0;
+  while (b != std::numeric_limits<std::int64_t>::max()) {
+#pragma omp parallel for schedule(static)
+    for (vid_t v = 0; v < n; ++v) {
+      active[static_cast<std::size_t>(v)] =
+          bucket_of(dist[static_cast<std::size_t>(v)], delta) == b ? 1 : 0;
+    }
+    bool bucket_changed = true;
+    while (bucket_changed) {
+      bucket_changed = false;
+      bool changed = false;
+#pragma omp parallel for schedule(dynamic, 128) reduction(|| : changed)
+      for (vid_t v = 0; v < n; ++v) {
+        if (!active[static_cast<std::size_t>(v)]) continue;
+        active[static_cast<std::size_t>(v)] = 0;
+        const weight_t dv = atomic_load(dist[static_cast<std::size_t>(v)]);
+        const auto nb = g.neighbors(v);
+        const auto wgt = g.weights(v);
+        for (std::size_t i = 0; i < nb.size(); ++i) {
+          const vid_t w = nb[i];
+          const weight_t nd = dv + wgt[i];
+          if (nd < atomic_load(dist[static_cast<std::size_t>(w)])) {
+            if (atomic_min(dist[static_cast<std::size_t>(w)], nd) &&
+                bucket_of(nd, delta) == b) {
+              atomic_store(active_next[static_cast<std::size_t>(w)], std::uint8_t{1});
+              changed = true;
+            }
+          }
+        }
+      }
+      if (changed) {
+        bucket_changed = true;
+        active.swap(active_next);
+        std::fill(active_next.begin(), active_next.end(), std::uint8_t{0});
+      }
+    }
+    b = next_bucket(dist, delta, b);
+  }
+  return dist;
+}
+
+inline std::vector<weight_t> sssp_delta_pull(const Csr& g, vid_t src,
+                                             weight_t delta) {
+  PP_CHECK(g.has_weights());
+  const vid_t n = g.n();
+  std::vector<weight_t> dist(static_cast<std::size_t>(n), kInf);
+  dist[static_cast<std::size_t>(src)] = 0;
+  std::vector<std::uint8_t> active(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint8_t> active_next(static_cast<std::size_t>(n), 0);
+
+  std::int64_t b = 0;
+  while (b != std::numeric_limits<std::int64_t>::max()) {
+    int itr = 0;
+    bool bucket_changed = true;
+    while (bucket_changed) {
+      bucket_changed = false;
+      bool changed = false;
+#pragma omp parallel for schedule(dynamic, 128) reduction(|| : changed)
+      for (vid_t v = 0; v < n; ++v) {
+        const weight_t dv = dist[static_cast<std::size_t>(v)];
+        if (bucket_of(dv, delta) < b) continue;
+        weight_t best = dv;
+        vid_t improved_from = kInvalidVertex;
+        const auto nb = g.neighbors(v);
+        const auto wgt = g.weights(v);
+        for (std::size_t i = 0; i < nb.size(); ++i) {
+          const vid_t w = nb[i];
+          const weight_t dw = atomic_load(dist[static_cast<std::size_t>(w)]);
+          if (bucket_of(dw, delta) != b) continue;
+          if (itr != 0 && !atomic_load(active[static_cast<std::size_t>(w)]) &&
+              w != v) {
+            continue;
+          }
+          const weight_t nd = dw + wgt[i];
+          if (nd < best) {
+            best = nd;
+            improved_from = w;
+          }
+        }
+        if (improved_from != kInvalidVertex) {
+          atomic_store(dist[static_cast<std::size_t>(v)], best);
+          if (bucket_of(best, delta) == b) {
+            active_next[static_cast<std::size_t>(v)] = 1;
+            changed = true;
+          }
+        }
+      }
+      ++itr;
+      if (changed) bucket_changed = true;
+      active.swap(active_next);
+      std::fill(active_next.begin(), active_next.end(), std::uint8_t{0});
+    }
+    b = next_bucket(dist, delta, b);
+  }
+  return dist;
+}
+
+// --- PageRank ----------------------------------------------------------------
+
+inline double pr_dangling_mass(const Csr& g, const std::vector<double>& pr) {
+  double dangling = 0.0;
+#pragma omp parallel for reduction(+ : dangling) schedule(static)
+  for (vid_t v = 0; v < g.n(); ++v) {
+    if (g.degree(v) == 0) dangling += pr[static_cast<std::size_t>(v)];
+  }
+  return dangling;
+}
+
+inline std::vector<double> pagerank_pull(const Csr& g, const PageRankOptions& opt) {
+  const vid_t n = g.n();
+  PP_CHECK(n > 0);
+  std::vector<double> pr(static_cast<std::size_t>(n), 1.0 / n);
+  std::vector<double> next(static_cast<std::size_t>(n), 0.0);
+  for (int l = 0; l < opt.iterations; ++l) {
+    const double dangling = pr_dangling_mass(g, pr);
+    const double base = (1.0 - opt.damping) / n + opt.damping * dangling / n;
+#pragma omp parallel for schedule(static)
+    for (vid_t v = 0; v < n; ++v) {
+      double sum = 0.0;
+      for (vid_t u : g.neighbors(v)) {
+        sum += pr[static_cast<std::size_t>(u)] / g.degree(u);
+      }
+      next[static_cast<std::size_t>(v)] = base + opt.damping * sum;
+    }
+    pr.swap(next);
+  }
+  return pr;
+}
+
+inline std::vector<double> pagerank_push(const Csr& g, const PageRankOptions& opt) {
+  const vid_t n = g.n();
+  PP_CHECK(n > 0);
+  std::vector<double> pr(static_cast<std::size_t>(n), 1.0 / n);
+  std::vector<double> next(static_cast<std::size_t>(n), 0.0);
+  for (int l = 0; l < opt.iterations; ++l) {
+    const double dangling = pr_dangling_mass(g, pr);
+    const double base = (1.0 - opt.damping) / n + opt.damping * dangling / n;
+#pragma omp parallel
+    {
+#pragma omp for schedule(static)
+      for (vid_t v = 0; v < n; ++v) {
+        const vid_t deg = g.degree(v);
+        if (deg == 0) continue;
+        const double share = opt.damping * pr[static_cast<std::size_t>(v)] / deg;
+        for (vid_t u : g.neighbors(v)) {
+          atomic_add(next[static_cast<std::size_t>(u)], share);
+        }
+      }
+#pragma omp for schedule(static)
+      for (vid_t v = 0; v < n; ++v) {
+        next[static_cast<std::size_t>(v)] += base;
+      }
+    }
+    pr.swap(next);
+    std::fill(next.begin(), next.end(), 0.0);
+  }
+  return pr;
+}
+
+inline std::vector<double> pagerank_push_pa(const Csr& g, const PartitionAwareCsr& pa,
+                                            const PageRankOptions& opt) {
+  const vid_t n = g.n();
+  PP_CHECK(n > 0 && pa.n() == n);
+  std::vector<double> pr(static_cast<std::size_t>(n), 1.0 / n);
+  std::vector<double> next(static_cast<std::size_t>(n), 0.0);
+  const Partition1D& part = pa.partition();
+  for (int l = 0; l < opt.iterations; ++l) {
+    const double dangling = pr_dangling_mass(g, pr);
+    const double base = (1.0 - opt.damping) / n + opt.damping * dangling / n;
+#pragma omp parallel num_threads(part.parts())
+    {
+      const int t = omp_get_thread_num();
+      for (vid_t v = part.begin(t); v < part.end(t); ++v) {
+        const vid_t deg = pa.degree(v);
+        if (deg == 0) continue;
+        const double share = opt.damping * pr[static_cast<std::size_t>(v)] / deg;
+        for (vid_t u : pa.local_neighbors(v)) {
+          next[static_cast<std::size_t>(u)] += share;
+        }
+      }
+#pragma omp barrier
+      for (vid_t v = part.begin(t); v < part.end(t); ++v) {
+        const vid_t deg = pa.degree(v);
+        if (deg == 0) continue;
+        const double share = opt.damping * pr[static_cast<std::size_t>(v)] / deg;
+        for (vid_t u : pa.remote_neighbors(v)) {
+          atomic_add(next[static_cast<std::size_t>(u)], share);
+        }
+      }
+#pragma omp barrier
+      for (vid_t v = part.begin(t); v < part.end(t); ++v) {
+        next[static_cast<std::size_t>(v)] += base;
+      }
+    }
+    pr.swap(next);
+    std::fill(next.begin(), next.end(), 0.0);
+  }
+  return pr;
+}
+
+// --- Betweenness centrality --------------------------------------------------
+
+inline std::vector<double> betweenness_centrality(const Csr& g,
+                                                  const std::vector<vid_t>& srcs,
+                                                  Direction forward,
+                                                  Direction backward) {
+  const vid_t n = g.n();
+  std::vector<double> bc(static_cast<std::size_t>(n), 0.0);
+  if (n == 0) return bc;
+
+  std::vector<vid_t> sources = srcs;
+  if (sources.empty()) {
+    sources.resize(static_cast<std::size_t>(n));
+    for (vid_t v = 0; v < n; ++v) sources[static_cast<std::size_t>(v)] = v;
+  }
+
+  std::vector<vid_t> dist(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> sigma(static_cast<std::size_t>(n));
+  std::vector<double> delta(static_cast<std::size_t>(n));
+  std::vector<std::vector<vid_t>> levels;
+  FrontierBuffers buffers(omp_get_max_threads());
+
+  for (vid_t s : sources) {
+    std::fill(dist.begin(), dist.end(), vid_t{-1});
+    std::fill(sigma.begin(), sigma.end(), std::int64_t{0});
+    dist[static_cast<std::size_t>(s)] = 0;
+    sigma[static_cast<std::size_t>(s)] = 1;
+    levels.clear();
+    levels.push_back({s});
+
+    vid_t level = 0;
+    while (!levels.back().empty()) {
+      const std::vector<vid_t>& frontier = levels.back();
+      ++level;
+      if (forward == Direction::Push) {
+#pragma omp parallel for schedule(dynamic, 64)
+        for (std::size_t i = 0; i < frontier.size(); ++i) {
+          const vid_t v = frontier[i];
+          for (vid_t u : g.neighbors(v)) {
+            vid_t du = atomic_load(dist[static_cast<std::size_t>(u)]);
+            if (du == -1) {
+              vid_t expected = -1;
+              if (cas(dist[static_cast<std::size_t>(u)], expected, level)) {
+                buffers.push_local(u);
+              }
+              du = atomic_load(dist[static_cast<std::size_t>(u)]);
+            }
+            if (du == level) {
+              faa(sigma[static_cast<std::size_t>(u)],
+                  sigma[static_cast<std::size_t>(v)]);
+            }
+          }
+        }
+      } else {
+#pragma omp parallel for schedule(dynamic, 256)
+        for (vid_t v = 0; v < n; ++v) {
+          if (dist[static_cast<std::size_t>(v)] != -1) continue;
+          std::int64_t paths = 0;
+          for (vid_t u : g.neighbors(v)) {
+            if (atomic_load(dist[static_cast<std::size_t>(u)]) == level - 1) {
+              paths += sigma[static_cast<std::size_t>(u)];
+            }
+          }
+          if (paths > 0) {
+            dist[static_cast<std::size_t>(v)] = level;
+            sigma[static_cast<std::size_t>(v)] = paths;
+            buffers.push_local(v);
+          }
+        }
+      }
+      levels.emplace_back();
+      buffers.merge_into(levels.back());
+    }
+    levels.pop_back();
+
+    std::fill(delta.begin(), delta.end(), 0.0);
+    for (int l = static_cast<int>(levels.size()) - 2; l >= 0; --l) {
+      if (backward == Direction::Pull) {
+        const std::vector<vid_t>& lvl = levels[static_cast<std::size_t>(l)];
+#pragma omp parallel for schedule(dynamic, 64)
+        for (std::size_t i = 0; i < lvl.size(); ++i) {
+          const vid_t v = lvl[i];
+          double acc = 0.0;
+          for (vid_t u : g.neighbors(v)) {
+            if (dist[static_cast<std::size_t>(u)] == l + 1) {
+              acc += static_cast<double>(sigma[static_cast<std::size_t>(v)]) /
+                     static_cast<double>(sigma[static_cast<std::size_t>(u)]) *
+                     (1.0 + delta[static_cast<std::size_t>(u)]);
+            }
+          }
+          delta[static_cast<std::size_t>(v)] += acc;
+        }
+      } else {
+        const std::vector<vid_t>& lvl = levels[static_cast<std::size_t>(l) + 1];
+#pragma omp parallel for schedule(dynamic, 64)
+        for (std::size_t i = 0; i < lvl.size(); ++i) {
+          const vid_t w = lvl[i];
+          const double contrib_base =
+              (1.0 + delta[static_cast<std::size_t>(w)]) /
+              static_cast<double>(sigma[static_cast<std::size_t>(w)]);
+          for (vid_t v : g.neighbors(w)) {
+            if (dist[static_cast<std::size_t>(v)] == l) {
+              atomic_add(delta[static_cast<std::size_t>(v)],
+                         static_cast<double>(sigma[static_cast<std::size_t>(v)]) *
+                             contrib_base);
+            }
+          }
+        }
+      }
+    }
+#pragma omp parallel for schedule(static)
+    for (vid_t v = 0; v < n; ++v) {
+      if (v != s) bc[static_cast<std::size_t>(v)] += delta[static_cast<std::size_t>(v)];
+    }
+  }
+
+  if (sources.size() == static_cast<std::size_t>(n)) {
+    for (double& x : bc) x /= 2.0;
+  }
+  return bc;
+}
+
+// --- Boman coloring (Algorithm 6) --------------------------------------------
+
+inline ColoringResult boman_color(const Csr& g, Direction dir,
+                                  const ColoringOptions& opt = {}) {
+  const vid_t n = g.n();
+  const int nparts = detail::resolve_partitions(opt);
+  const int max_colors = detail::resolve_max_colors(g, opt);
+  const Partition1D part(n, nparts);
+
+  ColoringResult r;
+  r.color.assign(static_cast<std::size_t>(n), -1);
+  detail::AvailMask avail(n, max_colors);
+  std::vector<std::uint8_t> need(static_cast<std::size_t>(n), 1);
+  const std::vector<vid_t> border = border_vertices(g, part);
+  NullInstr ni;
+
+  for (int l = 0; l < opt.max_iterations; ++l) {
+    std::int64_t conflicts = 0;
+#pragma omp parallel num_threads(nparts)
+    {
+      const int t = omp_get_thread_num();
+      std::vector<std::uint64_t> scratch(avail.words_per_vertex());
+      for (vid_t v = part.begin(t); v < part.end(t); ++v) {
+        if (!need[static_cast<std::size_t>(v)]) continue;
+        const int c = detail::pick_color(g, avail, r.color, v, scratch, ni);
+        atomic_store(r.color[static_cast<std::size_t>(v)], c);
+        need[static_cast<std::size_t>(v)] = 0;
+      }
+    }
+
+#pragma omp parallel for schedule(dynamic, 64) reduction(+ : conflicts)
+    for (std::size_t i = 0; i < border.size(); ++i) {
+      const vid_t v = border[i];
+      const int cv = r.color[static_cast<std::size_t>(v)];
+      for (vid_t u : g.neighbors(v)) {
+        if (part.owner(u) == part.owner(v)) continue;
+        if (atomic_load(r.color[static_cast<std::size_t>(u)]) != cv) continue;
+        if (dir == Direction::Push) {
+          if (v < u) {
+            avail.clear_bit_atomic(u, cv);
+            atomic_store(need[static_cast<std::size_t>(u)], std::uint8_t{1});
+            ++conflicts;
+          }
+        } else {
+          if (v > u) {
+            avail.clear_bit(v, cv);
+            need[static_cast<std::size_t>(v)] = 1;
+            ++conflicts;
+          }
+        }
+      }
+    }
+
+    r.iter_conflicts.push_back(conflicts);
+    ++r.iterations;
+    if (opt.stop_on_converged && conflicts == 0) break;
+  }
+
+  int max_c = -1;
+  for (int c : r.color) max_c = std::max(max_c, c);
+  r.colors_used = max_c + 1;
+  return r;
+}
+
+}  // namespace pushpull::legacy

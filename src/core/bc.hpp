@@ -1,32 +1,33 @@
-// Betweenness Centrality (§3.5, §4.5, Algorithm 5) — parallel Brandes.
+// Betweenness Centrality (§3.5, §4.5, Algorithm 5) — parallel Brandes, on the
+// engine substrate.
 //
 // For each source s, a forward level-synchronous BFS computes shortest-path
 // counts σ, then a backward sweep over the BFS levels accumulates the
 // dependencies δ_s(v) = Σ_{w: v ∈ pred(s,w)} σ_sv/σ_sw · (1 + δ_s(w)).
 //
-// Both phases exist in push and pull flavors:
-//   forward push  — frontier vertices claim unvisited neighbors with CAS and
-//                   add σ contributions with integer FAA (atomics),
-//   forward pull  — unvisited vertices adopt the level and sum σ from their
-//                   frontier neighbors (thread-private writes, no atomics),
-//   backward push — each vertex pushes partial centrality to its
-//                   predecessors; the accumuland is a float, so each update
-//                   is a lock-accounted CAS loop (the paper's key point:
-//                   pushing turns int conflicts into float conflicts here),
-//   backward pull — each vertex pulls partial centrality from its successors
-//                   (reads only, writes its own δ).
+// Both phases exist in push and pull flavors, each one engine call per level:
+//   forward push  — sparse_push: frontier vertices claim unvisited neighbors
+//                   (AtomicCtx::claim) and add σ contributions with integer
+//                   FAA (AtomicCtx::add on int64 → atomics),
+//   forward pull  — dense_pull: unvisited vertices adopt the level and sum σ
+//                   from their frontier neighbors (PlainCtx, no atomics),
+//   backward push — sparse_push over the deeper level: each vertex pushes
+//                   partial centrality to its predecessors; the accumuland is
+//                   a float, so AtomicCtx::add prices each update as a lock
+//                   (the paper's key point: pushing turns int conflicts into
+//                   float conflicts here),
+//   backward pull — sparse_pull over the shallower level: each vertex pulls
+//                   partial centrality from its successors (reads only,
+//                   writes its own δ).
 #pragma once
-
-#include <omp.h>
 
 #include <cstdint>
 #include <vector>
 
 #include "core/direction.hpp"
-#include "core/frontier.hpp"
+#include "engine/edge_map.hpp"
 #include "graph/csr.hpp"
 #include "perf/instr.hpp"
-#include "sync/atomics.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -44,6 +45,93 @@ struct BcResult {
   double forward_s = 0.0;   // total time in the first (counting) BFS phase
   double backward_s = 0.0;  // total time in the second (accumulation) phase
 };
+
+namespace detail {
+
+struct BcForwardPush {
+  vid_t* dist;
+  std::int64_t* sigma;
+  vid_t level;
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t v, vid_t u, eid_t) const {
+    bool claimed = false;
+    vid_t du = atomic_load(dist[u]);
+    if (du == -1) {
+      if (ctx.claim(dist[u], vid_t{-1}, level)) claimed = true;
+      du = atomic_load(dist[u]);
+    }
+    if (du == level) {
+      // Integer path-count accumulation → FAA (⇐pred, §4.5). σ(v) is
+      // finalized: levels are synchronous.
+      ctx.add(sigma[u], sigma[v]);
+    }
+    return claimed;
+  }
+};
+
+struct BcForwardPull {
+  vid_t* dist;
+  std::int64_t* sigma;
+  vid_t level;
+
+  bool cond(vid_t v) const { return dist[v] == -1; }
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t u, vid_t v, eid_t) const {
+    if (ctx.load(dist[u]) != level - 1) return false;
+    ctx.instr().read(&sigma[u], sizeof(std::int64_t));
+    // Thread-private accumulation: v is owned by the iterating thread and
+    // starts at σ = 0, so the in-order fold matches the register sum.
+    ctx.add(sigma[v], sigma[u]);
+    return true;
+  }
+
+  template <class Ctx>
+  bool finalize(Ctx& ctx, vid_t v) const {
+    if (sigma[v] <= 0) return false;
+    ctx.store(dist[v], level);
+    return true;
+  }
+};
+
+struct BcBackwardPush {
+  const vid_t* dist;
+  const std::int64_t* sigma;
+  double* delta;
+  int l;
+
+  template <class Ctx>
+  double source_data(Ctx&, vid_t w) const {
+    return (1.0 + delta[w]) / static_cast<double>(sigma[w]);
+  }
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t, vid_t v, eid_t, double contrib_base) const {
+    if (ctx.load(dist[v]) != l) return false;
+    // Float write conflict → lock-accounted CAS loop (§4.5).
+    ctx.add(delta[v], static_cast<double>(sigma[v]) * contrib_base);
+    return false;
+  }
+};
+
+struct BcBackwardPull {
+  const vid_t* dist;
+  const std::int64_t* sigma;
+  double* delta;
+  int l;
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t u, vid_t v, eid_t) const {
+    if (ctx.load(dist[u]) != l + 1) return false;
+    ctx.instr().read(&delta[u], sizeof(double));
+    ctx.add(delta[v], static_cast<double>(sigma[v]) /
+                          static_cast<double>(sigma[u]) * (1.0 + delta[u]));
+    return false;
+  }
+};
+
+}  // namespace detail
 
 template <class Instr = NullInstr>
 BcResult betweenness_centrality(const Csr& g, const BcOptions& opt = {},
@@ -63,7 +151,10 @@ BcResult betweenness_centrality(const Csr& g, const BcOptions& opt = {},
   std::vector<std::int64_t> sigma(static_cast<std::size_t>(n));
   std::vector<double> delta(static_cast<std::size_t>(n));
   std::vector<std::vector<vid_t>> levels;
-  FrontierBuffers buffers(omp_get_max_threads());
+  engine::Workspace ws(n);
+  engine::EdgeMapOptions fwd_opt;
+  engine::EdgeMapOptions bwd_opt;
+  bwd_opt.track_output = false;
 
   for (vid_t s : sources) {
     PP_CHECK(s >= 0 && s < n);
@@ -78,59 +169,21 @@ BcResult betweenness_centrality(const Csr& g, const BcOptions& opt = {},
 
     vid_t level = 0;
     while (!levels.back().empty()) {
-      const std::vector<vid_t>& frontier = levels.back();
       ++level;
+      engine::VertexSet next(n);
       if (opt.forward == Direction::Push) {
-#pragma omp parallel for schedule(dynamic, 64)
-        for (std::size_t i = 0; i < frontier.size(); ++i) {
-          instr.code_region(60);
-          const vid_t v = frontier[i];
-          for (vid_t u : g.neighbors(v)) {
-            instr.branch_cond();
-            vid_t du = atomic_load(dist[static_cast<std::size_t>(u)]);
-            if (du == -1) {
-              vid_t expected = -1;
-              instr.atomic(&dist[static_cast<std::size_t>(u)], sizeof(vid_t));
-              if (cas(dist[static_cast<std::size_t>(u)], expected, level)) {
-                buffers.push_local(u);
-              }
-              du = atomic_load(dist[static_cast<std::size_t>(u)]);
-            }
-            if (du == level) {
-              // Integer path-count accumulation → FAA (⇐pred, §4.5).
-              instr.atomic(&sigma[static_cast<std::size_t>(u)],
-                           sizeof(std::int64_t));
-              faa(sigma[static_cast<std::size_t>(u)],
-                  sigma[static_cast<std::size_t>(v)]);
-            }
-          }
-        }
+        fwd_opt.region = 60;
+        next = engine::sparse_push(
+            g, ws, std::span<const vid_t>(levels.back()),
+            detail::BcForwardPush{dist.data(), sigma.data(), level}, fwd_opt,
+            instr);
       } else {
-#pragma omp parallel for schedule(dynamic, 256)
-        for (vid_t v = 0; v < n; ++v) {
-          instr.code_region(61);
-          if (dist[static_cast<std::size_t>(v)] != -1) continue;
-          std::int64_t paths = 0;
-          for (vid_t u : g.neighbors(v)) {
-            instr.read(&dist[static_cast<std::size_t>(u)], sizeof(vid_t));
-            instr.branch_cond();
-            if (atomic_load(dist[static_cast<std::size_t>(u)]) == level - 1) {
-              instr.read(&sigma[static_cast<std::size_t>(u)], sizeof(std::int64_t));
-              paths += sigma[static_cast<std::size_t>(u)];
-            }
-          }
-          if (paths > 0) {
-            // Thread-private writes: v is owned by the iterating thread.
-            instr.write(&dist[static_cast<std::size_t>(v)], sizeof(vid_t));
-            instr.write(&sigma[static_cast<std::size_t>(v)], sizeof(std::int64_t));
-            dist[static_cast<std::size_t>(v)] = level;
-            sigma[static_cast<std::size_t>(v)] = paths;
-            buffers.push_local(v);
-          }
-        }
+        fwd_opt.region = 61;
+        next = engine::dense_pull(
+            g, ws, detail::BcForwardPull{dist.data(), sigma.data(), level},
+            fwd_opt, instr);
       }
-      levels.emplace_back();
-      buffers.merge_into(levels.back());
+      levels.push_back(std::move(next.mutable_ids()));
     }
     levels.pop_back();  // drop the empty terminating frontier
     result.forward_s += fwd_timer.elapsed_s();
@@ -140,46 +193,18 @@ BcResult betweenness_centrality(const Csr& g, const BcOptions& opt = {},
     std::fill(delta.begin(), delta.end(), 0.0);
     for (int l = static_cast<int>(levels.size()) - 2; l >= 0; --l) {
       if (opt.backward == Direction::Pull) {
-        const std::vector<vid_t>& lvl = levels[static_cast<std::size_t>(l)];
-#pragma omp parallel for schedule(dynamic, 64)
-        for (std::size_t i = 0; i < lvl.size(); ++i) {
-          instr.code_region(62);
-          const vid_t v = lvl[i];
-          double acc = 0.0;
-          for (vid_t u : g.neighbors(v)) {
-            instr.read(&dist[static_cast<std::size_t>(u)], sizeof(vid_t));
-            instr.branch_cond();
-            if (dist[static_cast<std::size_t>(u)] == l + 1) {
-              instr.read(&delta[static_cast<std::size_t>(u)], sizeof(double));
-              acc += static_cast<double>(sigma[static_cast<std::size_t>(v)]) /
-                     static_cast<double>(sigma[static_cast<std::size_t>(u)]) *
-                     (1.0 + delta[static_cast<std::size_t>(u)]);
-            }
-          }
-          instr.write(&delta[static_cast<std::size_t>(v)], sizeof(double));
-          delta[static_cast<std::size_t>(v)] += acc;
-        }
+        bwd_opt.region = 62;
+        engine::sparse_pull(
+            g, ws, std::span<const vid_t>(levels[static_cast<std::size_t>(l)]),
+            detail::BcBackwardPull{dist.data(), sigma.data(), delta.data(), l},
+            bwd_opt, instr);
       } else {
-        const std::vector<vid_t>& lvl = levels[static_cast<std::size_t>(l) + 1];
-#pragma omp parallel for schedule(dynamic, 64)
-        for (std::size_t i = 0; i < lvl.size(); ++i) {
-          instr.code_region(63);
-          const vid_t w = lvl[i];
-          const double contrib_base =
-              (1.0 + delta[static_cast<std::size_t>(w)]) /
-              static_cast<double>(sigma[static_cast<std::size_t>(w)]);
-          for (vid_t v : g.neighbors(w)) {
-            instr.read(&dist[static_cast<std::size_t>(v)], sizeof(vid_t));
-            instr.branch_cond();
-            if (dist[static_cast<std::size_t>(v)] == l) {
-              // Float write conflict → lock-accounted CAS loop (§4.5).
-              instr.lock(&delta[static_cast<std::size_t>(v)]);
-              atomic_add(delta[static_cast<std::size_t>(v)],
-                         static_cast<double>(sigma[static_cast<std::size_t>(v)]) *
-                             contrib_base);
-            }
-          }
-        }
+        bwd_opt.region = 63;
+        engine::sparse_push(
+            g, ws,
+            std::span<const vid_t>(levels[static_cast<std::size_t>(l) + 1]),
+            detail::BcBackwardPush{dist.data(), sigma.data(), delta.data(), l},
+            bwd_opt, instr);
       }
     }
 #pragma omp parallel for schedule(static)

@@ -1,25 +1,27 @@
-// Breadth-First Search (§3.3, §4.3, Algorithm 3).
+// Breadth-First Search (§3.3, §4.3, Algorithm 3), on the engine substrate.
 //
-//   push — the classical top-down BFS: threads expand the frontier and claim
-//          unvisited neighbors with CAS (integer atomics, O(m) of them).
-//   pull — the bottom-up BFS: every unvisited vertex scans its neighbors for
-//          a parent in the frontier; writes are thread-private (no atomics)
-//          at the price of O(D·m) read conflicts.
-//   direction-optimizing — the Beamer-style switch (an instance of the
-//          paper's Generic-Switch strategy, §5): top-down while the frontier
-//          is small, bottom-up when the frontier's out-edge count exceeds
-//          m/alpha, back to top-down when the frontier shrinks below n/beta.
+//   push — the classical top-down BFS: engine::sparse_push expands the
+//          frontier; the functor claims unvisited neighbors through
+//          AtomicCtx::claim (integer CAS, O(m) atomics).
+//   pull — the bottom-up BFS: engine::dense_pull scans every unvisited
+//          vertex's neighbors for a parent in the previous level; writes go
+//          through PlainCtx (thread-private, no atomics) at the price of
+//          O(D·m) read conflicts; kBreakOnUpdate gives the §3.3 early break.
+//   direction-optimizing — the Beamer-style switch (the paper's
+//          Generic-Switch, §5): SwitchController flips between the same two
+//          edge_map calls — top-down while the frontier is small, bottom-up
+//          when its out-edge count exceeds m/alpha, back below n/beta.
+//
+// The traversal loops, frontier machinery and counter attribution live in
+// engine/edge_map.hpp; this file only supplies the two BFS functors.
 #pragma once
-
-#include <omp.h>
 
 #include <vector>
 
 #include "core/direction.hpp"
-#include "core/frontier.hpp"
+#include "engine/edge_map.hpp"
 #include "graph/csr.hpp"
 #include "perf/instr.hpp"
-#include "sync/atomics.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -33,42 +35,74 @@ struct BfsResult {
   std::vector<Direction> level_dirs;  // direction used per level
 };
 
-// --- Top-down (push) ---------------------------------------------------------
+namespace detail {
 
-template <class Instr = NullInstr>
-BfsResult bfs_push(const Csr& g, vid_t root, Instr instr = {}) {
+// Push: claim an unvisited neighbor with CAS; exactly one winner stores the
+// parent and enqueues d.
+struct BfsPushClaim {
+  vid_t* dist;
+  vid_t* parent;
+  vid_t level;
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t s, vid_t d, eid_t) const {
+    if (ctx.load(dist[d]) >= 0) return false;
+    if (ctx.claim(dist[d], vid_t{-1}, level)) {
+      ctx.store(parent[d], s);
+      return true;
+    }
+    return false;
+  }
+};
+
+// Pull: an unvisited vertex adopts the first in-neighbor on the previous
+// level; thread-private writes only.
+struct BfsPullAdopt {
+  vid_t* dist;
+  vid_t* parent;
+  vid_t level;
+
+  static constexpr bool kBreakOnUpdate = true;
+
+  bool cond(vid_t v) const { return dist[v] < 0; }
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t u, vid_t v, eid_t) const {
+    if (ctx.load(dist[u]) != level - 1) return false;
+    ctx.store(dist[v], level);
+    ctx.store(parent[v], u);
+    return true;
+  }
+};
+
+inline BfsResult bfs_init(const Csr& g, vid_t root) {
   const vid_t n = g.n();
   PP_CHECK(root >= 0 && root < n);
   BfsResult r;
   r.dist.assign(static_cast<std::size_t>(n), -1);
   r.parent.assign(static_cast<std::size_t>(n), -1);
   r.dist[static_cast<std::size_t>(root)] = 0;
+  return r;
+}
 
-  FrontierBuffers buffers(omp_get_max_threads());
-  std::vector<vid_t> frontier{root};
+}  // namespace detail
+
+// --- Top-down (push) ---------------------------------------------------------
+
+template <class Instr = NullInstr>
+BfsResult bfs_push(const Csr& g, vid_t root, Instr instr = {}) {
+  BfsResult r = detail::bfs_init(g, root);
+  engine::Workspace ws(g.n());
+  engine::VertexSet frontier = engine::VertexSet::single(g.n(), root);
+  engine::EdgeMapOptions opt;
+  opt.region = 10;
   vid_t level = 0;
   while (!frontier.empty()) {
     WallTimer timer;
     ++level;
-#pragma omp parallel for schedule(dynamic, 64)
-    for (std::size_t i = 0; i < frontier.size(); ++i) {
-      instr.code_region(10);
-      const vid_t v = frontier[i];
-      for (vid_t u : g.neighbors(v)) {
-        instr.read(&r.dist[static_cast<std::size_t>(u)], sizeof(vid_t));
-        instr.branch_cond();
-        if (atomic_load(r.dist[static_cast<std::size_t>(u)]) >= 0) continue;
-        // Claim u with a CAS; exactly one pushing thread wins.
-        vid_t expected = -1;
-        instr.atomic(&r.dist[static_cast<std::size_t>(u)], sizeof(vid_t));
-        if (cas(r.dist[static_cast<std::size_t>(u)], expected, level)) {
-          instr.write(&r.parent[static_cast<std::size_t>(u)], sizeof(vid_t));
-          r.parent[static_cast<std::size_t>(u)] = v;
-          buffers.push_local(u);
-        }
-      }
-    }
-    buffers.merge_into(frontier);
+    frontier = engine::sparse_push(
+        g, ws, frontier,
+        detail::BfsPushClaim{r.dist.data(), r.parent.data(), level}, opt, instr);
     r.level_times.push_back(timer.elapsed_s());
     r.level_dirs.push_back(Direction::Push);
     ++r.levels;
@@ -80,45 +114,21 @@ BfsResult bfs_push(const Csr& g, vid_t root, Instr instr = {}) {
 
 template <class Instr = NullInstr>
 BfsResult bfs_pull(const Csr& g, vid_t root, Instr instr = {}) {
-  const vid_t n = g.n();
-  PP_CHECK(root >= 0 && root < n);
-  BfsResult r;
-  r.dist.assign(static_cast<std::size_t>(n), -1);
-  r.parent.assign(static_cast<std::size_t>(n), -1);
-  r.dist[static_cast<std::size_t>(root)] = 0;
-
+  BfsResult r = detail::bfs_init(g, root);
+  engine::Workspace ws(g.n());
+  engine::EdgeMapOptions opt;
+  opt.region = 11;
   vid_t level = 0;
-  bool advanced = true;
-  while (advanced) {
+  for (;;) {
     WallTimer timer;
-    advanced = false;
     ++level;
-    bool any = false;
-#pragma omp parallel for schedule(dynamic, 256) reduction(|| : any)
-    for (vid_t v = 0; v < n; ++v) {
-      instr.code_region(11);
-      if (r.dist[static_cast<std::size_t>(v)] >= 0) continue;
-      for (vid_t u : g.neighbors(v)) {
-        // Read conflict: u's distance is owned by another thread.
-        instr.read(&r.dist[static_cast<std::size_t>(u)], sizeof(vid_t));
-        instr.branch_cond();
-        if (r.dist[static_cast<std::size_t>(u)] == level - 1) {
-          // Thread-private writes: v is owned by the iterating thread.
-          instr.write(&r.dist[static_cast<std::size_t>(v)], sizeof(vid_t));
-          instr.write(&r.parent[static_cast<std::size_t>(v)], sizeof(vid_t));
-          r.dist[static_cast<std::size_t>(v)] = level;
-          r.parent[static_cast<std::size_t>(v)] = u;
-          any = true;
-          break;
-        }
-      }
-    }
-    advanced = any;
-    if (advanced) {
-      r.level_times.push_back(timer.elapsed_s());
-      r.level_dirs.push_back(Direction::Pull);
-      ++r.levels;
-    }
+    const engine::VertexSet claimed = engine::dense_pull(
+        g, ws, detail::BfsPullAdopt{r.dist.data(), r.parent.data(), level},
+        opt, instr);
+    if (claimed.empty()) break;
+    r.level_times.push_back(timer.elapsed_s());
+    r.level_dirs.push_back(Direction::Pull);
+    ++r.levels;
   }
   return r;
 }
@@ -134,16 +144,12 @@ template <class Instr = NullInstr>
 BfsResult bfs_direction_optimizing(const Csr& g, vid_t root,
                                    const DirOptParams& p = {}, Instr instr = {}) {
   const vid_t n = g.n();
-  PP_CHECK(root >= 0 && root < n);
-  BfsResult r;
-  r.dist.assign(static_cast<std::size_t>(n), -1);
-  r.parent.assign(static_cast<std::size_t>(n), -1);
-  r.dist[static_cast<std::size_t>(root)] = 0;
-
-  FrontierBuffers buffers(omp_get_max_threads());
-  std::vector<vid_t> frontier{root};
+  BfsResult r = detail::bfs_init(g, root);
+  engine::Workspace ws(n);
+  engine::VertexSet frontier = engine::VertexSet::single(n, root);
   double frontier_out_edges = g.degree(root);
   SwitchController ctl(p.alpha, p.beta, Direction::Push);
+  engine::EdgeMapOptions opt;
   vid_t level = 0;
 
   while (!frontier.empty()) {
@@ -153,49 +159,20 @@ BfsResult bfs_direction_optimizing(const Csr& g, vid_t root,
         ctl.step(frontier_out_edges, static_cast<double>(g.num_arcs()),
                  static_cast<double>(frontier.size()), static_cast<double>(n));
     if (dir == Direction::Push) {
-#pragma omp parallel for schedule(dynamic, 64)
-      for (std::size_t i = 0; i < frontier.size(); ++i) {
-        instr.code_region(12);
-        const vid_t v = frontier[i];
-        for (vid_t u : g.neighbors(v)) {
-          instr.branch_cond();
-          if (atomic_load(r.dist[static_cast<std::size_t>(u)]) >= 0) continue;
-          vid_t expected = -1;
-          instr.atomic(&r.dist[static_cast<std::size_t>(u)], sizeof(vid_t));
-          if (cas(r.dist[static_cast<std::size_t>(u)], expected, level)) {
-            r.parent[static_cast<std::size_t>(u)] = v;
-            buffers.push_local(u);
-          }
-        }
-      }
-      buffers.merge_into(frontier);
+      opt.region = 12;
+      frontier = engine::sparse_push(
+          g, ws, frontier,
+          detail::BfsPushClaim{r.dist.data(), r.parent.data(), level}, opt,
+          instr);
     } else {
-      // Bottom-up step: recompute the frontier as "vertices at `level`".
-#pragma omp parallel
-      {
-#pragma omp for schedule(dynamic, 256)
-        for (vid_t v = 0; v < n; ++v) {
-          instr.code_region(13);
-          if (r.dist[static_cast<std::size_t>(v)] >= 0) continue;
-          for (vid_t u : g.neighbors(v)) {
-            instr.read(&r.dist[static_cast<std::size_t>(u)], sizeof(vid_t));
-            instr.branch_cond();
-            if (r.dist[static_cast<std::size_t>(u)] == level - 1) {
-              r.dist[static_cast<std::size_t>(v)] = level;
-              r.parent[static_cast<std::size_t>(v)] = u;
-              buffers.push_local(v);
-              break;
-            }
-          }
-        }
-      }
-      buffers.merge_into(frontier);
+      // Bottom-up step: the engine's dense pull recomputes the frontier as
+      // "vertices claimed at `level`".
+      opt.region = 13;
+      frontier = engine::dense_pull(
+          g, ws, detail::BfsPullAdopt{r.dist.data(), r.parent.data(), level},
+          opt, instr);
     }
-    frontier_out_edges = 0;
-#pragma omp parallel for reduction(+ : frontier_out_edges) schedule(static)
-    for (std::size_t i = 0; i < frontier.size(); ++i) {
-      frontier_out_edges += g.degree(frontier[i]);
-    }
+    frontier_out_edges = frontier.out_degree_sum(g);
     r.level_times.push_back(timer.elapsed_s());
     r.level_dirs.push_back(dir);
     ++r.levels;

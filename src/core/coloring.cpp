@@ -3,7 +3,8 @@
 #include <algorithm>
 
 #include "core/baselines/baselines.hpp"
-#include "core/frontier.hpp"
+#include "engine/edge_map.hpp"
+#include "engine/policy.hpp"
 
 namespace pushpull {
 
@@ -57,8 +58,72 @@ int first_fit(const Csr& g, const std::vector<int>& color, vid_t v,
   return c;
 }
 
+// Push claim: a frontier vertex grabs uncolored neighbors for this wave.
+struct WaveClaimPush {
+  int* color;
+  int wave;
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t, vid_t d, eid_t) const {
+    if (atomic_load(color[d]) != -1) return false;
+    return ctx.claim(color[d], -1, wave);
+  }
+};
+
+// Pull claim, pass 1: an uncolored vertex records whether it borders the
+// previous wave and whether this wave's color is already taken nearby
+// (thread-private flag writes — v owns both scratch bytes).
+struct WaveScanPull {
+  int* color;
+  std::uint8_t* adjacent;
+  std::uint8_t* taken;
+  int wave;
+
+  bool cond(vid_t v) const { return color[v] == -1; }
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t u, vid_t v, eid_t) const {
+    const int cu = ctx.load(color[u]);
+    if (cu == wave - 1) adjacent[v] = 1;
+    if (cu == wave) taken[v] = 1;
+    return false;
+  }
+
+  template <class Ctx>
+  bool finalize(Ctx& ctx, vid_t v) const {
+    // Pull claims its own color and, unlike push, can already avoid
+    // same-wave neighbors it observes — far fewer conflicts (§5, GS).
+    const bool claim = adjacent[v] != 0 && taken[v] == 0;
+    if (claim) ctx.store(color[v], wave);
+    adjacent[v] = 0;
+    taken[v] = 0;
+    return claim;
+  }
+};
+
+// Conflict fix among same-wave vertices: the larger id loses and is uncolored
+// again (it re-enters via a later wave with a fresh color).
+struct WaveConflictFix {
+  int* color;
+  int wave;
+
+  static constexpr bool kBreakOnUpdate = true;
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t u, vid_t v, eid_t) const {
+    if (u < v && ctx.load(color[u]) == wave) {
+      ctx.store(color[v], -1);
+      return true;
+    }
+    return false;
+  }
+};
+
 enum class FeMode { FixedPush, FixedPull, GenericSwitch, GreedySwitch };
 
+// Frontier-Exploit wave coloring: every phase is an engine map; the modes
+// differ only in the §5 policy driving them (fixed direction, GS flip, GrS
+// sequential tail).
 ColoringResult fe_engine(const Csr& g, FeMode mode, const ColoringOptions& opt) {
   const vid_t n = g.n();
   ColoringResult r;
@@ -69,7 +134,9 @@ ColoringResult fe_engine(const Csr& g, FeMode mode, const ColoringOptions& opt) 
   vid_t colored = static_cast<vid_t>(frontier.size());
   int cur = 0;
   Direction dir = mode == FeMode::FixedPull ? Direction::Pull : Direction::Push;
-  FrontierBuffers buffers(omp_get_max_threads());
+  engine::Workspace ws(n);
+  std::vector<std::uint8_t> adjacent(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint8_t> taken(static_cast<std::size_t>(n), 0);
   std::vector<vid_t> newly;
 
   while (colored < n) {
@@ -92,39 +159,17 @@ ColoringResult fe_engine(const Csr& g, FeMode mode, const ColoringOptions& opt) 
     }
 
     const int wave_color = ++cur;
-    // Claim phase.
+    // Claim phase: one engine map, loop shape picked by the direction.
+    engine::VertexSet claimed(n);
     if (dir == Direction::Push) {
-#pragma omp parallel for schedule(dynamic, 64)
-      for (std::size_t i = 0; i < frontier.size(); ++i) {
-        const vid_t v = frontier[i];
-        for (vid_t u : g.neighbors(v)) {
-          int expected = -1;
-          if (atomic_load(r.color[static_cast<std::size_t>(u)]) == -1 &&
-              cas(r.color[static_cast<std::size_t>(u)], expected, wave_color)) {
-            buffers.push_local(u);
-          }
-        }
-      }
+      claimed = engine::sparse_push(g, ws, std::span<const vid_t>(frontier),
+                                    WaveClaimPush{r.color.data(), wave_color});
     } else {
-#pragma omp parallel for schedule(dynamic, 256)
-      for (vid_t v = 0; v < n; ++v) {
-        if (r.color[static_cast<std::size_t>(v)] != -1) continue;
-        bool adjacent_to_frontier = false;
-        bool wave_color_taken = false;
-        for (vid_t u : g.neighbors(v)) {
-          const int cu = atomic_load(r.color[static_cast<std::size_t>(u)]);
-          if (cu == wave_color - 1) adjacent_to_frontier = true;
-          if (cu == wave_color) wave_color_taken = true;
-        }
-        // Pull claims its own color and, unlike push, can already avoid
-        // same-wave neighbors it observes — far fewer conflicts (§5, GS).
-        if (adjacent_to_frontier && !wave_color_taken) {
-          atomic_store(r.color[static_cast<std::size_t>(v)], wave_color);
-          buffers.push_local(v);
-        }
-      }
+      claimed = engine::dense_pull(
+          g, ws,
+          WaveScanPull{r.color.data(), adjacent.data(), taken.data(), wave_color});
     }
-    buffers.merge_into(newly);
+    newly = std::move(claimed.mutable_ids());
 
     // Disconnected remainder: seed the wave with the first uncolored vertex.
     if (newly.empty()) {
@@ -137,21 +182,15 @@ ColoringResult fe_engine(const Csr& g, FeMode mode, const ColoringOptions& opt) 
       }
     }
 
-    // Conflict fix among same-wave vertices: the larger id loses and is
-    // uncolored again (it re-enters via a later wave with a fresh color).
-    std::int64_t conflicts = 0;
-#pragma omp parallel for schedule(dynamic, 64) reduction(+ : conflicts)
-    for (std::size_t i = 0; i < newly.size(); ++i) {
-      const vid_t v = newly[i];
-      for (vid_t u : g.neighbors(v)) {
-        if (u < v &&
-            atomic_load(r.color[static_cast<std::size_t>(u)]) == wave_color) {
-          atomic_store(r.color[static_cast<std::size_t>(v)], -1);
-          ++conflicts;
-          break;
-        }
-      }
-    }
+    // Conflict fix over the newly claimed set (sparse pull: each loser
+    // uncolors itself).
+    engine::EdgeMapStats fix_stats;
+    engine::EdgeMapOptions fix_opt;
+    fix_opt.track_output = false;
+    engine::sparse_pull(g, ws, std::span<const vid_t>(newly),
+                        WaveConflictFix{r.color.data(), wave_color}, fix_opt,
+                        NullInstr{}, &fix_stats);
+    const std::int64_t conflicts = fix_stats.updates;
 
     // Winners form the next frontier.
     frontier.clear();

@@ -3,19 +3,21 @@
 //
 // Boman graph coloring (BGC): each iteration (1) greedily colors the vertices
 // scheduled for (re)coloring inside every partition independently, then
-// (2) verifies border vertices for cross-partition conflicts. On a conflict
-// the losing endpoint's current color is struck from its availability mask
-// (`avail`, Algorithm 6) and it is rescheduled:
+// (2) verifies border vertices for cross-partition conflicts. Phase (2) is a
+// single engine edge_map over the border set with one strike functor; the
+// direction picks the loop shape and context:
 //
-//   push — the winner's thread writes the *loser's* avail word and schedule
-//          flag (remote writes → integer atomics / CAS),
-//   pull — each thread strikes only its *own* vertices (thread-private
-//          writes, conflicts detected symmetrically).
+//   push — engine::sparse_push + AtomicCtx: the winner's thread strikes the
+//          *loser's* avail word and schedule flag (remote writes → integer
+//          atomics / CAS),
+//   pull — engine::sparse_pull + PlainCtx: each thread strikes only its *own*
+//          vertices (thread-private writes, conflicts detected symmetrically).
 //
-// Strategies (§5):
+// Strategies (§5), all policy compositions over the same engine calls
+// (see coloring.cpp):
 //   Frontier-Exploit (FE)  — wave coloring from a stable seed set; only the
 //                            frontier's neighborhood is touched per iteration
-//                            instead of all n vertices.
+//                            instead of all n vertices (sparse engine modes).
 //   Generic-Switch (GS)    — FE that starts pushing and switches to pulling
 //                            when conflicts begin to dominate the wave.
 //   Greedy-Switch (GrS)    — FE that abandons parallelism entirely once the
@@ -33,6 +35,7 @@
 #include <vector>
 
 #include "core/direction.hpp"
+#include "engine/edge_map.hpp"
 #include "graph/csr.hpp"
 #include "graph/partition.hpp"
 #include "perf/instr.hpp"
@@ -71,13 +74,24 @@ class AvailMask {
 
   int colors() const noexcept { return colors_; }
 
+  // Mask that strikes color c from its word: word &= strike_mask(c).
+  static std::uint64_t strike_mask(int c) noexcept {
+    return ~(std::uint64_t{1} << (c % 64));
+  }
+
+  // Mutable word holding color c's bit — the engine contexts apply the strike
+  // with the sync policy of the traversal direction (and_mask).
+  std::uint64_t& word_ref(vid_t v, int c) noexcept {
+    return bits_[word_index(v, c)];
+  }
+
   void clear_bit(vid_t v, int c) noexcept {
-    bits_[word_index(v, c)] &= ~(std::uint64_t{1} << (c % 64));
+    bits_[word_index(v, c)] &= strike_mask(c);
   }
 
   void clear_bit_atomic(vid_t v, int c) noexcept {
     std::atomic_ref<std::uint64_t>(bits_[word_index(v, c)])
-        .fetch_and(~(std::uint64_t{1} << (c % 64)), std::memory_order_relaxed);
+        .fetch_and(strike_mask(c), std::memory_order_relaxed);
   }
 
   bool test(vid_t v, int c) const noexcept {
@@ -136,6 +150,42 @@ int pick_color(const Csr& g, const AvailMask& avail, const std::vector<int>& col
 int resolve_max_colors(const Csr& g, const ColoringOptions& opt);
 int resolve_partitions(const ColoringOptions& opt);
 
+// Cross-partition conflict detection, direction-agnostic: on an equal-color
+// cut edge the smaller id wins and the loser's color is struck from its
+// availability mask. The engine decides *who executes* the strike — push
+// iterates sources (remote strike through AtomicCtx), pull iterates
+// destinations (self-strike through PlainCtx) — with the same functor body.
+struct ConflictStrike {
+  const Partition1D* part;
+  int* color;
+  AvailMask* avail;
+  std::uint8_t* need;
+  bool iterate_sources;  // true: sparse_push over the border (push direction)
+
+  // Color of the iterated border vertex, read once per vertex.
+  template <class Ctx>
+  int source_data(Ctx&, vid_t s) const {
+    return color[s];
+  }
+  template <class Ctx>
+  int dest_data(Ctx&, vid_t d) const {
+    return color[d];
+  }
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t s, vid_t d, eid_t, int cv) const {
+    if (part->owner(s) == part->owner(d)) return false;
+    const vid_t other = iterate_sources ? d : s;
+    if (ctx.load(color[other]) != cv) return false;
+    if (s >= d) return false;  // the smaller id keeps its color
+    // Strike the loser d: push reaches it remotely (atomics), pull only ever
+    // strikes the iterated vertex itself (d == the pulled destination).
+    ctx.and_mask(avail->word_ref(d, cv), AvailMask::strike_mask(cv));
+    ctx.store(need[d], std::uint8_t{1});
+    return true;
+  }
+};
+
 }  // namespace detail
 
 // --- Boman graph coloring (Algorithm 6) --------------------------------------
@@ -153,12 +203,17 @@ ColoringResult boman_color(const Csr& g, Direction dir, const ColoringOptions& o
   detail::AvailMask avail(n, max_colors);
   std::vector<std::uint8_t> need(static_cast<std::size_t>(n), 1);
   const std::vector<vid_t> border = border_vertices(g, part);
+  engine::Workspace ws(n);
+  engine::EdgeMapOptions emo;
+  emo.region = 41;
+  emo.track_output = false;
 
   for (int l = 0; l < opt.max_iterations; ++l) {
     WallTimer iter_timer;
-    std::int64_t conflicts = 0;
 
-    // Phase 1: seq_color_partition(P) for every partition in parallel.
+    // Phase 1: seq_color_partition(P) for every partition in parallel. This
+    // is the greedy interior step of Algorithm 6 — partition-sequential by
+    // construction, not a push/pull traversal.
 #pragma omp parallel num_threads(nparts)
     {
       const int t = omp_get_thread_num();
@@ -173,43 +228,23 @@ ColoringResult boman_color(const Csr& g, Direction dir, const ColoringOptions& o
       }
     }
 
-    // Phase 2: fix_conflicts() over border vertices.
-#pragma omp parallel for schedule(dynamic, 64) reduction(+ : conflicts)
-    for (std::size_t i = 0; i < border.size(); ++i) {
-      instr.code_region(41);
-      const vid_t v = border[i];
-      const int cv = r.color[static_cast<std::size_t>(v)];
-      for (vid_t u : g.neighbors(v)) {
-        if (part.owner(u) == part.owner(v)) continue;
-        instr.read(&r.color[static_cast<std::size_t>(u)], sizeof(int));
-        instr.branch_cond();
-        if (atomic_load(r.color[static_cast<std::size_t>(u)]) != cv) continue;
-        if (dir == Direction::Push) {
-          // The smaller-id endpoint wins and strikes the loser's state
-          // remotely: avail[u][cv] = 0 (Algorithm 6, push branch).
-          if (v < u) {
-            instr.atomic(avail.address_of(u, cv), sizeof(std::uint64_t));
-            avail.clear_bit_atomic(u, cv);
-            instr.write(&need[static_cast<std::size_t>(u)], sizeof(std::uint8_t));
-            atomic_store(need[static_cast<std::size_t>(u)], std::uint8_t{1});
-            ++conflicts;
-          }
-        } else {
-          // Pull: each thread strikes only its own vertex when it loses.
-          if (v > u) {
-            instr.write(avail.address_of(v, cv), sizeof(std::uint64_t));
-            avail.clear_bit(v, cv);
-            need[static_cast<std::size_t>(v)] = 1;
-            ++conflicts;
-          }
-        }
-      }
+    // Phase 2: fix_conflicts() over border vertices — one engine call.
+    engine::EdgeMapStats stats;
+    const detail::ConflictStrike strike{&part, r.color.data(), &avail,
+                                        need.data(),
+                                        dir == Direction::Push};
+    if (dir == Direction::Push) {
+      engine::sparse_push(g, ws, std::span<const vid_t>(border), strike, emo,
+                          instr, &stats);
+    } else {
+      engine::sparse_pull(g, ws, std::span<const vid_t>(border), strike, emo,
+                          instr, &stats);
     }
 
     r.iter_times.push_back(iter_timer.elapsed_s());
-    r.iter_conflicts.push_back(conflicts);
+    r.iter_conflicts.push_back(stats.updates);
     ++r.iterations;
-    if (opt.stop_on_converged && conflicts == 0) break;
+    if (opt.stop_on_converged && stats.updates == 0) break;
   }
 
   int max_c = -1;

@@ -1,0 +1,85 @@
+// k-core decomposition by iterated peeling — the second free rider on the
+// engine: the whole algorithm is a vertex_map filter (find vertices whose
+// residual degree dropped below k, claim each exactly once through
+// PlainCtx::claim on the thread-owned sweep) and a sparse_push (decrement the
+// survivors' residual degrees with AtomicCtx's integer FAA).
+//
+// core[v] = the largest k such that v belongs to a subgraph in which every
+// vertex has degree ≥ k.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "engine/edge_map.hpp"
+#include "graph/csr.hpp"
+#include "perf/instr.hpp"
+#include "util/check.hpp"
+
+namespace pushpull {
+
+struct KcoreResult {
+  std::vector<vid_t> core;  // coreness per vertex
+  vid_t max_core = 0;       // degeneracy of the graph
+  int rounds = 0;           // total peel rounds across all k
+};
+
+namespace detail {
+
+struct KcorePeel {
+  vid_t* residual;
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t, vid_t d, eid_t) const {
+    // Integer FAA; peeled neighbors may drive residual negative, which the
+    // claim filter treats the same as "below k".
+    ctx.add(residual[d], vid_t{-1});
+    return false;
+  }
+};
+
+}  // namespace detail
+
+template <class Instr = NullInstr>
+KcoreResult kcore_decomposition(const Csr& g, Instr instr = {}) {
+  const vid_t n = g.n();
+  KcoreResult r;
+  r.core.assign(static_cast<std::size_t>(n), 0);
+  std::vector<vid_t> residual(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> alive(static_cast<std::size_t>(n), 1);
+  for (vid_t v = 0; v < n; ++v) residual[static_cast<std::size_t>(v)] = g.degree(v);
+
+  engine::Workspace ws(n);
+  engine::EdgeMapOptions emo;
+  emo.region = 72;
+  emo.track_output = false;
+
+  vid_t remaining = n;
+  vid_t k = 0;
+  while (remaining > 0) {
+    ++k;
+    // Peel every vertex that cannot be in the k-core, cascading until stable.
+    for (;;) {
+      engine::VertexSet peeled = engine::vertex_map(
+          n, ws,
+          [&](auto& ctx, vid_t v) {
+            if (!alive[static_cast<std::size_t>(v)]) return false;
+            if (atomic_load(residual[static_cast<std::size_t>(v)]) >= k) return false;
+            ctx.store(alive[static_cast<std::size_t>(v)], std::uint8_t{0});
+            ctx.store(r.core[static_cast<std::size_t>(v)], k - 1);
+            return true;
+          },
+          /*track=*/true, instr);
+      if (peeled.empty()) break;
+      ++r.rounds;
+      remaining -= static_cast<vid_t>(peeled.size());
+      engine::sparse_push(g, ws, peeled, detail::KcorePeel{residual.data()},
+                          emo, instr);
+    }
+  }
+  for (vid_t c : r.core) r.max_core = std::max(r.max_core, c);
+  return r;
+}
+
+}  // namespace pushpull

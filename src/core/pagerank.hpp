@@ -1,29 +1,30 @@
 // PageRank (§3.1, §4.1, Algorithm 1) in push, pull, and push+Partition-Aware
-// (§5, Algorithm 8) variants.
+// (§5, Algorithm 8) variants, on the engine substrate.
 //
 // r(v) = (1-f)/|V| + f * Σ_{u ∈ N(v)} r(u)/d(u)
 //
-//   pull — t[v] accumulates r(u)/d(u) from every neighbor into its own
-//          new_pr[v]: read conflicts only, no atomics or locks.
-//   push — t[v] adds r(v)/d(v) into every neighbor's new_pr[u]: float write
-//          conflicts; no CPU offers float atomics, so each update is a CAS
-//          loop that the paper (and our instrumentation) accounts as a lock.
-//   push+PA — the partition-aware representation splits each adjacency list
-//          into thread-local and remote halves; local updates use plain
-//          stores, only remote updates pay the lock (Algorithm 8).
+//   pull — engine::dense_pull: t[v] accumulates r(u)/d(u) from every neighbor
+//          into its own new_pr[v] through PlainCtx: read conflicts only, no
+//          atomics or locks.
+//   push — engine::dense_push: t[v] adds r(v)/d(v) into every neighbor's
+//          new_pr[u] through AtomicCtx: float write conflicts; no CPU offers
+//          float atomics, so each update is a CAS loop that the paper (and
+//          the context's accounting) prices as a lock.
+//   push+PA — engine::dense_push_pa over the partition-aware representation:
+//          local updates ride PlainCtx (plain stores), only remote updates
+//          pay the lock (Algorithm 8).
 //
-// Mass from dangling (degree-0) vertices is redistributed uniformly each
-// iteration so ranks always sum to 1 (checked by the test suite).
+// One functor expresses the rank transfer; the direction and sync policy pick
+// which context it writes through. Mass from dangling (degree-0) vertices is
+// redistributed uniformly each iteration so ranks always sum to 1.
 #pragma once
-
-#include <omp.h>
 
 #include <vector>
 
+#include "engine/edge_map.hpp"
 #include "graph/csr.hpp"
 #include "graph/partition_aware.hpp"
 #include "perf/instr.hpp"
-#include "sync/atomics.hpp"
 #include "util/check.hpp"
 
 namespace pushpull {
@@ -48,6 +49,55 @@ inline double pr_dangling_mass(const Csr& g, const std::vector<double>& pr) {
   return dangling;
 }
 
+// Pull: fold r(u)/d(u) into new_pr[v] in neighbor order, then scale once —
+// the accumulation order matches the pre-engine kernel bit for bit.
+struct PrGather {
+  const Csr* g;
+  const double* pr;
+  double* next;
+  double base;
+  double damping;
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t u, vid_t v, eid_t) const {
+    const double pu = ctx.load(pr[u]);
+    // Read conflict: the neighbor's degree lives in another thread's block.
+    ctx.instr().read(&g->offsets()[static_cast<std::size_t>(u)], sizeof(eid_t));
+    ctx.add(next[v], pu / g->degree(u));
+    return false;
+  }
+
+  template <class Ctx>
+  bool finalize(Ctx& ctx, vid_t v) const {
+    ctx.store(next[v], base + damping * next[v]);
+    return false;
+  }
+};
+
+// Push: scatter f·r(s)/d(s) into each neighbor's accumulator. Works for both
+// the flat CSR (AtomicCtx everywhere) and the PA split (PlainCtx local half,
+// AtomicCtx remote half) — degree comes from the representation in use.
+template <class Rep>
+struct PrScatter {
+  const Rep* rep;
+  const double* pr;
+  double* next;
+  double damping;
+
+  bool source(vid_t s) const { return rep->degree(s) > 0; }
+
+  template <class Ctx>
+  double source_data(Ctx& ctx, vid_t s) const {
+    return damping * ctx.load(pr[s]) / rep->degree(s);
+  }
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t, vid_t d, eid_t, double share) const {
+    ctx.add(next[d], share);
+    return false;
+  }
+};
+
 }  // namespace detail
 
 // Pull-based PageRank: new_pr[v] += f·pr[u]/d(u) for u ∈ N(v)  (R-conflicts).
@@ -58,24 +108,18 @@ std::vector<double> pagerank_pull(const Csr& g, const PageRankOptions& opt,
   PP_CHECK(n > 0);
   std::vector<double> pr(static_cast<std::size_t>(n), 1.0 / n);
   std::vector<double> next(static_cast<std::size_t>(n), 0.0);
+  engine::Workspace ws(n);
+  engine::EdgeMapOptions emo;
+  emo.region = 1;
+  emo.track_output = false;
   for (int l = 0; l < opt.iterations; ++l) {
     const double dangling = detail::pr_dangling_mass(g, pr);
     const double base = (1.0 - opt.damping) / n + opt.damping * dangling / n;
-#pragma omp parallel for schedule(static)
-    for (vid_t v = 0; v < n; ++v) {
-      instr.code_region(1);
-      double sum = 0.0;
-      for (vid_t u : g.neighbors(v)) {
-        // Read conflict: pr[u] and d(u) of a vertex owned by another thread.
-        instr.read(&pr[static_cast<std::size_t>(u)], sizeof(double));
-        instr.read(&g.offsets()[static_cast<std::size_t>(u)], sizeof(eid_t));
-        instr.branch_cond();
-        sum += pr[static_cast<std::size_t>(u)] / g.degree(u);
-      }
-      instr.write(&next[static_cast<std::size_t>(v)], sizeof(double));
-      next[static_cast<std::size_t>(v)] = base + opt.damping * sum;
-    }
+    engine::dense_pull(
+        g, ws, detail::PrGather{&g, pr.data(), next.data(), base, opt.damping},
+        emo, instr);
     pr.swap(next);
+    std::fill(next.begin(), next.end(), 0.0);
   }
   return pr;
 }
@@ -89,31 +133,24 @@ std::vector<double> pagerank_push(const Csr& g, const PageRankOptions& opt,
   PP_CHECK(n > 0);
   std::vector<double> pr(static_cast<std::size_t>(n), 1.0 / n);
   std::vector<double> next(static_cast<std::size_t>(n), 0.0);
+  engine::Workspace ws(n);
+  engine::EdgeMapOptions emo;
+  emo.region = 2;
+  emo.track_output = false;
   for (int l = 0; l < opt.iterations; ++l) {
     const double dangling = detail::pr_dangling_mass(g, pr);
     const double base = (1.0 - opt.damping) / n + opt.damping * dangling / n;
-#pragma omp parallel
-    {
-#pragma omp for schedule(static)
-      for (vid_t v = 0; v < n; ++v) {
-        instr.code_region(2);
-        const vid_t deg = g.degree(v);
-        if (deg == 0) continue;
-        instr.read(&pr[static_cast<std::size_t>(v)], sizeof(double));
-        const double share = opt.damping * pr[static_cast<std::size_t>(v)] / deg;
-        for (vid_t u : g.neighbors(v)) {
-          instr.branch_cond();
-          // Float write conflict → lock-accounted CAS loop (§4.1).
-          instr.lock(&next[static_cast<std::size_t>(u)]);
-          atomic_add(next[static_cast<std::size_t>(u)], share);
-        }
-      }
-#pragma omp for schedule(static)
-      for (vid_t v = 0; v < n; ++v) {
-        instr.write(&next[static_cast<std::size_t>(v)], sizeof(double));
-        next[static_cast<std::size_t>(v)] += base;
-      }
-    }
+    engine::dense_push(
+        g, ws, /*sources=*/nullptr,
+        detail::PrScatter<Csr>{&g, pr.data(), next.data(), opt.damping}, emo,
+        instr);
+    engine::vertex_map(
+        n, ws,
+        [&](auto& ctx, vid_t v) {
+          ctx.add(next[static_cast<std::size_t>(v)], base);
+          return false;
+        },
+        /*track=*/false, instr);
     pr.swap(next);
     std::fill(next.begin(), next.end(), 0.0);
   }
@@ -130,45 +167,24 @@ std::vector<double> pagerank_push_pa(const Csr& g, const PartitionAwareCsr& pa,
   PP_CHECK(n > 0 && pa.n() == n);
   std::vector<double> pr(static_cast<std::size_t>(n), 1.0 / n);
   std::vector<double> next(static_cast<std::size_t>(n), 0.0);
-  const Partition1D& part = pa.partition();
+  engine::Workspace ws(n);
+  engine::EdgeMapOptions emo;
+  emo.region = 3;  // local half; the engine tags the remote half region+1
   for (int l = 0; l < opt.iterations; ++l) {
     const double dangling = detail::pr_dangling_mass(g, pr);
     const double base = (1.0 - opt.damping) / n + opt.damping * dangling / n;
-#pragma omp parallel num_threads(part.parts())
-    {
-      const int t = omp_get_thread_num();
-      // Part 1: local updates, no synchronization (plain read/write).
-      for (vid_t v = part.begin(t); v < part.end(t); ++v) {
-        instr.code_region(3);
-        const vid_t deg = pa.degree(v);
-        if (deg == 0) continue;
-        instr.read(&pr[static_cast<std::size_t>(v)], sizeof(double));
-        const double share = opt.damping * pr[static_cast<std::size_t>(v)] / deg;
-        for (vid_t u : pa.local_neighbors(v)) {
-          instr.branch_cond();
-          instr.write(&next[static_cast<std::size_t>(u)], sizeof(double));
-          next[static_cast<std::size_t>(u)] += share;
-        }
-      }
-#pragma omp barrier
-      // Part 2: remote updates with lock-accounted atomic adds.
-      for (vid_t v = part.begin(t); v < part.end(t); ++v) {
-        instr.code_region(4);
-        const vid_t deg = pa.degree(v);
-        if (deg == 0) continue;
-        const double share = opt.damping * pr[static_cast<std::size_t>(v)] / deg;
-        for (vid_t u : pa.remote_neighbors(v)) {
-          instr.branch_cond();
-          instr.lock(&next[static_cast<std::size_t>(u)]);
-          atomic_add(next[static_cast<std::size_t>(u)], share);
-        }
-      }
-#pragma omp barrier
-      for (vid_t v = part.begin(t); v < part.end(t); ++v) {
-        instr.write(&next[static_cast<std::size_t>(v)], sizeof(double));
-        next[static_cast<std::size_t>(v)] += base;
-      }
-    }
+    engine::dense_push_pa(
+        pa, ws,
+        detail::PrScatter<PartitionAwareCsr>{&pa, pr.data(), next.data(),
+                                             opt.damping},
+        emo, instr);
+    engine::vertex_map(
+        n, ws,
+        [&](auto& ctx, vid_t v) {
+          ctx.add(next[static_cast<std::size_t>(v)], base);
+          return false;
+        },
+        /*track=*/false, instr);
     pr.swap(next);
     std::fill(next.begin(), next.end(), 0.0);
   }

@@ -1,31 +1,33 @@
-// Δ-Stepping single-source shortest paths (§3.4, §4.4, Algorithm 4).
+// Δ-Stepping single-source shortest paths (§3.4, §4.4, Algorithm 4), on the
+// engine substrate.
 //
 // Vertices are grouped into buckets of width Δ by tentative distance and
 // buckets are processed in order; within a bucket, relaxations repeat until
 // the bucket stops changing (an *epoch* of inner iterations).
 //
-//   push — each active vertex in the current bucket relaxes its out-edges:
-//          concurrent writes to d[w] are resolved with CAS (atomic_min), one
-//          CAS-accounted atomic per improving relaxation.
-//   pull — every unsettled vertex scans its neighbors for members of the
-//          current bucket and relaxes *itself*: writes are thread-private,
-//          but all edges of all unsettled vertices are re-read every inner
-//          iteration (the O((L/Δ)·m·l_Δ) read conflicts of §4.4).
+//   push — engine::dense_push over the active set: each active vertex relaxes
+//          its out-edges; concurrent writes to d[w] resolve through
+//          AtomicCtx::min (one CAS-accounted atomic per improving
+//          relaxation). The engine's dedup bitmap plays active_next.
+//   pull — engine::dense_pull: every unsettled vertex scans its neighbors for
+//          members of the current bucket and relaxes *itself* through
+//          PlainCtx (thread-private writes), re-reading all edges of all
+//          unsettled vertices every inner iteration (the O((L/Δ)·m·l_Δ) read
+//          conflicts of §4.4).
 //
 // Δ controls the tradeoff: Δ→∞ degenerates to Bellman-Ford (one big bucket),
 // Δ→0 to Dijkstra-like settling. Figure 2c sweeps Δ.
 #pragma once
 
-#include <omp.h>
-
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
 #include "core/direction.hpp"
+#include "engine/edge_map.hpp"
 #include "graph/csr.hpp"
 #include "perf/instr.hpp"
-#include "sync/atomics.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -66,6 +68,56 @@ inline std::int64_t next_bucket(const std::vector<weight_t>& d, weight_t delta,
   return best;
 }
 
+// Push relaxation of one out-edge; the winner of an improving CAS that lands
+// in the current bucket re-activates the target.
+struct SsspPushRelax {
+  const Csr* g;
+  weight_t* dist;
+  weight_t delta;
+  std::int64_t b;
+
+  template <class Ctx>
+  weight_t source_data(Ctx&, vid_t s) const {
+    return atomic_load(dist[s]);
+  }
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t, vid_t d, eid_t e, weight_t dv) const {
+    const weight_t nd = dv + g->edge_weight(e);
+    if (nd < ctx.load(dist[d])) {
+      // Relaxation via CAS (write conflict, §4.4).
+      if (ctx.min(dist[d], nd) && bucket_of(nd, delta) == b) {
+        return true;  // d re-enters the current bucket
+      }
+    }
+    return false;
+  }
+};
+
+// Pull relaxation: an unsettled vertex relaxes itself against bucket-b
+// neighbors (only those that changed last round, after round 0).
+struct SsspPullRelax {
+  const Csr* g;
+  weight_t* dist;
+  const DenseFrontier* changed_last;  // null on the epoch's first round
+  weight_t delta;
+  std::int64_t b;
+
+  bool cond(vid_t v) const { return bucket_of(dist[v], delta) >= b; }
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t w, vid_t v, eid_t e) const {
+    const weight_t dw = ctx.load(dist[w]);
+    if (bucket_of(dw, delta) != b) return false;
+    if (changed_last != nullptr && !changed_last->test(w) && w != v) return false;
+    ctx.instr().read(&g->weight_array()[static_cast<std::size_t>(e)],
+                     sizeof(weight_t));
+    const weight_t nd = dw + g->edge_weight(e);
+    // Thread-private write: v is owned by the iterating thread.
+    return ctx.min(dist[v], nd) && bucket_of(nd, delta) == b;
+  }
+};
+
 }  // namespace detail
 
 template <class Instr = NullInstr>
@@ -79,53 +131,26 @@ DeltaSteppingResult sssp_delta_push(const Csr& g, vid_t src, weight_t delta,
   r.dist.assign(static_cast<std::size_t>(n), detail::kInf);
   r.dist[static_cast<std::size_t>(src)] = 0;
 
-  std::vector<std::uint8_t> active(static_cast<std::size_t>(n), 0);
-  std::vector<std::uint8_t> active_next(static_cast<std::size_t>(n), 0);
+  engine::Workspace ws(n);
+  engine::EdgeMapOptions emo;
+  emo.region = 30;
+  emo.dedup_output = true;  // the engine bitmap is Algorithm 4's active_next
 
   std::int64_t b = 0;
   while (b != std::numeric_limits<std::int64_t>::max()) {
     WallTimer epoch_timer;
     // Initialize the epoch: all vertices currently in bucket b are active.
-#pragma omp parallel for schedule(static)
-    for (vid_t v = 0; v < n; ++v) {
-      active[static_cast<std::size_t>(v)] =
-          detail::bucket_of(r.dist[static_cast<std::size_t>(v)], delta) == b ? 1 : 0;
-    }
-    bool bucket_changed = true;
-    while (bucket_changed) {
+    engine::VertexSet active = engine::vertex_map(
+        n, ws,
+        [&](auto&, vid_t v) {
+          return detail::bucket_of(r.dist[static_cast<std::size_t>(v)], delta) == b;
+        },
+        /*track=*/true, instr);
+    while (!active.empty()) {
       ++r.inner_iterations;
-      bucket_changed = false;
-      bool changed = false;
-#pragma omp parallel for schedule(dynamic, 128) reduction(|| : changed)
-      for (vid_t v = 0; v < n; ++v) {
-        instr.code_region(30);
-        if (!active[static_cast<std::size_t>(v)]) continue;
-        active[static_cast<std::size_t>(v)] = 0;
-        const weight_t dv = atomic_load(r.dist[static_cast<std::size_t>(v)]);
-        const auto nb = g.neighbors(v);
-        const auto wgt = g.weights(v);
-        for (std::size_t i = 0; i < nb.size(); ++i) {
-          const vid_t w = nb[i];
-          const weight_t nd = dv + wgt[i];
-          instr.read(&r.dist[static_cast<std::size_t>(w)], sizeof(weight_t));
-          instr.branch_cond();
-          if (nd < atomic_load(r.dist[static_cast<std::size_t>(w)])) {
-            // Relaxation via CAS (write conflict, §4.4).
-            instr.atomic(&r.dist[static_cast<std::size_t>(w)], sizeof(weight_t));
-            if (atomic_min(r.dist[static_cast<std::size_t>(w)], nd) &&
-                detail::bucket_of(nd, delta) == b) {
-              // w re-enters the current bucket: another inner iteration.
-              atomic_store(active_next[static_cast<std::size_t>(w)], std::uint8_t{1});
-              changed = true;
-            }
-          }
-        }
-      }
-      if (changed) {
-        bucket_changed = true;
-        active.swap(active_next);
-        std::fill(active_next.begin(), active_next.end(), std::uint8_t{0});
-      }
+      active = engine::dense_push(
+          g, ws, &active,
+          detail::SsspPushRelax{&g, r.dist.data(), delta, b}, emo, instr);
     }
     r.epoch_times.push_back(epoch_timer.elapsed_s());
     ++r.epochs;
@@ -145,63 +170,26 @@ DeltaSteppingResult sssp_delta_pull(const Csr& g, vid_t src, weight_t delta,
   r.dist.assign(static_cast<std::size_t>(n), detail::kInf);
   r.dist[static_cast<std::size_t>(src)] = 0;
 
-  // `active[w]` marks bucket-b vertices whose distance changed in the
-  // previous inner iteration (the pull sources, line 24 of Algorithm 4).
-  std::vector<std::uint8_t> active(static_cast<std::size_t>(n), 0);
-  std::vector<std::uint8_t> active_next(static_cast<std::size_t>(n), 0);
+  engine::Workspace ws(n);
+  engine::EdgeMapOptions emo;
+  emo.region = 31;
 
   std::int64_t b = 0;
   while (b != std::numeric_limits<std::int64_t>::max()) {
     WallTimer epoch_timer;
-    int itr = 0;
-    bool bucket_changed = true;
-    while (bucket_changed) {
+    engine::VertexSet changed(n);
+    bool first_round = true;
+    for (;;) {
       ++r.inner_iterations;
-      bucket_changed = false;
-      bool changed = false;
-#pragma omp parallel for schedule(dynamic, 128) reduction(|| : changed)
-      for (vid_t v = 0; v < n; ++v) {
-        instr.code_region(31);
-        const weight_t dv = r.dist[static_cast<std::size_t>(v)];
-        // Unsettled vertices: everything not in a finished bucket. Vertices
-        // inside bucket b may still improve via intra-bucket paths.
-        if (detail::bucket_of(dv, delta) < b) continue;
-        weight_t best = dv;
-        vid_t improved_from = kInvalidVertex;
-        const auto nb = g.neighbors(v);
-        const auto wgt = g.weights(v);
-        for (std::size_t i = 0; i < nb.size(); ++i) {
-          const vid_t w = nb[i];
-          instr.read(&r.dist[static_cast<std::size_t>(w)], sizeof(weight_t));
-          const weight_t dw = atomic_load(r.dist[static_cast<std::size_t>(w)]);
-          instr.branch_cond();
-          if (detail::bucket_of(dw, delta) != b) continue;
-          if (itr != 0 && !atomic_load(active[static_cast<std::size_t>(w)]) &&
-              w != v) {
-            continue;
-          }
-          instr.read(&wgt[i], sizeof(weight_t));
-          const weight_t nd = dw + wgt[i];
-          instr.branch_cond();
-          if (nd < best) {
-            best = nd;
-            improved_from = w;
-          }
-        }
-        if (improved_from != kInvalidVertex) {
-          // Thread-private write: v is owned by the iterating thread.
-          instr.write(&r.dist[static_cast<std::size_t>(v)], sizeof(weight_t));
-          atomic_store(r.dist[static_cast<std::size_t>(v)], best);
-          if (detail::bucket_of(best, delta) == b) {
-            active_next[static_cast<std::size_t>(v)] = 1;
-            changed = true;
-          }
-        }
-      }
-      ++itr;
-      if (changed) bucket_changed = true;
-      active.swap(active_next);
-      std::fill(active_next.begin(), active_next.end(), std::uint8_t{0});
+      engine::VertexSet out = engine::dense_pull(
+          g, ws,
+          detail::SsspPullRelax{&g, r.dist.data(),
+                                first_round ? nullptr : &changed.dense(), delta,
+                                b},
+          emo, instr);
+      first_round = false;
+      if (out.empty()) break;
+      changed = std::move(out);
     }
     r.epoch_times.push_back(epoch_timer.elapsed_s());
     ++r.epochs;

@@ -1,0 +1,277 @@
+// Update contexts: the sync policy × instrumentation product in one place.
+//
+// Kernels express their per-edge state change once, through a context's
+// primitives; the engine instantiates the functor with the context matching
+// the traversal direction and sync policy:
+//
+//   PlainCtx   — thread-owned writes (all pull modes, PA-local push half).
+//                No synchronization is *possible* through this context, which
+//                is how the engine enforces §3.8's defining pull property
+//                (test_instr_counts asserts zero atomics/locks in pull mode).
+//   AtomicCtx  — push with hardware atomics: integer claim/min/add via
+//                CAS/FAA (counted as atomics), floating-point accumulation
+//                via a CAS loop (counted as a lock, §4.1's convention).
+//   LockCtx    — push through a striped spinlock pool keyed by destination
+//                (counted as locks); supports arbitrary critical sections,
+//                which the GAS scatter phase needs for non-POD accumulators.
+//
+// Because every state change goes through exactly one of these, operation
+// counting is attributed identically for every kernel the engine runs —
+// reads/writes/atomics/locks mean the same thing in BFS, PR, BC, coloring,
+// GAS and SpMV counter reports.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "graph/types.hpp"
+#include "sync/atomics.hpp"
+#include "sync/spinlock.hpp"
+
+namespace pushpull::engine {
+
+// Thread-owned updates: plain loads/stores, instrumented.
+template <class Instr>
+class PlainCtx {
+ public:
+  static constexpr bool kSynchronized = false;
+
+  explicit PlainCtx(Instr& instr) noexcept : instr_(&instr) {}
+  // Uniform construction with the synchronized contexts; the pool is unused.
+  PlainCtx(Instr& instr, SpinlockPool&) noexcept : instr_(&instr) {}
+
+  Instr& instr() noexcept { return *instr_; }
+
+  // Instrumented shared-memory load (relaxed atomic: pull reads race with
+  // remote writers by design; the value, not the ordering, is the point).
+  template <class T>
+  T load(const T& x) noexcept {
+    instr_->read(&x, sizeof(T));
+    return atomic_load(x);
+  }
+
+  template <class T>
+  void store(T& x, T v) noexcept {
+    instr_->write(&x, sizeof(T));
+    atomic_store(x, v);
+  }
+
+  // x = min(x, v); true when lowered.
+  template <class T>
+  bool min(T& x, T v) noexcept {
+    if (v < x) {
+      instr_->write(&x, sizeof(T));
+      atomic_store(x, v);
+      return true;
+    }
+    return false;
+  }
+
+  template <class T, class U>
+  void add(T& x, U v) noexcept {
+    instr_->write(&x, sizeof(T));
+    x = static_cast<T>(x + v);
+  }
+
+  // Claim x: if x == expected, set desired; true when this call claimed it.
+  template <class T>
+  bool claim(T& x, T expected, T desired) noexcept {
+    if (x != expected) return false;
+    instr_->write(&x, sizeof(T));
+    atomic_store(x, desired);
+    return true;
+  }
+
+  // word &= mask (availability-mask strike).
+  void and_mask(std::uint64_t& word, std::uint64_t mask) noexcept {
+    instr_->write(&word, sizeof(word));
+    word &= mask;
+  }
+
+  // x = combine(x, v) for arbitrary ⊕ (semiring accumulate).
+  template <class T, class Combine>
+  void accumulate(T& x, T v, Combine&& combine) noexcept {
+    instr_->write(&x, sizeof(T));
+    x = combine(x, v);
+  }
+
+  // Arbitrary read-modify-write region keyed by destination index: plain.
+  template <class Fn>
+  void critical(std::size_t, Fn&& fn) noexcept {
+    fn();
+  }
+
+ private:
+  Instr* instr_;
+};
+
+// Push with hardware atomics.
+template <class Instr>
+class AtomicCtx {
+ public:
+  static constexpr bool kSynchronized = true;
+
+  AtomicCtx(Instr& instr, SpinlockPool& locks) noexcept
+      : instr_(&instr), locks_(&locks) {}
+
+  Instr& instr() noexcept { return *instr_; }
+
+  template <class T>
+  T load(const T& x) noexcept {
+    instr_->read(&x, sizeof(T));
+    return atomic_load(x);
+  }
+
+  template <class T>
+  void store(T& x, T v) noexcept {
+    instr_->write(&x, sizeof(T));
+    atomic_store(x, v);
+  }
+
+  template <class T>
+  bool min(T& x, T v) noexcept {
+    instr_->atomic(&x, sizeof(T));
+    return atomic_min(x, v);
+  }
+
+  // Integer accumulation is one FAA (atomic-accounted); floating-point has no
+  // hardware atomic and becomes a CAS loop the paper prices as a lock (§4.1).
+  template <class T, class U>
+  void add(T& x, U v) noexcept {
+    if constexpr (std::is_integral_v<T>) {
+      instr_->atomic(&x, sizeof(T));
+      faa(x, static_cast<T>(v));
+    } else {
+      instr_->lock(&x);
+      atomic_add(x, static_cast<T>(v));
+    }
+  }
+
+  template <class T>
+  bool claim(T& x, T expected, T desired) noexcept {
+    instr_->atomic(&x, sizeof(T));
+    return cas(x, expected, desired);
+  }
+
+  void and_mask(std::uint64_t& word, std::uint64_t mask) noexcept {
+    instr_->atomic(&word, sizeof(word));
+    std::atomic_ref<std::uint64_t>(word).fetch_and(mask, std::memory_order_relaxed);
+  }
+
+  // Generic ⊕ accumulation: CAS loop; integer-width ⊕ counts as an atomic,
+  // anything else follows the float-lock convention.
+  template <class T, class Combine>
+  void accumulate(T& x, T v, Combine&& combine) noexcept {
+    if constexpr (std::is_integral_v<T>) {
+      instr_->atomic(&x, sizeof(T));
+    } else {
+      instr_->lock(&x);
+    }
+    std::atomic_ref<T> ref(x);
+    T cur = ref.load(std::memory_order_relaxed);
+    for (;;) {
+      const T combined = combine(cur, v);
+      if (combined == cur) return;  // no change: skip the write
+      if (ref.compare_exchange_weak(cur, combined, std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+        return;
+      }
+    }
+  }
+
+  // Arbitrary critical sections fall back to the striped pool — an atomic
+  // cannot guard a non-POD update.
+  template <class Fn>
+  void critical(std::size_t key, Fn&& fn) noexcept {
+    instr_->lock(&locks_->for_index(key));
+    SpinGuard guard(locks_->for_index(key));
+    fn();
+  }
+
+ private:
+  Instr* instr_;
+  SpinlockPool* locks_;
+};
+
+// Push through a striped spinlock pool: every primitive takes the lock of its
+// target (hashed by address), does the plain update, releases. One lock
+// acquisition is counted per primitive call.
+template <class Instr>
+class LockCtx {
+ public:
+  static constexpr bool kSynchronized = true;
+
+  LockCtx(Instr& instr, SpinlockPool& locks) noexcept
+      : instr_(&instr), locks_(&locks) {}
+
+  Instr& instr() noexcept { return *instr_; }
+
+  template <class T>
+  T load(const T& x) noexcept {
+    instr_->read(&x, sizeof(T));
+    return atomic_load(x);
+  }
+
+  template <class T>
+  void store(T& x, T v) noexcept {
+    instr_->write(&x, sizeof(T));
+    atomic_store(x, v);
+  }
+
+  template <class T>
+  bool min(T& x, T v) noexcept {
+    instr_->lock(&x);
+    SpinGuard guard(lock_for(&x));
+    if (v < x) {
+      atomic_store(x, v);
+      return true;
+    }
+    return false;
+  }
+
+  template <class T, class U>
+  void add(T& x, U v) noexcept {
+    instr_->lock(&x);
+    SpinGuard guard(lock_for(&x));
+    atomic_store(x, static_cast<T>(x + v));
+  }
+
+  template <class T>
+  bool claim(T& x, T expected, T desired) noexcept {
+    instr_->lock(&x);
+    SpinGuard guard(lock_for(&x));
+    if (atomic_load(x) != expected) return false;
+    atomic_store(x, desired);
+    return true;
+  }
+
+  void and_mask(std::uint64_t& word, std::uint64_t mask) noexcept {
+    instr_->lock(&word);
+    SpinGuard guard(lock_for(&word));
+    atomic_store(word, word & mask);
+  }
+
+  template <class T, class Combine>
+  void accumulate(T& x, T v, Combine&& combine) noexcept {
+    instr_->lock(&x);
+    SpinGuard guard(lock_for(&x));
+    atomic_store(x, combine(atomic_load(x), v));
+  }
+
+  template <class Fn>
+  void critical(std::size_t key, Fn&& fn) noexcept {
+    instr_->lock(&locks_->for_index(key));
+    SpinGuard guard(locks_->for_index(key));
+    fn();
+  }
+
+ private:
+  Spinlock& lock_for(const void* p) noexcept {
+    return locks_->for_index(reinterpret_cast<std::uintptr_t>(p) >> 3);
+  }
+
+  Instr* instr_;
+  SpinlockPool* locks_;
+};
+
+}  // namespace pushpull::engine

@@ -1,0 +1,43 @@
+#include "engine/policy.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pushpull::engine {
+
+const char* to_string(StrategyKind k) {
+  switch (k) {
+    case StrategyKind::StaticPush: return "push";
+    case StrategyKind::StaticPull: return "pull";
+    case StrategyKind::GenericSwitch: return "gs";
+    case StrategyKind::GreedySwitch: return "grs";
+    case StrategyKind::FrontierExploit: return "fe";
+    case StrategyKind::PartitionAware: return "pa";
+  }
+  return "?";
+}
+
+StrategyKind parse_strategy(const std::string& name) {
+  if (name == "push") return StrategyKind::StaticPush;
+  if (name == "pull") return StrategyKind::StaticPull;
+  if (name == "gs") return StrategyKind::GenericSwitch;
+  if (name == "grs") return StrategyKind::GreedySwitch;
+  if (name == "fe") return StrategyKind::FrontierExploit;
+  if (name == "pa") return StrategyKind::PartitionAware;
+  std::fprintf(stderr,
+               "unknown policy '%s' (expected push, pull, gs, grs, fe, pa or "
+               "all)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+std::vector<StrategyKind> parse_strategy_list(const std::string& name) {
+  if (name == "all") {
+    return {StrategyKind::StaticPush,     StrategyKind::StaticPull,
+            StrategyKind::GenericSwitch,  StrategyKind::GreedySwitch,
+            StrategyKind::FrontierExploit, StrategyKind::PartitionAware};
+  }
+  return {parse_strategy(name)};
+}
+
+}  // namespace pushpull::engine

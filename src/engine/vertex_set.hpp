@@ -1,0 +1,86 @@
+// VertexSet: the engine's frontier currency.
+//
+// One set, two representations — a sparse id list (what sparse push/pull
+// iterate) and a dense byte-per-vertex bitmap (what dense modes and
+// membership tests use) — converted lazily and cached. Mirrors the paper's
+// frontier duality: the k-filter produces sparse lists, bottom-up steps
+// consume dense maps, and the Generic-Switch flips between them.
+#pragma once
+
+#include <omp.h>
+
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/frontier.hpp"
+#include "graph/csr.hpp"
+#include "util/check.hpp"
+
+namespace pushpull::engine {
+
+class VertexSet {
+ public:
+  explicit VertexSet(vid_t n = 0) : n_(n) {}
+
+  // Wraps an existing id list (no copy on rvalue).
+  VertexSet(vid_t n, std::vector<vid_t> ids)
+      : n_(n), sparse_(std::move(ids)) {}
+
+  static VertexSet single(vid_t n, vid_t v) {
+    PP_CHECK(v >= 0 && v < n);
+    return VertexSet(n, std::vector<vid_t>{v});
+  }
+
+  static VertexSet all(vid_t n) {
+    std::vector<vid_t> ids(static_cast<std::size_t>(n));
+    for (vid_t v = 0; v < n; ++v) ids[static_cast<std::size_t>(v)] = v;
+    return VertexSet(n, std::move(ids));
+  }
+
+  vid_t universe() const noexcept { return n_; }
+  std::size_t size() const noexcept { return sparse_.size(); }
+  bool empty() const noexcept { return sparse_.empty(); }
+
+  std::span<const vid_t> ids() const noexcept { return sparse_; }
+  std::vector<vid_t>& mutable_ids() noexcept {
+    dense_valid_ = false;
+    return sparse_;
+  }
+
+  // Dense membership view, built on first use after any mutation.
+  const DenseFrontier& dense() const {
+    if (!dense_valid_) {
+      if (!dense_) dense_ = std::make_unique<DenseFrontier>(n_);
+      dense_->build_from(sparse_);
+      dense_valid_ = true;
+    }
+    return *dense_;
+  }
+
+  bool test(vid_t v) const { return dense().test(v); }
+
+  // Σ out-degrees of members — the GS work estimate for the next superstep.
+  double out_degree_sum(const Csr& g) const {
+    double sum = 0.0;
+#pragma omp parallel for reduction(+ : sum) schedule(static)
+    for (std::size_t i = 0; i < sparse_.size(); ++i) {
+      sum += static_cast<double>(g.degree(sparse_[i]));
+    }
+    return sum;
+  }
+
+  void clear() {
+    sparse_.clear();
+    dense_valid_ = false;
+  }
+
+ private:
+  vid_t n_ = 0;
+  std::vector<vid_t> sparse_;
+  mutable std::unique_ptr<DenseFrontier> dense_;
+  mutable bool dense_valid_ = false;
+};
+
+}  // namespace pushpull::engine

@@ -10,8 +10,24 @@
 namespace pushpull {
 
 namespace {
-constexpr std::uint64_t kMagic = 0x70757368'70756c6cULL;  // "pushpull"
+
+// Legacy header (format v1): magic followed directly by the payload. Files in
+// this format are still readable (see read_csr_binary) but no longer written.
+constexpr std::uint64_t kMagicLegacy = 0x70757368'70756c6cULL;  // "pushpull"
+
+// Current header: a distinct magic plus an explicit version word, so stale,
+// truncated or foreign files fail with a diagnostic instead of being
+// reinterpreted silently.
+constexpr std::uint64_t kMagic = 0x70757368'70756c32ULL;  // "pushpul2"
+constexpr std::uint32_t kVersion = 2;
+
+[[noreturn]] void io_fail(const std::string& path, const char* what) {
+  std::fprintf(stderr, "read_csr_binary(%s): %s\n", path.c_str(), what);
+  PP_CHECK(false && "corrupt or incompatible CSR binary");
+  std::abort();
 }
+
+}  // namespace
 
 EdgeList read_edge_list(const std::string& path, vid_t* n) {
   std::ifstream in(path);
@@ -58,10 +74,12 @@ void write_csr_binary(const std::string& path, const Csr& g) {
     out.write(static_cast<const char*>(p), static_cast<std::streamsize>(bytes));
   };
   const std::uint64_t magic = kMagic;
+  const std::uint32_t version = kVersion;
   const std::int64_t n = g.n();
   const std::int64_t arcs = g.num_arcs();
   const std::uint8_t weighted = g.has_weights() ? 1 : 0;
   put(&magic, sizeof magic);
+  put(&version, sizeof version);
   put(&n, sizeof n);
   put(&arcs, sizeof arcs);
   put(&weighted, sizeof weighted);
@@ -74,19 +92,28 @@ void write_csr_binary(const std::string& path, const Csr& g) {
 Csr read_csr_binary(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   PP_CHECK(in.good());
-  auto get = [&in](void* p, std::size_t bytes) {
+  auto get = [&in, &path](void* p, std::size_t bytes) {
     in.read(static_cast<char*>(p), static_cast<std::streamsize>(bytes));
-    PP_CHECK(in.good());
+    if (!in.good()) io_fail(path, "truncated file (payload shorter than header promises)");
   };
   std::uint64_t magic = 0;
+  get(&magic, sizeof magic);
+  if (magic == kMagic) {
+    std::uint32_t version = 0;
+    get(&version, sizeof version);
+    if (version != kVersion) {
+      io_fail(path, "unsupported format version (file written by a newer build?)");
+    }
+  } else if (magic != kMagicLegacy) {
+    // Legacy v1 files (magic only, no version word) stay readable.
+    io_fail(path, "bad magic: not a pushpull CSR binary");
+  }
   std::int64_t n = 0, arcs = 0;
   std::uint8_t weighted = 0;
-  get(&magic, sizeof magic);
-  PP_CHECK(magic == kMagic);
   get(&n, sizeof n);
   get(&arcs, sizeof arcs);
   get(&weighted, sizeof weighted);
-  PP_CHECK(n >= 0 && arcs >= 0);
+  if (n < 0 || arcs < 0 || weighted > 1) io_fail(path, "corrupt header fields");
   std::vector<eid_t> offsets(static_cast<std::size_t>(n) + 1);
   std::vector<vid_t> adj(static_cast<std::size_t>(arcs));
   get(offsets.data(), offsets.size() * sizeof(eid_t));
@@ -95,6 +122,21 @@ Csr read_csr_binary(const std::string& path) {
   if (weighted) {
     weights.resize(static_cast<std::size_t>(arcs));
     get(weights.data(), weights.size() * sizeof(weight_t));
+  }
+  // The payload must end exactly here — trailing bytes mean a stale or
+  // mismatched file.
+  in.peek();
+  if (!in.eof()) io_fail(path, "trailing bytes after payload");
+  // Structural validation before handing the arrays to Csr (whose own checks
+  // would abort without naming the file).
+  if (offsets.front() != 0 || offsets.back() != arcs) {
+    io_fail(path, "corrupt offsets (do not span the adjacency array)");
+  }
+  for (std::size_t v = 0; v + 1 < offsets.size(); ++v) {
+    if (offsets[v] > offsets[v + 1]) io_fail(path, "corrupt offsets (not monotone)");
+  }
+  for (vid_t u : adj) {
+    if (u < 0 || u >= n) io_fail(path, "corrupt adjacency (vertex id out of range)");
   }
   return Csr(std::move(offsets), std::move(adj), std::move(weights));
 }

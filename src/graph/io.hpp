@@ -17,7 +17,10 @@ EdgeList read_edge_list(const std::string& path, vid_t* n);
 // graphs), preceded by a "# pushpull edge list" header.
 void write_edge_list(const std::string& path, const Csr& g);
 
-// Binary CSR round-trip.
+// Binary CSR round-trip. Files carry a magic + version header (format v2);
+// the reader rejects foreign, truncated, stale or trailing-garbage files with
+// a diagnostic naming the file, and still accepts legacy v1 files (magic
+// only, no version word) for old caches.
 void write_csr_binary(const std::string& path, const Csr& g);
 Csr read_csr_binary(const std::string& path);
 

@@ -1,13 +1,17 @@
-// Sparse matrix-vector products over semirings (§7.1).
+// Sparse matrix-vector products over semirings (§7.1) — thin adapters over
+// engine/edge_map.
 //
 // The adjacency matrix A has A(i,j) = w(j→i). The paper's observation:
 //
 //   CSR layout (rows = in-edges)  → each output y[i] is reduced by one
-//     thread over row i — this is PULLING (no write conflicts),
+//     thread over row i — this is PULLING (engine::dense_pull, PlainCtx,
+//     no write conflicts),
 //   CSC layout (cols = out-edges) → each thread scatters x[j] down column j
-//     into many y[i] — this is PUSHING (atomics / merge trees needed),
+//     into many y[i] — this is PUSHING (engine::dense_push, AtomicCtx's
+//     generic ⊕ CAS loop),
 //   SpMSpV — when x is sparse (a BFS frontier), CSC/push skips all columns
-//     with x[j] = 0̄, while CSR/pull cannot exploit the sparsity.
+//     with x[j] = 0̄ (engine::sparse_push over the nonzero column ids), while
+//     CSR/pull cannot exploit the sparsity.
 //
 // For an undirected graph the CSR and CSC of A share one Csr object; for
 // digraphs pass g.in (pull) / g.out (push).
@@ -16,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "engine/edge_map.hpp"
 #include "graph/csr.hpp"
 #include "sync/atomics.hpp"
 #include "util/check.hpp"
@@ -40,26 +45,92 @@ void atomic_accumulate(typename S::value_type& target,
   }
 }
 
+namespace detail {
+
+template <class S>
+struct SpmvRow {
+  using T = typename S::value_type;
+  const Csr* a;
+  const T* x;
+  T* y;
+  bool use_weights;
+
+  // Zero the output element in the same pass (row i is visited exactly once).
+  template <class Ctx>
+  void begin_dest(Ctx&, vid_t i) const {
+    y[i] = S::zero();
+  }
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t j, vid_t i, eid_t e) const {
+    const T aij = use_weights ? static_cast<T>(a->edge_weight(e)) : S::one();
+    // Row reduction in edge order: same fold the scalar loop performed.
+    ctx.accumulate(y[i], S::mul(aij, x[j]),
+                   [](T acc, T v) { return S::add(acc, v); });
+    return false;
+  }
+};
+
+template <class S>
+struct SpmvCol {
+  using T = typename S::value_type;
+  const Csr* a;
+  const T* x;
+  T* y;
+  bool use_weights;
+
+  bool source(vid_t j) const { return !(x[j] == S::zero()); }
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t j, vid_t i, eid_t e) const {
+    const T aij = use_weights ? static_cast<T>(a->edge_weight(e)) : S::one();
+    ctx.accumulate(y[i], S::mul(aij, x[j]),
+                   [](T acc, T v) { return S::add(acc, v); });
+    return false;
+  }
+};
+
+template <class S>
+struct SpmspvCol {
+  using T = typename S::value_type;
+  const Csr* a;
+  const T* xval;  // values parallel to the sparse index list
+  T* y;
+  bool use_weights;
+
+  bool source(vid_t, std::size_t k) const { return !(xval[k] == S::zero()); }
+
+  template <class Ctx>
+  T source_data(Ctx&, vid_t, std::size_t k) const {
+    return xval[k];
+  }
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t, vid_t i, eid_t e, T xj) const {
+    const T aij = use_weights ? static_cast<T>(a->edge_weight(e)) : S::one();
+    ctx.accumulate(y[i], S::mul(aij, xj),
+                   [](T acc, T v) { return S::add(acc, v); });
+    return true;  // record i in the touched list
+  }
+};
+
+}  // namespace detail
+
 // y = A ⊗ x, pull/CSR: one reduction per output element, no conflicts.
 // `use_weights`=false treats every stored edge as 1̄.
 template <class S>
 void spmv_pull(const Csr& in_csr, std::span<const typename S::value_type> x,
                std::span<typename S::value_type> y, bool use_weights = false) {
-  using T = typename S::value_type;
   const vid_t n = in_csr.n();
   PP_CHECK(x.size() == static_cast<std::size_t>(n));
   PP_CHECK(y.size() == static_cast<std::size_t>(n));
   PP_CHECK(!use_weights || in_csr.has_weights());
-#pragma omp parallel for schedule(dynamic, 256)
-  for (vid_t i = 0; i < n; ++i) {
-    T acc = S::zero();
-    for (eid_t e = in_csr.edge_begin(i); e < in_csr.edge_end(i); ++e) {
-      const vid_t j = in_csr.edge_target(e);
-      const T a = use_weights ? static_cast<T>(in_csr.edge_weight(e)) : S::one();
-      acc = S::add(acc, S::mul(a, x[static_cast<std::size_t>(j)]));
-    }
-    y[static_cast<std::size_t>(i)] = acc;
-  }
+  engine::Workspace ws(n);  // O(threads): the dedup bitmap is lazy
+  engine::EdgeMapOptions opt;
+  opt.track_output = false;
+  engine::dense_pull(in_csr, ws,
+                     detail::SpmvRow<S>{&in_csr, x.data(), y.data(), use_weights},
+                     opt);
 }
 
 // y = A ⊗ x, push/CSC: scatter down columns with atomic accumulation.
@@ -67,21 +138,16 @@ void spmv_pull(const Csr& in_csr, std::span<const typename S::value_type> x,
 template <class S>
 void spmv_push(const Csr& out_csr, std::span<const typename S::value_type> x,
                std::span<typename S::value_type> y, bool use_weights = false) {
-  using T = typename S::value_type;
   const vid_t n = out_csr.n();
   PP_CHECK(x.size() == static_cast<std::size_t>(n));
   PP_CHECK(y.size() == static_cast<std::size_t>(n));
   PP_CHECK(!use_weights || out_csr.has_weights());
-#pragma omp parallel for schedule(dynamic, 256)
-  for (vid_t j = 0; j < n; ++j) {
-    const T xj = x[static_cast<std::size_t>(j)];
-    if (xj == S::zero()) continue;  // the push advantage: skip empty columns
-    for (eid_t e = out_csr.edge_begin(j); e < out_csr.edge_end(j); ++e) {
-      const vid_t i = out_csr.edge_target(e);
-      const T a = use_weights ? static_cast<T>(out_csr.edge_weight(e)) : S::one();
-      atomic_accumulate<S>(y[static_cast<std::size_t>(i)], S::mul(a, xj));
-    }
-  }
+  engine::Workspace ws(n);
+  engine::EdgeMapOptions opt;
+  opt.track_output = false;
+  engine::dense_push(
+      out_csr, ws, /*sources=*/nullptr,
+      detail::SpmvCol<S>{&out_csr, x.data(), y.data(), use_weights}, opt);
 }
 
 // Sparse vector: indices with non-0̄ values.
@@ -100,27 +166,13 @@ void spmspv_push(const Csr& out_csr,
                  const SparseVec<typename S::value_type>& x,
                  std::span<typename S::value_type> y,
                  std::vector<vid_t>& touched, bool use_weights = false) {
-  using T = typename S::value_type;
   PP_CHECK(y.size() == static_cast<std::size_t>(out_csr.n()));
-  touched.clear();
-#pragma omp parallel
-  {
-    std::vector<vid_t> local;
-#pragma omp for schedule(dynamic, 64) nowait
-    for (std::size_t k = 0; k < x.nnz(); ++k) {
-      const vid_t j = x.idx[k];
-      const T xj = x.val[k];
-      if (xj == S::zero()) continue;
-      for (eid_t e = out_csr.edge_begin(j); e < out_csr.edge_end(j); ++e) {
-        const vid_t i = out_csr.edge_target(e);
-        const T a = use_weights ? static_cast<T>(out_csr.edge_weight(e)) : S::one();
-        atomic_accumulate<S>(y[static_cast<std::size_t>(i)], S::mul(a, xj));
-        local.push_back(i);
-      }
-    }
-#pragma omp critical(pushpull_la_spmspv_touched)
-    touched.insert(touched.end(), local.begin(), local.end());
-  }
+  PP_CHECK(x.idx.size() == x.val.size());
+  engine::Workspace ws(out_csr.n());
+  engine::VertexSet out = engine::sparse_push(
+      out_csr, ws, std::span<const vid_t>(x.idx),
+      detail::SpmspvCol<S>{&out_csr, x.val.data(), y.data(), use_weights});
+  touched = std::move(out.mutable_ids());
 }
 
 }  // namespace pushpull::la

@@ -23,16 +23,26 @@
 #include "sync/barrier.hpp"
 #include "sync/spinlock.hpp"
 
-// Core push/pull algorithms.
+// The direction-aware traversal engine (edge_map / vertex_map substrate).
+#include "engine/context.hpp"
+#include "engine/edge_map.hpp"
+#include "engine/policy.hpp"
+#include "engine/vertex_set.hpp"
+
+// Core push/pull algorithms. (core/baselines/legacy_kernels.hpp — the frozen
+// pre-engine loops — is deliberately NOT part of the public API; only the
+// differential tests include it.)
 #include "core/baselines/baselines.hpp"
 #include "core/baselines/union_find.hpp"
 #include "core/bc.hpp"
 #include "core/bfs.hpp"
 #include "core/coloring.hpp"
+#include "core/connected_components.hpp"
 #include "core/directed.hpp"
 #include "core/direction.hpp"
 #include "core/frontier.hpp"
 #include "core/generalized_bfs.hpp"
+#include "core/kcore.hpp"
 #include "core/mst_boruvka.hpp"
 #include "core/mst_prim.hpp"
 #include "core/pagerank.hpp"

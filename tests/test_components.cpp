@@ -1,0 +1,149 @@
+// The two algorithms written against the engine abstraction alone: connected
+// components (label propagation, §5 strategies as policies) and k-core
+// decomposition (peeling). Both are validated against independent sequential
+// baselines across the zoo × every applicable policy.
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "core/baselines/union_find.hpp"
+#include "core/connected_components.hpp"
+#include "core/kcore.hpp"
+#include "graph_zoo.hpp"
+
+namespace pushpull {
+namespace {
+
+// Union-find reference: comp[v] = smallest id in v's component.
+std::vector<vid_t> cc_reference(const Csr& g) {
+  UnionFind uf(g.n());
+  for (vid_t v = 0; v < g.n(); ++v) {
+    for (vid_t u : g.neighbors(v)) uf.unite(v, u);
+  }
+  std::vector<vid_t> smallest(static_cast<std::size_t>(g.n()), -1);
+  for (vid_t v = 0; v < g.n(); ++v) {
+    const vid_t r = uf.find(v);
+    if (smallest[static_cast<std::size_t>(r)] == -1) {
+      smallest[static_cast<std::size_t>(r)] = v;  // v ascending → first is min
+    }
+  }
+  std::vector<vid_t> comp(static_cast<std::size_t>(g.n()));
+  for (vid_t v = 0; v < g.n(); ++v) {
+    comp[static_cast<std::size_t>(v)] = smallest[static_cast<std::size_t>(uf.find(v))];
+  }
+  return comp;
+}
+
+// Textbook sequential peeling: remove the minimum-residual-degree vertex; its
+// coreness is the running maximum of removal degrees. O(n²), zoo-sized only.
+std::vector<vid_t> kcore_reference(const Csr& g) {
+  const vid_t n = g.n();
+  std::vector<vid_t> deg(static_cast<std::size_t>(n));
+  std::vector<vid_t> core(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint8_t> removed(static_cast<std::size_t>(n), 0);
+  for (vid_t v = 0; v < n; ++v) deg[static_cast<std::size_t>(v)] = g.degree(v);
+  vid_t k = 0;
+  for (vid_t removed_count = 0; removed_count < n; ++removed_count) {
+    vid_t best = -1;
+    for (vid_t v = 0; v < n; ++v) {
+      if (removed[static_cast<std::size_t>(v)]) continue;
+      if (best == -1 || deg[static_cast<std::size_t>(v)] < deg[static_cast<std::size_t>(best)]) {
+        best = v;
+      }
+    }
+    k = std::max(k, deg[static_cast<std::size_t>(best)]);
+    core[static_cast<std::size_t>(best)] = k;
+    removed[static_cast<std::size_t>(best)] = 1;
+    for (vid_t u : g.neighbors(best)) {
+      if (!removed[static_cast<std::size_t>(u)]) --deg[static_cast<std::size_t>(u)];
+    }
+  }
+  return core;
+}
+
+TEST(ConnectedComponents, AllPoliciesMatchUnionFindOnZoo) {
+  using engine::StrategyKind;
+  for (const auto& [name, g] : testing::unweighted_zoo()) {
+    const std::vector<vid_t> ref = cc_reference(g);
+    for (StrategyKind k :
+         {StrategyKind::StaticPush, StrategyKind::StaticPull,
+          StrategyKind::FrontierExploit, StrategyKind::GenericSwitch,
+          StrategyKind::GreedySwitch}) {
+      CcOptions opt;
+      opt.strategy = k;
+      const CcResult r = connected_components(g, opt);
+      ASSERT_EQ(r.comp.size(), ref.size()) << name;
+      for (std::size_t v = 0; v < ref.size(); ++v) {
+        ASSERT_EQ(r.comp[v], ref[v])
+            << name << "/" << engine::to_string(k) << " v" << v;
+      }
+      EXPECT_GT(r.rounds, 0) << name;
+    }
+  }
+}
+
+TEST(ConnectedComponents, GreedySwitchRunsTheSequentialTail) {
+  // A path wired so the minimum label (vertex 0) sits at the far end of the
+  // sweep order: in-place min propagation (Gauss-Seidel along ascending ids)
+  // moves label 0 only a couple of hops per round, so the frontier shrinks to
+  // a trickle for hundreds of rounds. GrS must bail into the sequential tail
+  // instead of grinding them out; FE grinds.
+  constexpr vid_t n = 400;
+  EdgeList edges{Edge{0, n - 1, 1.0f}};
+  for (vid_t v = 1; v + 1 < n; ++v) edges.push_back(Edge{v, static_cast<vid_t>(v + 1), 1.0f});
+  Csr g = make_undirected(n, edges);
+  CcOptions grs;
+  grs.strategy = engine::StrategyKind::GreedySwitch;
+  grs.grs_threshold = 0.25;
+  const CcResult r = connected_components(g, grs);
+  EXPECT_EQ(r.sequential_tail_rounds, 1);
+  CcOptions fe;
+  fe.strategy = engine::StrategyKind::FrontierExploit;
+  const CcResult rfe = connected_components(g, fe);
+  EXPECT_EQ(rfe.sequential_tail_rounds, 0);
+  EXPECT_LT(r.rounds, rfe.rounds);
+  for (std::size_t v = 0; v < r.comp.size(); ++v) EXPECT_EQ(r.comp[v], 0);
+}
+
+TEST(ConnectedComponents, DisconnectedAndIsolatedVertices) {
+  const auto& zoo = testing::unweighted_zoo();
+  for (const char* want : {"two_components", "isolated"}) {
+    const auto it = std::find_if(zoo.begin(), zoo.end(),
+                                 [&](const auto& e) { return e.name == want; });
+    ASSERT_NE(it, zoo.end());
+    const std::vector<vid_t> ref = cc_reference(it->graph);
+    const CcResult r = connected_components(it->graph);
+    for (std::size_t v = 0; v < ref.size(); ++v) EXPECT_EQ(r.comp[v], ref[v]);
+  }
+}
+
+TEST(Kcore, MatchesSequentialPeelingOnZoo) {
+  for (const auto& [name, g] : testing::unweighted_zoo()) {
+    const std::vector<vid_t> ref = kcore_reference(g);
+    const KcoreResult r = kcore_decomposition(g);
+    ASSERT_EQ(r.core.size(), ref.size()) << name;
+    for (std::size_t v = 0; v < ref.size(); ++v) {
+      ASSERT_EQ(r.core[v], ref[v]) << name << " v" << v;
+    }
+    EXPECT_EQ(r.max_core, *std::max_element(ref.begin(), ref.end())) << name;
+  }
+}
+
+TEST(Kcore, KnownShapes) {
+  // A clique of k+1 vertices is a k-core.
+  const KcoreResult clique = kcore_decomposition(make_undirected(8, complete_edges(8)));
+  for (vid_t c : clique.core) EXPECT_EQ(c, 7);
+  EXPECT_EQ(clique.max_core, 7);
+  // A tree is 1-degenerate.
+  const KcoreResult tree = kcore_decomposition(make_undirected(63, binary_tree_edges(6)));
+  EXPECT_EQ(tree.max_core, 1);
+  // A cycle is its own 2-core.
+  const KcoreResult cyc = kcore_decomposition(make_undirected(16, cycle_edges(16)));
+  for (vid_t c : cyc.core) EXPECT_EQ(c, 2);
+}
+
+}  // namespace
+}  // namespace pushpull

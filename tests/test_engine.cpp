@@ -1,0 +1,216 @@
+// Unit tests for the engine substrate itself: VertexSet, the four edge_map
+// loop shapes, the update contexts' sync behavior, and the DirectionPolicy
+// strategy vocabulary.
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "engine/edge_map.hpp"
+#include "engine/policy.hpp"
+#include "engine/vertex_set.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph_zoo.hpp"
+
+namespace pushpull::engine {
+namespace {
+
+Csr path_graph(vid_t n) { return make_undirected(n, path_edges(n)); }
+
+struct CountVisit {
+  std::int64_t* per_vertex;  // indexed by destination
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t, vid_t d, eid_t) const {
+    ctx.add(per_vertex[d], std::int64_t{1});
+    return true;
+  }
+};
+
+TEST(VertexSet, SparseDenseRoundTrip) {
+  VertexSet s(10, {1, 3, 7});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.test(3));
+  EXPECT_FALSE(s.test(4));
+  s.mutable_ids().push_back(4);
+  EXPECT_TRUE(s.test(4));  // dense view rebuilt after mutation
+  EXPECT_EQ(VertexSet::all(5).size(), 5u);
+  EXPECT_TRUE(VertexSet(8).empty());
+}
+
+TEST(VertexSet, OutDegreeSum) {
+  Csr g = path_graph(4);  // degrees 1,2,2,1
+  VertexSet s(4, {0, 1});
+  EXPECT_DOUBLE_EQ(s.out_degree_sum(g), 3.0);
+}
+
+TEST(EdgeMap, SparsePushVisitsExactlyFrontierEdges) {
+  Csr g = path_graph(5);
+  std::vector<std::int64_t> visits(5, 0);
+  Workspace ws(5);
+  VertexSet in(5, {2});
+  VertexSet out = sparse_push(g, ws, in, CountVisit{visits.data()});
+  EXPECT_EQ(visits[1], 1);
+  EXPECT_EQ(visits[3], 1);
+  EXPECT_EQ(visits[0] + visits[4], 0);
+  // Both neighbors returned true → both in the output set.
+  std::vector<vid_t> ids(out.ids().begin(), out.ids().end());
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<vid_t>{1, 3}));
+}
+
+TEST(EdgeMap, SparsePushDedupOutput) {
+  // Star: every leaf pushes to the hub; dedup collapses the output to one id.
+  Csr g = make_undirected(5, star_edges(5));
+  std::vector<std::int64_t> visits(5, 0);
+  Workspace ws(5);
+  std::vector<vid_t> leaves{1, 2, 3, 4};
+  EdgeMapOptions opt;
+  opt.dedup_output = true;
+  EdgeMapStats stats;
+  VertexSet out = sparse_push(g, ws, std::span<const vid_t>(leaves),
+                              CountVisit{visits.data()}, opt, NullInstr{}, &stats);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.ids()[0], 0);
+  EXPECT_EQ(stats.updates, 4);  // dedup drops ids, not update counts
+  EXPECT_EQ(visits[0], 4);
+  // The dedup bitmap is cleaned up for the next call.
+  VertexSet again = sparse_push(g, ws, std::span<const vid_t>(leaves),
+                                CountVisit{visits.data()}, opt);
+  EXPECT_EQ(again.size(), 1u);
+}
+
+struct PullFirstHit {
+  std::int64_t* scans;
+
+  static constexpr bool kBreakOnUpdate = true;
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t, vid_t d, eid_t) const {
+    ctx.add(scans[d], std::int64_t{1});
+    return true;  // accept the first in-neighbor → early break
+  }
+};
+
+TEST(EdgeMap, DensePullEarlyBreakStopsAfterFirstUpdate) {
+  Csr g = make_undirected(6, complete_edges(6));  // 5 in-neighbors each
+  std::vector<std::int64_t> scans(6, 0);
+  Workspace ws(6);
+  VertexSet out = dense_pull(g, ws, PullFirstHit{scans.data()});
+  EXPECT_EQ(out.size(), 6u);
+  for (vid_t v = 0; v < 6; ++v) EXPECT_EQ(scans[static_cast<std::size_t>(v)], 1);
+}
+
+struct PullSumAll {
+  std::int64_t* sum;
+
+  bool cond(vid_t d) const { return d % 2 == 0; }
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t, vid_t d, eid_t) const {
+    ctx.add(sum[d], std::int64_t{1});
+    return false;
+  }
+
+  template <class Ctx>
+  bool finalize(Ctx&, vid_t d) const {
+    return sum[d] >= 2;  // finalize decides output membership
+  }
+};
+
+TEST(EdgeMap, DensePullCondFilterAndFinalize) {
+  Csr g = path_graph(6);  // interior vertices have 2 in-neighbors
+  std::vector<std::int64_t> sum(6, 0);
+  Workspace ws(6);
+  VertexSet out = dense_pull(g, ws, PullSumAll{sum.data()});
+  EXPECT_EQ(sum[1], 0);  // cond filtered the odd destinations
+  EXPECT_EQ(sum[2], 2);
+  std::vector<vid_t> ids(out.ids().begin(), out.ids().end());
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<vid_t>{2, 4}));  // 0 has only 1 in-neighbor
+}
+
+TEST(EdgeMap, SparsePullVisitsOnlyGivenDestinations) {
+  Csr g = make_undirected(6, complete_edges(6));
+  std::vector<std::int64_t> scans(6, 0);
+  Workspace ws(6);
+  std::vector<vid_t> dests{1, 4};
+  sparse_pull(g, ws, std::span<const vid_t>(dests), PullSumAll{scans.data()});
+  EXPECT_EQ(scans[4], 5);
+  EXPECT_EQ(scans[1], 0);  // cond still applies
+  EXPECT_EQ(scans[0] + scans[2] + scans[3] + scans[5], 0);
+}
+
+TEST(EdgeMap, DensePushMembershipFilter) {
+  Csr g = path_graph(5);
+  std::vector<std::int64_t> visits(5, 0);
+  Workspace ws(5);
+  VertexSet sources(5, {0});
+  dense_push(g, ws, &sources, CountVisit{visits.data()});
+  EXPECT_EQ(visits[1], 1);
+  EXPECT_EQ(visits[2] + visits[3] + visits[4], 0);
+}
+
+TEST(EdgeMap, VertexMapTracksAcceptedVertices) {
+  Workspace ws(10);
+  VertexSet evens = vertex_map(10, ws, [](auto&, vid_t v) { return v % 2 == 0; });
+  EXPECT_EQ(evens.size(), 5u);
+  for (vid_t v : evens.ids()) EXPECT_EQ(v % 2, 0);
+}
+
+// The same integer-add functor through both push sync policies must produce
+// identical sums (the policies differ in cost model, not semantics).
+TEST(EdgeMap, AtomicAndStripedLockAgree) {
+  Csr g = make_undirected(64, rmat_edges(6, 8, 7));
+  Workspace ws(64);
+  std::vector<std::int64_t> a(64, 0), b(64, 0);
+  EdgeMapOptions atomic_opt;
+  atomic_opt.sync = Sync::Atomic;
+  EdgeMapOptions lock_opt;
+  lock_opt.sync = Sync::StripedLock;
+  dense_push(g, ws, nullptr, CountVisit{a.data()}, atomic_opt);
+  dense_push(g, ws, nullptr, CountVisit{b.data()}, lock_opt);
+  EXPECT_EQ(a, b);
+  const std::int64_t total = std::accumulate(a.begin(), a.end(), std::int64_t{0});
+  EXPECT_EQ(total, g.num_arcs());
+}
+
+TEST(Policy, ParseVocabulary) {
+  EXPECT_EQ(parse_strategy("push"), StrategyKind::StaticPush);
+  EXPECT_EQ(parse_strategy("grs"), StrategyKind::GreedySwitch);
+  EXPECT_EQ(parse_strategy_list("all").size(), 6u);
+  EXPECT_EQ(parse_strategy_list("fe").size(), 1u);
+  EXPECT_STREQ(to_string(StrategyKind::PartitionAware), "pa");
+}
+
+TEST(Policy, GenericSwitchFlipsBothWays) {
+  DirectionPolicy p(StrategyKind::GenericSwitch, {4.0, 4.0, 0.0});
+  EXPECT_EQ(p.current(), Direction::Push);
+  // Heavy frontier → pull.
+  EXPECT_EQ(p.choose(90, 100, 50, 100), Direction::Pull);
+  // Tiny frontier → back to push.
+  EXPECT_EQ(p.choose(1, 100, 1, 100), Direction::Push);
+}
+
+TEST(Policy, StaticAndFeNeverSwitch) {
+  DirectionPolicy push(StrategyKind::StaticPush);
+  DirectionPolicy pull(StrategyKind::StaticPull);
+  DirectionPolicy fe(StrategyKind::FrontierExploit);
+  EXPECT_EQ(push.choose(99, 100, 99, 100), Direction::Push);
+  EXPECT_EQ(pull.choose(0, 100, 0, 100), Direction::Pull);
+  EXPECT_EQ(fe.choose(99, 100, 99, 100), Direction::Push);
+}
+
+TEST(Policy, GreedySwitchSuggestsSequentialTail) {
+  DirectionPolicy grs(StrategyKind::GreedySwitch, {14.0, 24.0, 0.1});
+  EXPECT_FALSE(grs.suggest_sequential(50, 100));
+  EXPECT_TRUE(grs.suggest_sequential(5, 100));
+  DirectionPolicy gs(StrategyKind::GenericSwitch, {14.0, 24.0, 0.1});
+  EXPECT_FALSE(gs.suggest_sequential(5, 100));  // only GrS suggests the tail
+}
+
+}  // namespace
+}  // namespace pushpull::engine

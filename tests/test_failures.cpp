@@ -49,6 +49,72 @@ TEST(Failures, BinaryFormatRejectsBadMagic) {
   std::filesystem::remove(path);
 }
 
+TEST(Failures, BinaryFormatReadsLegacyV1Files) {
+  // v1 layout: legacy magic, no version word, then the payload. Old caches
+  // must stay readable behind the fallback.
+  const std::string path = TempDir() + "/pp_legacy.bin";
+  Csr g = make_undirected(10, path_edges(10));
+  {
+    std::ofstream out(path, std::ios::binary);
+    auto put = [&out](const void* p, std::size_t bytes) {
+      out.write(static_cast<const char*>(p), static_cast<std::streamsize>(bytes));
+    };
+    const std::uint64_t magic = 0x70757368'70756c6cULL;  // "pushpull"
+    const std::int64_t n = g.n();
+    const std::int64_t arcs = g.num_arcs();
+    const std::uint8_t weighted = 0;
+    put(&magic, sizeof magic);
+    put(&n, sizeof n);
+    put(&arcs, sizeof arcs);
+    put(&weighted, sizeof weighted);
+    put(g.offsets().data(), g.offsets().size() * sizeof(eid_t));
+    put(g.adj().data(), g.adj().size() * sizeof(vid_t));
+  }
+  const Csr back = read_csr_binary(path);
+  EXPECT_EQ(back.n(), g.n());
+  EXPECT_EQ(back.num_arcs(), g.num_arcs());
+  EXPECT_EQ(back.adj(), g.adj());
+  std::filesystem::remove(path);
+}
+
+TEST(Failures, BinaryFormatRejectsFutureVersion) {
+  const std::string path = TempDir() + "/pp_future.bin";
+  Csr g = make_undirected(10, path_edges(10));
+  write_csr_binary(path, g);
+  {
+    // Bump the version word (bytes 8..11) to something unknown.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    const std::uint32_t future = 99;
+    f.seekp(8);
+    f.write(reinterpret_cast<const char*>(&future), sizeof future);
+  }
+  EXPECT_DEATH(read_csr_binary(path), "CHECK failed");
+  std::filesystem::remove(path);
+}
+
+TEST(Failures, BinaryFormatRejectsTrailingGarbage) {
+  const std::string path = TempDir() + "/pp_trailing.bin";
+  Csr g = make_undirected(10, path_edges(10));
+  write_csr_binary(path, g);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out.write("stale", 5);
+  }
+  EXPECT_DEATH(read_csr_binary(path), "CHECK failed");
+  std::filesystem::remove(path);
+}
+
+TEST(Failures, BinaryFormatRoundTripsCurrentVersion) {
+  const std::string path = TempDir() + "/pp_v2.bin";
+  Csr g = make_undirected_weighted(20, cycle_edges(20), 1.0f, 5.0f, 7);
+  write_csr_binary(path, g);
+  const Csr back = read_csr_binary(path);
+  EXPECT_EQ(back.n(), g.n());
+  EXPECT_EQ(back.adj(), g.adj());
+  EXPECT_EQ(back.weight_array(), g.weight_array());
+  std::filesystem::remove(path);
+}
+
 TEST(Failures, BinaryFormatRejectsTruncation) {
   const std::string path = TempDir() + "/pp_truncated.bin";
   Csr g = make_undirected(50, path_edges(50));

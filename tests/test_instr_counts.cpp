@@ -8,9 +8,12 @@
 #include "core/bc.hpp"
 #include "core/bfs.hpp"
 #include "core/coloring.hpp"
+#include "core/connected_components.hpp"
+#include "core/kcore.hpp"
 #include "core/mst_boruvka.hpp"
 #include "core/pagerank.hpp"
 #include "core/sssp_delta.hpp"
+#include "engine/edge_map.hpp"
 #include "core/triangle_count.hpp"
 #include "graph/partition_aware.hpp"
 #include "graph_zoo.hpp"
@@ -167,6 +170,118 @@ TEST_F(InstrFixture, BcBackwardPushLocksPullNone) {
   const CounterBlock pull = pc.total();
   EXPECT_EQ(pull.atomics, 0u);
   EXPECT_EQ(pull.locks, 0u);
+}
+
+// --- engine-level counter invariants (the §3.8 defining properties) ----------
+
+// A functor exercising every context primitive a pull or push kernel uses.
+struct AllPrimsFunctor {
+  std::int64_t* int_acc;
+  double* dbl_acc;
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t s, vid_t d, eid_t) const {
+    ctx.load(int_acc[s]);
+    ctx.add(int_acc[d], std::int64_t{1});
+    ctx.add(dbl_acc[d], 0.5);
+    ctx.min(int_acc[d], std::int64_t{-1});
+    std::int64_t expected = -1;
+    ctx.claim(int_acc[d], expected, std::int64_t{-2});
+    return false;
+  }
+};
+
+// §3.8's defining property: a pull-mode edge_map can not issue a single
+// atomic or lock, no matter what the functor does — PlainCtx is the only
+// context pull traversals ever see.
+TEST_F(InstrFixture, EnginePullModesIssueZeroSyncOps) {
+  engine::Workspace ws(g_.n());
+  std::vector<std::int64_t> ints(static_cast<std::size_t>(g_.n()), 0);
+  std::vector<double> dbls(static_cast<std::size_t>(g_.n()), 0.0);
+  PerfCounters pc(omp_get_max_threads());
+
+  engine::dense_pull(g_, ws, AllPrimsFunctor{ints.data(), dbls.data()},
+                     engine::EdgeMapOptions{}, CountingInstr(pc));
+  EXPECT_EQ(pc.total().atomics, 0u);
+  EXPECT_EQ(pc.total().locks, 0u);
+  EXPECT_GT(pc.total().reads, 0u);
+  EXPECT_GT(pc.total().writes, 0u);
+
+  pc.reset();
+  std::vector<vid_t> dests{0, 5, 17};
+  engine::sparse_pull(g_, ws, std::span<const vid_t>(dests),
+                      AllPrimsFunctor{ints.data(), dbls.data()},
+                      engine::EdgeMapOptions{}, CountingInstr(pc));
+  EXPECT_EQ(pc.total().atomics, 0u);
+  EXPECT_EQ(pc.total().locks, 0u);
+}
+
+// Integer-add push functor: counts exactly one synchronized update per edge.
+struct IntAddFunctor {
+  std::int64_t* acc;
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t, vid_t d, eid_t) const {
+    ctx.add(acc[d], std::int64_t{1});
+    return false;
+  }
+};
+
+// Push mode's atomics must equal the cross-owner updates: under the
+// partition-aware split, exactly the remote arcs; under the flat CSR, every
+// arc is potentially cross-owner and pays.
+TEST_F(InstrFixture, EnginePushAtomicsEqualCrossOwnerUpdates) {
+  const PartitionAwareCsr pa(g_, Partition1D(g_.n(), 4));
+  engine::Workspace ws(g_.n());
+  std::vector<std::int64_t> acc(static_cast<std::size_t>(g_.n()), 0);
+  PerfCounters pc(omp_get_max_threads());
+
+  engine::dense_push_pa(pa, ws, IntAddFunctor{acc.data()},
+                        engine::EdgeMapOptions{}, CountingInstr(pc));
+  // Local-half updates are thread-owned plain writes; only remote arcs sync.
+  EXPECT_EQ(pc.total().atomics,
+            static_cast<std::uint64_t>(pa.num_remote_arcs()));
+  EXPECT_EQ(pc.total().writes, static_cast<std::uint64_t>(pa.num_local_arcs()));
+  EXPECT_EQ(pc.total().locks, 0u);
+
+  pc.reset();
+  engine::EdgeMapOptions flat;
+  flat.track_output = false;
+  engine::dense_push(g_, ws, nullptr, IntAddFunctor{acc.data()}, flat,
+                     CountingInstr(pc));
+  EXPECT_EQ(pc.total().atomics, static_cast<std::uint64_t>(g_.num_arcs()));
+
+  // The striped-lock policy prices the same updates as locks instead.
+  pc.reset();
+  flat.sync = engine::Sync::StripedLock;
+  engine::dense_push(g_, ws, nullptr, IntAddFunctor{acc.data()}, flat,
+                     CountingInstr(pc));
+  EXPECT_EQ(pc.total().locks, static_cast<std::uint64_t>(g_.num_arcs()));
+  EXPECT_EQ(pc.total().atomics, 0u);
+}
+
+// The engine's attribution carries into the new algorithms for free: CC pull
+// rounds are sync-free, CC push rounds pay one atomic per improving min, and
+// k-core's peel decrements are integer FAAs.
+TEST_F(InstrFixture, EngineClientsInheritAttribution) {
+  PerfCounters pc(omp_get_max_threads());
+  CcOptions pull_opt;
+  pull_opt.strategy = engine::StrategyKind::StaticPull;
+  connected_components(g_, pull_opt, CountingInstr(pc));
+  EXPECT_EQ(pc.total().atomics, 0u);
+  EXPECT_EQ(pc.total().locks, 0u);
+
+  pc.reset();
+  CcOptions push_opt;
+  push_opt.strategy = engine::StrategyKind::FrontierExploit;
+  connected_components(g_, push_opt, CountingInstr(pc));
+  EXPECT_GT(pc.total().atomics, 0u);
+  EXPECT_EQ(pc.total().locks, 0u);
+
+  pc.reset();
+  kcore_decomposition(g_, CountingInstr(pc));
+  EXPECT_GT(pc.total().atomics, 0u);
+  EXPECT_EQ(pc.total().locks, 0u);
 }
 
 TEST_F(InstrFixture, CacheSimPullMissesMoreThanPushForPr) {
