@@ -10,6 +10,7 @@
 #include <omp.h>
 
 #include <array>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -206,5 +207,57 @@ inline void print_backend_banner(dist::BackendKind k) {
                   : "ranks are processes over POSIX shared memory; wall "
                     "clock is real, modeled time shown for comparison");
 }
+
+// --- JSON artifact sink ------------------------------------------------------
+//
+// Flat key → value metric dump so CI can upload each smoke run's headline
+// numbers (BENCH_*.json workflow artifacts) and the perf trajectory can be
+// tracked across PRs instead of only living in EXPERIMENTS.md. Benches that
+// support it take `--json=FILE` and record a handful of scalars; keys are
+// bench-chosen (e.g. "fig4.pull.find_minimum_s").
+class JsonWriter {
+ public:
+  void add(const std::string& key, double value) {
+    // JSON has no nan/inf literals; a failed measurement becomes null so the
+    // artifact stays parseable.
+    if (!std::isfinite(value)) {
+      entries_.emplace_back(key, "null");
+      return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    entries_.emplace_back(key, buf);
+  }
+
+  void add(const std::string& key, long long value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+
+  void add_string(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, "\"" + value + "\"");
+  }
+
+  // Writes {"k": v, ...} to `path` (no-op when empty); aborts the bench with
+  // a message on I/O failure so CI does not upload a half-written artifact.
+  void write(const std::string& path) const {
+    if (path.empty()) return;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write --json file '%s'\n", path.c_str());
+      std::exit(2);
+    }
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %s%s\n", entries_[i].first.c_str(),
+                   entries_[i].second.c_str(),
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 }  // namespace pushpull::bench

@@ -30,6 +30,19 @@ using namespace pushpull::dist;
 namespace {
 
 int failures = 0;
+pushpull::bench::JsonWriter json;  // filled by the scaling helpers, --json
+
+// Headline artifact: the three variants' times at the largest rank count.
+void record_json(const std::string& what, const std::string& label,
+                 BackendKind backend, int ranks,
+                 const std::array<pushpull::bench::VariantTimes, 3>& row) {
+  const std::string prefix = what + "." + label + "." + to_string(backend) +
+                             ".p" + std::to_string(ranks) + ".";
+  json.add(prefix + "push_rma_s", row[0].modeled_s);
+  json.add(prefix + "pull_rma_s", row[1].modeled_s);
+  json.add(prefix + "mp_s", row[2].modeled_s);
+  json.add(prefix + "mp_wall_s", row[2].wall_s);
+}
 
 // Calibrates the per-edge compute cost from a single-rank run.
 double calibrate_edge_cost_us(const Csr& g) {
@@ -76,6 +89,7 @@ void pr_scaling(const std::string& label, const Csr& g, int iters,
   }
   bench::print_variant_tables("PR strong scaling", label, ranks, runs,
                               /*mp_speedup=*/true);
+  record_json("pr", label, backend, ranks.back(), runs.back());
   if (backend == BackendKind::Shm && ranks.back() >= 2 &&
       runs.back()[2].wall_s >= runs.back()[0].wall_s) {
     std::fprintf(stderr,
@@ -116,6 +130,7 @@ void tc_scaling(const std::string& label, const Csr& g,
   }
   bench::print_variant_tables("TC strong scaling", label, ranks, runs,
                               /*mp_speedup=*/false);
+  record_json("tc", label, backend, ranks.back(), runs.back());
   // TC's paper shape is inverted: the RMA variants beat Msg-Passing (§4.2
   // int-FAA fast path / plain gets vs per-pair query shipping), so the best
   // RMA variant is gated against MP.
@@ -138,7 +153,9 @@ int main(int argc, char** argv) {
   bench::DistCli dist_cli = bench::parse_dist_cli(cli, -3, 16);
   const int iters = static_cast<int>(cli.get_int("pr-iters", 3));
   const bool verify = cli.get_bool("verify");
+  const std::string json_path = cli.get_string("json", "");
   cli.check();
+  json.add_string("bench", "fig3_dm_scaling");
 
   bench::print_banner(
       "Figure 3 — DM strong scaling: PR & TC under Pushing-RMA / Pulling-RMA / MP",
@@ -164,6 +181,8 @@ int main(int argc, char** argv) {
     tc_scaling("ljn*", ljn_tc, dist_cli.ranks, edge_us, backend, verify);
   }
 
+  json.add("failures", static_cast<long long>(failures));
+  json.write(json_path);
   if (failures > 0) {
     std::fprintf(stderr, "%d failure(s)\n", failures);
     return 1;

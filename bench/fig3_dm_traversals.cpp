@@ -97,7 +97,10 @@ int main(int argc, char** argv) {
   const double delta = cli.get_double("delta", 8.0);
   const int num_sources = static_cast<int>(cli.get_int("bc-sources", 4));
   const bool verify = cli.get_bool("verify");
+  const std::string json_path = cli.get_string("json", "");
   cli.check();
+  bench::JsonWriter json;
+  json.add_string("bench", "fig3_dm_traversals");
 
   bench::print_banner(
       "Figure 3 — DM traversals: BFS / SSSP-Δ / BC under Pushing-RMA / "
@@ -200,6 +203,23 @@ int main(int argc, char** argv) {
       print_scaling_tables("SSSP-Δ", label, dist_cli.ranks, sssp_runs);
       print_scaling_tables("BC", label + " (" + std::to_string(num_sources) +
                            " sources)", dist_cli.ranks, bc_runs);
+      {
+        // Headline artifact: per-algorithm modeled seconds of the three
+        // variants at the largest rank count.
+        const std::string prefix =
+            name + "." + to_string(backend) + ".p" +
+            std::to_string(dist_cli.ranks.back()) + ".";
+        const struct { const char* algo; const std::array<VariantRun, 3>& row; }
+            rows[] = {{"bfs", bfs_runs.back()},
+                      {"sssp", sssp_runs.back()},
+                      {"bc", bc_runs.back()}};
+        for (const auto& r : rows) {
+          json.add(prefix + r.algo + ".push_rma_s", r.row[0].times.modeled_s);
+          json.add(prefix + r.algo + ".pull_rma_s", r.row[1].times.modeled_s);
+          json.add(prefix + r.algo + ".mp_s", r.row[2].times.modeled_s);
+          json.add(prefix + r.algo + ".mp_wall_s", r.row[2].times.wall_s);
+        }
+      }
       print_counter_table("BFS", dist_cli.ranks.back(), bfs_runs.back());
       print_counter_table("SSSP-Δ", dist_cli.ranks.back(), sssp_runs.back());
       print_counter_table("BC", dist_cli.ranks.back(), bc_runs.back());
@@ -247,6 +267,8 @@ int main(int argc, char** argv) {
     }
   }
 
+  json.add("failures", static_cast<long long>(failures));
+  json.write(json_path);
   if (failures > 0) {
     std::fprintf(stderr, "%d failure(s)\n", failures);
     return 1;

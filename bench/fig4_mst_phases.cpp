@@ -3,14 +3,57 @@
 //
 // Paper result: push is faster in BMT and comparable in M, but slower in the
 // computationally dominant FM (write conflicts); overall pull wins ≈20%.
+//
+// --verify cross-checks the engine-rebased kernel against the frozen
+// pre-engine oracle (core/baselines/legacy_kernels.hpp) in both directions —
+// tree edges, bitwise weight sum and iteration count must all match — and
+// exits non-zero on any divergence (CI smoke-runs this).
+// --json=FILE dumps the phase totals as a flat artifact.
 #include "bench_common.hpp"
+#include "core/baselines/legacy_kernels.hpp"
 #include "core/mst_boruvka.hpp"
 
 using namespace pushpull;
 
+namespace {
+
+double total_s(const BoruvkaResult& r) {
+  double t = 0;
+  for (const auto& p : r.phase_times) {
+    t += p.find_minimum_s + p.build_merge_tree_s + p.merge_s;
+  }
+  return t;
+}
+
+// Engine result vs frozen oracle: bit-identical or bust.
+bool matches_legacy(const Csr& g, Direction dir, const BoruvkaResult& got) {
+  const legacy::BoruvkaRef want = legacy::mst_boruvka(g, dir);
+  if (got.tree_edges != want.tree_edges) {
+    std::printf("  !! %s: engine tree edges diverge from the legacy oracle "
+                "(%zu vs %zu edges)\n",
+                to_string(dir), got.tree_edges.size(), want.tree_edges.size());
+    return false;
+  }
+  if (got.total_weight != want.total_weight) {
+    std::printf("  !! %s: engine MST weight %.17g != legacy %.17g\n",
+                to_string(dir), got.total_weight, want.total_weight);
+    return false;
+  }
+  if (got.iterations != want.iterations) {
+    std::printf("  !! %s: engine took %d Boruvka iterations, legacy %d\n",
+                to_string(dir), got.iterations, want.iterations);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const int scale = static_cast<int>(cli.get_int("scale", -1));
+  const bool verify = cli.get_bool("verify");
+  const std::string json_path = cli.get_string("json", "");
   cli.check();
 
   bench::print_banner(
@@ -42,16 +85,35 @@ int main(int argc, char** argv) {
   }
   table.print();
 
-  double push_total = 0, pull_total = 0;
-  for (const auto& p : push.phase_times) {
-    push_total += p.find_minimum_s + p.build_merge_tree_s + p.merge_s;
-  }
-  for (const auto& p : pull.phase_times) {
-    pull_total += p.find_minimum_s + p.build_merge_tree_s + p.merge_s;
-  }
+  const double push_total = total_s(push);
+  const double pull_total = total_s(pull);
   std::printf("\ntotal: push=%.3fs pull=%.3fs (pull speedup %.2fx); "
               "MST weight push=%.1f pull=%.1f (must match)\n",
               push_total, pull_total, push_total / pull_total, push.total_weight,
               pull.total_weight);
-  return 0;
+
+  bench::JsonWriter json;
+  json.add_string("bench", "fig4_mst_phases");
+  json.add("scale", static_cast<long long>(scale));
+  json.add("push.total_s", push_total);
+  json.add("pull.total_s", pull_total);
+  json.add("push.iterations", static_cast<long long>(push.iterations));
+  json.add("mst_weight", pull.total_weight);
+
+  bool ok = true;
+  if (verify) {
+    // Phase results must reproduce the frozen pre-engine loops exactly, and
+    // the two directions must agree with each other (canonical tie-break).
+    ok = matches_legacy(g, Direction::Push, push) &&
+         matches_legacy(g, Direction::Pull, pull) && ok;
+    if (push.total_weight != pull.total_weight) {
+      std::printf("  !! push and pull selected different forest weights\n");
+      ok = false;
+    }
+    std::printf("verify: engine Boruvka vs legacy oracle (push + pull): %s\n",
+                ok ? "MATCH" : "DIVERGED");
+    json.add_string("verify", ok ? "match" : "diverged");
+  }
+  json.write(json_path);
+  return ok ? 0 : 1;
 }

@@ -41,7 +41,10 @@ int main(int argc, char** argv) {
   bench::SmCli sm = bench::parse_sm_cli(cli, /*default_scale=*/-1);
   const int iters = static_cast<int>(cli.get_int("pr-iters", 8));
   const int bgc_l = static_cast<int>(cli.get_int("bgc-l", 49));
+  const std::string json_path = cli.get_string("json", "");
   cli.check();
+  bench::JsonWriter json;
+  json.add_string("bench", "fig6_strategies");
 
   bench::print_banner(
       "Figure 6 — acceleration strategies as engine policies: PA on PageRank; "
@@ -133,6 +136,7 @@ int main(int argc, char** argv) {
         CcResult r;
         const double t = bench::time_s([&] { r = connected_components(g, opt); }, 5);
         row.push_back(Table::num(t * 1e3, 3));
+        json.add("cc." + name + "." + engine::to_string(k), t);
         switch (k) {
           case StrategyKind::StaticPush: t_push = t; break;
           case StrategyKind::StaticPull: t_pull = t; break;
@@ -166,5 +170,7 @@ int main(int argc, char** argv) {
                 "low-diameter graphs): %s\n",
                 ordering_ok ? "holds" : "VIOLATED");
   }
+  json.add_string("s5_ordering", ordering_ok ? "holds" : "violated");
+  json.write(json_path);
   return ordering_ok ? 0 : 1;
 }

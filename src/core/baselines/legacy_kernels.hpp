@@ -11,9 +11,12 @@
 
 #include <omp.h>
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "core/coloring.hpp"
@@ -25,6 +28,7 @@
 #include "graph/partition.hpp"
 #include "graph/partition_aware.hpp"
 #include "sync/atomics.hpp"
+#include "sync/spinlock.hpp"
 #include "util/check.hpp"
 
 namespace pushpull::legacy {
@@ -507,6 +511,367 @@ inline ColoringResult boman_color(const Csr& g, Direction dir,
   for (int c : r.color) max_c = std::max(max_c, c);
   r.colors_used = max_c + 1;
   return r;
+}
+
+// --- Directed PageRank (§4.8) ------------------------------------------------
+//
+// The pre-view directed kernels from core/directed.hpp (PR 5 rebased them onto
+// engine::edge_map over DigraphView); frozen with instrumentation stripped.
+
+inline std::vector<double> pagerank_digraph(const Digraph& g, int iterations,
+                                            double damping, Direction dir) {
+  const vid_t n = g.out.n();
+  PP_CHECK(n > 0);
+  std::vector<double> pr(static_cast<std::size_t>(n), 1.0 / n);
+  std::vector<double> next(static_cast<std::size_t>(n), 0.0);
+  for (int l = 0; l < iterations; ++l) {
+    double dangling = 0.0;
+#pragma omp parallel for reduction(+ : dangling) schedule(static)
+    for (vid_t v = 0; v < n; ++v) {
+      if (g.out.degree(v) == 0) dangling += pr[static_cast<std::size_t>(v)];
+    }
+    const double base = (1.0 - damping) / n + damping * dangling / n;
+
+    if (dir == Direction::Push) {
+#pragma omp parallel
+      {
+#pragma omp for schedule(static)
+        for (vid_t u = 0; u < n; ++u) {
+          const vid_t deg = g.out.degree(u);
+          if (deg == 0) continue;
+          const double share = damping * pr[static_cast<std::size_t>(u)] / deg;
+          for (vid_t v : g.out.neighbors(u)) {
+            atomic_add(next[static_cast<std::size_t>(v)], share);
+          }
+        }
+#pragma omp for schedule(static)
+        for (vid_t v = 0; v < n; ++v) {
+          next[static_cast<std::size_t>(v)] += base;
+        }
+      }
+    } else {
+#pragma omp parallel for schedule(static)
+      for (vid_t v = 0; v < n; ++v) {
+        double sum = 0.0;
+        for (vid_t u : g.in.neighbors(v)) {
+          sum += pr[static_cast<std::size_t>(u)] / g.out.degree(u);
+        }
+        next[static_cast<std::size_t>(v)] = base + damping * sum;
+      }
+    }
+    pr.swap(next);
+    std::fill(next.begin(), next.end(), 0.0);
+  }
+  return pr;
+}
+
+// --- Directed BFS (§4.8) -----------------------------------------------------
+
+inline std::vector<vid_t> bfs_digraph(const Digraph& g, vid_t root,
+                                      Direction dir) {
+  const vid_t n = g.out.n();
+  PP_CHECK(root >= 0 && root < n);
+  std::vector<vid_t> dist(static_cast<std::size_t>(n), -1);
+  dist[static_cast<std::size_t>(root)] = 0;
+
+  if (dir == Direction::Push) {
+    FrontierBuffers buffers(omp_get_max_threads());
+    std::vector<vid_t> frontier{root};
+    vid_t level = 0;
+    while (!frontier.empty()) {
+      ++level;
+#pragma omp parallel for schedule(dynamic, 64)
+      for (std::size_t i = 0; i < frontier.size(); ++i) {
+        for (vid_t u : g.out.neighbors(frontier[i])) {
+          if (atomic_load(dist[static_cast<std::size_t>(u)]) >= 0) continue;
+          vid_t expected = -1;
+          if (cas(dist[static_cast<std::size_t>(u)], expected, level)) {
+            buffers.push_local(u);
+          }
+        }
+      }
+      buffers.merge_into(frontier);
+    }
+  } else {
+    vid_t level = 0;
+    bool advanced = true;
+    while (advanced) {
+      ++level;
+      bool any = false;
+#pragma omp parallel for schedule(dynamic, 256) reduction(|| : any)
+      for (vid_t v = 0; v < n; ++v) {
+        if (dist[static_cast<std::size_t>(v)] >= 0) continue;
+        for (vid_t u : g.in.neighbors(v)) {
+          if (dist[static_cast<std::size_t>(u)] == level - 1) {
+            dist[static_cast<std::size_t>(v)] = level;
+            any = true;
+            break;
+          }
+        }
+      }
+      advanced = any;
+    }
+  }
+  return dist;
+}
+
+// --- Generalized BFS (Algorithm 3) -------------------------------------------
+//
+// The two-phase push round (accumulate into every still-ready neighbor, then
+// decrement) and the pull round with the counter-exhaustion break, as they
+// stood before the edge_map rebase. With exact ready counts every required
+// predecessor contributes exactly once, so both the two-phase original and
+// the engine's fused per-edge round produce identical folds.
+
+template <class T, class Op>
+std::vector<T> generalized_bfs(const Csr& g, std::vector<int> ready,
+                               std::vector<T> values,
+                               std::vector<vid_t> frontier, Op op,
+                               Direction dir) {
+  const vid_t n = g.n();
+  PP_CHECK(ready.size() == static_cast<std::size_t>(n));
+  PP_CHECK(values.size() == static_cast<std::size_t>(n));
+  FrontierBuffers buffers(omp_get_max_threads());
+  DenseFrontier in_frontier(n);
+  SpinlockPool locks(4096);
+
+  while (!frontier.empty()) {
+    if (dir == Direction::Push) {
+#pragma omp parallel for schedule(dynamic, 64)
+      for (std::size_t i = 0; i < frontier.size(); ++i) {
+        const vid_t v = frontier[i];
+        for (vid_t w : g.neighbors(v)) {
+          if (atomic_load(ready[static_cast<std::size_t>(w)]) > 0) {
+            SpinGuard guard(locks.for_index(static_cast<std::size_t>(w)));
+            op(values[static_cast<std::size_t>(w)], values[static_cast<std::size_t>(v)]);
+          }
+        }
+        for (vid_t w : g.neighbors(v)) {
+          if (faa(ready[static_cast<std::size_t>(w)], -1) == 1) {
+            buffers.push_local(w);
+          }
+        }
+      }
+    } else {
+      in_frontier.build_from(frontier);
+#pragma omp parallel for schedule(dynamic, 256)
+      for (vid_t v = 0; v < n; ++v) {
+        if (ready[static_cast<std::size_t>(v)] <= 0) continue;
+        for (vid_t w : g.neighbors(v)) {
+          if (!in_frontier.test(w)) continue;
+          op(values[static_cast<std::size_t>(v)], values[static_cast<std::size_t>(w)]);
+          if (--ready[static_cast<std::size_t>(v)] == 0) {
+            buffers.push_local(v);
+            break;
+          }
+        }
+      }
+    }
+    buffers.merge_into(frontier);
+  }
+  return values;
+}
+
+// --- Borůvka MST (§4.7, Algorithm 7) -----------------------------------------
+//
+// The pre-engine implementation: hand-rolled FM push (atomic minimum into the
+// neighbor components' slots) / FM pull (per-supervertex private minimum),
+// OpenMP hook + pointer-jumping rounds, sequential merge. Packing and
+// tie-break identical to the production kernel, so tree weights and edge
+// lists must match bit for bit.
+
+struct BoruvkaRef {
+  std::vector<std::pair<vid_t, vid_t>> tree_edges;
+  double total_weight = 0.0;
+  int iterations = 0;
+};
+
+namespace detail {
+
+constexpr std::uint64_t kNoEdge = std::numeric_limits<std::uint64_t>::max();
+
+inline std::uint64_t boruvka_pack(weight_t w, eid_t canonical_arc) {
+  const std::uint32_t wbits = std::bit_cast<std::uint32_t>(w);
+  return (static_cast<std::uint64_t>(wbits) << 32) |
+         static_cast<std::uint32_t>(canonical_arc);
+}
+
+}  // namespace detail
+
+inline BoruvkaRef mst_boruvka(const Csr& g, Direction dir) {
+  PP_CHECK(g.has_weights() || g.num_arcs() == 0);
+  const vid_t n = g.n();
+  BoruvkaRef result;
+  if (n == 0) return result;
+
+  std::vector<vid_t> arc_src(static_cast<std::size_t>(g.num_arcs()));
+  std::vector<eid_t> canonical(static_cast<std::size_t>(g.num_arcs()));
+  for (vid_t v = 0; v < n; ++v) {
+    for (eid_t e = g.edge_begin(v); e < g.edge_end(v); ++e) {
+      arc_src[static_cast<std::size_t>(e)] = v;
+    }
+  }
+#pragma omp parallel for schedule(dynamic, 256)
+  for (vid_t v = 0; v < n; ++v) {
+    for (eid_t e = g.edge_begin(v); e < g.edge_end(v); ++e) {
+      const vid_t w = g.edge_target(e);
+      const auto nb = g.neighbors(w);
+      const auto it = std::lower_bound(nb.begin(), nb.end(), v);
+      const eid_t rev = g.edge_begin(w) + (it - nb.begin());
+      canonical[static_cast<std::size_t>(e)] = std::min(e, rev);
+    }
+  }
+
+  std::vector<vid_t> comp(static_cast<std::size_t>(n));
+  std::vector<std::vector<vid_t>> members(static_cast<std::size_t>(n));
+  std::vector<vid_t> active;
+  for (vid_t v = 0; v < n; ++v) {
+    comp[static_cast<std::size_t>(v)] = v;
+    members[static_cast<std::size_t>(v)] = {v};
+    active.push_back(v);
+  }
+  std::vector<std::uint64_t> min_edge(static_cast<std::size_t>(n), detail::kNoEdge);
+  std::vector<vid_t> parent(static_cast<std::size_t>(n));
+
+  while (true) {
+    for (vid_t f : active) min_edge[static_cast<std::size_t>(f)] = detail::kNoEdge;
+    if (dir == Direction::Pull) {
+#pragma omp parallel for schedule(dynamic, 8)
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        const vid_t f = active[i];
+        std::uint64_t best = detail::kNoEdge;
+        for (vid_t v : members[static_cast<std::size_t>(f)]) {
+          for (eid_t e = g.edge_begin(v); e < g.edge_end(v); ++e) {
+            if (comp[static_cast<std::size_t>(g.edge_target(e))] == f) continue;
+            best = std::min(best, detail::boruvka_pack(
+                                      g.edge_weight(e),
+                                      canonical[static_cast<std::size_t>(e)]));
+          }
+        }
+        min_edge[static_cast<std::size_t>(f)] = best;
+      }
+    } else {
+#pragma omp parallel for schedule(dynamic, 8)
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        const vid_t f = active[i];
+        for (vid_t v : members[static_cast<std::size_t>(f)]) {
+          for (eid_t e = g.edge_begin(v); e < g.edge_end(v); ++e) {
+            const vid_t fw = comp[static_cast<std::size_t>(g.edge_target(e))];
+            if (fw == f) continue;
+            atomic_min(min_edge[static_cast<std::size_t>(fw)],
+                       detail::boruvka_pack(g.edge_weight(e),
+                                            canonical[static_cast<std::size_t>(e)]));
+          }
+        }
+      }
+    }
+
+    bool any_merge = false;
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const vid_t f = active[i];
+      const std::uint64_t cand = min_edge[static_cast<std::size_t>(f)];
+      if (cand == detail::kNoEdge) {
+        parent[static_cast<std::size_t>(f)] = f;
+        continue;
+      }
+      const eid_t arc = static_cast<eid_t>(cand & 0xffffffffULL);
+      const vid_t ca = comp[static_cast<std::size_t>(arc_src[static_cast<std::size_t>(arc)])];
+      const vid_t cb = comp[static_cast<std::size_t>(g.edge_target(arc))];
+      parent[static_cast<std::size_t>(f)] = ca == f ? cb : ca;
+    }
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const vid_t f = active[i];
+      const vid_t p = parent[static_cast<std::size_t>(f)];
+      if (p != f && parent[static_cast<std::size_t>(p)] == f && f < p) {
+        parent[static_cast<std::size_t>(f)] = f;
+      }
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+#pragma omp parallel for schedule(static) reduction(|| : changed)
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        const vid_t f = active[i];
+        const vid_t p = parent[static_cast<std::size_t>(f)];
+        const vid_t gp = parent[static_cast<std::size_t>(p)];
+        if (p != gp) {
+          parent[static_cast<std::size_t>(f)] = gp;
+          changed = true;
+        }
+      }
+    }
+
+    std::vector<vid_t> next_active;
+    for (vid_t f : active) {
+      const vid_t root = parent[static_cast<std::size_t>(f)];
+      if (root == f) {
+        if (min_edge[static_cast<std::size_t>(f)] != detail::kNoEdge) {
+          next_active.push_back(f);
+        }
+        continue;
+      }
+      any_merge = true;
+      const eid_t arc =
+          static_cast<eid_t>(min_edge[static_cast<std::size_t>(f)] & 0xffffffffULL);
+      result.tree_edges.emplace_back(arc_src[static_cast<std::size_t>(arc)],
+                                     g.edge_target(arc));
+      result.total_weight += g.edge_weight(arc);
+      auto& src = members[static_cast<std::size_t>(f)];
+      auto& dst = members[static_cast<std::size_t>(root)];
+      dst.insert(dst.end(), src.begin(), src.end());
+      src.clear();
+    }
+#pragma omp parallel for schedule(static)
+    for (vid_t v = 0; v < n; ++v) {
+      comp[static_cast<std::size_t>(v)] =
+          parent[static_cast<std::size_t>(comp[static_cast<std::size_t>(v)])];
+    }
+    active.swap(next_active);
+    ++result.iterations;
+    if (!any_merge) break;
+  }
+  return result;
+}
+
+// --- Triangle counting (§4.2, Algorithm 2) -----------------------------------
+
+inline std::vector<std::int64_t> triangle_count_pull(const Csr& g) {
+  std::vector<std::int64_t> tc(static_cast<std::size_t>(g.n()), 0);
+#pragma omp parallel for schedule(dynamic, 64)
+  for (vid_t v = 0; v < g.n(); ++v) {
+    const auto nb = g.neighbors(v);
+    std::int64_t local = 0;
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      for (std::size_t j = i + 1; j < nb.size(); ++j) {
+        if (g.has_edge(nb[i], nb[j])) ++local;
+      }
+    }
+    tc[static_cast<std::size_t>(v)] = local;
+  }
+  return tc;
+}
+
+inline std::vector<std::int64_t> triangle_count_push(const Csr& g) {
+  std::vector<std::int64_t> tc(static_cast<std::size_t>(g.n()), 0);
+#pragma omp parallel for schedule(dynamic, 64)
+  for (vid_t v = 0; v < g.n(); ++v) {
+    const auto nb = g.neighbors(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      for (std::size_t j = i + 1; j < nb.size(); ++j) {
+        if (g.has_edge(nb[i], nb[j])) {
+          faa(tc[static_cast<std::size_t>(nb[i])], std::int64_t{1});
+          faa(tc[static_cast<std::size_t>(nb[j])], std::int64_t{1});
+        }
+      }
+    }
+  }
+#pragma omp parallel for schedule(static)
+  for (vid_t v = 0; v < g.n(); ++v) {
+    tc[static_cast<std::size_t>(v)] /= 2;
+  }
+  return tc;
 }
 
 }  // namespace pushpull::legacy

@@ -1,22 +1,31 @@
-// Directed-graph push/pull variants (§4.8).
+// Directed-graph push/pull kernels (§4.8), on the engine substrate.
 //
 // On digraphs the dichotomy becomes asymmetric: pushing iterates the
 // *outgoing* arcs of the active vertices while pulling iterates the
 // *incoming* arcs of the updated vertices, so the cost bounds trade d̂_out
-// against d̂_in. The Digraph type carries both CSRs (out + transposed in);
-// these kernels are the directed counterparts of core/pagerank.hpp and
-// core/bfs.hpp.
+// against d̂_in. engine::DigraphView carries that asymmetry into edge_map —
+// sparse/dense push walk Digraph::out, dense/sparse pull walk Digraph::in —
+// and the kernels below are plain functors plus policy choices, exactly like
+// their undirected counterparts in core/pagerank.hpp and core/bfs.hpp. Pull
+// keeps its defining zero-sync property on digraphs: the view changes which
+// arcs are scanned, never the update context.
+//
+// Beyond the §4.8 pair (PageRank, BFS) this header adds the directed riders
+// the seam makes cheap: a strategy-driven BFS (push/pull/GS/GrS/FE via
+// DirectionPolicy), forward/backward reachability, and an FW-BW SCC
+// decomposition whose backward passes run the *same* claim functor over
+// view.reversed().
 #pragma once
 
-#include <omp.h>
-
+#include <cstdint>
 #include <vector>
 
 #include "core/direction.hpp"
-#include "core/frontier.hpp"
+#include "engine/edge_map.hpp"
+#include "engine/graph_view.hpp"
+#include "engine/policy.hpp"
 #include "graph/csr.hpp"
 #include "perf/instr.hpp"
-#include "sync/atomics.hpp"
 #include "util/check.hpp"
 
 namespace pushpull {
@@ -26,15 +35,90 @@ struct DirectedPageRankOptions {
   double damping = 0.85;
 };
 
+namespace detail {
+
+// Push: every non-dangling u adds f·r(u)/d_out(u) into each out-neighbor's
+// accumulator. Float conflicts → lock-accounted CAS loops (§4.1): one lock
+// per out-arc, which test_directed pins exactly.
+struct DirPrScatter {
+  const Csr* out;
+  const double* pr;
+  double* next;
+  double damping;
+
+  bool source(vid_t s) const { return out->degree(s) != 0; }
+
+  template <class Ctx>
+  double source_data(Ctx&, vid_t s) const {
+    return damping * pr[s] / out->degree(s);
+  }
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t, vid_t d, eid_t, double share) const {
+    ctx.add(next[d], share);
+    return false;
+  }
+};
+
+// Pull: v folds f·r(u)/d_out(u) over its in-neighbors into its own
+// accumulator (PlainCtx — read conflicts only; exactly one counted read per
+// in-arc, the §4.8 cost shape test_directed pins).
+struct DirPrGather {
+  const Csr* out;
+  const double* pr;
+  double* next;
+  double base;
+  double damping;
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t u, vid_t v, eid_t) const {
+    const double pu = ctx.load(pr[u]);
+    next[v] += pu / out->degree(u);
+    return false;
+  }
+
+  template <class Ctx>
+  bool finalize(Ctx& ctx, vid_t v) const {
+    ctx.store(next[v], base + damping * next[v]);
+    return false;
+  }
+};
+
+// Directed BFS push: claim an unvisited out-neighbor with CAS.
+struct DirBfsClaim {
+  vid_t* dist;
+  vid_t level;
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t, vid_t d, eid_t) const {
+    if (ctx.load(dist[d]) >= 0) return false;
+    return ctx.claim(dist[d], vid_t{-1}, level);
+  }
+};
+
+// Directed BFS pull: an unvisited vertex adopts the first *in*-neighbor on
+// the previous level; thread-private writes only.
+struct DirBfsAdopt {
+  vid_t* dist;
+  vid_t level;
+
+  static constexpr bool kBreakOnUpdate = true;
+
+  bool cond(vid_t v) const { return dist[v] < 0; }
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t u, vid_t v, eid_t) const {
+    if (ctx.load(dist[u]) != level - 1) return false;
+    ctx.store(dist[v], level);
+    return true;
+  }
+};
+
+}  // namespace detail
+
 // Directed PageRank: rank flows along arc direction, r(v) depends on the
 // in-neighbors' ranks scaled by their *out*-degrees. Dangling vertices
 // (out-degree 0) redistribute uniformly.
-//
-//   push — every u adds f·r(u)/d_out(u) into each out-neighbor's new rank
-//          (float conflicts → lock-accounted CAS loops; cost scales with
-//          out-degree structure),
-//   pull — every v sums f·r(u)/d_out(u) over its in-neighbors (read-only on
-//          shared state; cost scales with in-degree structure).
 template <class Instr = NullInstr>
 std::vector<double> pagerank_digraph(const Digraph& g,
                                      const DirectedPageRankOptions& opt,
@@ -42,8 +126,12 @@ std::vector<double> pagerank_digraph(const Digraph& g,
   const vid_t n = g.out.n();
   PP_CHECK(n > 0);
   PP_CHECK(g.in.n() == n);
+  const engine::DigraphView view(g);
   std::vector<double> pr(static_cast<std::size_t>(n), 1.0 / n);
   std::vector<double> next(static_cast<std::size_t>(n), 0.0);
+  engine::Workspace ws(n);
+  engine::EdgeMapOptions emo;
+  emo.track_output = false;
   for (int l = 0; l < opt.iterations; ++l) {
     double dangling = 0.0;
 #pragma omp parallel for reduction(+ : dangling) schedule(static)
@@ -53,38 +141,24 @@ std::vector<double> pagerank_digraph(const Digraph& g,
     const double base = (1.0 - opt.damping) / n + opt.damping * dangling / n;
 
     if (dir == Direction::Push) {
-#pragma omp parallel
-      {
-#pragma omp for schedule(static)
-        for (vid_t u = 0; u < n; ++u) {
-          instr.code_region(70);
-          const vid_t deg = g.out.degree(u);
-          if (deg == 0) continue;
-          const double share = opt.damping * pr[static_cast<std::size_t>(u)] / deg;
-          for (vid_t v : g.out.neighbors(u)) {
-            instr.branch_cond();
-            instr.lock(&next[static_cast<std::size_t>(v)]);
-            atomic_add(next[static_cast<std::size_t>(v)], share);
-          }
-        }
-#pragma omp for schedule(static)
-        for (vid_t v = 0; v < n; ++v) {
-          instr.write(&next[static_cast<std::size_t>(v)], sizeof(double));
-          next[static_cast<std::size_t>(v)] += base;
-        }
-      }
+      emo.region = 70;
+      engine::dense_push(
+          view, ws, /*sources=*/nullptr,
+          detail::DirPrScatter{&g.out, pr.data(), next.data(), opt.damping},
+          emo, instr);
+      engine::vertex_map(
+          n, ws,
+          [&](auto& ctx, vid_t v) {
+            ctx.add(next[static_cast<std::size_t>(v)], base);
+            return false;
+          },
+          /*track=*/false, instr);
     } else {
-#pragma omp parallel for schedule(static)
-      for (vid_t v = 0; v < n; ++v) {
-        instr.code_region(71);
-        double sum = 0.0;
-        for (vid_t u : g.in.neighbors(v)) {
-          instr.read(&pr[static_cast<std::size_t>(u)], sizeof(double));
-          instr.branch_cond();
-          sum += pr[static_cast<std::size_t>(u)] / g.out.degree(u);
-        }
-        next[static_cast<std::size_t>(v)] = base + opt.damping * sum;
-      }
+      emo.region = 71;
+      engine::dense_pull(view, ws,
+                         detail::DirPrGather{&g.out, pr.data(), next.data(),
+                                             base, opt.damping},
+                         emo, instr);
     }
     pr.swap(next);
     std::fill(next.begin(), next.end(), 0.0);
@@ -104,54 +178,187 @@ std::vector<vid_t> bfs_digraph(const Digraph& g, vid_t root, Direction dir,
                                Instr instr = {}) {
   const vid_t n = g.out.n();
   PP_CHECK(root >= 0 && root < n);
+  const engine::DigraphView view(g);
   std::vector<vid_t> dist(static_cast<std::size_t>(n), -1);
   dist[static_cast<std::size_t>(root)] = 0;
+  engine::Workspace ws(n);
+  engine::EdgeMapOptions emo;
 
   if (dir == Direction::Push) {
-    FrontierBuffers buffers(omp_get_max_threads());
-    std::vector<vid_t> frontier{root};
+    emo.region = 72;
+    engine::VertexSet frontier = engine::VertexSet::single(n, root);
     vid_t level = 0;
     while (!frontier.empty()) {
       ++level;
-#pragma omp parallel for schedule(dynamic, 64)
-      for (std::size_t i = 0; i < frontier.size(); ++i) {
-        instr.code_region(72);
-        for (vid_t u : g.out.neighbors(frontier[i])) {
-          instr.branch_cond();
-          if (atomic_load(dist[static_cast<std::size_t>(u)]) >= 0) continue;
-          vid_t expected = -1;
-          instr.atomic(&dist[static_cast<std::size_t>(u)], sizeof(vid_t));
-          if (cas(dist[static_cast<std::size_t>(u)], expected, level)) {
-            buffers.push_local(u);
-          }
-        }
-      }
-      buffers.merge_into(frontier);
+      frontier = engine::sparse_push(
+          view, ws, frontier, detail::DirBfsClaim{dist.data(), level}, emo,
+          instr);
     }
   } else {
+    emo.region = 73;
     vid_t level = 0;
-    bool advanced = true;
-    while (advanced) {
+    for (;;) {
       ++level;
-      bool any = false;
-#pragma omp parallel for schedule(dynamic, 256) reduction(|| : any)
-      for (vid_t v = 0; v < n; ++v) {
-        instr.code_region(73);
-        if (dist[static_cast<std::size_t>(v)] >= 0) continue;
-        for (vid_t u : g.in.neighbors(v)) {
-          instr.read(&dist[static_cast<std::size_t>(u)], sizeof(vid_t));
-          instr.branch_cond();
-          if (dist[static_cast<std::size_t>(u)] == level - 1) {
-            dist[static_cast<std::size_t>(v)] = level;
-            any = true;
-            break;
-          }
-        }
-      }
-      advanced = any;
+      const engine::VertexSet claimed = engine::dense_pull(
+          view, ws, detail::DirBfsAdopt{dist.data(), level}, emo, instr);
+      if (claimed.empty()) break;
     }
   }
   return dist;
 }
+
+// --- Strategy-driven directed BFS (§5 over DigraphView) ----------------------
+
+struct DigraphBfsOptions {
+  engine::StrategyKind strategy = engine::StrategyKind::GenericSwitch;
+  double alpha = 14.0;         // push→pull when frontier out-arcs > m/α
+  double beta = 24.0;          // pull→push when frontier size < n/β
+  double grs_threshold = 0.0;  // GrS: sequential tail below this fraction
+};
+
+struct DigraphBfsResult {
+  std::vector<vid_t> dist;
+  int levels = 0;
+  int sequential_tail_levels = 0;  // GrS: levels finished by the serial tail
+  std::vector<Direction> level_dirs;
+};
+
+// One BFS, five §5 strategies: static push, static pull, Generic-Switch,
+// Greedy-Switch (serial worklist tail), Frontier-Exploit — all the same two
+// functors over DigraphView, direction chosen per level by DirectionPolicy.
+template <class Instr = NullInstr>
+DigraphBfsResult bfs_digraph_strategy(const Digraph& g, vid_t root,
+                                      const DigraphBfsOptions& opt = {},
+                                      Instr instr = {}) {
+  const vid_t n = g.out.n();
+  PP_CHECK(root >= 0 && root < n);
+  const engine::DigraphView view(g);
+  DigraphBfsResult r;
+  r.dist.assign(static_cast<std::size_t>(n), -1);
+  r.dist[static_cast<std::size_t>(root)] = 0;
+
+  engine::Workspace ws(n);
+  engine::DirectionPolicy policy(
+      opt.strategy, {opt.alpha, opt.beta, opt.grs_threshold}, Direction::Push);
+  engine::EdgeMapOptions emo;
+  emo.region = 74;
+  engine::VertexSet frontier = engine::VertexSet::single(n, root);
+  double frontier_out_arcs = view.out_degree(root);
+  vid_t level = 0;
+
+  while (!frontier.empty()) {
+    // Greedy-Switch: finish the sub-threshold remainder with a sequential
+    // FIFO sweep (the engine supplies the decision, the caller the tail).
+    if (policy.suggest_sequential(static_cast<double>(frontier.size()),
+                                  static_cast<double>(n)) &&
+        level > 0) {
+      std::vector<vid_t> queue(frontier.ids().begin(), frontier.ids().end());
+      for (std::size_t head = 0; head < queue.size(); ++head) {
+        const vid_t v = queue[head];
+        for (vid_t u : g.out.neighbors(v)) {
+          if (r.dist[static_cast<std::size_t>(u)] < 0) {
+            r.dist[static_cast<std::size_t>(u)] =
+                r.dist[static_cast<std::size_t>(v)] + 1;
+            queue.push_back(u);
+          }
+        }
+      }
+      r.sequential_tail_levels = 1;
+      ++r.levels;
+      break;
+    }
+
+    ++level;
+    const Direction dir = policy.choose(
+        frontier_out_arcs, static_cast<double>(view.num_arcs()),
+        static_cast<double>(frontier.size()), static_cast<double>(n));
+    if (dir == Direction::Push) {
+      frontier = engine::sparse_push(
+          view, ws, frontier, detail::DirBfsClaim{r.dist.data(), level}, emo,
+          instr);
+    } else {
+      frontier = engine::dense_pull(
+          view, ws, detail::DirBfsAdopt{r.dist.data(), level}, emo, instr);
+    }
+    frontier_out_arcs = frontier.out_degree_sum(view);
+    r.level_dirs.push_back(dir);
+    ++r.levels;
+  }
+  return r;
+}
+
+// --- Reachability ------------------------------------------------------------
+
+namespace detail {
+
+// Claim an unvisited target, optionally restricted to one FW-BW subproblem.
+struct ReachClaim {
+  std::uint8_t* visited;
+  const vid_t* sub = nullptr;  // nullptr: unrestricted
+  vid_t sid = 0;
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t, vid_t d, eid_t) const {
+    if (sub != nullptr && sub[d] != sid) return false;
+    if (ctx.load(visited[d])) return false;
+    return ctx.claim(visited[d], std::uint8_t{0}, std::uint8_t{1});
+  }
+};
+
+// Pull flavor: an unvisited vertex adopts reachability from any visited
+// in-neighbor (monotone — rounds repeat until a sweep claims nothing).
+struct ReachAdopt {
+  std::uint8_t* visited;
+
+  static constexpr bool kBreakOnUpdate = true;
+
+  bool cond(vid_t v) const { return visited[v] == 0; }
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t u, vid_t v, eid_t) const {
+    if (!ctx.load(visited[u])) return false;
+    ctx.store(visited[v], std::uint8_t{1});
+    return true;
+  }
+};
+
+}  // namespace detail
+
+// Vertices reachable from `root` along arc direction (1 = reachable).
+//   push — frontier rounds of sparse_push over out-arcs,
+//   pull — dense_pull sweeps over in-arcs until no vertex flips.
+template <class Instr = NullInstr>
+std::vector<std::uint8_t> reachability_digraph(const Digraph& g, vid_t root,
+                                               Direction dir, Instr instr = {}) {
+  const vid_t n = g.out.n();
+  PP_CHECK(root >= 0 && root < n);
+  const engine::DigraphView view(g);
+  std::vector<std::uint8_t> visited(static_cast<std::size_t>(n), 0);
+  visited[static_cast<std::size_t>(root)] = 1;
+  engine::Workspace ws(n);
+  engine::EdgeMapOptions emo;
+  emo.region = 75;
+
+  if (dir == Direction::Push) {
+    engine::VertexSet frontier = engine::VertexSet::single(n, root);
+    while (!frontier.empty()) {
+      frontier = engine::sparse_push(
+          view, ws, frontier, detail::ReachClaim{visited.data()}, emo, instr);
+    }
+  } else {
+    for (;;) {
+      const engine::VertexSet claimed = engine::dense_pull(
+          view, ws, detail::ReachAdopt{visited.data()}, emo, instr);
+      if (claimed.empty()) break;
+    }
+  }
+  return visited;
+}
+
+// Strongly connected components via forward-backward reachability (the
+// SCC-forward passes ride the same ReachClaim functor; the backward pass
+// pushes over view.reversed(), i.e. along in-arcs). Returns a component id
+// per vertex in [0, #scc).
+std::vector<vid_t> scc_digraph(const Digraph& g);
 
 }  // namespace pushpull

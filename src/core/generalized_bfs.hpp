@@ -1,4 +1,4 @@
-// Generalized BFS (Algorithm 3, verbatim semantics).
+// Generalized BFS (Algorithm 3, verbatim semantics), on the engine substrate.
 //
 // The paper defines BFS over (a) per-vertex *ready counters* — a vertex
 // enters the frontier only after `ready[v]` of its neighbors have been in
@@ -6,30 +6,35 @@
 // sweep of betweenness centrality) — and (b) a commutative, associative
 // *accumulation operator* ⇐ that folds predecessor values into each vertex.
 //
-//   push — frontier vertices accumulate into every still-ready neighbor
-//          (shared writes, guarded per-vertex) and decrement its counter
-//          with FAA; the thread that drops a counter to zero appends the
-//          vertex to its private my_F buffer (lines 10-17),
-//   pull — every still-ready vertex scans its neighbors for frontier
-//          members, folds their values locally and decrements its own
-//          counter (lines 19-26).
+// Both directions are edge_map functors over a graph view (the semiring hook
+// is the functor's captured `op`):
 //
-// The frontiers are merged with the k-filter (FrontierBuffers::merge_into,
-// line 8). Both directions accumulate from a vertex only while its counter
-// is positive, so with exact ready counts every required predecessor
-// contributes exactly once.
+//   push — engine::sparse_push over out-arcs: each frontier vertex folds its
+//          value into every still-ready neighbor (guarded by the striped-lock
+//          critical section, lines 12-14) and decrements the neighbor's
+//          counter with ctx.fetch_add; the update whose FAA returns 1 dropped
+//          the counter to zero and enqueues the vertex (lines 15-17). The
+//          engine's k-filter replaces the hand-rolled my_F merge (line 8).
+//   pull — engine::dense_pull over in-arcs: every still-ready vertex scans
+//          for frontier members, folds their values with thread-private
+//          writes and decrements its own counter; kBreakOnUpdate stops the
+//          scan the moment the counter is exhausted (lines 19-26).
+//
+// Both directions accumulate from a vertex only while its counter is
+// positive, so with exact ready counts every required predecessor contributes
+// exactly once — which also makes the engine's fused per-edge push round
+// (fold + decrement per arc) fold-identical to the frozen two-phase original
+// in core/baselines/legacy_kernels.hpp.
 #pragma once
-
-#include <omp.h>
 
 #include <vector>
 
 #include "core/direction.hpp"
 #include "core/frontier.hpp"
+#include "engine/edge_map.hpp"
+#include "engine/graph_view.hpp"
 #include "graph/csr.hpp"
 #include "perf/instr.hpp"
-#include "sync/atomics.hpp"
-#include "sync/spinlock.hpp"
 #include "util/check.hpp"
 
 namespace pushpull {
@@ -41,13 +46,56 @@ struct GeneralizedBfsResult {
   std::vector<std::size_t> frontier_sizes;  // f_i per while-loop iteration
 };
 
-// `op(target, source)` folds a frontier neighbor's value into the target's.
-template <class T, class Op, class Instr = NullInstr>
-GeneralizedBfsResult<T> generalized_bfs(const Csr& g, std::vector<int> ready,
-                                        std::vector<T> initial_values,
-                                        std::vector<vid_t> initial_frontier,
-                                        Op op, Direction dir, Instr instr = {}) {
-  const vid_t n = g.n();
+namespace detail {
+
+template <class T, class Op>
+struct GenBfsPush {
+  int* ready;
+  T* values;
+  const Op* op;
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t s, vid_t d, eid_t) const {
+    // Lines 12-14: fold into d only while its counter is positive. Every
+    // pending predecessor (this one included) still counts toward ready[d],
+    // so with exact counts the guard never drops a required contribution.
+    if (ctx.load(ready[d]) > 0) {
+      ctx.critical(static_cast<std::size_t>(d),
+                   [&] { (*op)(values[d], values[s]); });
+    }
+    // Lines 15-17: whoever drops the counter to zero owns the enqueue.
+    return ctx.fetch_add(ready[d], -1) == 1;
+  }
+};
+
+template <class T, class Op>
+struct GenBfsPull {
+  int* ready;
+  T* values;
+  const Op* op;
+  const DenseFrontier* in_frontier;
+
+  static constexpr bool kBreakOnUpdate = true;
+
+  bool cond(vid_t v) const { return ready[v] > 0; }
+
+  template <class Ctx>
+  bool update(Ctx&, vid_t u, vid_t v, eid_t) const {
+    if (!in_frontier->test(u)) return false;
+    // Thread-private: v is owned by the iterating thread in pull mode.
+    (*op)(values[v], values[u]);
+    return --ready[v] == 0;  // counter exhausted: break (mirrors push)
+  }
+};
+
+// View-generic core; the public Csr/Digraph overloads wrap it.
+template <engine::GraphView View, class T, class Op, class Instr>
+GeneralizedBfsResult<T> generalized_bfs_impl(const View& view,
+                                             std::vector<int> ready,
+                                             std::vector<T> initial_values,
+                                             std::vector<vid_t> initial_frontier,
+                                             Op op, Direction dir, Instr instr) {
+  const vid_t n = view.n();
   PP_CHECK(ready.size() == static_cast<std::size_t>(n));
   PP_CHECK(initial_values.size() == static_cast<std::size_t>(n));
 
@@ -55,63 +103,61 @@ GeneralizedBfsResult<T> generalized_bfs(const Csr& g, std::vector<int> ready,
   result.values = std::move(initial_values);
   std::vector<T>& values = result.values;
 
-  FrontierBuffers buffers(omp_get_max_threads());
-  DenseFrontier in_frontier(n);
-  std::vector<vid_t> frontier = std::move(initial_frontier);
-  for (vid_t v : frontier) {
+  engine::Workspace ws(n);
+  engine::EdgeMapOptions emo;
+  engine::VertexSet frontier(n, std::move(initial_frontier));
+  for (vid_t v : frontier.ids()) {
     PP_CHECK(ready[static_cast<std::size_t>(v)] == 0);
   }
-  SpinlockPool locks(4096);
 
   while (!frontier.empty()) {
     result.frontier_sizes.push_back(frontier.size());
     ++result.levels;
     if (dir == Direction::Push) {
-#pragma omp parallel for schedule(dynamic, 64)
-      for (std::size_t i = 0; i < frontier.size(); ++i) {
-        instr.code_region(80);
-        const vid_t v = frontier[i];
-        // Lines 12-14: accumulate into every still-ready neighbor.
-        for (vid_t w : g.neighbors(v)) {
-          instr.read(&ready[static_cast<std::size_t>(w)], sizeof(int));
-          instr.branch_cond();
-          if (atomic_load(ready[static_cast<std::size_t>(w)]) > 0) {
-            instr.lock(&values[static_cast<std::size_t>(w)]);
-            SpinGuard guard(locks.for_index(static_cast<std::size_t>(w)));
-            op(values[static_cast<std::size_t>(w)], values[static_cast<std::size_t>(v)]);
-          }
-        }
-        // Lines 15-17: decrement; whoever reaches zero appends to my_F.
-        for (vid_t w : g.neighbors(v)) {
-          instr.atomic(&ready[static_cast<std::size_t>(w)], sizeof(int));
-          if (faa(ready[static_cast<std::size_t>(w)], -1) == 1) {
-            buffers.push_local(w);
-          }
-        }
-      }
+      emo.region = 80;
+      frontier = engine::sparse_push(
+          view, ws, frontier,
+          GenBfsPush<T, Op>{ready.data(), values.data(), &op}, emo, instr);
     } else {
-      in_frontier.build_from(frontier);
-      // Lines 19-26: still-ready vertices pull from frontier neighbors.
-#pragma omp parallel for schedule(dynamic, 256)
-      for (vid_t v = 0; v < n; ++v) {
-        instr.code_region(81);
-        if (ready[static_cast<std::size_t>(v)] <= 0) continue;
-        for (vid_t w : g.neighbors(v)) {
-          instr.read(in_frontier.data() + w, 1);
-          instr.branch_cond();
-          if (!in_frontier.test(w)) continue;
-          // Thread-private: v is owned by the iterating thread.
-          op(values[static_cast<std::size_t>(v)], values[static_cast<std::size_t>(w)]);
-          if (--ready[static_cast<std::size_t>(v)] == 0) {
-            buffers.push_local(v);
-            break;  // counter exhausted: stop accumulating (mirrors push)
-          }
-        }
-      }
+      emo.region = 81;
+      // The VertexSet's cached dense view is the membership bitmap the pull
+      // functor scans; the functor only borrows it for this one map call.
+      frontier = engine::dense_pull(
+          view, ws,
+          GenBfsPull<T, Op>{ready.data(), values.data(), &op,
+                            &frontier.dense()},
+          emo, instr);
     }
-    buffers.merge_into(frontier);
   }
   return result;
+}
+
+}  // namespace detail
+
+// `op(target, source)` folds a frontier neighbor's value into the target's.
+template <class T, class Op, class Instr = NullInstr>
+GeneralizedBfsResult<T> generalized_bfs(const Csr& g, std::vector<int> ready,
+                                        std::vector<T> initial_values,
+                                        std::vector<vid_t> initial_frontier,
+                                        Op op, Direction dir, Instr instr = {}) {
+  return detail::generalized_bfs_impl(engine::SymmetricView(g), std::move(ready),
+                                      std::move(initial_values),
+                                      std::move(initial_frontier), op, dir,
+                                      instr);
+}
+
+// Directed generalization (§4.8): push folds along *out*-arcs, pull gathers
+// along *in*-arcs — ready counters on a DAG are in-degrees, making the
+// topological wavefront explicit.
+template <class T, class Op, class Instr = NullInstr>
+GeneralizedBfsResult<T> generalized_bfs(const Digraph& g, std::vector<int> ready,
+                                        std::vector<T> initial_values,
+                                        std::vector<vid_t> initial_frontier,
+                                        Op op, Direction dir, Instr instr = {}) {
+  return detail::generalized_bfs_impl(engine::DigraphView(g), std::move(ready),
+                                      std::move(initial_values),
+                                      std::move(initial_frontier), op, dir,
+                                      instr);
 }
 
 }  // namespace pushpull

@@ -1,18 +1,20 @@
 // Push/pull Prim (§3.7 refers the Prim/Kruskal variants to the paper's
-// technical report; this is the Prim half).
+// technical report; this is the Prim half), on the engine substrate.
 //
 // Prim grows one tree by repeatedly attaching the unreached vertex with the
 // cheapest connecting edge. The paper's point stands: the algorithm is
 // inherently sequential across rounds (which is why the evaluation uses
 // Boruvka), but each round's *relaxation* still exhibits the dichotomy:
 //
-//   push — the freshly attached vertex u writes the keys of its unreached
-//          neighbors (t ≠ t[w]: remote writes; with one attach per round the
-//          writes are conflict-free, but they still cross ownership and are
-//          counted as such),
-//   pull — every unreached vertex checks whether u is its neighbor and
-//          lowers its own key (thread-private writes, O(n log d̂) reads per
-//          round — the communication-heavy side).
+//   push — engine::sparse_push over the single-member frontier {u}: the
+//          freshly attached vertex writes the keys of its unreached
+//          neighbors. With one attach per round the writes are conflict-free,
+//          which is exactly what Sync::Plain expresses — they still cross
+//          ownership and are counted as writes, just not synchronized.
+//   pull — engine::vertex_map: every unreached vertex probes whether u is
+//          among its neighbors (O(log d̂) binary search — a per-vertex probe,
+//          not an edge scan) and lowers its own key; thread-private writes,
+//          the communication-heavy side.
 //
 // Handles disconnected graphs by seeding a new tree whenever the reachable
 // set is exhausted (minimum spanning forest).
@@ -26,6 +28,7 @@
 #include <vector>
 
 #include "core/direction.hpp"
+#include "engine/edge_map.hpp"
 #include "graph/csr.hpp"
 #include "perf/instr.hpp"
 #include "util/check.hpp"
@@ -38,6 +41,30 @@ struct PrimResult {
   int rounds = 0;
 };
 
+namespace detail {
+
+// One relaxation round, push side: u scatters its edge weights into the
+// unreached neighbors' keys (conflict-free: a single source per round).
+struct PrimRelax {
+  const Csr* g;
+  const std::uint8_t* in_tree;
+  weight_t* key;
+  vid_t* parent;
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t u, vid_t v, eid_t e) const {
+    if (in_tree[v]) return false;
+    const weight_t wt = g->edge_weight(e);
+    // Remote write: v is owned by another thread's block.
+    if (ctx.min(key[v], wt)) {
+      parent[v] = u;
+    }
+    return false;
+  }
+};
+
+}  // namespace detail
+
 template <class Instr = NullInstr>
 PrimResult mst_prim(const Csr& g, Direction dir, Instr instr = {}) {
   PP_CHECK(g.has_weights() || g.num_arcs() == 0);
@@ -48,6 +75,11 @@ PrimResult mst_prim(const Csr& g, Direction dir, Instr instr = {}) {
   result.parent.assign(static_cast<std::size_t>(n), -1);
   std::vector<weight_t> key(static_cast<std::size_t>(n), kInf);
   std::vector<std::uint8_t> in_tree(static_cast<std::size_t>(n), 0);
+
+  engine::Workspace ws(n);
+  engine::EdgeMapOptions emo;
+  emo.track_output = false;
+  emo.sync = engine::Sync::Plain;  // one source per round: conflict-free
 
   for (vid_t attached = 0; attached < n; ++attached) {
     ++result.rounds;
@@ -74,44 +106,37 @@ PrimResult mst_prim(const Csr& g, Direction dir, Instr instr = {}) {
     }
 
     if (dir == Direction::Push) {
-      // u pushes its edge weights into the unreached neighbors' keys.
-      const auto nb = g.neighbors(u);
-#pragma omp parallel for schedule(static)
-      for (std::size_t i = 0; i < nb.size(); ++i) {
-        instr.code_region(90);
-        const vid_t v = nb[i];
-        instr.branch_cond();
-        if (in_tree[static_cast<std::size_t>(v)]) continue;
-        const weight_t wt = g.weights(u)[i];
-        if (wt < key[static_cast<std::size_t>(v)]) {
-          // Remote write: v is owned by another thread's block.
-          instr.write(&key[static_cast<std::size_t>(v)], sizeof(weight_t));
-          key[static_cast<std::size_t>(v)] = wt;
-          result.parent[static_cast<std::size_t>(v)] = u;
-        }
-      }
+      emo.region = 90;
+      engine::sparse_push(
+          g, ws, std::span<const vid_t>(&u, 1),
+          detail::PrimRelax{&g, in_tree.data(), key.data(),
+                            result.parent.data()},
+          emo, instr);
     } else {
       // Every unreached vertex pulls: is u among my neighbors?
-#pragma omp parallel for schedule(dynamic, 256)
-      for (vid_t v = 0; v < n; ++v) {
-        instr.code_region(91);
-        if (in_tree[static_cast<std::size_t>(v)]) continue;
-        const auto nb = g.neighbors(v);
-        const auto it = std::lower_bound(nb.begin(), nb.end(), u);
-        instr.read(&*nb.begin(), sizeof(vid_t));
-        instr.branch_cond();
-        if (it == nb.end() || *it != u) continue;
-        const weight_t wt = g.weights(v)[static_cast<std::size_t>(it - nb.begin())];
-        if (wt < key[static_cast<std::size_t>(v)]) {
-          // Thread-private write: v updates its own key.
-          instr.write(&key[static_cast<std::size_t>(v)], sizeof(weight_t));
-          key[static_cast<std::size_t>(v)] = wt;
-          result.parent[static_cast<std::size_t>(v)] = u;
-        }
-      }
+      engine::vertex_map(
+          n, ws,
+          [&](auto& ctx, vid_t v) {
+            ctx.instr().code_region(91);
+            if (in_tree[static_cast<std::size_t>(v)]) return false;
+            const auto nb = g.neighbors(v);
+            const auto it = std::lower_bound(nb.begin(), nb.end(), u);
+            ctx.instr().read(&*nb.begin(), sizeof(vid_t));
+            ctx.instr().branch_cond();
+            if (it == nb.end() || *it != u) return false;
+            const weight_t wt =
+                g.weights(v)[static_cast<std::size_t>(it - nb.begin())];
+            // Thread-private write: v updates its own key.
+            if (ctx.min(key[static_cast<std::size_t>(v)], wt)) {
+              result.parent[static_cast<std::size_t>(v)] = u;
+            }
+            return false;
+          },
+          engine::VertexMapOptions{.track = false, .chunk = 256}, instr);
     }
   }
   return result;
 }
 
 }  // namespace pushpull
+

@@ -2,8 +2,46 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 namespace pushpull {
+
+namespace {
+
+// Per-arc update of the degree-ordered intersection push: for the oriented
+// arc (v, u), every w in fwd(v) ∩ fwd(u) closes a triangle {v, u, w} — FAA
+// all three corners through the synchronized context.
+struct FastIntersect {
+  const Csr* fwd;
+  std::int64_t* tc;
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t v, vid_t u, eid_t) const {
+    const auto av = fwd->neighbors(v);
+    const auto au = fwd->neighbors(u);
+    const vid_t* a = av.data();
+    const vid_t* a_end = av.data() + av.size();
+    const vid_t* b = au.data();
+    const vid_t* b_end = au.data() + au.size();
+    while (a != a_end && b != b_end) {
+      if (*a < *b) {
+        ++a;
+      } else if (*b < *a) {
+        ++b;
+      } else {
+        const vid_t w = *a;
+        ctx.add(tc[static_cast<std::size_t>(v)], std::int64_t{1});
+        ctx.add(tc[static_cast<std::size_t>(u)], std::int64_t{1});
+        ctx.add(tc[static_cast<std::size_t>(w)], std::int64_t{1});
+        ++a;
+        ++b;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
 
 std::vector<std::int64_t> triangle_count_fast(const Csr& g) {
   const vid_t n = g.n();
@@ -24,7 +62,7 @@ std::vector<std::int64_t> triangle_count_fast(const Csr& g) {
   }
 
   // Forward adjacency (higher-ranked neighbors), id-sorted because the source
-  // lists are id-sorted.
+  // lists are id-sorted. This *is* a digraph: the orientation's out-CSR.
   std::vector<eid_t> fwd_off(static_cast<std::size_t>(n) + 1, 0);
   for (vid_t v = 0; v < n; ++v) {
     for (vid_t u : g.neighbors(v)) {
@@ -46,31 +84,16 @@ std::vector<std::int64_t> triangle_count_fast(const Csr& g) {
     }
   }
 
-#pragma omp parallel for schedule(dynamic, 64)
-  for (vid_t v = 0; v < n; ++v) {
-    const vid_t* v_begin = fwd.data() + fwd_off[v];
-    const vid_t* v_end = fwd.data() + fwd_off[v + 1];
-    for (const vid_t* pu = v_begin; pu != v_end; ++pu) {
-      const vid_t u = *pu;
-      const vid_t* a = v_begin;
-      const vid_t* b = fwd.data() + fwd_off[u];
-      const vid_t* b_end = fwd.data() + fwd_off[u + 1];
-      while (a != v_end && b != b_end) {
-        if (*a < *b) {
-          ++a;
-        } else if (*b < *a) {
-          ++b;
-        } else {
-          const vid_t w = *a;
-          faa(tc[static_cast<std::size_t>(v)], std::int64_t{1});
-          faa(tc[static_cast<std::size_t>(u)], std::int64_t{1});
-          faa(tc[static_cast<std::size_t>(w)], std::int64_t{1});
-          ++a;
-          ++b;
-        }
-      }
-    }
-  }
+  // One dense push over the degree-ordered orientation: the engine sweeps
+  // every oriented arc (v, u); the functor intersects the two forward tails.
+  // The orientation is the out-half of a DigraphView — and push only ever
+  // walks out-arcs, so the in-CSR (the backward lists) is never materialized.
+  const Csr oriented(std::move(fwd_off), std::move(fwd));
+  engine::Workspace ws(n);
+  engine::EdgeMapOptions emo;
+  emo.track_output = false;
+  engine::dense_push(oriented, ws, /*sources=*/nullptr,
+                     FastIntersect{&oriented, tc.data()}, emo);
   return tc;
 }
 

@@ -1,17 +1,23 @@
-// Triangle Counting (§3.2, §4.2, Algorithm 2) — NodeIterator parallelization.
+// Triangle Counting (§3.2, §4.2, Algorithm 2) on the engine substrate.
 //
-// For every vertex v, each unordered neighbor pair {w1, w2} ⊆ N(v) is tested
-// for adjacency (binary search on the sorted lists). When the edge exists:
+// The NodeIterator variants are vertex maps — the per-center unordered pair
+// loop {w1, w2} ⊆ N(v) is the functor's work, the engine owns the sweep and
+// the sync policy:
 //
-//   pull — the center increments its own tc[v] (thread-private write),
-//   push — the center increments tc[w1] and tc[w2] (remote writes → FAA
-//          atomics); every triangle is then counted twice per vertex, so the
-//          final counts are halved, exactly as in Algorithm 2.
+//   pull — engine::vertex_map (PlainCtx): the center increments its own
+//          tc[v]; one thread-private write per vertex, zero atomics.
+//   push — engine::vertex_map with a *synchronized* context (AtomicCtx): the
+//          center increments tc[w1] and tc[w2] — remote writes → FAA atomics
+//          (§4.2); every triangle is counted twice per vertex, so the final
+//          counts are halved, exactly as in Algorithm 2.
 //
-// Both variants produce tc[v] = number of triangles containing v.
-// `triangle_count_fast` is the production kernel (degree-ordered
-// merge-intersection, each triangle discovered once); it is used by examples
-// and verified against the push/pull variants in the test suite.
+// `triangle_count_fast` is the production kernel: the degree-ordered
+// orientation is the out-half of a DigraphView (forward lists = out-CSR,
+// backward lists = its transpose), and the kernel is one engine::dense_push
+// over that out-CSR — push never walks in-arcs, so the backward half is
+// never materialized — whose per-arc update merge-intersects the two
+// forward lists: each triangle discovered once, all three corners credited
+// with FAA.
 #pragma once
 
 #include <omp.h>
@@ -19,6 +25,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/edge_map.hpp"
+#include "engine/graph_view.hpp"
 #include "graph/csr.hpp"
 #include "perf/instr.hpp"
 #include "sync/atomics.hpp"
@@ -53,22 +61,25 @@ bool instr_has_edge(const Csr& g, vid_t u, vid_t v, Instr& instr) {
 template <class Instr = NullInstr>
 std::vector<std::int64_t> triangle_count_pull(const Csr& g, Instr instr = {}) {
   std::vector<std::int64_t> tc(static_cast<std::size_t>(g.n()), 0);
-#pragma omp parallel for schedule(dynamic, 64)
-  for (vid_t v = 0; v < g.n(); ++v) {
-    instr.code_region(20);
-    const auto nb = g.neighbors(v);
-    std::int64_t local = 0;
-    for (std::size_t i = 0; i < nb.size(); ++i) {
-      for (std::size_t j = i + 1; j < nb.size(); ++j) {
-        instr.read(&nb[i], sizeof(vid_t));
-        instr.read(&nb[j], sizeof(vid_t));
-        instr.branch_cond();
-        if (detail::instr_has_edge(g, nb[i], nb[j], instr)) ++local;
-      }
-    }
-    instr.write(&tc[static_cast<std::size_t>(v)], sizeof(std::int64_t));
-    tc[static_cast<std::size_t>(v)] = local;
-  }
+  engine::Workspace ws(g.n());
+  engine::vertex_map(
+      g.n(), ws,
+      [&g, tcp = tc.data()](auto& ctx, vid_t v) {
+        ctx.instr().code_region(20);
+        const auto nb = g.neighbors(v);
+        std::int64_t local = 0;
+        for (std::size_t i = 0; i < nb.size(); ++i) {
+          for (std::size_t j = i + 1; j < nb.size(); ++j) {
+            ctx.instr().read(&nb[i], sizeof(vid_t));
+            ctx.instr().read(&nb[j], sizeof(vid_t));
+            ctx.instr().branch_cond();
+            if (detail::instr_has_edge(g, nb[i], nb[j], ctx.instr())) ++local;
+          }
+        }
+        ctx.store(tcp[static_cast<std::size_t>(v)], local);
+        return false;
+      },
+      engine::VertexMapOptions{.track = false, .chunk = 64}, instr);
   return tc;
 }
 
@@ -76,38 +87,46 @@ std::vector<std::int64_t> triangle_count_pull(const Csr& g, Instr instr = {}) {
 template <class Instr = NullInstr>
 std::vector<std::int64_t> triangle_count_push(const Csr& g, Instr instr = {}) {
   std::vector<std::int64_t> tc(static_cast<std::size_t>(g.n()), 0);
-#pragma omp parallel for schedule(dynamic, 64)
-  for (vid_t v = 0; v < g.n(); ++v) {
-    instr.code_region(21);
-    const auto nb = g.neighbors(v);
-    for (std::size_t i = 0; i < nb.size(); ++i) {
-      for (std::size_t j = i + 1; j < nb.size(); ++j) {
-        instr.read(&nb[i], sizeof(vid_t));
-        instr.read(&nb[j], sizeof(vid_t));
-        instr.branch_cond();
-        if (detail::instr_has_edge(g, nb[i], nb[j], instr)) {
-          // Write conflicts on integer counters → FAA (§4.2).
-          instr.atomic(&tc[static_cast<std::size_t>(nb[i])], sizeof(std::int64_t));
-          faa(tc[static_cast<std::size_t>(nb[i])], std::int64_t{1});
-          instr.atomic(&tc[static_cast<std::size_t>(nb[j])], sizeof(std::int64_t));
-          faa(tc[static_cast<std::size_t>(nb[j])], std::int64_t{1});
+  engine::Workspace ws(g.n());
+  engine::vertex_map(
+      g.n(), ws,
+      [&g, tcp = tc.data()](auto& ctx, vid_t v) {
+        ctx.instr().code_region(21);
+        const auto nb = g.neighbors(v);
+        for (std::size_t i = 0; i < nb.size(); ++i) {
+          for (std::size_t j = i + 1; j < nb.size(); ++j) {
+            ctx.instr().read(&nb[i], sizeof(vid_t));
+            ctx.instr().read(&nb[j], sizeof(vid_t));
+            ctx.instr().branch_cond();
+            if (detail::instr_has_edge(g, nb[i], nb[j], ctx.instr())) {
+              // Write conflicts on integer counters → FAA (§4.2).
+              ctx.add(tcp[static_cast<std::size_t>(nb[i])], std::int64_t{1});
+              ctx.add(tcp[static_cast<std::size_t>(nb[j])], std::int64_t{1});
+            }
+          }
         }
-      }
-    }
-  }
+        return false;
+      },
+      engine::VertexMapOptions{.track = false, .synchronized = true,
+                               .chunk = 64},
+      instr);
   // Each triangle was counted twice per vertex (once from each of the other
   // two centers).
-#pragma omp parallel for schedule(static)
-  for (vid_t v = 0; v < g.n(); ++v) {
-    PP_DCHECK(tc[static_cast<std::size_t>(v)] % 2 == 0);
-    tc[static_cast<std::size_t>(v)] /= 2;
-  }
+  engine::vertex_map(
+      g.n(), ws,
+      [tcp = tc.data()](auto&, vid_t v) {
+        PP_DCHECK(tcp[static_cast<std::size_t>(v)] % 2 == 0);
+        tcp[static_cast<std::size_t>(v)] /= 2;
+        return false;
+      },
+      /*track=*/false, instr);
   return tc;
 }
 
-// Production kernel: rank vertices by (degree, id); for every edge (u, v)
-// with rank(u) < rank(v), intersect the higher-ranked tails of both lists.
-// Discovers each triangle exactly once and credits all three corners.
+// Production kernel: rank vertices by (degree, id); the forward (higher-
+// ranked) adjacency forms a degree-ordered DigraphView, and one dense_push
+// over it intersects the forward lists of each arc's endpoints. Discovers
+// each triangle exactly once and credits all three corners.
 std::vector<std::int64_t> triangle_count_fast(const Csr& g);
 
 // Sum of per-vertex counts / 3 = number of distinct triangles.

@@ -73,6 +73,16 @@ class PlainCtx {
     x = static_cast<T>(x + v);
   }
 
+  // x += v, returning the *previous* value (the generalized-BFS ready-counter
+  // decrement: whoever sees old == 1 dropped the counter to zero).
+  template <class T>
+  T fetch_add(T& x, T v) noexcept {
+    instr_->write(&x, sizeof(T));
+    const T old = x;
+    x = static_cast<T>(old + v);
+    return old;
+  }
+
   // Claim x: if x == expected, set desired; true when this call claimed it.
   template <class T>
   bool claim(T& x, T expected, T desired) noexcept {
@@ -145,6 +155,14 @@ class AtomicCtx {
       instr_->lock(&x);
       atomic_add(x, static_cast<T>(v));
     }
+  }
+
+  // FAA returning the previous value; integral only (atomic-accounted).
+  template <class T>
+  T fetch_add(T& x, T v) noexcept {
+    static_assert(std::is_integral_v<T>);
+    instr_->atomic(&x, sizeof(T));
+    return faa(x, v);
   }
 
   template <class T>
@@ -234,6 +252,15 @@ class LockCtx {
     instr_->lock(&x);
     SpinGuard guard(lock_for(&x));
     atomic_store(x, static_cast<T>(x + v));
+  }
+
+  template <class T>
+  T fetch_add(T& x, T v) noexcept {
+    instr_->lock(&x);
+    SpinGuard guard(lock_for(&x));
+    const T old = atomic_load(x);
+    atomic_store(x, static_cast<T>(old + v));
+    return old;
   }
 
   template <class T>

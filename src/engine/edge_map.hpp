@@ -46,6 +46,7 @@
 #include "core/direction.hpp"
 #include "core/frontier.hpp"
 #include "engine/context.hpp"
+#include "engine/graph_view.hpp"
 #include "engine/policy.hpp"
 #include "engine/vertex_set.hpp"
 #include "graph/csr.hpp"
@@ -279,6 +280,9 @@ VertexSet sparse_push(const Csr& g, Workspace& ws, std::span<const vid_t> in,
     case Sync::StripedLock:
       return detail::sparse_push_impl<LockCtx<Instr>>(g, ws, in, f, opt, instr,
                                                       stats);
+    case Sync::Plain:
+      return detail::sparse_push_impl<PlainCtx<Instr>>(g, ws, in, f, opt,
+                                                       instr, stats);
     case Sync::Atomic:
     default:
       return detail::sparse_push_impl<AtomicCtx<Instr>>(g, ws, in, f, opt,
@@ -293,6 +297,23 @@ VertexSet sparse_push(const Csr& g, Workspace& ws, const VertexSet& in, F&& f,
   return sparse_push(g, ws, in.ids(), std::forward<F>(f), opt, instr, stats);
 }
 
+// View-aware entry: push walks the view's *out*-CSR (§4.8 — the asymmetric
+// dichotomy costs d̂_out when pushing).
+template <GraphView View, class F, class Instr = NullInstr>
+VertexSet sparse_push(const View& view, Workspace& ws, std::span<const vid_t> in,
+                      F&& f, const EdgeMapOptions& opt = {}, Instr instr = {},
+                      EdgeMapStats* stats = nullptr) {
+  return sparse_push(view.out(), ws, in, std::forward<F>(f), opt, instr, stats);
+}
+
+template <GraphView View, class F, class Instr = NullInstr>
+VertexSet sparse_push(const View& view, Workspace& ws, const VertexSet& in,
+                      F&& f, const EdgeMapOptions& opt = {}, Instr instr = {},
+                      EdgeMapStats* stats = nullptr) {
+  return sparse_push(view.out(), ws, in.ids(), std::forward<F>(f), opt, instr,
+                     stats);
+}
+
 // --- dense push (full source sweep, optional membership filter) --------------
 
 template <class F, class Instr = NullInstr>
@@ -304,11 +325,22 @@ VertexSet dense_push(const Csr& g, Workspace& ws, const VertexSet* sources,
     case Sync::StripedLock:
       return detail::dense_push_impl<LockCtx<Instr>>(g, ws, sources, f, opt,
                                                      instr, stats);
+    case Sync::Plain:
+      return detail::dense_push_impl<PlainCtx<Instr>>(g, ws, sources, f, opt,
+                                                      instr, stats);
     case Sync::Atomic:
     default:
       return detail::dense_push_impl<AtomicCtx<Instr>>(g, ws, sources, f, opt,
                                                        instr, stats);
   }
+}
+
+template <GraphView View, class F, class Instr = NullInstr>
+VertexSet dense_push(const View& view, Workspace& ws, const VertexSet* sources,
+                     F&& f, const EdgeMapOptions& opt = {}, Instr instr = {},
+                     EdgeMapStats* stats = nullptr) {
+  return dense_push(view.out(), ws, sources, std::forward<F>(f), opt, instr,
+                    stats);
 }
 
 // --- dense pull (full destination sweep over in-edges) -----------------------
@@ -340,6 +372,16 @@ VertexSet dense_pull(const Csr& in_csr, Workspace& ws, F&& f,
     stats->seconds = timer.elapsed_s();
   }
   return out;
+}
+
+// View-aware entry: pull walks the view's *in*-CSR (costs d̂_in on digraphs).
+// Pull stays zero-sync on asymmetric graphs — the loop below still hands the
+// functor a PlainCtx; only the scanned arc set changes.
+template <GraphView View, class F, class Instr = NullInstr>
+VertexSet dense_pull(const View& view, Workspace& ws, F&& f,
+                     const EdgeMapOptions& opt = {}, Instr instr = {},
+                     EdgeMapStats* stats = nullptr) {
+  return dense_pull(view.in(), ws, std::forward<F>(f), opt, instr, stats);
 }
 
 // --- sparse pull (frontier-aware pull over a given destination set) ----------
@@ -379,6 +421,23 @@ VertexSet sparse_pull(const Csr& in_csr, Workspace& ws, const VertexSet& dests,
                       F&& f, const EdgeMapOptions& opt = {}, Instr instr = {},
                       EdgeMapStats* stats = nullptr) {
   return sparse_pull(in_csr, ws, dests.ids(), std::forward<F>(f), opt, instr,
+                     stats);
+}
+
+template <GraphView View, class F, class Instr = NullInstr>
+VertexSet sparse_pull(const View& view, Workspace& ws,
+                      std::span<const vid_t> dests, F&& f,
+                      const EdgeMapOptions& opt = {}, Instr instr = {},
+                      EdgeMapStats* stats = nullptr) {
+  return sparse_pull(view.in(), ws, dests, std::forward<F>(f), opt, instr,
+                     stats);
+}
+
+template <GraphView View, class F, class Instr = NullInstr>
+VertexSet sparse_pull(const View& view, Workspace& ws, const VertexSet& dests,
+                      F&& f, const EdgeMapOptions& opt = {}, Instr instr = {},
+                      EdgeMapStats* stats = nullptr) {
+  return sparse_pull(view.in(), ws, dests.ids(), std::forward<F>(f), opt, instr,
                      stats);
 }
 
@@ -441,9 +500,113 @@ void dense_push_pa(const PartitionAwareCsr& pa, Workspace& ws, F&& f,
 
 // --- vertex map --------------------------------------------------------------
 
-// f(ctx, v) -> bool over [0, n); true puts v in the returned set. PlainCtx:
-// a vertex map writes only the iterated (thread-owned) vertex.
+// f(ctx, v) -> bool; true puts v in the returned set. The default context is
+// PlainCtx — a vertex map writes only the iterated (thread-owned) vertex.
+// Maps whose per-vertex work writes *other* vertices' state (NodeIterator
+// triangle counting credits the two far corners) opt into a synchronized
+// context instead, so the sync policy and its operation accounting stay an
+// engine property there too.
+struct VertexMapOptions {
+  bool track = true;         // build the output VertexSet
+  bool synchronized = false; // false: PlainCtx; true: the `sync` context
+  Sync sync = Sync::Atomic;  // context when synchronized
+  int chunk = 0;             // 0: static schedule; >0: dynamic(chunk)
+};
+
+namespace detail {
+
+template <class Ctx, class F, class Instr>
+void vertex_map_impl(std::span<const vid_t> ids, Workspace& ws, F& f,
+                     const VertexMapOptions& opt, Instr instr) {
+#pragma omp parallel
+  {
+    Ctx ctx(instr, ws.locks());
+    if (opt.chunk > 0) {
+#pragma omp for schedule(dynamic, opt.chunk)
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (f(ctx, ids[i]) && opt.track) ws.buffers().push_local(ids[i]);
+      }
+    } else {
+#pragma omp for schedule(static)
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (f(ctx, ids[i]) && opt.track) ws.buffers().push_local(ids[i]);
+      }
+    }
+  }
+}
+
+// Dense variant: iterate [0, n) directly — no materialized id list.
+template <class Ctx, class F, class Instr>
+void vertex_map_dense_impl(vid_t n, Workspace& ws, F& f,
+                           const VertexMapOptions& opt, Instr instr) {
+#pragma omp parallel
+  {
+    Ctx ctx(instr, ws.locks());
+    if (opt.chunk > 0) {
+#pragma omp for schedule(dynamic, opt.chunk)
+      for (vid_t v = 0; v < n; ++v) {
+        if (f(ctx, v) && opt.track) ws.buffers().push_local(v);
+      }
+    } else {
+#pragma omp for schedule(static)
+      for (vid_t v = 0; v < n; ++v) {
+        if (f(ctx, v) && opt.track) ws.buffers().push_local(v);
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+// Sparse vertex map: iterate an explicit id list (Borůvka's per-supervertex
+// hook/shortcut rounds iterate the active list, not [0, n)).
 template <class F, class Instr = NullInstr>
+  requires(!std::convertible_to<F, VertexMapOptions>)
+VertexSet vertex_map(vid_t n, Workspace& ws, std::span<const vid_t> ids, F&& f,
+                     const VertexMapOptions& opt = {}, Instr instr = {}) {
+  switch (opt.synchronized ? opt.sync : Sync::Atomic) {
+    case Sync::StripedLock:
+      detail::vertex_map_impl<LockCtx<Instr>>(ids, ws, f, opt, instr);
+      break;
+    case Sync::Atomic:
+    default:
+      if (opt.synchronized) {
+        detail::vertex_map_impl<AtomicCtx<Instr>>(ids, ws, f, opt, instr);
+      } else {
+        detail::vertex_map_impl<PlainCtx<Instr>>(ids, ws, f, opt, instr);
+      }
+      break;
+  }
+  VertexSet out(n);
+  ws.buffers().merge_into(out.mutable_ids());
+  return out;
+}
+
+// Dense vertex map over [0, n).
+template <class F, class Instr = NullInstr>
+  requires(!std::convertible_to<F, VertexMapOptions>)
+VertexSet vertex_map(vid_t n, Workspace& ws, F&& f,
+                     const VertexMapOptions& opt, Instr instr = {}) {
+  switch (opt.synchronized ? opt.sync : Sync::Atomic) {
+    case Sync::StripedLock:
+      detail::vertex_map_dense_impl<LockCtx<Instr>>(n, ws, f, opt, instr);
+      break;
+    case Sync::Atomic:
+    default:
+      if (opt.synchronized) {
+        detail::vertex_map_dense_impl<AtomicCtx<Instr>>(n, ws, f, opt, instr);
+      } else {
+        detail::vertex_map_dense_impl<PlainCtx<Instr>>(n, ws, f, opt, instr);
+      }
+      break;
+  }
+  VertexSet out(n);
+  ws.buffers().merge_into(out.mutable_ids());
+  return out;
+}
+
+template <class F, class Instr = NullInstr>
+  requires(!std::convertible_to<F, VertexMapOptions>)
 VertexSet vertex_map(vid_t n, Workspace& ws, F&& f, bool track = true,
                      Instr instr = {}) {
 #pragma omp parallel

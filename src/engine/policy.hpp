@@ -54,6 +54,10 @@ inline const char* to_string(Mode m) {
 enum class Sync {
   Atomic,       // integer CAS/FAA; float accumulation = lock-accounted CAS loop
   StripedLock,  // spinlock pool keyed by destination vertex
+  Plain,        // provably conflict-free push (a single-source round like
+                // Prim's relaxation, or writes the partition makes exclusive);
+                // same context as the PA local half. The writes still cross
+                // ownership and are counted as writes, just not synchronized.
 };
 
 // Adjacency representation for push sweeps.

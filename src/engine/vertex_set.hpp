@@ -71,6 +71,19 @@ class VertexSet {
     return sum;
   }
 
+  // View-aware work estimate: push cost on a digraph is the members'
+  // *out*-degree mass, regardless of which CSR pull would scan.
+  template <class View>
+    requires requires(const View& v, vid_t x) { v.out_degree(x); }
+  double out_degree_sum(const View& view) const {
+    double sum = 0.0;
+#pragma omp parallel for reduction(+ : sum) schedule(static)
+    for (std::size_t i = 0; i < sparse_.size(); ++i) {
+      sum += static_cast<double>(view.out_degree(sparse_[i]));
+    }
+    return sum;
+  }
+
   void clear() {
     sparse_.clear();
     dense_valid_ = false;

@@ -1,0 +1,125 @@
+// Shared corpus of small *asymmetric* digraphs for the directed differential
+// tests: deterministic shapes whose out- and in-CSRs genuinely differ (DAG,
+// one-way bipartite, sink/source-heavy stars), a self-loop case, plus seeded
+// random arc sets. All built through build_digraph, so every entry has been
+// cross-validated (in == transpose(out)) on construction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+
+namespace pushpull::testing {
+
+struct DigraphZooEntry {
+  std::string name;
+  Digraph graph;
+};
+
+namespace detail {
+
+inline std::vector<DigraphZooEntry> build_digraph_zoo() {
+  std::vector<DigraphZooEntry> zoo;
+  auto dg = [](const std::string& name, vid_t n, EdgeList edges) {
+    BuildOptions opts;
+    return DigraphZooEntry{name, build_digraph(n, std::move(edges), opts, name)};
+  };
+
+  {
+    // Layered DAG: every rmat edge oriented low → high id.
+    EdgeList edges = rmat_edges(8, 6, 101);
+    for (Edge& e : edges) {
+      if (e.u > e.v) std::swap(e.u, e.v);
+    }
+    zoo.push_back(dg("dag_rmat8", 256, std::move(edges)));
+  }
+  {
+    // Directed cycle: exactly one out- and one in-arc per vertex, but a
+    // D = n diameter that stresses level-by-level loops.
+    EdgeList edges;
+    const vid_t n = 48;
+    for (vid_t v = 0; v < n; ++v) {
+      edges.push_back(Edge{v, static_cast<vid_t>((v + 1) % n), 1.f});
+    }
+    zoo.push_back(dg("cycle48", n, std::move(edges)));
+  }
+  {
+    // One-way complete bipartite: all arcs L → R; R is all sinks.
+    EdgeList edges;
+    const vid_t l = 10, r = 12;
+    for (vid_t a = 0; a < l; ++a) {
+      for (vid_t b = 0; b < r; ++b) {
+        edges.push_back(Edge{a, static_cast<vid_t>(l + b), 1.f});
+      }
+    }
+    zoo.push_back(dg("oneway_bipartite10x12", l + r, std::move(edges)));
+  }
+  {
+    // Self loops on a directed path (kept: remove_self_loops off).
+    EdgeList edges;
+    const vid_t n = 20;
+    for (vid_t v = 0; v + 1 < n; ++v) {
+      edges.push_back(Edge{v, static_cast<vid_t>(v + 1), 1.f});
+    }
+    for (vid_t v = 0; v < n; v += 3) edges.push_back(Edge{v, v, 1.f});
+    BuildOptions opts;
+    opts.remove_self_loops = false;
+    zoo.push_back(
+        {"selfloop_path20", build_digraph(n, std::move(edges), opts,
+                                          "selfloop_path20")});
+  }
+  {
+    // Sink-heavy: three chains all draining into one high-in-degree sink.
+    EdgeList edges;
+    const vid_t n = 31;  // vertex 30 is the sink
+    for (vid_t c = 0; c < 3; ++c) {
+      for (vid_t i = 0; i < 9; ++i) {
+        const vid_t v = static_cast<vid_t>(c * 10 + i);
+        edges.push_back(Edge{v, static_cast<vid_t>(v + 1), 1.f});
+      }
+      edges.push_back(Edge{static_cast<vid_t>(c * 10 + 9), 30, 1.f});
+    }
+    for (vid_t v = 0; v < 30; ++v) edges.push_back(Edge{v, 30, 1.f});
+    zoo.push_back(dg("sink_heavy31", n, std::move(edges)));
+  }
+  {
+    // Source-heavy: one high-out-degree source feeding a forest of chains.
+    EdgeList edges;
+    const vid_t n = 41;  // vertex 0 is the source
+    for (vid_t v = 1; v < n; ++v) edges.push_back(Edge{0, v, 1.f});
+    for (vid_t v = 1; v + 2 < n; v += 2) {
+      edges.push_back(Edge{v, static_cast<vid_t>(v + 2), 1.f});
+    }
+    zoo.push_back(dg("source_heavy41", n, std::move(edges)));
+  }
+  {
+    // Two directed cycles joined by a single one-way bridge: two SCCs.
+    EdgeList edges;
+    for (vid_t v = 0; v < 12; ++v) {
+      edges.push_back(Edge{v, static_cast<vid_t>((v + 1) % 12), 1.f});
+    }
+    for (vid_t v = 12; v < 20; ++v) {
+      edges.push_back(
+          Edge{v, static_cast<vid_t>(12 + (v - 12 + 1) % 8), 1.f});
+    }
+    edges.push_back(Edge{3, 15, 1.f});
+    zoo.push_back(dg("two_sccs20", 20, std::move(edges)));
+  }
+  {
+    // Raw rmat arcs: skewed, asymmetric, possibly disconnected.
+    zoo.push_back(dg("rmat9", 512, rmat_edges(9, 5, 7)));
+  }
+  return zoo;
+}
+
+}  // namespace detail
+
+inline const std::vector<DigraphZooEntry>& digraph_zoo() {
+  static const std::vector<DigraphZooEntry> zoo = detail::build_digraph_zoo();
+  return zoo;
+}
+
+}  // namespace pushpull::testing

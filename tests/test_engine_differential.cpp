@@ -190,7 +190,11 @@ TEST_P(EngineDifferential, ColoringMatchesLegacyOnZoo) {
 
 INSTANTIATE_TEST_SUITE_P(Threads, EngineDifferential, ::testing::Values(1, 4),
                          [](const ::testing::TestParamInfo<int>& info) {
-                           return "t" + std::to_string(info.param);
+                           // operator+ on the literal trips GCC-12's
+                           // -Wrestrict false positive; append instead.
+                           std::string name("t");
+                           name += std::to_string(info.param);
+                           return name;
                          });
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/baselines/baselines.hpp"
+#include "core/baselines/legacy_kernels.hpp"
 #include "core/generalized_bfs.hpp"
 #include "graph_zoo.hpp"
 
@@ -48,6 +49,30 @@ INSTANTIATE_TEST_SUITE_P(Threads, GenBfsSweep, ::testing::Range(0, 3),
                            name += std::to_string(1 + info.param % 4);
                            return name;
                          });
+
+TEST(GenBfs, EngineMatchesFrozenLegacyOracle) {
+  // The fused per-edge engine round vs the frozen two-phase original: with
+  // the min fold (hop BFS) every interleaving yields the same integers, so
+  // values must be identical across the zoo in both directions.
+  omp_set_num_threads(4);
+  for (const auto& [name, g] : testing::unweighted_zoo()) {
+    for (Direction dir : {Direction::Push, Direction::Pull}) {
+      std::vector<int> ready(static_cast<std::size_t>(g.n()), 1);
+      ready[0] = 0;
+      std::vector<vid_t> values(static_cast<std::size_t>(g.n()),
+                                std::numeric_limits<vid_t>::max() / 2);
+      values[0] = 0;
+      auto op = [](vid_t& target, const vid_t& source) {
+        target = std::min(target, static_cast<vid_t>(source + 1));
+      };
+      const auto engine_r =
+          generalized_bfs(g, ready, values, {0}, op, dir);
+      const auto legacy_v =
+          legacy::generalized_bfs(g, ready, values, {0}, op, dir);
+      EXPECT_EQ(engine_r.values, legacy_v) << name << "/" << to_string(dir);
+    }
+  }
+}
 
 TEST(GenBfs, TreeAggregationWithExactReadyCounts) {
   // The BC-backward pattern (Algorithm 5): on a rooted tree, set ready[v] =

@@ -2,6 +2,7 @@
 #include <omp.h>
 
 #include "core/baselines/baselines.hpp"
+#include "core/baselines/legacy_kernels.hpp"
 #include "core/baselines/union_find.hpp"
 #include "core/mst_boruvka.hpp"
 #include "core/mst_prim.hpp"
@@ -140,6 +141,24 @@ TEST(MstPrim, ParentEdgesExistAndRoundsEqualN) {
     const vid_t p = r.parent[static_cast<std::size_t>(v)];
     if (p >= 0) {
       EXPECT_TRUE(g.has_edge(p, v)) << name;
+    }
+  }
+}
+
+TEST(Mst, EngineMatchesFrozenLegacyOracleBitForBit) {
+  // The edge_map/vertex_map rebase must reproduce the frozen pre-engine
+  // loops exactly: same tree edges in the same order, bitwise-equal weight
+  // sum, same iteration count — the canonical-arc tie-break makes both ends
+  // deterministic, so this holds at any thread count.
+  omp_set_num_threads(4);
+  for (const auto& [name, g] : testing::weighted_zoo()) {
+    for (Direction dir : {Direction::Push, Direction::Pull}) {
+      const BoruvkaResult r = mst_boruvka(g, dir);
+      const legacy::BoruvkaRef ref = legacy::mst_boruvka(g, dir);
+      EXPECT_EQ(r.tree_edges, ref.tree_edges) << name << "/" << to_string(dir);
+      EXPECT_EQ(r.total_weight, ref.total_weight)
+          << name << "/" << to_string(dir);
+      EXPECT_EQ(r.iterations, ref.iterations) << name << "/" << to_string(dir);
     }
   }
 }
