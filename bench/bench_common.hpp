@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -64,8 +65,13 @@ double time_s(F&& fn, int repeats = 1) {
 //   --policy=push|pull|gs|grs|fe|pa|all   engine strategies to sweep
 //   --graph=FILE                  load a SNAP-style edge list instead of the
 //                                 analogs (weights read when present)
+//   --seed=S                      re-seed the analog generators (and any
+//                                 bench-local randomness, e.g. update
+//                                 streams); 0 = the builtin per-analog seeds,
+//                                 so default runs stay bit-identical
 struct SmCli {
   int scale = 0;
+  std::uint64_t seed = 0;  // 0 = the analogs' builtin seeds
   std::vector<engine::StrategyKind> policies;
   std::string graph_path;  // empty = the synthetic analogs
   // Built-graph cache: a multi-GB --graph file is parsed and symmetrized
@@ -77,6 +83,7 @@ inline SmCli parse_sm_cli(Cli& cli, int default_scale,
                           const char* default_policy = "all") {
   SmCli out;
   out.scale = static_cast<int>(cli.get_int("scale", default_scale));
+  out.seed = static_cast<std::uint64_t>(cli.get_int("seed", 0));
   out.policies =
       engine::parse_strategy_list(cli.get_string("policy", default_policy));
   out.graph_path = cli.get_string("graph", "");
@@ -103,7 +110,8 @@ inline const Csr& sm_load_graph(const SmCli& sm, const std::string& name,
   auto it = sm.cache.find(key);
   if (it != sm.cache.end()) return it->second;
   if (sm.graph_path.empty()) {
-    return sm.cache.emplace(key, analog_by_name(name, sm.scale, weighted))
+    return sm.cache
+        .emplace(key, analog_by_name(name, sm.scale, weighted, sm.seed))
         .first->second;
   }
   vid_t n = 0;

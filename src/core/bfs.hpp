@@ -75,7 +75,8 @@ struct BfsPullAdopt {
   }
 };
 
-inline BfsResult bfs_init(const Csr& g, vid_t root) {
+template <CsrLike G>
+inline BfsResult bfs_init(const G& g, vid_t root) {
   const vid_t n = g.n();
   PP_CHECK(root >= 0 && root < n);
   BfsResult r;
@@ -89,8 +90,8 @@ inline BfsResult bfs_init(const Csr& g, vid_t root) {
 
 // --- Top-down (push) ---------------------------------------------------------
 
-template <class Instr = NullInstr>
-BfsResult bfs_push(const Csr& g, vid_t root, Instr instr = {}) {
+template <CsrLike G, class Instr = NullInstr>
+BfsResult bfs_push(const G& g, vid_t root, Instr instr = {}) {
   BfsResult r = detail::bfs_init(g, root);
   engine::Workspace ws(g.n());
   engine::VertexSet frontier = engine::VertexSet::single(g.n(), root);
@@ -112,8 +113,8 @@ BfsResult bfs_push(const Csr& g, vid_t root, Instr instr = {}) {
 
 // --- Bottom-up (pull) ----------------------------------------------------------
 
-template <class Instr = NullInstr>
-BfsResult bfs_pull(const Csr& g, vid_t root, Instr instr = {}) {
+template <CsrLike G, class Instr = NullInstr>
+BfsResult bfs_pull(const G& g, vid_t root, Instr instr = {}) {
   BfsResult r = detail::bfs_init(g, root);
   engine::Workspace ws(g.n());
   engine::EdgeMapOptions opt;
@@ -140,8 +141,8 @@ struct DirOptParams {
   double beta = 24.0;   // pull→push when frontier size < n/beta
 };
 
-template <class Instr = NullInstr>
-BfsResult bfs_direction_optimizing(const Csr& g, vid_t root,
+template <CsrLike G, class Instr = NullInstr>
+BfsResult bfs_direction_optimizing(const G& g, vid_t root,
                                    const DirOptParams& p = {}, Instr instr = {}) {
   const vid_t n = g.n();
   BfsResult r = detail::bfs_init(g, root);

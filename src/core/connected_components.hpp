@@ -58,8 +58,8 @@ struct CcPropagate {
 
 }  // namespace detail
 
-template <class Instr = NullInstr>
-CcResult connected_components(const Csr& g, const CcOptions& opt = {},
+template <CsrLike G, class Instr = NullInstr>
+CcResult connected_components(const G& g, const CcOptions& opt = {},
                               Instr instr = {}) {
   const vid_t n = g.n();
   CcResult r;

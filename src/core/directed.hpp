@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "core/direction.hpp"
@@ -40,8 +41,9 @@ namespace detail {
 // Push: every non-dangling u adds f·r(u)/d_out(u) into each out-neighbor's
 // accumulator. Float conflicts → lock-accounted CAS loops (§4.1): one lock
 // per out-arc, which test_directed pins exactly.
+template <CsrLike G>
 struct DirPrScatter {
-  const Csr* out;
+  const G* out;
   const double* pr;
   double* next;
   double damping;
@@ -63,8 +65,9 @@ struct DirPrScatter {
 // Pull: v folds f·r(u)/d_out(u) over its in-neighbors into its own
 // accumulator (PlainCtx — read conflicts only; exactly one counted read per
 // in-arc, the §4.8 cost shape test_directed pins).
+template <CsrLike G>
 struct DirPrGather {
-  const Csr* out;
+  const G* out;
   const double* pr;
   double* next;
   double base;
@@ -119,14 +122,14 @@ struct DirBfsAdopt {
 // Directed PageRank: rank flows along arc direction, r(v) depends on the
 // in-neighbors' ranks scaled by their *out*-degrees. Dangling vertices
 // (out-degree 0) redistribute uniformly.
-template <class Instr = NullInstr>
-std::vector<double> pagerank_digraph(const Digraph& g,
+template <engine::GraphView View, class Instr = NullInstr>
+std::vector<double> pagerank_digraph(const View& view,
                                      const DirectedPageRankOptions& opt,
                                      Direction dir, Instr instr = {}) {
-  const vid_t n = g.out.n();
+  const vid_t n = view.n();
   PP_CHECK(n > 0);
-  PP_CHECK(g.in.n() == n);
-  const engine::DigraphView view(g);
+  const auto& out = view.out();
+  using OutG = std::remove_cvref_t<decltype(view.out())>;
   std::vector<double> pr(static_cast<std::size_t>(n), 1.0 / n);
   std::vector<double> next(static_cast<std::size_t>(n), 0.0);
   engine::Workspace ws(n);
@@ -136,7 +139,7 @@ std::vector<double> pagerank_digraph(const Digraph& g,
     double dangling = 0.0;
 #pragma omp parallel for reduction(+ : dangling) schedule(static)
     for (vid_t v = 0; v < n; ++v) {
-      if (g.out.degree(v) == 0) dangling += pr[static_cast<std::size_t>(v)];
+      if (out.degree(v) == 0) dangling += pr[static_cast<std::size_t>(v)];
     }
     const double base = (1.0 - opt.damping) / n + opt.damping * dangling / n;
 
@@ -144,7 +147,7 @@ std::vector<double> pagerank_digraph(const Digraph& g,
       emo.region = 70;
       engine::dense_push(
           view, ws, /*sources=*/nullptr,
-          detail::DirPrScatter{&g.out, pr.data(), next.data(), opt.damping},
+          detail::DirPrScatter<OutG>{&out, pr.data(), next.data(), opt.damping},
           emo, instr);
       engine::vertex_map(
           n, ws,
@@ -156,14 +159,22 @@ std::vector<double> pagerank_digraph(const Digraph& g,
     } else {
       emo.region = 71;
       engine::dense_pull(view, ws,
-                         detail::DirPrGather{&g.out, pr.data(), next.data(),
-                                             base, opt.damping},
+                         detail::DirPrGather<OutG>{&out, pr.data(), next.data(),
+                                                   base, opt.damping},
                          emo, instr);
     }
     pr.swap(next);
     std::fill(next.begin(), next.end(), 0.0);
   }
   return pr;
+}
+
+template <class Instr = NullInstr>
+std::vector<double> pagerank_digraph(const Digraph& g,
+                                     const DirectedPageRankOptions& opt,
+                                     Direction dir, Instr instr = {}) {
+  PP_CHECK(g.in.n() == g.out.n());
+  return pagerank_digraph(engine::DigraphView(g), opt, dir, instr);
 }
 
 // Sequential reference (pull formulation, serial).
@@ -173,12 +184,11 @@ std::vector<double> pagerank_digraph_seq(const Digraph& g,
 // Directed BFS along arc direction.
 //   push — frontier vertices claim unvisited *out*-neighbors with CAS,
 //   pull — unvisited vertices scan their *in*-neighbors for frontier members.
-template <class Instr = NullInstr>
-std::vector<vid_t> bfs_digraph(const Digraph& g, vid_t root, Direction dir,
+template <engine::GraphView View, class Instr = NullInstr>
+std::vector<vid_t> bfs_digraph(const View& view, vid_t root, Direction dir,
                                Instr instr = {}) {
-  const vid_t n = g.out.n();
+  const vid_t n = view.n();
   PP_CHECK(root >= 0 && root < n);
-  const engine::DigraphView view(g);
   std::vector<vid_t> dist(static_cast<std::size_t>(n), -1);
   dist[static_cast<std::size_t>(root)] = 0;
   engine::Workspace ws(n);
@@ -207,6 +217,12 @@ std::vector<vid_t> bfs_digraph(const Digraph& g, vid_t root, Direction dir,
   return dist;
 }
 
+template <class Instr = NullInstr>
+std::vector<vid_t> bfs_digraph(const Digraph& g, vid_t root, Direction dir,
+                               Instr instr = {}) {
+  return bfs_digraph(engine::DigraphView(g), root, dir, instr);
+}
+
 // --- Strategy-driven directed BFS (§5 over DigraphView) ----------------------
 
 struct DigraphBfsOptions {
@@ -226,13 +242,12 @@ struct DigraphBfsResult {
 // One BFS, five §5 strategies: static push, static pull, Generic-Switch,
 // Greedy-Switch (serial worklist tail), Frontier-Exploit — all the same two
 // functors over DigraphView, direction chosen per level by DirectionPolicy.
-template <class Instr = NullInstr>
-DigraphBfsResult bfs_digraph_strategy(const Digraph& g, vid_t root,
+template <engine::GraphView View, class Instr = NullInstr>
+DigraphBfsResult bfs_digraph_strategy(const View& view, vid_t root,
                                       const DigraphBfsOptions& opt = {},
                                       Instr instr = {}) {
-  const vid_t n = g.out.n();
+  const vid_t n = view.n();
   PP_CHECK(root >= 0 && root < n);
-  const engine::DigraphView view(g);
   DigraphBfsResult r;
   r.dist.assign(static_cast<std::size_t>(n), -1);
   r.dist[static_cast<std::size_t>(root)] = 0;
@@ -255,7 +270,7 @@ DigraphBfsResult bfs_digraph_strategy(const Digraph& g, vid_t root,
       std::vector<vid_t> queue(frontier.ids().begin(), frontier.ids().end());
       for (std::size_t head = 0; head < queue.size(); ++head) {
         const vid_t v = queue[head];
-        for (vid_t u : g.out.neighbors(v)) {
+        for (vid_t u : view.out().neighbors(v)) {
           if (r.dist[static_cast<std::size_t>(u)] < 0) {
             r.dist[static_cast<std::size_t>(u)] =
                 r.dist[static_cast<std::size_t>(v)] + 1;
@@ -285,6 +300,13 @@ DigraphBfsResult bfs_digraph_strategy(const Digraph& g, vid_t root,
     ++r.levels;
   }
   return r;
+}
+
+template <class Instr = NullInstr>
+DigraphBfsResult bfs_digraph_strategy(const Digraph& g, vid_t root,
+                                      const DigraphBfsOptions& opt = {},
+                                      Instr instr = {}) {
+  return bfs_digraph_strategy(engine::DigraphView(g), root, opt, instr);
 }
 
 // --- Reachability ------------------------------------------------------------
@@ -327,12 +349,11 @@ struct ReachAdopt {
 // Vertices reachable from `root` along arc direction (1 = reachable).
 //   push — frontier rounds of sparse_push over out-arcs,
 //   pull — dense_pull sweeps over in-arcs until no vertex flips.
-template <class Instr = NullInstr>
-std::vector<std::uint8_t> reachability_digraph(const Digraph& g, vid_t root,
+template <engine::GraphView View, class Instr = NullInstr>
+std::vector<std::uint8_t> reachability_digraph(const View& view, vid_t root,
                                                Direction dir, Instr instr = {}) {
-  const vid_t n = g.out.n();
+  const vid_t n = view.n();
   PP_CHECK(root >= 0 && root < n);
-  const engine::DigraphView view(g);
   std::vector<std::uint8_t> visited(static_cast<std::size_t>(n), 0);
   visited[static_cast<std::size_t>(root)] = 1;
   engine::Workspace ws(n);
@@ -353,6 +374,12 @@ std::vector<std::uint8_t> reachability_digraph(const Digraph& g, vid_t root,
     }
   }
   return visited;
+}
+
+template <class Instr = NullInstr>
+std::vector<std::uint8_t> reachability_digraph(const Digraph& g, vid_t root,
+                                               Direction dir, Instr instr = {}) {
+  return reachability_digraph(engine::DigraphView(g), root, dir, instr);
 }
 
 // Strongly connected components via forward-backward reachability (the

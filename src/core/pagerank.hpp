@@ -40,7 +40,8 @@ using IterTimes = std::vector<double>;
 namespace detail {
 
 // Shared per-iteration epilogue: base term + dangling redistribution.
-inline double pr_dangling_mass(const Csr& g, const std::vector<double>& pr) {
+template <CsrLike G>
+inline double pr_dangling_mass(const G& g, const std::vector<double>& pr) {
   double dangling = 0.0;
 #pragma omp parallel for reduction(+ : dangling) schedule(static)
   for (vid_t v = 0; v < g.n(); ++v) {
@@ -51,8 +52,9 @@ inline double pr_dangling_mass(const Csr& g, const std::vector<double>& pr) {
 
 // Pull: fold r(u)/d(u) into new_pr[v] in neighbor order, then scale once —
 // the accumulation order matches the pre-engine kernel bit for bit.
+template <CsrLike G>
 struct PrGather {
-  const Csr* g;
+  const G* g;
   const double* pr;
   double* next;
   double base;
@@ -101,8 +103,8 @@ struct PrScatter {
 }  // namespace detail
 
 // Pull-based PageRank: new_pr[v] += f·pr[u]/d(u) for u ∈ N(v)  (R-conflicts).
-template <class Instr = NullInstr>
-std::vector<double> pagerank_pull(const Csr& g, const PageRankOptions& opt,
+template <CsrLike G, class Instr = NullInstr>
+std::vector<double> pagerank_pull(const G& g, const PageRankOptions& opt,
                                   Instr instr = {}) {
   const vid_t n = g.n();
   PP_CHECK(n > 0);
@@ -116,7 +118,8 @@ std::vector<double> pagerank_pull(const Csr& g, const PageRankOptions& opt,
     const double dangling = detail::pr_dangling_mass(g, pr);
     const double base = (1.0 - opt.damping) / n + opt.damping * dangling / n;
     engine::dense_pull(
-        g, ws, detail::PrGather{&g, pr.data(), next.data(), base, opt.damping},
+        g, ws,
+        detail::PrGather<G>{&g, pr.data(), next.data(), base, opt.damping},
         emo, instr);
     pr.swap(next);
     std::fill(next.begin(), next.end(), 0.0);
@@ -126,8 +129,8 @@ std::vector<double> pagerank_pull(const Csr& g, const PageRankOptions& opt,
 
 // Push-based PageRank: new_pr[u] += f·pr[v]/d(v)  (W-conflicts on floats →
 // CAS-loop "locks").
-template <class Instr = NullInstr>
-std::vector<double> pagerank_push(const Csr& g, const PageRankOptions& opt,
+template <CsrLike G, class Instr = NullInstr>
+std::vector<double> pagerank_push(const G& g, const PageRankOptions& opt,
                                   Instr instr = {}) {
   const vid_t n = g.n();
   PP_CHECK(n > 0);
@@ -142,7 +145,7 @@ std::vector<double> pagerank_push(const Csr& g, const PageRankOptions& opt,
     const double base = (1.0 - opt.damping) / n + opt.damping * dangling / n;
     engine::dense_push(
         g, ws, /*sources=*/nullptr,
-        detail::PrScatter<Csr>{&g, pr.data(), next.data(), opt.damping}, emo,
+        detail::PrScatter<G>{&g, pr.data(), next.data(), opt.damping}, emo,
         instr);
     engine::vertex_map(
         n, ws,

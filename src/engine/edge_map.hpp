@@ -146,8 +146,8 @@ inline constexpr bool break_on_update() {
 
 // Scans s's out-edges, calling update (with the per-source payload when the
 // functor defines one); pushes accepted targets into the k-filter buffers.
-template <class Ctx, class F, class Instr>
-inline std::int64_t push_edges(const Csr& g, Workspace& ws, Ctx& ctx, F& f,
+template <CsrLike G, class Ctx, class F, class Instr>
+inline std::int64_t push_edges(const G& g, Workspace& ws, Ctx& ctx, F& f,
                                vid_t s, std::size_t pos, bool track, bool dedup,
                                Instr& instr) {
   std::int64_t hits = 0;
@@ -175,8 +175,8 @@ inline std::int64_t push_edges(const Csr& g, Workspace& ws, Ctx& ctx, F& f,
 // Scans d's in-neighbors, calling update (with the per-destination payload
 // when defined); early-breaks on the functor's kBreakOnUpdate. Returns
 // whether d enters the output set.
-template <class Ctx, class F, class Instr>
-inline std::pair<bool, std::int64_t> pull_edges(const Csr& in_csr, Ctx& ctx,
+template <CsrLike G, class Ctx, class F, class Instr>
+inline std::pair<bool, std::int64_t> pull_edges(const G& in_csr, Ctx& ctx,
                                                 F& f, vid_t d, Instr& instr) {
   if constexpr (requires { f.begin_dest(ctx, d); }) {
     f.begin_dest(ctx, d);
@@ -206,8 +206,8 @@ inline std::pair<bool, std::int64_t> pull_edges(const Csr& in_csr, Ctx& ctx,
   return {out, hits};
 }
 
-template <class Ctx, class F, class Instr>
-VertexSet sparse_push_impl(const Csr& g, Workspace& ws,
+template <class Ctx, CsrLike G, class F, class Instr>
+VertexSet sparse_push_impl(const G& g, Workspace& ws,
                            std::span<const vid_t> in, F& f,
                            const EdgeMapOptions& opt, Instr instr,
                            EdgeMapStats* stats) {
@@ -236,8 +236,8 @@ VertexSet sparse_push_impl(const Csr& g, Workspace& ws,
   return out;
 }
 
-template <class Ctx, class F, class Instr>
-VertexSet dense_push_impl(const Csr& g, Workspace& ws, const VertexSet* sources,
+template <class Ctx, CsrLike G, class F, class Instr>
+VertexSet dense_push_impl(const G& g, Workspace& ws, const VertexSet* sources,
                           F& f, const EdgeMapOptions& opt, Instr instr,
                           EdgeMapStats* stats) {
   WallTimer timer;
@@ -271,8 +271,8 @@ VertexSet dense_push_impl(const Csr& g, Workspace& ws, const VertexSet* sources,
 
 // --- sparse push (frontier-driven, k-filter output) --------------------------
 
-template <class F, class Instr = NullInstr>
-VertexSet sparse_push(const Csr& g, Workspace& ws, std::span<const vid_t> in,
+template <CsrLike G, class F, class Instr = NullInstr>
+VertexSet sparse_push(const G& g, Workspace& ws, std::span<const vid_t> in,
                       F&& f, const EdgeMapOptions& opt = {}, Instr instr = {},
                       EdgeMapStats* stats = nullptr) {
   if (opt.dedup_output) ws.ensure_dedup();
@@ -290,8 +290,8 @@ VertexSet sparse_push(const Csr& g, Workspace& ws, std::span<const vid_t> in,
   }
 }
 
-template <class F, class Instr = NullInstr>
-VertexSet sparse_push(const Csr& g, Workspace& ws, const VertexSet& in, F&& f,
+template <CsrLike G, class F, class Instr = NullInstr>
+VertexSet sparse_push(const G& g, Workspace& ws, const VertexSet& in, F&& f,
                       const EdgeMapOptions& opt = {}, Instr instr = {},
                       EdgeMapStats* stats = nullptr) {
   return sparse_push(g, ws, in.ids(), std::forward<F>(f), opt, instr, stats);
@@ -316,8 +316,8 @@ VertexSet sparse_push(const View& view, Workspace& ws, const VertexSet& in,
 
 // --- dense push (full source sweep, optional membership filter) --------------
 
-template <class F, class Instr = NullInstr>
-VertexSet dense_push(const Csr& g, Workspace& ws, const VertexSet* sources,
+template <CsrLike G, class F, class Instr = NullInstr>
+VertexSet dense_push(const G& g, Workspace& ws, const VertexSet* sources,
                      F&& f, const EdgeMapOptions& opt = {}, Instr instr = {},
                      EdgeMapStats* stats = nullptr) {
   if (opt.dedup_output) ws.ensure_dedup();
@@ -345,8 +345,8 @@ VertexSet dense_push(const View& view, Workspace& ws, const VertexSet* sources,
 
 // --- dense pull (full destination sweep over in-edges) -----------------------
 
-template <class F, class Instr = NullInstr>
-VertexSet dense_pull(const Csr& in_csr, Workspace& ws, F&& f,
+template <CsrLike G, class F, class Instr = NullInstr>
+VertexSet dense_pull(const G& in_csr, Workspace& ws, F&& f,
                      const EdgeMapOptions& opt = {}, Instr instr = {},
                      EdgeMapStats* stats = nullptr) {
   WallTimer timer;
@@ -386,8 +386,8 @@ VertexSet dense_pull(const View& view, Workspace& ws, F&& f,
 
 // --- sparse pull (frontier-aware pull over a given destination set) ----------
 
-template <class F, class Instr = NullInstr>
-VertexSet sparse_pull(const Csr& in_csr, Workspace& ws,
+template <CsrLike G, class F, class Instr = NullInstr>
+VertexSet sparse_pull(const G& in_csr, Workspace& ws,
                       std::span<const vid_t> dests, F&& f,
                       const EdgeMapOptions& opt = {}, Instr instr = {},
                       EdgeMapStats* stats = nullptr) {
@@ -416,8 +416,8 @@ VertexSet sparse_pull(const Csr& in_csr, Workspace& ws,
   return out;
 }
 
-template <class F, class Instr = NullInstr>
-VertexSet sparse_pull(const Csr& in_csr, Workspace& ws, const VertexSet& dests,
+template <CsrLike G, class F, class Instr = NullInstr>
+VertexSet sparse_pull(const G& in_csr, Workspace& ws, const VertexSet& dests,
                       F&& f, const EdgeMapOptions& opt = {}, Instr instr = {},
                       EdgeMapStats* stats = nullptr) {
   return sparse_pull(in_csr, ws, dests.ids(), std::forward<F>(f), opt, instr,

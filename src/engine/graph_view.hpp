@@ -12,6 +12,13 @@
 //   DigraphView   — wraps Digraph{out, in}; push walks g.out, pull walks g.in.
 //                   Pull modes stay zero-atomic on digraphs too — the view
 //                   changes *which* arcs are scanned, never the sync policy.
+//   SnapshotView  — (graph/delta_graph.hpp) a point-in-time view of a mutable
+//                   DeltaGraph; out()/in() return SnapshotCsr, a CsrLike that
+//                   patches a sealed base CSR with a versioned overlay.
+//
+// The accessors therefore return *CsrLike* adjacency (graph/csr.hpp), not Csr
+// concretely; every loop shape in edge_map.hpp is templated on that concept,
+// so all three views run the same engine code.
 //
 // reversed() swaps the two CSRs, turning forward traversal functors into
 // backward ones (SCC's backward reachability pass pushes along in-edges).
@@ -24,12 +31,12 @@
 
 namespace pushpull::engine {
 
-// What the engine requires of a graph view: the two CSR accessors plus the
-// degree/arc counters the switching heuristics consume.
+// What the engine requires of a graph view: the two CsrLike accessors plus
+// the degree/arc counters the switching heuristics consume.
 template <class V>
 concept GraphView = requires(const V& v, vid_t x) {
-  { v.out() } -> std::convertible_to<const Csr&>;
-  { v.in() } -> std::convertible_to<const Csr&>;
+  { v.out() } -> CsrLike;
+  { v.in() } -> CsrLike;
   { v.n() } -> std::convertible_to<vid_t>;
   { v.num_arcs() } -> std::convertible_to<eid_t>;
   { v.out_degree(x) } -> std::convertible_to<vid_t>;

@@ -62,7 +62,8 @@ class VertexSet {
   bool test(vid_t v) const { return dense().test(v); }
 
   // Σ out-degrees of members — the GS work estimate for the next superstep.
-  double out_degree_sum(const Csr& g) const {
+  template <CsrLike G>
+  double out_degree_sum(const G& g) const {
     double sum = 0.0;
 #pragma omp parallel for reduction(+ : sum) schedule(static)
     for (std::size_t i = 0; i < sparse_.size(); ++i) {

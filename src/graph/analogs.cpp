@@ -19,45 +19,57 @@ Csr finish(vid_t n, EdgeList edges, bool weighted, std::uint64_t seed) {
   return make_undirected(n, std::move(edges));
 }
 
+// --seed override: 0 keeps the analog's builtin seed so the published
+// defaults stay bit-identical.
+std::uint64_t pick(std::uint64_t builtin, std::uint64_t seed) {
+  return seed == 0 ? builtin : seed;
+}
+
 }  // namespace
 
-Csr orc_analog(int scale, bool weighted) {
+Csr orc_analog(int scale, bool weighted, std::uint64_t seed) {
   const int s = scaled(15, scale);  // default n = 32768
-  return finish(vid_t{1} << s, rmat_edges(s, 16, /*seed=*/101), weighted, 101);
+  const std::uint64_t sd = pick(101, seed);
+  return finish(vid_t{1} << s, rmat_edges(s, 16, sd), weighted, sd);
 }
 
-Csr pok_analog(int scale, bool weighted) {
+Csr pok_analog(int scale, bool weighted, std::uint64_t seed) {
   const int s = scaled(14, scale);  // default n = 16384
-  return finish(vid_t{1} << s, rmat_edges(s, 9, /*seed=*/202), weighted, 202);
+  const std::uint64_t sd = pick(202, seed);
+  return finish(vid_t{1} << s, rmat_edges(s, 9, sd), weighted, sd);
 }
 
-Csr ljn_analog(int scale, bool weighted) {
+Csr ljn_analog(int scale, bool weighted, std::uint64_t seed) {
   const int s = scaled(15, scale);  // default n = 32768
-  return finish(vid_t{1} << s, rmat_edges(s, 5, /*seed=*/303), weighted, 303);
+  const std::uint64_t sd = pick(303, seed);
+  return finish(vid_t{1} << s, rmat_edges(s, 5, sd), weighted, sd);
 }
 
-Csr am_analog(int scale, bool weighted) {
+Csr am_analog(int scale, bool weighted, std::uint64_t seed) {
   vid_t n = vid_t{1} << scaled(15, scale);  // default n = 32768
-  return finish(n, barabasi_albert_edges(n, 2, /*seed=*/404), weighted, 404);
+  const std::uint64_t sd = pick(404, seed);
+  return finish(n, barabasi_albert_edges(n, 2, sd), weighted, sd);
 }
 
-Csr rca_analog(int scale, bool weighted) {
+Csr rca_analog(int scale, bool weighted, std::uint64_t seed) {
   // Default 128 x 512 = 65536 vertices; thinned to d̄ ≈ 2.8 like roadNet-CA.
   int rows = 128, cols = 512;
   for (int i = 0; i < scale; ++i) (i % 2 == 0 ? cols : rows) *= 2;
   for (int i = 0; i > scale; --i) (i % 2 == 0 ? cols : rows) /= 2;
   PP_CHECK(rows >= 4 && cols >= 4);
+  const std::uint64_t sd = pick(505, seed);
   return finish(static_cast<vid_t>(rows) * cols,
-                grid2d_edges(rows, cols, /*keep_prob=*/0.72, /*seed=*/505),
-                weighted, 505);
+                grid2d_edges(rows, cols, /*keep_prob=*/0.72, sd),
+                weighted, sd);
 }
 
-Csr analog_by_name(const std::string& name, int scale, bool weighted) {
-  if (name == "orc") return orc_analog(scale, weighted);
-  if (name == "pok") return pok_analog(scale, weighted);
-  if (name == "ljn") return ljn_analog(scale, weighted);
-  if (name == "am") return am_analog(scale, weighted);
-  if (name == "rca") return rca_analog(scale, weighted);
+Csr analog_by_name(const std::string& name, int scale, bool weighted,
+                   std::uint64_t seed) {
+  if (name == "orc") return orc_analog(scale, weighted, seed);
+  if (name == "pok") return pok_analog(scale, weighted, seed);
+  if (name == "ljn") return ljn_analog(scale, weighted, seed);
+  if (name == "am") return am_analog(scale, weighted, seed);
+  if (name == "rca") return rca_analog(scale, weighted, seed);
   PP_CHECK(false && "unknown analog graph name");
   return {};
 }

@@ -35,15 +35,18 @@ struct AnalogSpec {
 
 // Individual analogs. `scale` halves (negative) or doubles (positive) the
 // vertex count per step relative to the default size; weighted variants draw
-// uniform weights in [1, 64).
-Csr orc_analog(int scale = 0, bool weighted = false);
-Csr pok_analog(int scale = 0, bool weighted = false);
-Csr ljn_analog(int scale = 0, bool weighted = false);
-Csr am_analog(int scale = 0, bool weighted = false);
-Csr rca_analog(int scale = 0, bool weighted = false);
+// uniform weights in [1, 64). `seed` = 0 keeps each analog's builtin seed
+// (the published defaults stay bit-identical); any other value re-seeds the
+// generator so benches can draw reproducible alternate instances (--seed).
+Csr orc_analog(int scale = 0, bool weighted = false, std::uint64_t seed = 0);
+Csr pok_analog(int scale = 0, bool weighted = false, std::uint64_t seed = 0);
+Csr ljn_analog(int scale = 0, bool weighted = false, std::uint64_t seed = 0);
+Csr am_analog(int scale = 0, bool weighted = false, std::uint64_t seed = 0);
+Csr rca_analog(int scale = 0, bool weighted = false, std::uint64_t seed = 0);
 
 // Returns the analog by paper name ("orc", "pok", "ljn", "am", "rca").
-Csr analog_by_name(const std::string& name, int scale = 0, bool weighted = false);
+Csr analog_by_name(const std::string& name, int scale = 0, bool weighted = false,
+                   std::uint64_t seed = 0);
 
 // All five names in the paper's order.
 const std::vector<std::string>& analog_names();

@@ -7,6 +7,7 @@
 // adjacency tests.
 #pragma once
 
+#include <concepts>
 #include <span>
 #include <vector>
 
@@ -14,6 +15,27 @@
 #include "util/check.hpp"
 
 namespace pushpull {
+
+// What a traversal loop needs from an adjacency structure: the read API of
+// Csr, as a concept. Csr itself models it, and so does SnapshotCsr (a sealed
+// base CSR patched by a versioned overlay, graph/delta_graph.hpp) — the
+// engine's loop shapes and the core kernels are written against this concept,
+// so a point-in-time snapshot of a mutating graph runs every kernel
+// unmodified. Contract shared with Csr: per-vertex neighbor lists are sorted
+// ascending, edge ids form one contiguous range [edge_begin(v), edge_end(v))
+// per vertex, and edge_target/edge_weight accept any id from those ranges.
+template <class G>
+concept CsrLike = requires(const G& g, vid_t v, eid_t e) {
+  { g.n() } -> std::convertible_to<vid_t>;
+  { g.num_arcs() } -> std::convertible_to<eid_t>;
+  { g.degree(v) } -> std::convertible_to<vid_t>;
+  { g.neighbors(v) } -> std::convertible_to<std::span<const vid_t>>;
+  { g.edge_begin(v) } -> std::convertible_to<eid_t>;
+  { g.edge_end(v) } -> std::convertible_to<eid_t>;
+  { g.edge_target(e) } -> std::convertible_to<vid_t>;
+  { g.edge_weight(e) } -> std::convertible_to<weight_t>;
+  { g.has_weights() } -> std::convertible_to<bool>;
+};
 
 class Csr {
  public:

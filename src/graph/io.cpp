@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "graph/builder.hpp"
 #include "util/check.hpp"
 
 namespace pushpull {
@@ -21,10 +22,66 @@ constexpr std::uint64_t kMagicLegacy = 0x70757368'70756c6cULL;  // "pushpull"
 constexpr std::uint64_t kMagic = 0x70757368'70756c32ULL;  // "pushpul2"
 constexpr std::uint32_t kVersion = 2;
 
+// Digraph container (format v2): the same header discipline, then the out-CSR
+// and in-CSR payloads back to back.
+constexpr std::uint64_t kMagicDigraph = 0x70757368'70646732ULL;  // "pushpdg2"
+
 [[noreturn]] void io_fail(const std::string& path, const char* what) {
   std::fprintf(stderr, "read_csr_binary(%s): %s\n", path.c_str(), what);
   PP_CHECK(false && "corrupt or incompatible CSR binary");
   std::abort();
+}
+
+// One CSR payload: n, arcs, weighted byte, then the three arrays.
+void write_csr_payload(std::ofstream& out, const Csr& g) {
+  auto put = [&out](const void* p, std::size_t bytes) {
+    out.write(static_cast<const char*>(p), static_cast<std::streamsize>(bytes));
+  };
+  const std::int64_t n = g.n();
+  const std::int64_t arcs = g.num_arcs();
+  const std::uint8_t weighted = g.has_weights() ? 1 : 0;
+  put(&n, sizeof n);
+  put(&arcs, sizeof arcs);
+  put(&weighted, sizeof weighted);
+  put(g.offsets().data(), g.offsets().size() * sizeof(eid_t));
+  put(g.adj().data(), g.adj().size() * sizeof(vid_t));
+  if (weighted) put(g.weight_array().data(), g.weight_array().size() * sizeof(weight_t));
+}
+
+// Reads and structurally validates one CSR payload (trailing-byte checking is
+// the caller's — a digraph file holds two payloads).
+Csr read_csr_payload(std::ifstream& in, const std::string& path) {
+  auto get = [&in, &path](void* p, std::size_t bytes) {
+    in.read(static_cast<char*>(p), static_cast<std::streamsize>(bytes));
+    if (!in.good()) io_fail(path, "truncated file (payload shorter than header promises)");
+  };
+  std::int64_t n = 0, arcs = 0;
+  std::uint8_t weighted = 0;
+  get(&n, sizeof n);
+  get(&arcs, sizeof arcs);
+  get(&weighted, sizeof weighted);
+  if (n < 0 || arcs < 0 || weighted > 1) io_fail(path, "corrupt header fields");
+  std::vector<eid_t> offsets(static_cast<std::size_t>(n) + 1);
+  std::vector<vid_t> adj(static_cast<std::size_t>(arcs));
+  get(offsets.data(), offsets.size() * sizeof(eid_t));
+  get(adj.data(), adj.size() * sizeof(vid_t));
+  std::vector<weight_t> weights;
+  if (weighted) {
+    weights.resize(static_cast<std::size_t>(arcs));
+    get(weights.data(), weights.size() * sizeof(weight_t));
+  }
+  // Structural validation before handing the arrays to Csr (whose own checks
+  // would abort without naming the file).
+  if (offsets.front() != 0 || offsets.back() != arcs) {
+    io_fail(path, "corrupt offsets (do not span the adjacency array)");
+  }
+  for (std::size_t v = 0; v + 1 < offsets.size(); ++v) {
+    if (offsets[v] > offsets[v + 1]) io_fail(path, "corrupt offsets (not monotone)");
+  }
+  for (vid_t u : adj) {
+    if (u < 0 || u >= n) io_fail(path, "corrupt adjacency (vertex id out of range)");
+  }
+  return Csr(std::move(offsets), std::move(adj), std::move(weights));
 }
 
 }  // namespace
@@ -70,22 +127,11 @@ void write_edge_list(const std::string& path, const Csr& g) {
 void write_csr_binary(const std::string& path, const Csr& g) {
   std::ofstream out(path, std::ios::binary);
   PP_CHECK(out.good());
-  auto put = [&out](const void* p, std::size_t bytes) {
-    out.write(static_cast<const char*>(p), static_cast<std::streamsize>(bytes));
-  };
   const std::uint64_t magic = kMagic;
   const std::uint32_t version = kVersion;
-  const std::int64_t n = g.n();
-  const std::int64_t arcs = g.num_arcs();
-  const std::uint8_t weighted = g.has_weights() ? 1 : 0;
-  put(&magic, sizeof magic);
-  put(&version, sizeof version);
-  put(&n, sizeof n);
-  put(&arcs, sizeof arcs);
-  put(&weighted, sizeof weighted);
-  put(g.offsets().data(), g.offsets().size() * sizeof(eid_t));
-  put(g.adj().data(), g.adj().size() * sizeof(vid_t));
-  if (weighted) put(g.weight_array().data(), g.weight_array().size() * sizeof(weight_t));
+  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  out.write(reinterpret_cast<const char*>(&version), sizeof version);
+  write_csr_payload(out, g);
   PP_CHECK(out.good());
 }
 
@@ -108,37 +154,55 @@ Csr read_csr_binary(const std::string& path) {
     // Legacy v1 files (magic only, no version word) stay readable.
     io_fail(path, "bad magic: not a pushpull CSR binary");
   }
-  std::int64_t n = 0, arcs = 0;
-  std::uint8_t weighted = 0;
-  get(&n, sizeof n);
-  get(&arcs, sizeof arcs);
-  get(&weighted, sizeof weighted);
-  if (n < 0 || arcs < 0 || weighted > 1) io_fail(path, "corrupt header fields");
-  std::vector<eid_t> offsets(static_cast<std::size_t>(n) + 1);
-  std::vector<vid_t> adj(static_cast<std::size_t>(arcs));
-  get(offsets.data(), offsets.size() * sizeof(eid_t));
-  get(adj.data(), adj.size() * sizeof(vid_t));
-  std::vector<weight_t> weights;
-  if (weighted) {
-    weights.resize(static_cast<std::size_t>(arcs));
-    get(weights.data(), weights.size() * sizeof(weight_t));
-  }
+  Csr g = read_csr_payload(in, path);
   // The payload must end exactly here — trailing bytes mean a stale or
   // mismatched file.
   in.peek();
   if (!in.eof()) io_fail(path, "trailing bytes after payload");
-  // Structural validation before handing the arrays to Csr (whose own checks
-  // would abort without naming the file).
-  if (offsets.front() != 0 || offsets.back() != arcs) {
-    io_fail(path, "corrupt offsets (do not span the adjacency array)");
+  return g;
+}
+
+void write_digraph_binary(const std::string& path, const Digraph& g) {
+  std::ofstream out(path, std::ios::binary);
+  PP_CHECK(out.good());
+  const std::uint64_t magic = kMagicDigraph;
+  const std::uint32_t version = kVersion;
+  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  out.write(reinterpret_cast<const char*>(&version), sizeof version);
+  write_csr_payload(out, g.out);
+  write_csr_payload(out, g.in);
+  PP_CHECK(out.good());
+}
+
+Digraph read_digraph_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PP_CHECK(in.good());
+  auto get = [&in, &path](void* p, std::size_t bytes) {
+    in.read(static_cast<char*>(p), static_cast<std::streamsize>(bytes));
+    if (!in.good()) io_fail(path, "truncated file (payload shorter than header promises)");
+  };
+  std::uint64_t magic = 0;
+  get(&magic, sizeof magic);
+  if (magic != kMagicDigraph) {
+    if (magic == kMagic || magic == kMagicLegacy) {
+      io_fail(path, "this is a symmetric CSR binary, not a digraph binary");
+    }
+    io_fail(path, "bad magic: not a pushpull digraph binary");
   }
-  for (std::size_t v = 0; v + 1 < offsets.size(); ++v) {
-    if (offsets[v] > offsets[v + 1]) io_fail(path, "corrupt offsets (not monotone)");
+  std::uint32_t version = 0;
+  get(&version, sizeof version);
+  if (version != kVersion) {
+    io_fail(path, "unsupported format version (file written by a newer build?)");
   }
-  for (vid_t u : adj) {
-    if (u < 0 || u >= n) io_fail(path, "corrupt adjacency (vertex id out of range)");
-  }
-  return Csr(std::move(offsets), std::move(adj), std::move(weights));
+  Digraph g;
+  g.out = read_csr_payload(in, path);
+  g.in = read_csr_payload(in, path);
+  in.peek();
+  if (!in.eof()) io_fail(path, "trailing bytes after payload");
+  // Cross-validate the stored pair: the in-CSR must be exactly the transpose
+  // of the out-CSR, or every pull-mode kernel would silently scan wrong arcs.
+  validate_digraph(g, path);
+  return g;
 }
 
 }  // namespace pushpull

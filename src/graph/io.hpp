@@ -24,4 +24,12 @@ void write_edge_list(const std::string& path, const Csr& g);
 void write_csr_binary(const std::string& path, const Csr& g);
 Csr read_csr_binary(const std::string& path);
 
+// Binary Digraph round-trip (format v2 with its own magic): the out-CSR and
+// in-CSR payloads back to back, so update-workload benches can checkpoint a
+// directed graph without re-transposing. The reader applies the same
+// diagnostics as read_csr_binary and then cross-validates that the stored
+// in-CSR is exactly the transpose of the out-CSR (validate_digraph).
+void write_digraph_binary(const std::string& path, const Digraph& g);
+Digraph read_digraph_binary(const std::string& path);
+
 }  // namespace pushpull

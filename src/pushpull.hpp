@@ -8,6 +8,7 @@
 #include "graph/analogs.hpp"
 #include "graph/builder.hpp"
 #include "graph/csr.hpp"
+#include "graph/delta_graph.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/partition.hpp"
@@ -42,6 +43,7 @@
 #include "core/direction.hpp"
 #include "core/frontier.hpp"
 #include "core/generalized_bfs.hpp"
+#include "core/incremental.hpp"
 #include "core/kcore.hpp"
 #include "core/mst_boruvka.hpp"
 #include "core/mst_prim.hpp"

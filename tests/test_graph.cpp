@@ -252,6 +252,46 @@ TEST(Io, BinaryRoundTripPreservesEverything) {
   std::filesystem::remove(path);
 }
 
+TEST(Io, DigraphBinaryRoundTripUnweighted) {
+  const std::string path = ::testing::TempDir() + "/pp_digraph.bin";
+  const Digraph g = build_digraph(64, rmat_edges(6, 6, 29));
+  write_digraph_binary(path, g);
+  const Digraph h = read_digraph_binary(path);
+  EXPECT_EQ(h.out.adj(), g.out.adj());
+  EXPECT_EQ(h.out.offsets(), g.out.offsets());
+  EXPECT_EQ(h.in.adj(), g.in.adj());
+  EXPECT_EQ(h.in.offsets(), g.in.offsets());
+  EXPECT_FALSE(h.out.has_weights());
+  std::filesystem::remove(path);
+}
+
+TEST(Io, DigraphBinaryRoundTripWeighted) {
+  const std::string path = ::testing::TempDir() + "/pp_digraph_w.bin";
+  const Digraph g = build_digraph(
+      48, with_uniform_weights(erdos_renyi_edges(48, 150, 31), 1.f, 7.f, 33),
+      /*keep_weights=*/true);
+  write_digraph_binary(path, g);
+  const Digraph h = read_digraph_binary(path);
+  EXPECT_EQ(h.out.adj(), g.out.adj());
+  EXPECT_EQ(h.out.weight_array(), g.out.weight_array());
+  EXPECT_EQ(h.in.adj(), g.in.adj());
+  EXPECT_EQ(h.in.weight_array(), g.in.weight_array());
+  std::filesystem::remove(path);
+}
+
+TEST(Io, DigraphBinaryRejectsWrongMagic) {
+  // A symmetric CSR binary must not parse as a digraph binary (and vice
+  // versa) — the magics are distinct on purpose.
+  const std::string csr_path = ::testing::TempDir() + "/pp_not_digraph.bin";
+  write_csr_binary(csr_path, make_undirected(10, path_edges(10)));
+  EXPECT_DEATH(read_digraph_binary(csr_path), "not a digraph binary");
+  const std::string dig_path = ::testing::TempDir() + "/pp_not_csr.bin";
+  write_digraph_binary(dig_path, build_digraph(10, path_edges(10)));
+  EXPECT_DEATH(read_csr_binary(dig_path), "not a pushpull CSR binary");
+  std::filesystem::remove(csr_path);
+  std::filesystem::remove(dig_path);
+}
+
 TEST(Io, CommentsAndBlankLinesIgnored) {
   const std::string path = ::testing::TempDir() + "/pp_comments.txt";
   std::FILE* f = std::fopen(path.c_str(), "w");
