@@ -14,7 +14,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,7 +26,9 @@
 #include "graph/builder.hpp"
 #include "graph/csr.hpp"
 #include "graph/io.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -69,11 +73,14 @@ double time_s(F&& fn, int repeats = 1) {
 //                                 bench-local randomness, e.g. update
 //                                 streams); 0 = the builtin per-analog seeds,
 //                                 so default runs stay bit-identical
+//   --trace=FILE                  record a Chrome trace_event JSON of the run
+//                                 (chrome://tracing / Perfetto); empty = off
 struct SmCli {
   int scale = 0;
   std::uint64_t seed = 0;  // 0 = the analogs' builtin seeds
   std::vector<engine::StrategyKind> policies;
   std::string graph_path;  // empty = the synthetic analogs
+  std::string trace_path;  // empty = no trace
   // Built-graph cache: a multi-GB --graph file is parsed and symmetrized
   // once per (name, weighted) even when a bench loads it in several sections.
   mutable std::map<std::string, Csr> cache;
@@ -87,7 +94,86 @@ inline SmCli parse_sm_cli(Cli& cli, int default_scale,
   out.policies =
       engine::parse_strategy_list(cli.get_string("policy", default_policy));
   out.graph_path = cli.get_string("graph", "");
+  out.trace_path = cli.get_string("trace", "");
   return out;
+}
+
+// --trace=FILE plumbing: owns the live tracer for a traced bench run and
+// serializes it on finish(). When the path is empty the session is inactive
+// and tracer() returns nullptr — kernels taking a tracer pointer treat null
+// as off, so benches can thread `session.tracer()` unconditionally.
+class TraceSession {
+ public:
+  explicit TraceSession(std::string path) : path_(std::move(path)) {
+    if (!path_.empty()) tracer_ = std::make_unique<obs::Tracer>();
+  }
+
+  bool active() const noexcept { return tracer_ != nullptr; }
+  obs::Tracer* tracer() noexcept { return tracer_.get(); }
+
+  // Writes the Chrome JSON (no-op when inactive). Returns false on I/O
+  // failure so callers can exit non-zero instead of shipping a bad artifact.
+  bool finish() {
+    if (!active()) return true;
+    const bool ok = tracer_->write_chrome_json(path_);
+    if (ok) {
+      std::printf("\ntrace: %llu events (%llu dropped) -> %s\n",
+                  static_cast<unsigned long long>(tracer_->recorded()),
+                  static_cast<unsigned long long>(tracer_->dropped()),
+                  path_.c_str());
+    }
+    return ok;
+  }
+
+ private:
+  std::string path_;
+  std::unique_ptr<obs::Tracer> tracer_;
+};
+
+// Converts per-rank superstep records into trace spans, one lane per rank
+// (tid = 1000 + rank so dist lanes sort below the compute threads). No-op
+// with a null tracer. `label` names the kernel/variant the supersteps belong
+// to (e.g. "bfs/msg-passing").
+inline void export_supersteps(
+    obs::Tracer* tracer,
+    const std::vector<std::vector<dist::SuperstepRecord>>& per_rank,
+    const std::string& label) {
+  if (tracer == nullptr) return;
+  // TraceEvent stores const char* (the recording path never allocates), so
+  // bench-built labels are interned for the life of the process.
+  static std::deque<std::string> interned;
+  interned.push_back(label);
+  const char* name = interned.back().c_str();
+  for (int r = 0; r < static_cast<int>(per_rank.size()); ++r) {
+    int step = 0;
+    for (const dist::SuperstepRecord& rec :
+         per_rank[static_cast<std::size_t>(r)]) {
+      obs::TraceEvent ev;
+      ev.name = name;
+      ev.cat = "superstep";
+      ev.ph = 'X';
+      ev.ts_ns = rec.t0_ns;
+      ev.dur_ns = rec.t1_ns - rec.t0_ns;
+      ev.tid = 1000 + r;
+      ev.arg("superstep", step)
+          .arg("msgs_sent", static_cast<double>(rec.delta.msgs_sent))
+          .arg("bytes_sent", static_cast<double>(rec.delta.bytes_sent))
+          .arg("drains", static_cast<double>(rec.delta.drains))
+          .arg("bytes_drained", static_cast<double>(rec.delta.bytes_drained))
+          .arg("rma_ops",
+               static_cast<double>(rec.delta.rma_puts + rec.delta.rma_gets +
+                                   rec.delta.rma_accs + rec.delta.rma_faas))
+          .arg("edge_ops", static_cast<double>(rec.delta.edge_ops));
+      // First four destination lanes inline; Perfetto queries cover the rest.
+      for (int l = 0; l < 4 && l < dist::kSuperstepLanes; ++l) {
+        const char* names[4] = {"lane0_bytes", "lane1_bytes", "lane2_bytes",
+                                "lane3_bytes"};
+        ev.arg(names[l], static_cast<double>(rec.lane_bytes[l]));
+      }
+      tracer->record(ev);
+      ++step;
+    }
+  }
 }
 
 // Graph names this run sweeps: the loaded file (basename) or the analogs.
@@ -241,8 +327,13 @@ class JsonWriter {
     entries_.emplace_back(key, std::to_string(value));
   }
 
+  // Values (and keys, in write()) are JSON-escaped: a --graph path with `"`
+  // or `\` must still produce a parseable artifact.
   void add_string(const std::string& key, const std::string& value) {
-    entries_.emplace_back(key, "\"" + value + "\"");
+    std::string quoted = "\"";
+    quoted += json_escape(value);
+    quoted += '"';
+    entries_.emplace_back(key, std::move(quoted));
   }
 
   // Writes {"k": v, ...} to `path` (no-op when empty); aborts the bench with
@@ -256,7 +347,7 @@ class JsonWriter {
     }
     std::fprintf(f, "{\n");
     for (std::size_t i = 0; i < entries_.size(); ++i) {
-      std::fprintf(f, "  \"%s\": %s%s\n", entries_[i].first.c_str(),
+      std::fprintf(f, "  \"%s\": %s%s\n", json_escape(entries_[i].first).c_str(),
                    entries_[i].second.c_str(),
                    i + 1 < entries_.size() ? "," : "");
     }

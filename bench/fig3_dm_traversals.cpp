@@ -98,6 +98,9 @@ int main(int argc, char** argv) {
   const int num_sources = static_cast<int>(cli.get_int("bc-sources", 4));
   const bool verify = cli.get_bool("verify");
   const std::string json_path = cli.get_string("json", "");
+  // --trace=FILE: per-rank BFS superstep spans (barrier-to-barrier counter
+  // deltas + per-destination lane bytes) as Chrome trace_event JSON.
+  bench::TraceSession trace(cli.get_string("trace", ""));
   cli.check();
   bench::JsonWriter json;
   json.add_string("bench", "fig3_dm_traversals");
@@ -147,7 +150,12 @@ int main(int argc, char** argv) {
           BfsDistOptions bfs_opt;
           bfs_opt.variant = variant;
           bfs_opt.backend = backend;
+          if (trace.active()) bfs_opt.superstep_trace = 1024;
           const BfsDistResult bfs_res = bfs_dist(g, root, r, bfs_opt);
+          bench::export_supersteps(
+              trace.tracer(), bfs_res.supersteps,
+              "bfs/" + name + "/" + to_string(variant) + "/p" +
+                  std::to_string(r) + "/" + to_string(backend));
           bfs_row[static_cast<std::size_t>(i)] = {
               bfs_res.total,
               {(static_cast<double>(bfs_res.max_rank_edge_ops) * edge_us +
@@ -269,6 +277,7 @@ int main(int argc, char** argv) {
 
   json.add("failures", static_cast<long long>(failures));
   json.write(json_path);
+  if (!trace.finish()) return 2;
   if (failures > 0) {
     std::fprintf(stderr, "%d failure(s)\n", failures);
     return 1;

@@ -13,6 +13,7 @@
 #include "engine/policy.hpp"
 #include "graph/analogs.hpp"
 #include "graph/partition_aware.hpp"
+#include "obs/trace.hpp"
 #include "sync/atomics.hpp"
 #include "sync/spinlock.hpp"
 
@@ -164,6 +165,54 @@ void BM_BfsDirOpt(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BfsDirOpt);
+
+// --- tracing overhead contract (DESIGN.md §6) --------------------------------
+//
+// The *TracerOff rows instantiate the kernels with the live obs::Tracer type
+// — the tracing branches are compiled in — but the tracer is runtime-disabled.
+// The overhead contract: these rows stay within 2% of their NullTracer
+// siblings above (one relaxed atomic load per round, nothing per edge).
+
+obs::Tracer& disabled_tracer() {
+  static obs::Tracer t([] {
+    obs::TracerOptions o;
+    o.start_enabled = false;
+    return o;
+  }());
+  return t;
+}
+
+void BM_BfsDirOptTracerOff(benchmark::State& state) {
+  const Csr& g = micro_graph();
+  for (auto _ : state) {
+    auto r = bfs_direction_optimizing(g, 0, {}, NullInstr{}, &disabled_tracer());
+    benchmark::DoNotOptimize(r.dist.data());
+  }
+}
+BENCHMARK(BM_BfsDirOptTracerOff);
+
+void BM_PrIterationPullTracerOff(benchmark::State& state) {
+  const Csr& g = micro_graph();
+  PageRankOptions opt;
+  opt.iterations = 1;
+  for (auto _ : state) {
+    auto pr = pagerank_pull(g, opt, NullInstr{}, &disabled_tracer());
+    benchmark::DoNotOptimize(pr.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_PrIterationPullTracerOff);
+
+void BM_CcGreedySwitchTracerOff(benchmark::State& state) {
+  const Csr& g = micro_graph();
+  CcOptions opt;
+  opt.strategy = engine::StrategyKind::GreedySwitch;
+  for (auto _ : state) {
+    auto r = connected_components(g, opt, NullInstr{}, &disabled_tracer());
+    benchmark::DoNotOptimize(r.comp.data());
+  }
+}
+BENCHMARK(BM_CcGreedySwitchTracerOff);
 
 // --- raw engine edge_map throughput, one label-min round per loop shape ------
 //

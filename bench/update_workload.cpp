@@ -17,7 +17,8 @@
 // incremental-vs-full speedups (BENCH_update.json artifact).
 //
 // Flags: --scale=K --seed=S --batches=B --batch-edges=E --json=FILE
-//        --checkpoint=FILE --verify
+//        --checkpoint=FILE --verify --trace=FILE (commit/compact/repair spans
+//        + per-round engine events, Chrome trace_event JSON)
 #include <algorithm>
 #include <cmath>
 #include <random>
@@ -28,6 +29,7 @@
 #include "core/incremental.hpp"
 #include "graph/delta_graph.hpp"
 #include "graph/generators.hpp"
+#include "obs/metrics.hpp"
 #include "util/table.hpp"
 
 using namespace pushpull;
@@ -37,11 +39,12 @@ namespace {
 struct BatchTimes {
   double inc_s = 0.0;
   double full_s = 0.0;
+  bool fell_back = false;  // incremental run abandoned to full recompute
 };
 
 struct PhaseResult {
   bool ok = true;
-  int fallbacks = 0;
+  int fallbacks = 0;  // across all kernels and batches
   std::vector<BatchTimes> bfs, cc, pr;
 };
 
@@ -86,12 +89,24 @@ double linf(const std::vector<double>& a, const std::vector<double>& b) {
   return d;
 }
 
+// Records one kernel's incremental latency + fallback into the process-wide
+// metrics registry, so the serving-path percentiles (p50/p99 repair latency,
+// fallback counter) land in the --json artifact next to the raw timings.
+void note_inc_metrics(const char* kernel, double inc_s, bool fell_back) {
+  auto& m = obs::MetricsRegistry::global();
+  m.histogram(std::string("update.") + kernel + ".inc_latency")
+      .record(static_cast<std::uint64_t>(inc_s * 1e9));
+  if (fell_back) m.counter(std::string("update.") + kernel + ".fallbacks").inc();
+}
+
 // Runs the batch loop against one DeltaGraph (symmetric or digraph).
 PhaseResult run_phase(const char* phase, DeltaGraph& dg, std::mt19937_64& rng,
-                      int batches, int batch_edges) {
+                      int batches, int batch_edges,
+                      obs::Tracer* tracer = nullptr) {
   PhaseResult res;
   const vid_t root = 0;
   const IncrementalOptions opt;
+  dg.set_tracer(tracer);  // commit/compact spans
 
   SnapshotView snap = dg.snapshot();
   std::vector<vid_t> dist = bfs_levels(snap, root);
@@ -110,9 +125,11 @@ PhaseResult run_phase(const char* phase, DeltaGraph& dg, std::mt19937_64& rng,
     std::vector<vid_t> inc_dist;
     tb.inc_s = bench::time_s([&] {
       inc_dist = incremental_bfs(snap, std::span<const EdgeUpdate>(updates),
-                                 root, dist, &st);
+                                 root, dist, &st, NullInstr{}, tracer);
     });
+    tb.fell_back = st.fell_back;
     fallbacks += st.fell_back ? 1 : 0;
+    note_inc_metrics("bfs", tb.inc_s, tb.fell_back);
     std::vector<vid_t> full_dist;
     tb.full_s = bench::time_s([&] { full_dist = bfs_levels(snap, root); });
     if (!same_vec(inc_dist, full_dist)) {
@@ -127,9 +144,11 @@ PhaseResult run_phase(const char* phase, DeltaGraph& dg, std::mt19937_64& rng,
     std::vector<vid_t> inc_comp;
     tc.inc_s = bench::time_s([&] {
       inc_comp = incremental_cc(snap, std::span<const EdgeUpdate>(updates),
-                                comp, &st);
+                                comp, &st, NullInstr{}, tracer);
     });
+    tc.fell_back = st.fell_back;
     fallbacks += st.fell_back ? 1 : 0;
+    note_inc_metrics("cc", tc.inc_s, tc.fell_back);
     std::vector<vid_t> full_comp;
     tc.full_s = bench::time_s([&] { full_comp = cc_labels(snap); });
     if (!same_vec(inc_comp, full_comp)) {
@@ -144,8 +163,11 @@ PhaseResult run_phase(const char* phase, DeltaGraph& dg, std::mt19937_64& rng,
     PrFixpoint inc_pr;
     tp.inc_s = bench::time_s([&] {
       inc_pr = incremental_pagerank(snap, std::span<const EdgeUpdate>(updates),
-                                    pr.ranks, opt, &st);
+                                    pr.ranks, opt, &st, NullInstr{}, tracer);
     });
+    tp.fell_back = st.fell_back;
+    fallbacks += st.fell_back ? 1 : 0;
+    note_inc_metrics("pr", tp.inc_s, tp.fell_back);
     PrFixpoint full_pr;
     tp.full_s = bench::time_s([&] { full_pr = pagerank_converged(snap, opt); });
     const double diff = linf(inc_pr.ranks, full_pr.ranks);
@@ -178,10 +200,15 @@ PhaseResult run_phase(const char* phase, DeltaGraph& dg, std::mt19937_64& rng,
   return res;
 }
 
+// Median incremental-vs-full speedup over the *true-incremental* batches
+// only: a fallback batch runs full recompute inside the incremental entry
+// point, so folding it in would report ~1x "speedups" that measure the
+// fallback policy, not the repair path. The fallback rate is reported
+// separately (per batch and per kernel below).
 double median_speedup(const std::vector<BatchTimes>& ts) {
   std::vector<double> sp;
   for (const BatchTimes& t : ts) {
-    if (t.inc_s > 0) sp.push_back(t.full_s / t.inc_s);
+    if (t.inc_s > 0 && !t.fell_back) sp.push_back(t.full_s / t.inc_s);
   }
   if (sp.empty()) return 0.0;
   std::sort(sp.begin(), sp.end());
@@ -190,20 +217,32 @@ double median_speedup(const std::vector<BatchTimes>& ts) {
 
 void emit_phase(bench::JsonWriter& json, const char* phase,
                 const PhaseResult& res) {
+  std::vector<int> per_batch(res.bfs.size(), 0);
   const auto emit = [&](const char* kernel, const std::vector<BatchTimes>& ts) {
+    int fell = 0;
     for (std::size_t i = 0; i < ts.size(); ++i) {
       const std::string key = std::string("update.") + phase + ".batch" +
                               std::to_string(i + 1) + "." + kernel;
       json.add(key + ".inc_s", ts[i].inc_s);
       json.add(key + ".full_s", ts[i].full_s);
+      json.add(key + ".fell_back", static_cast<long long>(ts[i].fell_back));
+      fell += ts[i].fell_back ? 1 : 0;
+      if (i < per_batch.size()) per_batch[i] += ts[i].fell_back ? 1 : 0;
     }
-    json.add(std::string("update.") + phase + "." + kernel +
-                 ".median_speedup",
-             median_speedup(ts));
+    const std::string kkey = std::string("update.") + phase + "." + kernel;
+    json.add(kkey + ".median_speedup", median_speedup(ts));
+    json.add(kkey + ".fallback_rate",
+             ts.empty() ? 0.0 : static_cast<double>(fell) /
+                                    static_cast<double>(ts.size()));
   };
   emit("bfs", res.bfs);
   emit("cc", res.cc);
   emit("pr", res.pr);
+  for (std::size_t i = 0; i < per_batch.size(); ++i) {
+    json.add(std::string("update.") + phase + ".batch" + std::to_string(i + 1) +
+                 ".fallbacks",
+             static_cast<long long>(per_batch[i]));
+  }
   json.add(std::string("update.") + phase + ".fallbacks",
            static_cast<long long>(res.fallbacks));
 }
@@ -230,6 +269,7 @@ int main(int argc, char** argv) {
       sm.seed == 0 ? 0xC0FFEEULL : sm.seed;  // EXPERIMENTS.md documents this
   std::mt19937_64 rng(stream_seed);
   bench::JsonWriter json;
+  bench::TraceSession trace(sm.trace_path);
   json.add("update.batches", static_cast<long long>(batches));
   json.add("update.batch_edges", static_cast<long long>(batch_edges));
   json.add("update.seed", static_cast<long long>(stream_seed));
@@ -240,7 +280,7 @@ int main(int argc, char** argv) {
     bench::print_graph_line("pok", base);
     DeltaGraph dg(std::move(base));
     const PhaseResult res =
-        run_phase("symmetric", dg, rng, batches, batch_edges);
+        run_phase("symmetric", dg, rng, batches, batch_edges, trace.tracer());
     ok = ok && res.ok;
     emit_phase(json, "sym", res);
   }
@@ -258,13 +298,19 @@ int main(int argc, char** argv) {
     }
     bench::print_graph_line("dig", base.out);
     DeltaGraph dg(std::move(base));
-    const PhaseResult res = run_phase("digraph", dg, rng, batches, batch_edges);
+    const PhaseResult res =
+        run_phase("digraph", dg, rng, batches, batch_edges, trace.tracer());
     ok = ok && res.ok;
     emit_phase(json, "dig", res);
   }
 
+  // Serving-path registry dump: p50/p99 incremental latency per kernel plus
+  // the fallback counters, under "metrics." keys in the same artifact.
+  obs::MetricsRegistry::global().write_to(json);
+
   json.add_string("update.verify", ok ? "pass" : "FAIL");
   json.write(json_path);
   std::printf("\nverification: %s\n", ok ? "pass" : "FAIL");
+  if (!trace.finish()) return 2;
   return ok ? 0 : 1;
 }

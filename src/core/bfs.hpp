@@ -21,6 +21,7 @@
 #include "core/direction.hpp"
 #include "engine/edge_map.hpp"
 #include "graph/csr.hpp"
+#include "obs/trace.hpp"
 #include "perf/instr.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -141,9 +142,10 @@ struct DirOptParams {
   double beta = 24.0;   // pull→push when frontier size < n/beta
 };
 
-template <CsrLike G, class Instr = NullInstr>
+template <CsrLike G, class Instr = NullInstr, class TracerT = obs::NullTracer>
 BfsResult bfs_direction_optimizing(const G& g, vid_t root,
-                                   const DirOptParams& p = {}, Instr instr = {}) {
+                                   const DirOptParams& p = {}, Instr instr = {},
+                                   TracerT* tracer = nullptr) {
   const vid_t n = g.n();
   BfsResult r = detail::bfs_init(g, root);
   engine::Workspace ws(n);
@@ -156,27 +158,51 @@ BfsResult bfs_direction_optimizing(const G& g, vid_t root,
   while (!frontier.empty()) {
     WallTimer timer;
     ++level;
+    const bool trace = obs::tracing(tracer);
+    const std::int64_t frontier_size = frontier.size();
+    const double active_work = frontier_out_edges;
     const Direction dir =
         ctl.step(frontier_out_edges, static_cast<double>(g.num_arcs()),
                  static_cast<double>(frontier.size()), static_cast<double>(n));
+    engine::EdgeMapStats st;
+    engine::EdgeMapStats* stp = trace ? &st : nullptr;
+    const std::uint64_t t0 = trace ? obs::now_ns() : 0;
+    const CounterBlock c0 = trace ? obs::instr_snapshot(instr) : CounterBlock{};
     if (dir == Direction::Push) {
       opt.region = 12;
       frontier = engine::sparse_push(
           g, ws, frontier,
           detail::BfsPushClaim{r.dist.data(), r.parent.data(), level}, opt,
-          instr);
+          instr, stp);
     } else {
       // Bottom-up step: the engine's dense pull recomputes the frontier as
       // "vertices claimed at `level`".
       opt.region = 13;
       frontier = engine::dense_pull(
           g, ws, detail::BfsPullAdopt{r.dist.data(), r.parent.data(), level},
-          opt, instr);
+          opt, instr, stp);
     }
     frontier_out_edges = frontier.out_degree_sum(g);
     r.level_times.push_back(timer.elapsed_s());
     r.level_dirs.push_back(dir);
     ++r.levels;
+    if (trace) {
+      obs::RoundEvent ev;
+      ev.kernel = "bfs";
+      ev.mode = engine::to_string(st.mode);
+      ev.round = static_cast<int>(level);
+      ev.frontier_size = frontier_size;
+      ev.active_work = static_cast<std::int64_t>(active_work);
+      ev.total_work = static_cast<std::int64_t>(g.num_arcs());
+      ev.total_count = n;
+      ev.alpha = p.alpha;
+      ev.beta = p.beta;
+      ev.updates = st.updates;
+      ev.t0_ns = t0;
+      ev.dur_ns = obs::now_ns() - t0;
+      ev.instr = obs::counter_delta(obs::instr_snapshot(instr), c0);
+      obs::record_round(tracer, ev);
+    }
   }
   return r;
 }

@@ -24,6 +24,7 @@
 #include "engine/edge_map.hpp"
 #include "engine/policy.hpp"
 #include "graph/csr.hpp"
+#include "obs/trace.hpp"
 #include "perf/instr.hpp"
 #include "util/check.hpp"
 
@@ -58,9 +59,9 @@ struct CcPropagate {
 
 }  // namespace detail
 
-template <CsrLike G, class Instr = NullInstr>
+template <CsrLike G, class Instr = NullInstr, class TracerT = obs::NullTracer>
 CcResult connected_components(const G& g, const CcOptions& opt = {},
-                              Instr instr = {}) {
+                              Instr instr = {}, TracerT* tracer = nullptr) {
   const vid_t n = g.n();
   CcResult r;
   r.comp.resize(static_cast<std::size_t>(n));
@@ -76,10 +77,14 @@ CcResult connected_components(const G& g, const CcOptions& opt = {},
 
   engine::VertexSet changed = engine::VertexSet::all(n);
   while (!changed.empty()) {
+    const bool trace = obs::tracing(tracer);
+    const double active_work = changed.out_degree_sum(g);
+    const double active_count = static_cast<double>(changed.size());
+
     // Greedy-Switch: finish the small remainder with a sequential worklist.
-    if (policy.suggest_sequential(static_cast<double>(changed.size()),
-                                  static_cast<double>(n)) &&
+    if (policy.suggest_sequential(active_count, static_cast<double>(n)) &&
         r.rounds > 0) {
+      const std::uint64_t t0 = trace ? obs::now_ns() : 0;
       std::vector<vid_t> work(changed.ids().begin(), changed.ids().end());
       while (!work.empty()) {
         const vid_t v = work.back();
@@ -93,36 +98,72 @@ CcResult connected_components(const G& g, const CcOptions& opt = {},
       }
       r.sequential_tail_rounds = 1;
       ++r.rounds;
+      if (trace) {
+        obs::RoundEvent ev;
+        ev.kernel = "cc";
+        ev.mode = "sequential-tail";
+        ev.round = r.rounds;
+        ev.frontier_size = static_cast<std::int64_t>(active_count);
+        ev.active_work = static_cast<std::int64_t>(active_work);
+        ev.total_work = static_cast<std::int64_t>(g.num_arcs());
+        ev.total_count = n;
+        ev.alpha = opt.alpha;
+        ev.beta = opt.beta;
+        ev.t0_ns = t0;
+        ev.dur_ns = obs::now_ns() - t0;
+        obs::record_round(tracer, ev);
+      }
       break;
     }
 
-    const Direction dir = policy.choose(
-        changed.out_degree_sum(g), static_cast<double>(g.num_arcs()),
-        static_cast<double>(changed.size()), static_cast<double>(n));
+    const Direction dir =
+        policy.choose(active_work, static_cast<double>(g.num_arcs()),
+                      active_count, static_cast<double>(n));
     const bool frontier_exploit =
         opt.strategy != engine::StrategyKind::StaticPush &&
         opt.strategy != engine::StrategyKind::StaticPull;
+    engine::EdgeMapStats st;
+    const std::uint64_t t0 = trace ? obs::now_ns() : 0;
+    const CounterBlock c0 = trace ? obs::instr_snapshot(instr) : CounterBlock{};
+    engine::EdgeMapStats* stp = trace ? &st : nullptr;
     if (dir == Direction::Push) {
       if (frontier_exploit) {
         // FE: only the changed set's neighborhood is touched this round.
         changed = engine::sparse_push(
             g, ws, changed, detail::CcPropagate{r.comp.data(), nullptr}, emo,
-            instr);
+            instr, stp);
       } else {
         // Static push: all m arcs re-pushed every round.
         changed = engine::dense_push(g, ws, /*sources=*/nullptr,
                                      detail::CcPropagate{r.comp.data(), nullptr},
-                                     emo, instr);
+                                     emo, instr, stp);
       }
     } else {
       changed = engine::dense_pull(
           g, ws,
           detail::CcPropagate{r.comp.data(),
                               frontier_exploit ? &changed.dense() : nullptr},
-          emo, instr);
+          emo, instr, stp);
     }
     r.round_dirs.push_back(dir);
     ++r.rounds;
+    if (trace) {
+      obs::RoundEvent ev;
+      ev.kernel = "cc";
+      ev.mode = engine::to_string(st.mode);
+      ev.round = r.rounds;
+      ev.frontier_size = static_cast<std::int64_t>(active_count);
+      ev.active_work = static_cast<std::int64_t>(active_work);
+      ev.total_work = static_cast<std::int64_t>(g.num_arcs());
+      ev.total_count = n;
+      ev.alpha = opt.alpha;
+      ev.beta = opt.beta;
+      ev.updates = st.updates;
+      ev.t0_ns = t0;
+      ev.dur_ns = obs::now_ns() - t0;
+      ev.instr = obs::counter_delta(obs::instr_snapshot(instr), c0);
+      obs::record_round(tracer, ev);
+    }
   }
   return r;
 }

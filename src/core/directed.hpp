@@ -26,6 +26,7 @@
 #include "engine/graph_view.hpp"
 #include "engine/policy.hpp"
 #include "graph/csr.hpp"
+#include "obs/trace.hpp"
 #include "perf/instr.hpp"
 #include "util/check.hpp"
 
@@ -242,10 +243,12 @@ struct DigraphBfsResult {
 // One BFS, five §5 strategies: static push, static pull, Generic-Switch,
 // Greedy-Switch (serial worklist tail), Frontier-Exploit — all the same two
 // functors over DigraphView, direction chosen per level by DirectionPolicy.
-template <engine::GraphView View, class Instr = NullInstr>
+template <engine::GraphView View, class Instr = NullInstr,
+          class TracerT = obs::NullTracer>
 DigraphBfsResult bfs_digraph_strategy(const View& view, vid_t root,
                                       const DigraphBfsOptions& opt = {},
-                                      Instr instr = {}) {
+                                      Instr instr = {},
+                                      TracerT* tracer = nullptr) {
   const vid_t n = view.n();
   PP_CHECK(root >= 0 && root < n);
   DigraphBfsResult r;
@@ -262,11 +265,15 @@ DigraphBfsResult bfs_digraph_strategy(const View& view, vid_t root,
   vid_t level = 0;
 
   while (!frontier.empty()) {
+    const bool trace = obs::tracing(tracer);
+    const std::int64_t frontier_size = frontier.size();
+
     // Greedy-Switch: finish the sub-threshold remainder with a sequential
     // FIFO sweep (the engine supplies the decision, the caller the tail).
     if (policy.suggest_sequential(static_cast<double>(frontier.size()),
                                   static_cast<double>(n)) &&
         level > 0) {
+      const std::uint64_t t0 = trace ? obs::now_ns() : 0;
       std::vector<vid_t> queue(frontier.ids().begin(), frontier.ids().end());
       for (std::size_t head = 0; head < queue.size(); ++head) {
         const vid_t v = queue[head];
@@ -280,33 +287,71 @@ DigraphBfsResult bfs_digraph_strategy(const View& view, vid_t root,
       }
       r.sequential_tail_levels = 1;
       ++r.levels;
+      if (trace) {
+        obs::RoundEvent ev;
+        ev.kernel = "bfs-digraph";
+        ev.mode = "sequential-tail";
+        ev.round = static_cast<int>(level + 1);
+        ev.frontier_size = frontier_size;
+        ev.active_work = static_cast<std::int64_t>(frontier_out_arcs);
+        ev.total_work = static_cast<std::int64_t>(view.num_arcs());
+        ev.total_count = n;
+        ev.alpha = opt.alpha;
+        ev.beta = opt.beta;
+        ev.t0_ns = t0;
+        ev.dur_ns = obs::now_ns() - t0;
+        obs::record_round(tracer, ev);
+      }
       break;
     }
 
     ++level;
+    const double active_work = frontier_out_arcs;
     const Direction dir = policy.choose(
         frontier_out_arcs, static_cast<double>(view.num_arcs()),
         static_cast<double>(frontier.size()), static_cast<double>(n));
+    engine::EdgeMapStats st;
+    engine::EdgeMapStats* stp = trace ? &st : nullptr;
+    const std::uint64_t t0 = trace ? obs::now_ns() : 0;
+    const CounterBlock c0 = trace ? obs::instr_snapshot(instr) : CounterBlock{};
     if (dir == Direction::Push) {
       frontier = engine::sparse_push(
           view, ws, frontier, detail::DirBfsClaim{r.dist.data(), level}, emo,
-          instr);
+          instr, stp);
     } else {
       frontier = engine::dense_pull(
-          view, ws, detail::DirBfsAdopt{r.dist.data(), level}, emo, instr);
+          view, ws, detail::DirBfsAdopt{r.dist.data(), level}, emo, instr, stp);
     }
     frontier_out_arcs = frontier.out_degree_sum(view);
     r.level_dirs.push_back(dir);
     ++r.levels;
+    if (trace) {
+      obs::RoundEvent ev;
+      ev.kernel = "bfs-digraph";
+      ev.mode = engine::to_string(st.mode);
+      ev.round = static_cast<int>(level);
+      ev.frontier_size = frontier_size;
+      ev.active_work = static_cast<std::int64_t>(active_work);
+      ev.total_work = static_cast<std::int64_t>(view.num_arcs());
+      ev.total_count = n;
+      ev.alpha = opt.alpha;
+      ev.beta = opt.beta;
+      ev.updates = st.updates;
+      ev.t0_ns = t0;
+      ev.dur_ns = obs::now_ns() - t0;
+      ev.instr = obs::counter_delta(obs::instr_snapshot(instr), c0);
+      obs::record_round(tracer, ev);
+    }
   }
   return r;
 }
 
-template <class Instr = NullInstr>
+template <class Instr = NullInstr, class TracerT = obs::NullTracer>
 DigraphBfsResult bfs_digraph_strategy(const Digraph& g, vid_t root,
                                       const DigraphBfsOptions& opt = {},
-                                      Instr instr = {}) {
-  return bfs_digraph_strategy(engine::DigraphView(g), root, opt, instr);
+                                      Instr instr = {},
+                                      TracerT* tracer = nullptr) {
+  return bfs_digraph_strategy(engine::DigraphView(g), root, opt, instr, tracer);
 }
 
 // --- Reachability ------------------------------------------------------------

@@ -48,6 +48,7 @@
 #include "engine/edge_map.hpp"
 #include "engine/graph_view.hpp"
 #include "graph/delta_graph.hpp"
+#include "obs/trace.hpp"
 #include "perf/instr.hpp"
 #include "util/check.hpp"
 
@@ -66,6 +67,52 @@ struct IncrementalStats {
   int repair_rounds = 0;       // localized rounds (BFS/CC) or pushes (PR) run
   int certify_iterations = 0;  // PR: full sweeps after the localized phase
 };
+
+namespace detail {
+
+// RAII repair span: one 'X' event per incremental kernel invocation, tagged
+// with the outcome (mode = "incremental" or "fell-back") read from the stats
+// the kernel filled — recorded at scope exit so every return path, including
+// the fallback ones, is covered.
+template <class TracerT>
+class RepairSpan {
+ public:
+  RepairSpan(TracerT* t, const char* name,
+             const IncrementalStats* st) noexcept {
+    if (obs::tracing(t)) {
+      t_ = t;
+      name_ = name;
+      st_ = st;
+      t0_ = obs::now_ns();
+    }
+  }
+
+  RepairSpan(const RepairSpan&) = delete;
+  RepairSpan& operator=(const RepairSpan&) = delete;
+
+  ~RepairSpan() {
+    if (t_ == nullptr) return;
+    obs::TraceEvent ev;
+    ev.name = name_;
+    ev.cat = "repair";
+    ev.ts_ns = t0_;
+    ev.dur_ns = obs::now_ns() - t0_;
+    ev.mode = st_->fell_back ? "fell-back" : "incremental";
+    ev.arg("fell_back", st_->fell_back ? 1.0 : 0.0)
+        .arg("repair_rounds", static_cast<double>(st_->repair_rounds))
+        .arg("certify_iterations",
+             static_cast<double>(st_->certify_iterations));
+    t_->record(ev);
+  }
+
+ private:
+  TracerT* t_ = nullptr;
+  const char* name_ = nullptr;
+  const IncrementalStats* st_ = nullptr;
+  std::uint64_t t0_ = 0;
+};
+
+}  // namespace detail
 
 // --- Full-recompute comparators over a GraphView -----------------------------
 
@@ -190,17 +237,21 @@ struct BfsRelax {
 // Repairs BFS levels after one committed batch. `prev` is the fixpoint on the
 // pre-update snapshot; `view` is the post-update snapshot. Exact: the result
 // equals bfs_levels(view, root).
-template <engine::GraphView View, class Instr = NullInstr>
+template <engine::GraphView View, class Instr = NullInstr,
+          class TracerT = obs::NullTracer>
 std::vector<vid_t> incremental_bfs(const View& view,
                                    std::span<const EdgeUpdate> updates,
                                    vid_t root, const std::vector<vid_t>& prev,
                                    IncrementalStats* stats = nullptr,
-                                   Instr instr = {}) {
+                                   Instr instr = {}, TracerT* tracer = nullptr) {
   const vid_t n = view.n();
   PP_CHECK(root >= 0 && root < n);
   PP_CHECK(prev.size() == static_cast<std::size_t>(n));
   PP_CHECK(prev[static_cast<std::size_t>(root)] == 0);
-  if (stats != nullptr) *stats = {};
+  IncrementalStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = {};
+  const detail::RepairSpan<TracerT> span(tracer, "incremental_bfs", stats);
   std::vector<vid_t> dist = prev;
 
   // Deletions first (Ramalingam–Reps style): dropping the arc u→v can only
@@ -379,15 +430,19 @@ CcProbe cc_probe(const View& view, const std::vector<vid_t>& comp, vid_t from,
 
 // Repairs weak-CC labels after one committed batch. Exact: the result equals
 // cc_labels(view).
-template <engine::GraphView View, class Instr = NullInstr>
+template <engine::GraphView View, class Instr = NullInstr,
+          class TracerT = obs::NullTracer>
 std::vector<vid_t> incremental_cc(const View& view,
                                   std::span<const EdgeUpdate> updates,
                                   const std::vector<vid_t>& prev,
                                   IncrementalStats* stats = nullptr,
-                                  Instr instr = {}) {
+                                  Instr instr = {}, TracerT* tracer = nullptr) {
   const vid_t n = view.n();
   PP_CHECK(prev.size() == static_cast<std::size_t>(n));
-  if (stats != nullptr) *stats = {};
+  IncrementalStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = {};
+  const detail::RepairSpan<TracerT> span(tracer, "incremental_cc", stats);
 
   std::vector<vid_t> comp = prev;
 
@@ -548,17 +603,21 @@ inline bool solve_spd(int m, double* a, int lda, const double* b, double* x) {
 //     termination certificate — the loop only exits when a genuine sweep's
 //     L∞ change is < tol, the same criterion the cold run uses, so the
 //     ~2·tol·f/(1−f) differential bound is unconditional.
-template <engine::GraphView View, class Instr = NullInstr>
+template <engine::GraphView View, class Instr = NullInstr,
+          class TracerT = obs::NullTracer>
 PrFixpoint incremental_pagerank(const View& view,
                                 std::span<const EdgeUpdate> updates,
                                 const std::vector<double>& prev,
                                 const IncrementalOptions& opt = {},
                                 IncrementalStats* stats = nullptr,
-                                Instr instr = {}) {
+                                Instr instr = {}, TracerT* tracer = nullptr) {
   const vid_t n = view.n();
   PP_CHECK(n > 0);
   PP_CHECK(prev.size() == static_cast<std::size_t>(n));
-  if (stats != nullptr) *stats = {};
+  IncrementalStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = {};
+  const detail::RepairSpan<TracerT> span(tracer, "incremental_pagerank", stats);
   const auto& out = view.out();
   const double f = opt.damping;
   // The repair is global-analytic, so the update list itself is not walked;

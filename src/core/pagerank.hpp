@@ -24,6 +24,7 @@
 #include "engine/edge_map.hpp"
 #include "graph/csr.hpp"
 #include "graph/partition_aware.hpp"
+#include "obs/trace.hpp"
 #include "perf/instr.hpp"
 #include "util/check.hpp"
 
@@ -102,10 +103,42 @@ struct PrScatter {
 
 }  // namespace detail
 
+namespace detail {
+
+// PR iterations are fixed-direction full sweeps; the RoundEvent still earns
+// its keep in a trace (per-iteration wall time + instr deltas line up against
+// BFS/CC lanes).
+template <class TracerT>
+inline void record_pr_round(TracerT* tracer, const char* mode, int iter,
+                            std::int64_t n, std::int64_t m,
+                            const engine::EdgeMapStats& st, std::uint64_t t0,
+                            const CounterBlock& delta) {
+  if constexpr (TracerT::kEnabled) {
+    obs::RoundEvent ev;
+    ev.kernel = "pagerank";
+    ev.mode = mode;
+    ev.round = iter;
+    ev.frontier_size = n;  // dense sweep: every vertex is active
+    ev.active_work = m;
+    ev.total_work = m;
+    ev.total_count = n;
+    ev.updates = st.updates;
+    ev.t0_ns = t0;
+    ev.dur_ns = obs::now_ns() - t0;
+    ev.instr = delta;
+    obs::record_round(tracer, ev);
+  } else {
+    (void)tracer, (void)mode, (void)iter, (void)n, (void)m, (void)st, (void)t0,
+        (void)delta;
+  }
+}
+
+}  // namespace detail
+
 // Pull-based PageRank: new_pr[v] += f·pr[u]/d(u) for u ∈ N(v)  (R-conflicts).
-template <CsrLike G, class Instr = NullInstr>
+template <CsrLike G, class Instr = NullInstr, class TracerT = obs::NullTracer>
 std::vector<double> pagerank_pull(const G& g, const PageRankOptions& opt,
-                                  Instr instr = {}) {
+                                  Instr instr = {}, TracerT* tracer = nullptr) {
   const vid_t n = g.n();
   PP_CHECK(n > 0);
   std::vector<double> pr(static_cast<std::size_t>(n), 1.0 / n);
@@ -115,12 +148,21 @@ std::vector<double> pagerank_pull(const G& g, const PageRankOptions& opt,
   emo.region = 1;
   emo.track_output = false;
   for (int l = 0; l < opt.iterations; ++l) {
+    const bool trace = obs::tracing(tracer);
+    const std::uint64_t t0 = trace ? obs::now_ns() : 0;
+    const CounterBlock c0 = trace ? obs::instr_snapshot(instr) : CounterBlock{};
+    engine::EdgeMapStats st;
     const double dangling = detail::pr_dangling_mass(g, pr);
     const double base = (1.0 - opt.damping) / n + opt.damping * dangling / n;
     engine::dense_pull(
         g, ws,
         detail::PrGather<G>{&g, pr.data(), next.data(), base, opt.damping},
-        emo, instr);
+        emo, instr, trace ? &st : nullptr);
+    if (trace) {
+      detail::record_pr_round(
+          tracer, engine::to_string(st.mode), l + 1, n, g.num_arcs(), st, t0,
+          obs::counter_delta(obs::instr_snapshot(instr), c0));
+    }
     pr.swap(next);
     std::fill(next.begin(), next.end(), 0.0);
   }
@@ -129,9 +171,9 @@ std::vector<double> pagerank_pull(const G& g, const PageRankOptions& opt,
 
 // Push-based PageRank: new_pr[u] += f·pr[v]/d(v)  (W-conflicts on floats →
 // CAS-loop "locks").
-template <CsrLike G, class Instr = NullInstr>
+template <CsrLike G, class Instr = NullInstr, class TracerT = obs::NullTracer>
 std::vector<double> pagerank_push(const G& g, const PageRankOptions& opt,
-                                  Instr instr = {}) {
+                                  Instr instr = {}, TracerT* tracer = nullptr) {
   const vid_t n = g.n();
   PP_CHECK(n > 0);
   std::vector<double> pr(static_cast<std::size_t>(n), 1.0 / n);
@@ -141,12 +183,21 @@ std::vector<double> pagerank_push(const G& g, const PageRankOptions& opt,
   emo.region = 2;
   emo.track_output = false;
   for (int l = 0; l < opt.iterations; ++l) {
+    const bool trace = obs::tracing(tracer);
+    const std::uint64_t t0 = trace ? obs::now_ns() : 0;
+    const CounterBlock c0 = trace ? obs::instr_snapshot(instr) : CounterBlock{};
+    engine::EdgeMapStats st;
     const double dangling = detail::pr_dangling_mass(g, pr);
     const double base = (1.0 - opt.damping) / n + opt.damping * dangling / n;
     engine::dense_push(
         g, ws, /*sources=*/nullptr,
         detail::PrScatter<G>{&g, pr.data(), next.data(), opt.damping}, emo,
-        instr);
+        instr, trace ? &st : nullptr);
+    if (trace) {
+      detail::record_pr_round(
+          tracer, engine::to_string(st.mode), l + 1, n, g.num_arcs(), st, t0,
+          obs::counter_delta(obs::instr_snapshot(instr), c0));
+    }
     engine::vertex_map(
         n, ws,
         [&](auto& ctx, vid_t v) {

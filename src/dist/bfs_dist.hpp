@@ -48,6 +48,10 @@ struct BfsDistOptions {
   bool direction_optimizing = false;
   DistFrontier::Heuristic heuristic{};
   CommCosts costs{};
+  // > 0 enables the World's superstep log with this per-rank capacity; the
+  // closed records come back in BfsDistResult::supersteps (works on both
+  // backends — the log lives in shared memory).
+  std::size_t superstep_trace = 0;
 };
 
 struct BfsDistResult {
@@ -59,6 +63,8 @@ struct BfsDistResult {
   double max_comm_us = 0.0;
   double max_rank_wall_us = 0.0;
   std::uint64_t max_rank_edge_ops = 0;
+  // Per-rank superstep records (empty unless opt.superstep_trace > 0).
+  std::vector<std::vector<SuperstepRecord>> supersteps;
 };
 
 namespace detail {
@@ -92,6 +98,7 @@ inline BfsDistResult bfs_dist(const Csr& g, vid_t root, int nranks,
   PP_CHECK(gin.n() == n);
 
   World world(nranks, opt.backend);
+  if (opt.superstep_trace > 0) world.enable_superstep_trace(opt.superstep_trace);
   const Partition1D part(n, nranks);
   DistFrontier frontier(world, g, part, opt.heuristic);
   Window<std::int64_t> claim(world, static_cast<std::size_t>(n));
@@ -214,6 +221,14 @@ inline BfsDistResult bfs_dist(const Csr& g, vid_t root, int nranks,
   res.max_comm_us = world.max_modeled_comm_us(opt.costs);
   res.max_rank_edge_ops = world.max_edge_ops();
   res.max_rank_wall_us = world.max_rank_wall_us();
+  if (opt.superstep_trace > 0) {
+    res.supersteps.resize(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      const auto recs = world.superstep_records(r);
+      res.supersteps[static_cast<std::size_t>(r)].assign(recs.begin(),
+                                                         recs.end());
+    }
+  }
   return res;
 }
 

@@ -42,6 +42,7 @@
 #include "dist/transport_emu.hpp"
 #include "dist/transport_shm.hpp"
 #include "graph/partition.hpp"
+#include "obs/trace.hpp"
 #include "sync/atomics.hpp"
 #include "util/check.hpp"
 
@@ -93,6 +94,12 @@ struct RankStats {
   std::uint64_t local_gets = 0;
   std::uint64_t local_accs = 0;
   std::uint64_t local_faas = 0;
+  // Receive side of the two-sided protocol: inbox drains and the bytes they
+  // returned. Not modeled (the sender already paid the wire charge) but
+  // essential telemetry — a rank whose drains return empty is starved, one
+  // whose drained bytes dwarf its sent bytes is a hotspot.
+  std::uint64_t drains = 0;
+  std::uint64_t bytes_drained = 0;
   // Compute proxy filled by the distributed kernels: edges (PR) or neighbor
   // pairs (TC) processed by this rank.
   std::uint64_t edge_ops = 0;
@@ -119,9 +126,66 @@ struct RankStats {
     local_gets += o.local_gets;
     local_accs += o.local_accs;
     local_faas += o.local_faas;
+    drains += o.drains;
+    bytes_drained += o.bytes_drained;
     edge_ops += o.edge_ops;
     return *this;
   }
+};
+
+// Field-wise `after - before`, for per-superstep counter deltas. Counters
+// are monotone within a rank, so the subtraction never wraps.
+inline RankStats rank_stats_delta(const RankStats& after,
+                                  const RankStats& before) {
+  RankStats d;
+  d.barriers = after.barriers - before.barriers;
+  d.msgs_sent = after.msgs_sent - before.msgs_sent;
+  d.bytes_sent = after.bytes_sent - before.bytes_sent;
+  d.rma_puts = after.rma_puts - before.rma_puts;
+  d.rma_gets = after.rma_gets - before.rma_gets;
+  d.rma_accs = after.rma_accs - before.rma_accs;
+  d.rma_faas = after.rma_faas - before.rma_faas;
+  d.local_puts = after.local_puts - before.local_puts;
+  d.local_gets = after.local_gets - before.local_gets;
+  d.local_accs = after.local_accs - before.local_accs;
+  d.local_faas = after.local_faas - before.local_faas;
+  d.drains = after.drains - before.drains;
+  d.bytes_drained = after.bytes_drained - before.bytes_drained;
+  d.edge_ops = after.edge_ops - before.edge_ops;
+  return d;
+}
+
+// --- Superstep trace ---------------------------------------------------------
+//
+// Optional per-rank superstep log, closed at every Rank::barrier() — the
+// universal superstep boundary of all distributed kernels here. Storage comes
+// from World::shared_array, so it works identically on both backends: emu
+// ranks (threads) and shm ranks (forked processes) write their own slot, and
+// the controlling process reads the records after run() returns (thread join
+// / process wait gives the happens-before; never read mid-run). Timestamps
+// are steady_clock (CLOCK_MONOTONIC), which is consistent across forked
+// processes on Linux, so per-rank lanes line up on one timeline.
+
+inline constexpr int kSuperstepLanes = 8;
+
+// One barrier-to-barrier interval of one rank.
+struct SuperstepRecord {
+  std::uint64_t t0_ns = 0;
+  std::uint64_t t1_ns = 0;
+  RankStats delta;  // counters this interval accumulated
+  // Bytes sent per destination rank (send + alltoallv lanes); destinations
+  // >= kSuperstepLanes fold into the last lane.
+  std::uint64_t lane_bytes[kSuperstepLanes] = {};
+};
+
+// Per-rank bookkeeping between barriers (shared memory, written only by the
+// owning rank).
+struct SuperstepCursor {
+  RankStats prev;
+  std::uint64_t prev_t_ns = 0;
+  std::uint64_t count = 0;    // records closed so far
+  std::uint64_t dropped = 0;  // intervals past capacity
+  std::uint64_t lane_bytes[kSuperstepLanes] = {};
 };
 
 class Rank;
@@ -205,12 +269,52 @@ class World {
     return m;
   }
 
+  // Turn on the per-rank superstep log. Call from the controlling process
+  // before run(); each rank can close up to `capacity` records per World
+  // (further barriers count as dropped). Storage is shared, so forked shm
+  // ranks write records the parent reads back after run().
+  void enable_superstep_trace(std::size_t capacity = 256) {
+    PP_CHECK(capacity >= 1);
+    ss_capacity_ = capacity;
+    ss_cursors_ = shared_array<SuperstepCursor>(
+                      static_cast<std::size_t>(nranks_))
+                      .data();
+    ss_records_ =
+        shared_array<SuperstepRecord>(static_cast<std::size_t>(nranks_) *
+                                      capacity)
+            .data();
+  }
+
+  bool superstep_trace_enabled() const noexcept {
+    return ss_cursors_ != nullptr;
+  }
+
+  // Records closed by rank r so far. Read after run() returns — the join
+  // (emu) / wait (shm) in Transport::run is the happens-before edge.
+  std::span<const SuperstepRecord> superstep_records(int r) const {
+    PP_CHECK(r >= 0 && r < nranks_);
+    if (ss_cursors_ == nullptr) return {};
+    const SuperstepCursor& cur = ss_cursors_[static_cast<std::size_t>(r)];
+    return {ss_records_ + static_cast<std::size_t>(r) * ss_capacity_,
+            static_cast<std::size_t>(cur.count)};
+  }
+
+  std::uint64_t superstep_dropped(int r) const {
+    PP_CHECK(r >= 0 && r < nranks_);
+    return ss_cursors_ == nullptr
+               ? 0
+               : ss_cursors_[static_cast<std::size_t>(r)].dropped;
+  }
+
  private:
   friend class Rank;
 
   int nranks_;
   std::unique_ptr<Transport> transport_;
   RankStats* stats_ = nullptr;
+  SuperstepCursor* ss_cursors_ = nullptr;
+  SuperstepRecord* ss_records_ = nullptr;
+  std::size_t ss_capacity_ = 0;
 };
 
 // A rank's handle to the world: identity, synchronization, collectives, and
@@ -221,7 +325,16 @@ class Rank {
  public:
   Rank(World& world, int id)
       : world_(&world), id_(id),
-        stats_(&world.stats_[static_cast<std::size_t>(id)]) {}
+        stats_(&world.stats_[static_cast<std::size_t>(id)]) {
+    // Anchor superstep 0 at rank entry so the first barrier closes a record
+    // spanning actual rank work, not World setup.
+    if (world_->ss_cursors_ != nullptr) {
+      SuperstepCursor& cur = cursor();
+      cur.prev = *stats_;
+      cur.prev_t_ns = obs::now_ns();
+      for (std::uint64_t& b : cur.lane_bytes) b = 0;
+    }
+  }
 
   int id() const noexcept { return id_; }
   int nranks() const noexcept { return world_->nranks_; }
@@ -230,6 +343,7 @@ class Rank {
 
   void barrier() {
     ++stats_->barriers;
+    if (world_->ss_cursors_ != nullptr) close_superstep();
     world_->transport_->barrier(id_);
   }
 
@@ -281,6 +395,7 @@ class Rank {
       if (d != id_ && !lane.empty()) {
         ++stats_->msgs_sent;
         stats_->bytes_sent += lane.size() * sizeof(T);
+        note_lane_bytes(d, lane.size() * sizeof(T));
       }
     }
     std::vector<std::byte> bytes;
@@ -300,6 +415,7 @@ class Rank {
     if (dest != id_) {
       ++stats_->msgs_sent;
       stats_->bytes_sent += nbytes;
+      note_lane_bytes(dest, nbytes);
     }
   }
 
@@ -311,6 +427,8 @@ class Rank {
     static_assert(std::is_trivially_copyable_v<T>);
     std::vector<std::byte> bytes;
     world_->transport_->drain(id_, bytes);
+    ++stats_->drains;
+    stats_->bytes_drained += bytes.size();
     return from_bytes<T>(bytes);
   }
 
@@ -328,6 +446,43 @@ class Rank {
       stats_->bytes_sent += sizeof(T);
     }
     return static_cast<T>(acc);
+  }
+
+  SuperstepCursor& cursor() noexcept {
+    return world_->ss_cursors_[static_cast<std::size_t>(id_)];
+  }
+
+  void note_lane_bytes(int dest, std::size_t nbytes) {
+    if (world_->ss_cursors_ == nullptr) return;
+    const int lane = dest < kSuperstepLanes ? dest : kSuperstepLanes - 1;
+    cursor().lane_bytes[lane] += nbytes;
+  }
+
+  // Close the barrier-to-barrier interval ending now: one SuperstepRecord
+  // carrying the counter deltas and per-destination bytes since the last
+  // barrier (or rank entry). Past capacity the interval is dropped, but the
+  // cursor still advances so later records stay correctly anchored.
+  void close_superstep() {
+    SuperstepCursor& cur = cursor();
+    const std::uint64_t now = obs::now_ns();
+    if (cur.count < world_->ss_capacity_) {
+      SuperstepRecord& rec =
+          world_->ss_records_[static_cast<std::size_t>(id_) *
+                                  world_->ss_capacity_ +
+                              cur.count];
+      rec.t0_ns = cur.prev_t_ns;
+      rec.t1_ns = now;
+      rec.delta = rank_stats_delta(*stats_, cur.prev);
+      for (int l = 0; l < kSuperstepLanes; ++l) {
+        rec.lane_bytes[l] = cur.lane_bytes[l];
+      }
+      ++cur.count;
+    } else {
+      ++cur.dropped;
+    }
+    cur.prev = *stats_;
+    cur.prev_t_ns = now;
+    for (std::uint64_t& b : cur.lane_bytes) b = 0;
   }
 
   void count_op(bool remote, std::uint64_t& local, std::uint64_t& remote_ctr,

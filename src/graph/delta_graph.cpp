@@ -192,9 +192,13 @@ std::size_t DeltaGraph::pending_updates() const {
 epoch_t DeltaGraph::commit() {
   std::lock_guard<std::mutex> lk(mu_);
   if (pending_.empty()) return epoch_;
+  obs::ScopedSpan<obs::Tracer> span(tracer_, "commit", "storage");
+  span.arg("updates", static_cast<double>(pending_.size()));
   ++epoch_;
   history_.push_back(UpdateBatch{epoch_, std::move(pending_)});
   pending_.clear();
+  span.arg("epoch", static_cast<double>(epoch_));
+  span.arg("overlay_entries", static_cast<double>(overlay_entries_locked()));
   return epoch_;
 }
 
@@ -339,8 +343,11 @@ void DeltaGraph::compact() {
   // expand into a fresh CSR outside it (O(n + m)), then swap. Updates staged
   // or committed while the merge runs stay in the overlay via the rebase.
   std::unique_lock<std::mutex> lk(mu_);
+  obs::ScopedSpan<obs::Tracer> span(tracer_, "compact", "storage");
   const epoch_t at = epoch_;
   if (oldest_epoch_ == at && out_.delta.empty() && in_.delta.empty()) return;
+  span.arg("overlay_entries_before",
+           static_cast<double>(overlay_entries_locked()));
   auto out_snap = materialize_side(out_, at);
   auto in_snap = symmetric_ ? nullptr : materialize_side(in_, at);
   lk.unlock();
@@ -357,6 +364,9 @@ void DeltaGraph::compact() {
     rebase_side(in_, new_in, at);
   }
   oldest_epoch_ = at;
+  span.arg("epoch", static_cast<double>(at));
+  span.arg("overlay_entries_after",
+           static_cast<double>(overlay_entries_locked()));
 }
 
 std::vector<UpdateBatch> DeltaGraph::batches_since(epoch_t since) const {
@@ -375,6 +385,10 @@ eid_t DeltaGraph::num_arcs() const {
 
 std::size_t DeltaGraph::overlay_entries() const {
   std::lock_guard<std::mutex> lk(mu_);
+  return overlay_entries_locked();
+}
+
+std::size_t DeltaGraph::overlay_entries_locked() const {
   std::size_t count = 0;
   for (const Side* side : {&out_, &in_}) {
     for (const auto& [v, ov] : side->delta) {

@@ -47,6 +47,7 @@
 
 #include "graph/csr.hpp"
 #include "graph/types.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace pushpull {
@@ -283,6 +284,15 @@ class DeltaGraph {
   // Diagnostics: live overlay entries not yet folded into the base.
   std::size_t overlay_entries() const;
 
+  // Attach a live tracer (nullptr detaches): commit() and compact() record
+  // "storage" spans tagged with update and overlay-entry counts. DeltaGraph
+  // is a concrete class, so unlike the templated kernels this hook is a
+  // runtime pointer — the un-attached cost is one predictable branch per
+  // commit/compact, nowhere near a hot path. The tracer must outlive the
+  // attachment; calls follow the writer-thread discipline commit/compact
+  // already require.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   static constexpr epoch_t kNever = std::numeric_limits<epoch_t>::max();
 
@@ -324,7 +334,11 @@ class DeltaGraph {
   // Re-anchor one side's overlay onto a base sealed at epoch `at`. (lock held)
   void rebase_side(Side& side, std::shared_ptr<const Csr> new_base, epoch_t at);
 
+  // Live overlay entries with the lock already held (commit/compact spans).
+  std::size_t overlay_entries_locked() const;
+
   mutable std::mutex mu_;
+  obs::Tracer* tracer_ = nullptr;
   vid_t n_ = 0;
   bool symmetric_ = true;
   epoch_t epoch_ = 0;         // latest committed

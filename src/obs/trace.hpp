@@ -1,0 +1,333 @@
+// Runtime tracing: per-thread lock-free ring buffers of timestamped spans and
+// instant events, exported as Chrome `trace_event` JSON (open the file in
+// chrome://tracing or https://ui.perfetto.dev).
+//
+// The design mirrors the instrumentation policies in perf/instr.hpp: every
+// traced kernel is a template over a tracer policy, `NullTracer` is the
+// default, and with it every hook collapses to nothing — the compiled kernel
+// is bit-for-bit the production kernel. `Tracer` is the live policy:
+//
+//   - one single-writer ring per OS thread (slot = process-wide thread_local
+//     id, so OpenMP workers and std::thread dist ranks never collide),
+//     allocated lazily on a thread's first event;
+//   - bounded memory: rings hold `events_per_thread` entries and drop-newest
+//     on overflow, counting drops per ring (`dropped()` sums them);
+//   - recording is wait-free: a relaxed enabled check, one array store, one
+//     release store of the ring head. No locks, no allocation after warmup.
+//
+// Readers (`sorted_events`, `chrome_json`) may run concurrently with writers
+// — the release/acquire head handshake makes every exported event a complete
+// write — but the intended protocol is to export after the traced region has
+// quiesced (threads joined / parallel region closed), which also guarantees
+// no event is missed. Events carry nanosecond `steady_clock` timestamps; the
+// exporter sorts by timestamp within each thread lane, so nested ScopedSpans
+// (recorded at destruction, i.e. inner-first) still render in order.
+//
+// Event payloads are `const char*` names plus numeric args by design: the
+// hot path never formats or allocates. All name/cat/mode/arg-key strings must
+// outlive the tracer (string literals in practice).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "perf/counters.hpp"
+
+namespace pushpull::obs {
+
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct TraceArg {
+  const char* key;
+  double value;
+};
+
+// One trace record. `ph` follows the Chrome trace_event phase codes we emit:
+// 'X' = complete span (ts + dur), 'i' = instant event. `tid` overrides the
+// exported thread lane (>= 0; used for per-rank superstep lanes) — the
+// default -1 exports under the recording thread's slot.
+struct TraceEvent {
+  static constexpr int kMaxArgs = 12;
+
+  const char* name = "";
+  const char* cat = "";
+  char ph = 'X';
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::int32_t tid = -1;
+  const char* mode = nullptr;  // optional string arg, exported as args.mode
+  int n_args = 0;
+  TraceArg args[kMaxArgs];
+
+  TraceEvent& arg(const char* key, double value) noexcept {
+    if (n_args < kMaxArgs) args[n_args++] = {key, value};
+    return *this;
+  }
+};
+
+namespace detail {
+
+// Stable process-wide small-integer identity for the calling OS thread.
+// omp_get_thread_num() is unusable here: every emulated dist rank is a
+// std::thread whose OpenMP id is 0, so they would all share one ring.
+inline int thread_slot() noexcept {
+  static std::atomic<int> next{0};
+  thread_local const int slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace detail
+
+struct TracerOptions {
+  std::size_t events_per_thread = std::size_t{1} << 14;
+  int max_threads = 256;
+  bool start_enabled = true;
+};
+
+class Tracer {
+ public:
+  static constexpr bool kEnabled = true;
+
+  explicit Tracer(const TracerOptions& opt = {})
+      : opt_(opt),
+        rings_(std::make_unique<Ring[]>(
+            static_cast<std::size_t>(opt.max_threads))),
+        enabled_(opt.start_enabled) {}
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_seq_cst);
+  }
+
+  void record(const TraceEvent& ev) noexcept {
+    if (!enabled()) return;
+    const int slot = detail::thread_slot();
+    if (slot >= opt_.max_threads) {
+      slotless_drops_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    Ring& r = rings_[static_cast<std::size_t>(slot)];
+    TraceEvent* buf = r.buf.load(std::memory_order_acquire);
+    if (buf == nullptr) {
+      // First event on this thread: the slot is exclusively ours, so a plain
+      // allocate + release store suffices (no CAS — there is no contender).
+      buf = new TraceEvent[opt_.events_per_thread];
+      r.buf.store(buf, std::memory_order_release);
+    }
+    const std::uint64_t h = r.head.load(std::memory_order_relaxed);
+    if (h >= opt_.events_per_thread) {
+      r.dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    buf[h] = ev;
+    // Publish: readers acquire `head` and may then read buf[0..head).
+    r.head.store(h + 1, std::memory_order_release);
+  }
+
+  std::uint64_t recorded() const noexcept {
+    std::uint64_t n = 0;
+    for (int s = 0; s < opt_.max_threads; ++s) {
+      n += rings_[static_cast<std::size_t>(s)].head.load(
+          std::memory_order_acquire);
+    }
+    return n;
+  }
+
+  std::uint64_t dropped() const noexcept {
+    std::uint64_t n = slotless_drops_.load(std::memory_order_relaxed);
+    for (int s = 0; s < opt_.max_threads; ++s) {
+      n += rings_[static_cast<std::size_t>(s)].dropped.load(
+          std::memory_order_relaxed);
+    }
+    return n;
+  }
+
+  std::size_t events_per_thread() const noexcept {
+    return opt_.events_per_thread;
+  }
+
+  // All events as (exported tid, event) pairs, sorted by tid then timestamp —
+  // exactly the order chrome_json() emits. Exported tid is the event's `tid`
+  // override when set, else the recording thread's slot.
+  std::vector<std::pair<int, TraceEvent>> sorted_events() const;
+
+  // Chrome trace_event JSON: {"traceEvents": [...], "otherData": {...}}.
+  std::string chrome_json() const;
+
+  // Writes chrome_json() to `path`; false (with a stderr note) on I/O error.
+  bool write_chrome_json(const std::string& path) const;
+
+ private:
+  struct Ring {
+    std::atomic<TraceEvent*> buf{nullptr};
+    std::atomic<std::uint64_t> head{0};
+    std::atomic<std::uint64_t> dropped{0};
+
+    ~Ring() { delete[] buf.load(std::memory_order_acquire); }
+  };
+
+  TracerOptions opt_;
+  std::unique_ptr<Ring[]> rings_;
+  std::atomic<bool> enabled_;
+  std::atomic<std::uint64_t> slotless_drops_{0};
+};
+
+// The default policy: every hook is a no-op that inlines away, so kernels
+// compiled against NullTracer are the production kernels (same contract as
+// NullInstr).
+struct NullTracer {
+  static constexpr bool kEnabled = false;
+
+  bool enabled() const noexcept { return false; }
+  void set_enabled(bool) noexcept {}
+  void record(const TraceEvent&) noexcept {}
+  std::uint64_t recorded() const noexcept { return 0; }
+  std::uint64_t dropped() const noexcept { return 0; }
+};
+
+// "Should this call record?" — constant false for NullTracer so the whole
+// recording branch (including timestamp reads) is dead code.
+template <class TracerT>
+inline bool tracing(const TracerT* t) noexcept {
+  if constexpr (!TracerT::kEnabled) {
+    (void)t;
+    return false;
+  } else {
+    return t != nullptr && t->enabled();
+  }
+}
+
+// --- kernel-side helpers -----------------------------------------------------
+
+// Snapshot of an Instr policy's aggregate counters, for before/after deltas
+// around a traced region. Zero when the policy exposes no counters (NullInstr)
+// or has none attached.
+template <class Instr>
+inline CounterBlock instr_snapshot(const Instr& instr) noexcept {
+  if constexpr (requires { instr.counters(); }) {
+    if (const PerfCounters* pc = instr.counters()) return pc->total();
+  }
+  (void)instr;
+  return CounterBlock{};
+}
+
+inline CounterBlock counter_delta(const CounterBlock& after,
+                                  const CounterBlock& before) noexcept {
+  CounterBlock d;
+  d.reads = after.reads - before.reads;
+  d.writes = after.writes - before.writes;
+  d.atomics = after.atomics - before.atomics;
+  d.locks = after.locks - before.locks;
+  d.branch_cond = after.branch_cond - before.branch_cond;
+  d.branch_uncond = after.branch_uncond - before.branch_uncond;
+  return d;
+}
+
+// One edge_map round's direction-decision record: what the policy saw (the
+// α/β comparison inputs), what it chose, and what the round cost.
+struct RoundEvent {
+  const char* kernel = "";
+  const char* mode = "";        // engine::to_string(stats.mode)
+  int round = 0;
+  std::int64_t frontier_size = 0;
+  std::int64_t active_work = 0;   // Σ out-degree over the frontier
+  std::int64_t total_work = 0;    // |A|
+  std::int64_t total_count = 0;   // n
+  double alpha = 0.0;
+  double beta = 0.0;
+  std::int64_t updates = 0;
+  std::uint64_t t0_ns = 0;
+  std::uint64_t dur_ns = 0;
+  CounterBlock instr;  // counter deltas; all-zero when counting is off
+};
+
+template <class TracerT>
+inline void record_round(TracerT* t, const RoundEvent& r) noexcept {
+  if constexpr (!TracerT::kEnabled) {
+    (void)t;
+    (void)r;
+  } else {
+    if (!tracing(t)) return;
+    TraceEvent ev;
+    ev.name = r.kernel;
+    ev.cat = "round";
+    ev.ph = 'X';
+    ev.ts_ns = r.t0_ns;
+    ev.dur_ns = r.dur_ns;
+    ev.mode = r.mode;
+    ev.arg("round", static_cast<double>(r.round))
+        .arg("frontier", static_cast<double>(r.frontier_size))
+        .arg("active_work", static_cast<double>(r.active_work))
+        .arg("total_work", static_cast<double>(r.total_work))
+        .arg("total_count", static_cast<double>(r.total_count))
+        .arg("alpha", r.alpha)
+        .arg("beta", r.beta)
+        .arg("updates", static_cast<double>(r.updates));
+    if (r.instr.reads | r.instr.writes | r.instr.atomics | r.instr.locks) {
+      ev.arg("reads", static_cast<double>(r.instr.reads))
+          .arg("writes", static_cast<double>(r.instr.writes))
+          .arg("atomics", static_cast<double>(r.instr.atomics))
+          .arg("locks", static_cast<double>(r.instr.locks));
+    }
+    t->record(ev);
+  }
+}
+
+// RAII span: opens at construction, records one 'X' event at destruction.
+// Args added between the two ride along. The NullTracer specialization is an
+// empty type, so un-traced builds carry no stack footprint at all.
+template <class TracerT>
+class ScopedSpan {
+ public:
+  ScopedSpan(TracerT* t, const char* name, const char* cat) noexcept {
+    if (tracing(t)) {
+      t_ = t;
+      ev_.name = name;
+      ev_.cat = cat;
+      ev_.ts_ns = now_ns();
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void arg(const char* key, double value) noexcept {
+    if (t_ != nullptr) ev_.arg(key, value);
+  }
+  void set_mode(const char* mode) noexcept {
+    if (t_ != nullptr) ev_.mode = mode;
+  }
+
+  ~ScopedSpan() {
+    if (t_ != nullptr) {
+      ev_.dur_ns = now_ns() - ev_.ts_ns;
+      t_->record(ev_);
+    }
+  }
+
+ private:
+  TracerT* t_ = nullptr;
+  TraceEvent ev_{};
+};
+
+template <>
+class ScopedSpan<NullTracer> {
+ public:
+  ScopedSpan(NullTracer*, const char*, const char*) noexcept {}
+  void arg(const char*, double) noexcept {}
+  void set_mode(const char*) noexcept {}
+};
+
+}  // namespace pushpull::obs

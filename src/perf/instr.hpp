@@ -59,6 +59,10 @@ class CountingInstr {
   void branch_uncond() noexcept { ++tl().branch_uncond; }
   void code_region(std::uint32_t) noexcept {}
 
+  // The attached counter sink, for before/after snapshots around a traced
+  // region (obs::instr_snapshot probes for exactly this accessor).
+  const PerfCounters* counters() const noexcept { return pc_; }
+
  private:
   CounterBlock& tl() noexcept { return pc_->at(omp_get_thread_num()); }
 

@@ -1,0 +1,41 @@
+// Minimal JSON string escaping, shared by the bench JsonWriter and the
+// obs trace exporter. Escapes the two characters JSON forbids raw inside a
+// string (`"` and `\`) plus all control characters below 0x20 — the named
+// short escapes where they exist, \u00XX otherwise. Input is treated as
+// opaque bytes: non-ASCII UTF-8 passes through untouched, which every JSON
+// parser accepts.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace pushpull {
+
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace pushpull

@@ -126,6 +126,63 @@ TEST_P(RuntimeEdge, CrossRankSendArrivesAfterBarrier) {
   EXPECT_EQ(world.stats(0).bytes_sent, 3 * sizeof(std::int64_t));
 }
 
+TEST_P(RuntimeEdge, SuperstepRecordsCloseAtBarriers) {
+  constexpr int kRanks = 3;
+  World world(kRanks, backend());
+  world.enable_superstep_trace(8);
+  EXPECT_TRUE(world.superstep_trace_enabled());
+  world.run([](Rank& rank) {
+    // Superstep 1: every rank ships one int to its successor.
+    const int payload = rank.id();
+    rank.send((rank.id() + 1) % kRanks, &payload, 1);
+    rank.barrier();
+    // Superstep 2: drain the inbox.
+    EXPECT_EQ(rank.template drain<int>().size(), 1u);
+    rank.barrier();
+  });
+  for (int r = 0; r < kRanks; ++r) {
+    const auto recs = world.superstep_records(r);
+    ASSERT_EQ(recs.size(), 2u);
+    EXPECT_EQ(world.superstep_dropped(r), 0u);
+    // Interval 1: one message into the successor's lane, nothing drained.
+    EXPECT_EQ(recs[0].delta.barriers, 1u);
+    EXPECT_EQ(recs[0].delta.msgs_sent, 1u);
+    EXPECT_EQ(recs[0].delta.bytes_sent, sizeof(int));
+    EXPECT_EQ(recs[0].lane_bytes[(r + 1) % kRanks], sizeof(int));
+    EXPECT_EQ(recs[0].lane_bytes[r], 0u);
+    EXPECT_EQ(recs[0].delta.drains, 0u);
+    // Interval 2: the drain shows up, and the lane bytes were reset.
+    EXPECT_EQ(recs[1].delta.drains, 1u);
+    EXPECT_EQ(recs[1].delta.bytes_drained, sizeof(int));
+    EXPECT_EQ(recs[1].delta.msgs_sent, 0u);
+    EXPECT_EQ(recs[1].lane_bytes[(r + 1) % kRanks], 0u);
+    // Intervals are well-formed and abut exactly.
+    EXPECT_LE(recs[0].t0_ns, recs[0].t1_ns);
+    EXPECT_EQ(recs[0].t1_ns, recs[1].t0_ns);
+    EXPECT_LE(recs[1].t0_ns, recs[1].t1_ns);
+  }
+}
+
+TEST_P(RuntimeEdge, SuperstepLogDropsPastCapacity) {
+  World world(2, backend());
+  world.enable_superstep_trace(2);
+  world.run([](Rank& rank) {
+    for (int i = 0; i < 5; ++i) rank.barrier();
+  });
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_EQ(world.superstep_records(r).size(), 2u);
+    EXPECT_EQ(world.superstep_dropped(r), 3u);
+  }
+}
+
+TEST_P(RuntimeEdge, SuperstepTraceOffByDefault) {
+  World world(2, backend());
+  EXPECT_FALSE(world.superstep_trace_enabled());
+  world.run([](Rank& rank) { rank.barrier(); });
+  EXPECT_TRUE(world.superstep_records(0).empty());
+  EXPECT_EQ(world.superstep_dropped(0), 0u);
+}
+
 TEST_P(RuntimeEdge, SharedArrayIsVisibleToParentAndAllRanks) {
   constexpr int kRanks = 4;
   World world(kRanks, backend());

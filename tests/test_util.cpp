@@ -4,6 +4,7 @@
 #include <set>
 #include <thread>
 
+#include "util/json.hpp"
 #include "util/padded.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -123,6 +124,28 @@ TEST(Table, AlignsColumnsAndFormats) {
   EXPECT_NE(s.find("1.5"), std::string::npos);
   EXPECT_NE(s.find("10.25"), std::string::npos);
   EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape(""), "");
+  EXPECT_EQ(json_escape("plain-key_1.2/path"), "plain-key_1.2/path");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("C:\\graphs\\orc.el"), "C:\\\\graphs\\\\orc.el");
+}
+
+TEST(JsonEscape, EscapesControlCharacters) {
+  EXPECT_EQ(json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(json_escape("\b\f"), "\\b\\f");
+  EXPECT_EQ(json_escape(std::string("\x01", 1)), "\\u0001");
+  EXPECT_EQ(json_escape(std::string("x\x1f", 2)), "x\\u001f");
+}
+
+TEST(JsonEscape, LeavesNonAsciiBytesAlone) {
+  // UTF-8 passes through untouched: JSON strings are Unicode.
+  EXPECT_EQ(json_escape("caf\xc3\xa9"), "caf\xc3\xa9");
 }
 
 TEST(Table, CountInsertsThousandsSeparators) {
