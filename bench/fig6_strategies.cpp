@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
   bench::SmCli sm = bench::parse_sm_cli(cli, /*default_scale=*/-1);
   const int iters = static_cast<int>(cli.get_int("pr-iters", 8));
   const int bgc_l = static_cast<int>(cli.get_int("bgc-l", 49));
+  const bool verify = cli.get_bool("verify");
   const std::string json_path = cli.get_string("json", "");
   cli.check();
   bench::JsonWriter json;
@@ -205,8 +206,40 @@ int main(int argc, char** argv) {
     table.print();
   }
 
+  // --verify: the frontier-indexed pull shape (γ window, this PR) must be a
+  // pure perf substitution — CC comp arrays and BFS distance arrays are
+  // asserted bit-identical with the γ window enabled (frontier-aware pull
+  // fires at medium densities) and disabled (γ=0, dense pull only).
+  bool verify_ok = true;
+  if (verify) {
+    std::printf("\nverify: frontier-indexed pull == dense pull, per graph:\n");
+    for (const std::string& name : names) {
+      const Csr& g = bench::sm_load_graph(sm, name);
+      CcOptions cc_on, cc_off;
+      cc_on.strategy = cc_off.strategy = StrategyKind::FrontierExploit;
+      cc_on.gamma = 2.0;
+      cc_off.gamma = 0.0;
+      const bool cc_same = connected_components(g, cc_on).comp ==
+                           connected_components(g, cc_off).comp;
+      vid_t root = 0;
+      for (vid_t v = 1; v < g.n(); ++v) {
+        if (g.degree(v) > g.degree(root)) root = v;
+      }
+      DirOptParams bfs_on, bfs_off;
+      bfs_on.gamma = 2.0;
+      bfs_off.gamma = 0.0;
+      const bool bfs_same = bfs_direction_optimizing(g, root, bfs_on).dist ==
+                            bfs_direction_optimizing(g, root, bfs_off).dist;
+      std::printf("  %-5s cc %s, bfs %s\n", name.c_str(),
+                  cc_same ? "identical" : "DIVERGED",
+                  bfs_same ? "identical" : "DIVERGED");
+      verify_ok = verify_ok && cc_same && bfs_same;
+    }
+    json.add_string("frontier_pull_verify", verify_ok ? "ok" : "failed");
+  }
+
   json.add_string("s5_ordering", ordering_ok ? "holds" : "violated");
   json.write(json_path);
   if (!trace.finish()) return 2;
-  return ordering_ok ? 0 : 1;
+  return ordering_ok && verify_ok ? 0 : 1;
 }

@@ -1,0 +1,197 @@
+// Frontier-density sweep: where does each pull shape win?
+//
+// One Jacobi label-min round (read labels_in, write labels_out — no
+// intra-round chaining, so every mode computes byte-identical output) over a
+// Bernoulli-sampled frontier of density |F|/n from 1e-4 to 0.5, three ways:
+//
+//   sparse-push    — iterate the frontier, scatter to out-neighbors
+//                    (AtomicCtx: one accounted atomic per improving write)
+//   dense-pull     — scan every in-arc of every vertex, filter per-arc with
+//                    the frontier bitmap (what FrontierExploit pull did
+//                    before this PR)
+//   frontier-pull  — dense destination sweep through the transposed
+//                    FrontierIndex: whole in-arc runs from inactive 64-id
+//                    source blocks are galloped over (engine/frontier_index.hpp)
+//
+// The crossover structure this prints is the empirical basis for
+// DirectionPolicy's two dials: the α/β switch picks push vs pull from
+// frontier work, and the γ window (pull_shape) picks dense vs frontier-
+// indexed pull from |F|·d̂ vs m. EXPERIMENTS.md records a measured sweep.
+//
+// --verify makes the bench a correctness gate (CI runs it this way): all
+// three modes must produce exactly equal label arrays at every density, and
+// the frontier-pull rounds must issue zero atomics and zero locks (the
+// PlainCtx contract of every pull shape).
+//
+// Flags: the shared set (--scale/--graph/--seed/--json/...) plus --verify
+// and --repeats=N (timing repeats per cell, default 3).
+#include <random>
+
+#include "bench_common.hpp"
+#include "core/frontier.hpp"
+#include "engine/edge_map.hpp"
+#include "perf/counters.hpp"
+#include "perf/instr.hpp"
+
+using namespace pushpull;
+
+namespace {
+
+// Bench-local Jacobi label-min: reads `in`, min-writes `out`. Push sources
+// are exactly the frontier so the filter is redundant there; both pull modes
+// need it (the FrontierIndex over-approximates at block granularity, and
+// dense pull scans everything).
+struct LabelMin {
+  const vid_t* in;
+  vid_t* out;
+  const DenseFrontier* frontier;  // null when the source set is exact
+
+  template <class Ctx>
+  bool update(Ctx& ctx, vid_t s, vid_t d, eid_t) const {
+    if (frontier != nullptr && !frontier->test(s)) return false;
+    return ctx.min(out[d], in[s]);
+  }
+};
+
+// Deterministic Bernoulli(density) frontier; seed folds in the density index
+// so every cell of the sweep samples an independent set.
+engine::VertexSet sample_frontier(vid_t n, double density, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution keep(density);
+  std::vector<vid_t> ids;
+  for (vid_t v = 0; v < n; ++v) {
+    if (keep(rng)) ids.push_back(v);
+  }
+  return engine::VertexSet(n, std::move(ids));
+}
+
+constexpr double kDensities[] = {1e-4, 3e-4, 1e-3, 3e-3,
+                                 1e-2, 3e-2, 0.1,  0.3, 0.5};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  bench::SmCli sm = bench::parse_sm_cli(cli, /*default_scale=*/-1);
+  const int repeats = static_cast<int>(cli.get_int("repeats", 3));
+  const bool verify = cli.get_bool("verify");
+  const std::string json_path = cli.get_string("json", "");
+  cli.check();
+  bench::JsonWriter json;
+  json.add_string("bench", "frontier_sweep");
+
+  bench::print_banner(
+      "Frontier-density sweep — sparse-push vs dense-pull vs frontier-aware "
+      "pull on one label-min round",
+      "frontier-indexed pull beats dense pull whenever the frontier's arc "
+      "mass is a fraction of m, and never issues an atomic");
+
+  bool ok = true;
+  for (const std::string& name : bench::sm_graph_names(sm)) {
+    const Csr& g = bench::sm_load_graph(sm, name);
+    bench::print_graph_line(name, g);
+    const vid_t n = g.n();
+    std::vector<vid_t> labels(static_cast<std::size_t>(n));
+    for (vid_t v = 0; v < n; ++v) labels[static_cast<std::size_t>(v)] = v;
+
+    std::printf("\n%s: one label-min round [ms] by frontier density:\n",
+                name.c_str());
+    Table table({"|F|/n", "|F|", "sparse-push", "dense-pull", "frontier-pull",
+                 "fp vs dense", "blocks"});
+    engine::Workspace ws(n);
+    engine::EdgeMapOptions push_opt;
+    push_opt.track_output = false;
+    engine::EdgeMapOptions pull_opt;
+    pull_opt.track_output = false;
+
+    int di = 0;
+    for (const double density : kDensities) {
+      const std::uint64_t seed =
+          (sm.seed != 0 ? sm.seed : 0x9e3779b97f4a7c15ull) + 131 * di++;
+      const engine::VertexSet frontier = sample_frontier(n, density, seed);
+      if (frontier.empty()) continue;
+      const DenseFrontier& bitmap = frontier.dense();
+      engine::FrontierIndex& idx = ws.frontier_index();
+      idx.build(frontier.ids());
+
+      std::vector<vid_t> out_push(labels), out_dense(labels),
+          out_indexed(labels);
+      const double t_push = bench::time_s(
+          [&] {
+            std::copy(labels.begin(), labels.end(), out_push.begin());
+            engine::sparse_push(g, ws, frontier,
+                                LabelMin{labels.data(), out_push.data(), nullptr},
+                                push_opt);
+          },
+          repeats);
+      const double t_dense = bench::time_s(
+          [&] {
+            std::copy(labels.begin(), labels.end(), out_dense.begin());
+            engine::dense_pull(
+                g, ws, LabelMin{labels.data(), out_dense.data(), &bitmap},
+                pull_opt);
+          },
+          repeats);
+      const double t_indexed = bench::time_s(
+          [&] {
+            std::copy(labels.begin(), labels.end(), out_indexed.begin());
+            engine::frontier_pull(
+                g, ws, idx, LabelMin{labels.data(), out_indexed.data(), &bitmap},
+                pull_opt);
+          },
+          repeats);
+
+      table.add_row({Table::num(density, 4),
+                     std::to_string(frontier.size()),
+                     Table::num(t_push * 1e3, 3), Table::num(t_dense * 1e3, 3),
+                     Table::num(t_indexed * 1e3, 3),
+                     Table::num(t_dense / t_indexed, 2) + "x",
+                     std::to_string(idx.touched_blocks())});
+      const std::string key =
+          "frontier." + name + "." + std::to_string(density);
+      json.add(key + ".sparse_push_s", t_push);
+      json.add(key + ".dense_pull_s", t_dense);
+      json.add(key + ".frontier_pull_s", t_indexed);
+
+      if (verify) {
+        // Exact-equality gate: one round, three modes, one answer.
+        if (out_push != out_dense || out_push != out_indexed) {
+          ok = false;
+          std::printf("  !! mode outputs diverge at density %g on %s\n",
+                      density, name.c_str());
+        }
+        // Zero-sync gate: frontier-pull is a pull shape; PlainCtx means the
+        // counted run must report no atomics and no locks.
+        PerfCounters pc(omp_get_max_threads());
+        std::vector<vid_t> counted(labels);
+        engine::frontier_pull(g, ws, idx,
+                              LabelMin{labels.data(), counted.data(), &bitmap},
+                              pull_opt, CountingInstr(pc));
+        const CounterBlock ops = pc.total();
+        if (ops.atomics != 0 || ops.locks != 0) {
+          ok = false;
+          std::printf("  !! frontier-pull issued %llu atomics / %llu locks "
+                      "at density %g on %s\n",
+                      static_cast<unsigned long long>(ops.atomics),
+                      static_cast<unsigned long long>(ops.locks), density,
+                      name.c_str());
+        }
+        if (counted != out_indexed) {
+          ok = false;
+          std::printf("  !! counted frontier-pull diverges at density %g\n",
+                      density);
+        }
+      }
+    }
+    table.print();
+  }
+
+  if (verify) {
+    std::printf("\nverify: %s\n", ok ? "all modes agree, frontier-pull is "
+                                       "sync-free"
+                                     : "FAILED");
+    json.add_string("verify", ok ? "ok" : "failed");
+  }
+  json.write(json_path);
+  return ok ? 0 : 1;
+}

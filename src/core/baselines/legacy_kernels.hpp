@@ -224,6 +224,46 @@ inline std::vector<weight_t> sssp_delta_pull(const Csr& g, vid_t src,
   return dist;
 }
 
+// --- k-core decomposition ----------------------------------------------------
+//
+// The pre-BucketedVertexSet peel (frozen from core/kcore.hpp when PR 8 rebased
+// the kernel onto the bucketed frontier): for each threshold k, cascade-peel
+// every vertex whose residual degree fell below k, decrementing neighbors'
+// residuals, until stable. Same claim/decrement order-insensitivity as the
+// engine version — coreness is a unique fixed point — so the rebased kernel is
+// asserted bit-identical against this across the zoo.
+inline std::vector<vid_t> kcore(const Csr& g) {
+  const vid_t n = g.n();
+  std::vector<vid_t> core(static_cast<std::size_t>(n), 0);
+  std::vector<vid_t> residual(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> alive(static_cast<std::size_t>(n), 1);
+  for (vid_t v = 0; v < n; ++v) residual[static_cast<std::size_t>(v)] = g.degree(v);
+
+  vid_t remaining = n;
+  vid_t k = 0;
+  while (remaining > 0) {
+    ++k;
+    for (;;) {
+      std::vector<vid_t> peeled;
+      for (vid_t v = 0; v < n; ++v) {
+        if (!alive[static_cast<std::size_t>(v)]) continue;
+        if (residual[static_cast<std::size_t>(v)] >= k) continue;
+        alive[static_cast<std::size_t>(v)] = 0;
+        core[static_cast<std::size_t>(v)] = k - 1;
+        peeled.push_back(v);
+      }
+      if (peeled.empty()) break;
+      remaining -= static_cast<vid_t>(peeled.size());
+      for (const vid_t v : peeled) {
+        for (const vid_t u : g.neighbors(v)) {
+          --residual[static_cast<std::size_t>(u)];
+        }
+      }
+    }
+  }
+  return core;
+}
+
 // --- PageRank ----------------------------------------------------------------
 
 inline double pr_dangling_mass(const Csr& g, const std::vector<double>& pr) {

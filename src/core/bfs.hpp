@@ -138,8 +138,12 @@ BfsResult bfs_pull(const G& g, vid_t root, Instr instr = {}) {
 // --- Direction-optimizing (Generic-Switch) -------------------------------------
 
 struct DirOptParams {
-  double alpha = 14.0;  // push→pull when frontier out-edges > m/alpha
-  double beta = 24.0;   // pull→push when frontier size < n/beta
+  double alpha = kSwitchAlpha;  // push→pull when frontier out-edges > m/alpha
+  double beta = kSwitchBeta;    // pull→push when frontier size < n/beta
+  // Frontier-aware pull window (engine::DirectionParams::gamma): a pull level
+  // whose frontier holds under total/γ of the arc mass consults the
+  // transposed frontier index instead of sweeping every in-arc. 0 disables.
+  double gamma = 3.0;
 };
 
 template <CsrLike G, class Instr = NullInstr, class TracerT = obs::NullTracer>
@@ -151,7 +155,9 @@ BfsResult bfs_direction_optimizing(const G& g, vid_t root,
   engine::Workspace ws(n);
   engine::VertexSet frontier = engine::VertexSet::single(n, root);
   double frontier_out_edges = g.degree(root);
-  SwitchController ctl(p.alpha, p.beta, Direction::Push);
+  engine::DirectionPolicy policy(engine::StrategyKind::GenericSwitch,
+                                 {p.alpha, p.beta, 0.0, p.gamma},
+                                 Direction::Push);
   engine::EdgeMapOptions opt;
   vid_t level = 0;
 
@@ -161,9 +167,10 @@ BfsResult bfs_direction_optimizing(const G& g, vid_t root,
     const bool trace = obs::tracing(tracer);
     const std::int64_t frontier_size = frontier.size();
     const double active_work = frontier_out_edges;
+    const double total_work = static_cast<double>(g.num_arcs());
     const Direction dir =
-        ctl.step(frontier_out_edges, static_cast<double>(g.num_arcs()),
-                 static_cast<double>(frontier.size()), static_cast<double>(n));
+        policy.choose(frontier_out_edges, total_work,
+                      static_cast<double>(frontier.size()), static_cast<double>(n));
     engine::EdgeMapStats st;
     engine::EdgeMapStats* stp = trace ? &st : nullptr;
     const std::uint64_t t0 = trace ? obs::now_ns() : 0;
@@ -173,6 +180,19 @@ BfsResult bfs_direction_optimizing(const G& g, vid_t root,
       frontier = engine::sparse_push(
           g, ws, frontier,
           detail::BfsPushClaim{r.dist.data(), r.parent.data(), level}, opt,
+          instr, stp);
+    } else if (policy.pull_shape(active_work, total_work) ==
+               engine::PullShape::FrontierIndexed) {
+      // Bottom-up over the indexed frontier: the previous level is exactly
+      // the set BfsPullAdopt listens to (dist == level-1), so skipped blocks
+      // can never hide a parent and the adopted parent is the same first
+      // in-neighbor the dense sweep would find.
+      opt.region = 13;
+      engine::FrontierIndex& idx = ws.frontier_index();
+      idx.build(frontier.ids());
+      frontier = engine::frontier_pull(
+          g, ws, idx,
+          detail::BfsPullAdopt{r.dist.data(), r.parent.data(), level}, opt,
           instr, stp);
     } else {
       // Bottom-up step: the engine's dense pull recomputes the frontier as

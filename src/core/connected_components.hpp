@@ -32,9 +32,10 @@ namespace pushpull {
 
 struct CcOptions {
   engine::StrategyKind strategy = engine::StrategyKind::GreedySwitch;
-  double grs_threshold = 0.05;  // GrS: sequential tail below this fraction
-  double alpha = 14.0;          // GS work threshold
-  double beta = 24.0;           // GS count threshold
+  double grs_threshold = 0.05;   // GrS: sequential tail below this fraction
+  double alpha = kSwitchAlpha;   // GS work threshold
+  double beta = kSwitchBeta;     // GS count threshold
+  double gamma = 3.0;            // frontier-aware pull window; 0 disables
 };
 
 struct CcResult {
@@ -70,7 +71,8 @@ CcResult connected_components(const G& g, const CcOptions& opt = {},
 
   engine::Workspace ws(n);
   engine::DirectionPolicy policy(
-      opt.strategy, {opt.alpha, opt.beta, opt.grs_threshold}, Direction::Push);
+      opt.strategy, {opt.alpha, opt.beta, opt.grs_threshold, opt.gamma},
+      Direction::Push);
   engine::EdgeMapOptions emo;
   emo.region = 70;
   emo.dedup_output = true;
@@ -138,6 +140,18 @@ CcResult connected_components(const G& g, const CcOptions& opt = {},
                                      detail::CcPropagate{r.comp.data(), nullptr},
                                      emo, instr, stp);
       }
+    } else if (frontier_exploit &&
+               policy.pull_shape(active_work,
+                                 static_cast<double>(g.num_arcs())) ==
+                   engine::PullShape::FrontierIndexed) {
+      // Medium-density pull: the changed set is exactly what CcPropagate
+      // listens to, so the index filter replaces the per-arc bitmap test and
+      // whole blocks with no movers are skipped unread.
+      engine::FrontierIndex& idx = ws.frontier_index();
+      idx.build(changed.ids());
+      changed = engine::frontier_pull(
+          g, ws, idx, detail::CcPropagate{r.comp.data(), nullptr}, emo, instr,
+          stp);
     } else {
       changed = engine::dense_pull(
           g, ws,

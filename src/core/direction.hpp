@@ -4,6 +4,7 @@
 
 #include <string>
 
+#include "core/switch_defaults.hpp"
 #include "util/check.hpp"
 
 namespace pushpull {
@@ -30,6 +31,12 @@ class SwitchController {
       : alpha_(alpha), beta_(beta), dir_(start) {
     PP_CHECK(alpha > 0 && beta > 0);
   }
+
+  // Per-direction pair (switch_defaults.hpp): α_out gates push→pull in
+  // out-arc work units, β_in gates pull→push in destination counts.
+  explicit SwitchController(const SwitchThresholds& t,
+                            Direction start = Direction::Push)
+      : SwitchController(t.alpha_out, t.beta_in, start) {}
 
   Direction current() const noexcept { return dir_; }
 

@@ -68,8 +68,10 @@ inline std::int64_t next_bucket(const std::vector<weight_t>& d, weight_t delta,
   return best;
 }
 
-// Push relaxation of one out-edge; the winner of an improving CAS that lands
-// in the current bucket re-activates the target.
+// Push relaxation of one out-edge. Every improving CAS winner reports its
+// target: the kernel routes same-bucket winners back into the running epoch
+// and enqueues future-bucket winners into the BucketedVertexSet (positive
+// weights make earlier-bucket landings impossible — nd > dv ≥ b·Δ).
 struct SsspPushRelax {
   const Csr* g;
   weight_t* dist;
@@ -86,9 +88,7 @@ struct SsspPushRelax {
     const weight_t nd = dv + g->edge_weight(e);
     if (nd < ctx.load(dist[d])) {
       // Relaxation via CAS (write conflict, §4.4).
-      if (ctx.min(dist[d], nd) && bucket_of(nd, delta) == b) {
-        return true;  // d re-enters the current bucket
-      }
+      if (ctx.min(dist[d], nd)) return true;
     }
     return false;
   }
@@ -136,25 +136,46 @@ DeltaSteppingResult sssp_delta_push(const Csr& g, vid_t src, weight_t delta,
   emo.region = 30;
   emo.dedup_output = true;  // the engine bitmap is Algorithm 4's active_next
 
-  std::int64_t b = 0;
-  while (b != std::numeric_limits<std::int64_t>::max()) {
+  // The bucket structure IS the epoch driver: vertices are enqueued at their
+  // tentative bucket the moment a relaxation wins, so finding the next
+  // non-empty bucket is a pop instead of the old O(n) next_bucket reduction,
+  // and the epoch's initial active set is the popped (validated, deduped)
+  // bucket instead of an O(n) vertex_map filter. bucket_of maps +inf to
+  // int64 max == kInfKey, so unreachable vertices are never scheduled.
+  engine::BucketedVertexSet buckets(n);
+  buckets.insert(src, 0);
+  const auto key_of = [&](vid_t v, engine::BucketedVertexSet::key_t) {
+    return bucket_of(r.dist[static_cast<std::size_t>(v)], delta);
+  };
+
+  std::vector<vid_t> members;
+  std::int64_t b;
+  while ((b = buckets.pop_bucket(members, key_of)) !=
+         engine::BucketedVertexSet::kInfKey) {
     WallTimer epoch_timer;
-    // Initialize the epoch: all vertices currently in bucket b are active.
-    engine::VertexSet active = engine::vertex_map(
-        n, ws,
-        [&](auto&, vid_t v) {
-          return detail::bucket_of(r.dist[static_cast<std::size_t>(v)], delta) == b;
-        },
-        /*track=*/true, instr);
+    engine::VertexSet active(n, std::move(members));
     while (!active.empty()) {
       ++r.inner_iterations;
-      active = engine::dense_push(
+      engine::VertexSet out = engine::dense_push(
           g, ws, &active,
           detail::SsspPushRelax{&g, r.dist.data(), delta, b}, emo, instr);
+      // Split the improved targets: same-bucket winners re-activate within
+      // this epoch (Algorithm 4's active_next), later-bucket winners enqueue
+      // lazily — stale entries from further improvements are filtered at pop.
+      active.clear();
+      std::vector<vid_t>& next_ids = active.mutable_ids();
+      for (const vid_t v : out.ids()) {
+        const std::int64_t bv =
+            bucket_of(r.dist[static_cast<std::size_t>(v)], delta);
+        if (bv == b) {
+          next_ids.push_back(v);
+        } else {
+          buckets.insert(v, bv);
+        }
+      }
     }
     r.epoch_times.push_back(epoch_timer.elapsed_s());
     ++r.epochs;
-    b = detail::next_bucket(r.dist, delta, b);
   }
   return r;
 }

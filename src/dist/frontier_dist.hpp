@@ -151,12 +151,12 @@ class DenseFrontierWindow {
   const Partition1D* part_;
 };
 
-// Direction-optimization thresholds (the Beamer constants, same defaults as
-// core DirOptParams). Namespace-scope so it can serve as an in-class default
-// argument below.
+// Direction-optimization thresholds (the Beamer constants, shared with every
+// other switching surface via core/switch_defaults.hpp). Namespace-scope so
+// it can serve as an in-class default argument below.
 struct FrontierHeuristic {
-  double alpha = 14.0;  // sparse→dense when frontier out-edges > m/alpha
-  double beta = 24.0;   // dense→sparse when frontier size < n/beta
+  double alpha = kSwitchAlpha;  // sparse→dense when frontier out-edges > m/alpha
+  double beta = kSwitchBeta;    // dense→sparse when frontier size < n/beta
 };
 
 // Rank-partitioned frontier: each rank holds the sorted list of frontier
@@ -171,8 +171,18 @@ class DistFrontier {
                Heuristic h = {})
       : g_(&g), part_(&part), bitmap_(world, g.n(), part),
         ranks_(static_cast<std::size_t>(world.nranks())) {
+    // Per-direction refinement of (α, β) from the graph's source/sink
+    // structure (switch_defaults.hpp). The dist kernels run on symmetrized
+    // Csr graphs, where #out-sources == #in-sinks and the scale factor is
+    // exactly 1 — the seam is threaded so an asymmetric dist graph inherits
+    // the skewed pair the moment one exists.
+    std::int64_t nonzero = 0;
+    for (vid_t v = 0; v < g.n(); ++v) nonzero += g.degree(v) > 0 ? 1 : 0;
+    const SwitchThresholds t = per_direction_thresholds(
+        static_cast<double>(g.num_arcs()), static_cast<double>(nonzero),
+        static_cast<double>(nonzero), h.alpha, h.beta);
     for (auto& p : ranks_) {
-      p.value.ctl = SwitchController(h.alpha, h.beta, Direction::Push);
+      p.value.ctl = SwitchController(t, Direction::Push);
     }
   }
 
@@ -223,8 +233,7 @@ class DistFrontier {
  private:
   struct PerRank {
     std::vector<vid_t> owned;
-    SwitchController ctl{FrontierHeuristic{}.alpha, FrontierHeuristic{}.beta,
-                         Direction::Push};
+    SwitchController ctl{SwitchThresholds{}, Direction::Push};
     FrontierMode mode = FrontierMode::Sparse;
     double global_size = 0.0;
     double global_out_degree = 0.0;

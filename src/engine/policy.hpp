@@ -21,21 +21,26 @@
 // select policies, they do not reimplement traversal.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/direction.hpp"
+#include "graph/types.hpp"
 #include "util/check.hpp"
 
 namespace pushpull::engine {
 
-// The four traversal loop shapes one edge_map call can take.
+// The traversal loop shapes one edge_map call can take.
 enum class Mode {
   SparsePush,  // iterate a sparse frontier, write along out-edges (k-filter out)
   DensePull,   // iterate all destinations, scan in-edges, early-break option
-  SparsePull,  // iterate a sparse destination set, scan in-edges (frontier-
-               // aware pull — Grossman & Kozyrakis's "new frontier")
+  SparsePull,  // iterate a sparse destination set, scan in-edges
   DensePush,   // iterate all sources, write along out-edges
+  FrontierPull,  // dense destination sweep consulting a per-round transposed
+                 // frontier index: whole 64-source blocks with no active
+                 // member are skipped, the rest filtered per-arc (Grossman &
+                 // Kozyrakis's frontier-indexed pull). Still PlainCtx.
 };
 
 inline const char* to_string(Mode m) {
@@ -44,6 +49,7 @@ inline const char* to_string(Mode m) {
     case Mode::DensePull: return "dense-pull";
     case Mode::SparsePull: return "sparse-pull";
     case Mode::DensePush: return "dense-push";
+    case Mode::FrontierPull: return "frontier-pull";
   }
   return "?";
 }
@@ -86,14 +92,57 @@ StrategyKind parse_strategy(const std::string& name);
 // "all" → every strategy, otherwise the one named policy.
 std::vector<StrategyKind> parse_strategy_list(const std::string& name);
 
+// Which loop shape a pull-direction superstep should take.
+enum class PullShape {
+  Dense,            // full in-arc sweep (early break pays at high density)
+  FrontierIndexed,  // consult the transposed frontier index (medium density)
+};
+
 // Direction selection for one superstep, shared by every switching kernel.
 // Wraps SwitchController with the strategy vocabulary so kernels write
 // `policy.choose(...)` instead of hand-rolling the Beamer heuristic.
 struct DirectionParams {
-  double alpha = 14.0;          // push→pull when active_work > total/α
-  double beta = 24.0;           // pull→push when active_count < total/β
+  double alpha = kSwitchAlpha;  // push→pull when active_work > total/α
+  double beta = kSwitchBeta;    // pull→push when active_count < total/β
   double grs_threshold = 0.0;   // >0: suggest a sequential tail below this
+  // Frontier-aware pull window: a pull superstep whose frontier supplies less
+  // than total/γ of the arc mass uses the indexed loop instead of the full
+  // dense sweep (above that, most source blocks are active and the index is
+  // pure overhead). 0 disables the indexed path entirely.
+  double gamma = 3.0;
+
+  DirectionParams with_thresholds(const SwitchThresholds& t) const {
+    DirectionParams p = *this;
+    p.alpha = t.alpha_out;
+    p.beta = t.beta_in;
+    return p;
+  }
 };
+
+// Derives the per-direction (α_out, β_in) pair from a view's source/sink
+// structure (switch_defaults.hpp has the model). Constrained on the degree
+// accessors rather than GraphView so Csr-likes qualify too.
+template <class View>
+  requires requires(const View& v, vid_t x) {
+    v.n();
+    v.num_arcs();
+    v.out_degree(x);
+    v.in_degree(x);
+  }
+SwitchThresholds per_direction_thresholds(const View& view,
+                                          double alpha = kSwitchAlpha,
+                                          double beta = kSwitchBeta) {
+  const vid_t n = view.n();
+  std::int64_t out_sources = 0, in_sinks = 0;
+#pragma omp parallel for reduction(+ : out_sources, in_sinks) schedule(static)
+  for (vid_t v = 0; v < n; ++v) {
+    out_sources += view.out_degree(v) > 0 ? 1 : 0;
+    in_sinks += view.in_degree(v) > 0 ? 1 : 0;
+  }
+  return pushpull::per_direction_thresholds(
+      static_cast<double>(view.num_arcs()), static_cast<double>(out_sources),
+      static_cast<double>(in_sinks), alpha, beta);
+}
 
 class DirectionPolicy {
  public:
@@ -132,6 +181,19 @@ class DirectionPolicy {
       case StrategyKind::PartitionAware: return Direction::Push;
       default: return ctl_.current();
     }
+  }
+
+  // Pull-flavor decision for a superstep that will pull: the indexed loop
+  // wins while the frontier supplies a sub-γ share of the arc mass (few
+  // source blocks active → whole-block skips dominate); at higher densities
+  // the dense sweep's early break already touches nearly every block, so the
+  // index is overhead. Callers that cannot supply a frontier (no sparse ids
+  // in hand) simply don't ask.
+  PullShape pull_shape(double active_work, double total_work) const noexcept {
+    return (params_.gamma > 0.0 &&
+            active_work * params_.gamma < total_work)
+               ? PullShape::FrontierIndexed
+               : PullShape::Dense;
   }
 
   // GreedySwitch decision: true once the active count falls below

@@ -214,6 +214,18 @@ TEST_F(InstrFixture, EnginePullModesIssueZeroSyncOps) {
                       engine::EdgeMapOptions{}, CountingInstr(pc));
   EXPECT_EQ(pc.total().atomics, 0u);
   EXPECT_EQ(pc.total().locks, 0u);
+
+  // Frontier-aware pull is a pull shape like any other: the index narrows
+  // which arcs are read, never how updates are applied.
+  pc.reset();
+  std::vector<vid_t> active{0, 3, 64, 65, 200};
+  engine::FrontierIndex& idx = ws.frontier_index();
+  idx.build(active);
+  engine::frontier_pull(g_, ws, idx, AllPrimsFunctor{ints.data(), dbls.data()},
+                        engine::EdgeMapOptions{}, CountingInstr(pc));
+  EXPECT_EQ(pc.total().atomics, 0u);
+  EXPECT_EQ(pc.total().locks, 0u);
+  EXPECT_GT(pc.total().reads, 0u);
 }
 
 // Integer-add push functor: counts exactly one synchronized update per edge.
