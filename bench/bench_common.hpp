@@ -29,6 +29,7 @@
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
+#include "util/numa.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -358,5 +359,24 @@ class JsonWriter {
  private:
   std::vector<std::pair<std::string, std::string>> entries_;
 };
+
+// Machine-topology stanza, stamped into every BENCH_*.json artifact: locality
+// numbers (blocked-pull speedups, NUMA cross-arc ratios) are meaningless
+// without the sockets / LLC size / hugepage state they were measured on, and
+// CI artifacts outlive the runner that produced them.
+inline void add_machine_stanza(JsonWriter& json) {
+  const numa::Topology& topo = numa::topology();
+  json.add("machine.numa_nodes", static_cast<long long>(topo.nodes));
+  json.add("machine.cpus", static_cast<long long>(topo.cpus));
+  json.add("machine.llc_bytes", static_cast<long long>(topo.llc_bytes));
+  json.add("machine.transparent_hugepages",
+           static_cast<long long>(topo.transparent_hugepages ? 1 : 0));
+  json.add("machine.topology_from_sysfs",
+           static_cast<long long>(topo.from_sysfs ? 1 : 0));
+  json.add("machine.numa_placement_compiled",
+           static_cast<long long>(numa::placement_enabled() ? 1 : 0));
+  json.add("machine.omp_max_threads",
+           static_cast<long long>(omp_get_max_threads()));
+}
 
 }  // namespace pushpull::bench

@@ -182,6 +182,7 @@ int main(int argc, char** argv) {
   }
 
   json.add("failures", static_cast<long long>(failures));
+  bench::add_machine_stanza(json);
   json.write(json_path);
   if (failures > 0) {
     std::fprintf(stderr, "%d failure(s)\n", failures);

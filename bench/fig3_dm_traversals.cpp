@@ -276,6 +276,7 @@ int main(int argc, char** argv) {
   }
 
   json.add("failures", static_cast<long long>(failures));
+  bench::add_machine_stanza(json);
   json.write(json_path);
   if (!trace.finish()) return 2;
   if (failures > 0) {

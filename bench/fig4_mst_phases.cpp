@@ -114,6 +114,7 @@ int main(int argc, char** argv) {
                 ok ? "MATCH" : "DIVERGED");
     json.add_string("verify", ok ? "match" : "diverged");
   }
+  bench::add_machine_stanza(json);
   json.write(json_path);
   return ok ? 0 : 1;
 }

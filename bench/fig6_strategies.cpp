@@ -239,6 +239,7 @@ int main(int argc, char** argv) {
   }
 
   json.add_string("s5_ordering", ordering_ok ? "holds" : "violated");
+  bench::add_machine_stanza(json);
   json.write(json_path);
   if (!trace.finish()) return 2;
   return ordering_ok && verify_ok ? 0 : 1;

@@ -192,6 +192,7 @@ int main(int argc, char** argv) {
                                      : "FAILED");
     json.add_string("verify", ok ? "ok" : "failed");
   }
+  bench::add_machine_stanza(json);
   json.write(json_path);
   return ok ? 0 : 1;
 }

@@ -1,0 +1,238 @@
+// Locality sweep: flat vs cache-blocked pull vs NUMA-aware push.
+//
+// The blocked executor (engine/blocked_view.hpp) re-materializes the in-CSR
+// as K source-range column blocks so each block's destination-accumulator
+// slice fits an LLC budget; the NUMA representation (NumaAwareCsr) is
+// Algorithm 8's local/remote split at socket granularity with first-touch
+// adjacency and pinned lanes. This bench sweeps both against the flat paths:
+//
+//   pr-pull   — pagerank_pull over the Csr vs a BlockedView at several block
+//               counts (forced K plus the auto budget pick); identical
+//               arithmetic, so outputs are bit-identical and the delta is
+//               pure locality.
+//   bfs/cc    — the same comparison for traversal-shaped pulls (StaticPull).
+//   pr-push   — pagerank_push (flat, CAS everywhere) vs pagerank_push_numa
+//               (node-local half plain, cross half synced).
+//
+// --verify makes the bench a correctness gate (CI runs it this way): every
+// blocked run must equal its flat run *bitwise* (PR ranks, BFS distances, CC
+// labels), the counted blocked pull must issue zero atomics and zero locks
+// (the PlainCtx contract survives blocking), and the NUMA push must match the
+// sequential reference to 1e-9. Any failure exits non-zero.
+//
+// The headline ratio (best blocked config vs flat on each graph) lands in
+// BENCH_locality.json next to the machine stanza: on a 1-core container with
+// a 200+ MiB LLC every accumulator already fits, so expect a neutral band
+// (ratio ≈ 1); EXPERIMENTS.md records the measured numbers and the caveat.
+//
+// Flags: the shared set (--scale/--graph/--seed/--json/...) plus --verify,
+// --repeats=N (timing repeats per cell, default 3) and --iters=L (PageRank
+// iterations, default 10).
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/bfs.hpp"
+#include "core/connected_components.hpp"
+#include "core/pagerank.hpp"
+#include "engine/blocked_view.hpp"
+#include "graph/partition_aware.hpp"
+#include "perf/counters.hpp"
+#include "perf/instr.hpp"
+
+using namespace pushpull;
+
+namespace {
+
+// Block-count sweep: K=1 (must be a no-op vs flat), small forced K, and the
+// machine-budget auto pick. Forced K keeps the sweep meaningful on machines
+// whose LLC already swallows every accumulator slice.
+constexpr int kForcedK[] = {1, 2, 4, 8};
+
+double max_abs_diff(const std::vector<double>& a, const std::vector<double>& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  bench::SmCli sm = bench::parse_sm_cli(cli, /*default_scale=*/-1);
+  const int repeats = static_cast<int>(cli.get_int("repeats", 3));
+  const int iters = static_cast<int>(cli.get_int("iters", 10));
+  const bool verify = cli.get_bool("verify");
+  const std::string json_path = cli.get_string("json", "");
+  cli.check();
+  bench::JsonWriter json;
+  json.add_string("bench", "locality_sweep");
+
+  bench::print_banner(
+      "Locality sweep — flat vs cache-blocked pull vs NUMA-aware push",
+      "blocking the in-CSR into LLC-sized destination slices trades one "
+      "streaming pass for K cache-resident ones; the NUMA split pays "
+      "synchronization only on cross-node arcs");
+
+  PageRankOptions pr_opt;
+  pr_opt.iterations = iters;
+  CcOptions cc_opt;
+  cc_opt.strategy = engine::StrategyKind::StaticPull;
+
+  bool ok = true;
+  std::string largest_name;
+  vid_t largest_n = -1;
+  double largest_ratio = 0.0;
+  for (const std::string& name : bench::sm_graph_names(sm)) {
+    const Csr& g = bench::sm_load_graph(sm, name);
+    bench::print_graph_line(name, g);
+    const std::string jkey = "locality." + name;
+
+    // Flat baselines.
+    std::vector<double> pr_flat;
+    const double t_pull_flat =
+        bench::time_s([&] { pr_flat = pagerank_pull(g, pr_opt); }, repeats);
+    BfsResult bfs_flat;
+    const double t_bfs_flat =
+        bench::time_s([&] { bfs_flat = bfs_pull(g, 0); }, repeats);
+    CcResult cc_flat;
+    const double t_cc_flat =
+        bench::time_s([&] { cc_flat = connected_components(g, cc_opt); },
+                      repeats);
+    json.add(jkey + ".flat.pr_pull_s", t_pull_flat);
+    json.add(jkey + ".flat.bfs_pull_s", t_bfs_flat);
+    json.add(jkey + ".flat.cc_s", t_cc_flat);
+
+    std::printf("\n%s: pull kernels [ms], flat vs blocked:\n", name.c_str());
+    Table table({"config", "K", "cells", "pr-pull", "vs flat", "bfs-pull",
+                 "cc"});
+    table.add_row({"flat", "-", "-", Table::num(t_pull_flat * 1e3, 3), "1.00x",
+                   Table::num(t_bfs_flat * 1e3, 3),
+                   Table::num(t_cc_flat * 1e3, 3)});
+
+    double best_blocked = 1e100;
+    const auto run_config = [&](const std::string& label,
+                                const engine::BlockedOptions& bo) {
+      const engine::BlockedView<engine::SymmetricView> bv(
+          engine::SymmetricView(g), bo);
+      std::vector<double> pr_b;
+      const double t_pull =
+          bench::time_s([&] { pr_b = pagerank_pull(bv, pr_opt); }, repeats);
+      BfsResult bfs_b;
+      const double t_bfs =
+          bench::time_s([&] { bfs_b = bfs_pull(bv, 0); }, repeats);
+      CcResult cc_b;
+      const double t_cc = bench::time_s(
+          [&] { cc_b = connected_components(bv, cc_opt); }, repeats);
+      best_blocked = std::min(best_blocked, t_pull);
+      table.add_row({label, std::to_string(bv.num_blocks()),
+                     std::to_string(static_cast<long long>(
+                         bv.representation_cells())),
+                     Table::num(t_pull * 1e3, 3),
+                     Table::num(t_pull / t_pull_flat, 2) + "x",
+                     Table::num(t_bfs * 1e3, 3), Table::num(t_cc * 1e3, 3)});
+      const std::string ck = jkey + "." + label;
+      json.add(ck + ".blocks", static_cast<long long>(bv.num_blocks()));
+      json.add(ck + ".pr_pull_s", t_pull);
+      json.add(ck + ".bfs_pull_s", t_bfs);
+      json.add(ck + ".cc_s", t_cc);
+
+      if (verify) {
+        // Bitwise gates: blocking reorders the block loop, not any
+        // destination's per-source fold, so equality is exact or broken.
+        if (pr_b != pr_flat) {
+          ok = false;
+          std::printf("  !! %s: blocked pr-pull diverges (max |d|=%g)\n",
+                      label.c_str(), max_abs_diff(pr_b, pr_flat));
+        }
+        if (bfs_b.dist != bfs_flat.dist || bfs_b.parent != bfs_flat.parent) {
+          ok = false;
+          std::printf("  !! %s: blocked bfs-pull diverges\n", label.c_str());
+        }
+        if (cc_b.comp != cc_flat.comp) {
+          ok = false;
+          std::printf("  !! %s: blocked cc diverges\n", label.c_str());
+        }
+        // Zero-sync gate: blocked pull is still a pull shape.
+        PerfCounters pc(omp_get_max_threads());
+        (void)pagerank_pull(bv, pr_opt, CountingInstr(pc));
+        const CounterBlock ops = pc.total();
+        if (ops.atomics != 0 || ops.locks != 0) {
+          ok = false;
+          std::printf("  !! %s: blocked pull issued %llu atomics / %llu "
+                      "locks\n",
+                      label.c_str(),
+                      static_cast<unsigned long long>(ops.atomics),
+                      static_cast<unsigned long long>(ops.locks));
+        }
+      }
+    };
+
+    for (const int k : kForcedK) {
+      engine::BlockedOptions bo;
+      bo.num_blocks = k;
+      std::string label = "K";
+      label += std::to_string(k);
+      run_config(label, bo);
+    }
+    run_config("auto", engine::BlockedOptions{});
+    table.print();
+
+    const double ratio = best_blocked / t_pull_flat;
+    std::printf("%s: best blocked pr-pull vs flat: %.2fx\n", name.c_str(),
+                ratio);
+    json.add(jkey + ".blocked_best_vs_flat", ratio);
+    if (g.n() > largest_n) {
+      largest_n = g.n();
+      largest_name = name;
+      largest_ratio = ratio;
+    }
+
+    // NUMA push vs flat push (detected topology; 1 node degenerates to PA
+    // with a single local partition — all-plain writes, zero cross arcs).
+    const NumaAwareCsr ng(g);
+    std::vector<double> pr_push, pr_numa;
+    const double t_push =
+        bench::time_s([&] { pr_push = pagerank_push(g, pr_opt); }, repeats);
+    const double t_numa = bench::time_s(
+        [&] { pr_numa = pagerank_push_numa(g, ng, pr_opt); }, repeats);
+    std::printf("%s: pr-push flat %.3f ms, numa %.3f ms (%.2fx, %d node(s), "
+                "%.1f%% cross arcs)\n",
+                name.c_str(), t_push * 1e3, t_numa * 1e3, t_numa / t_push,
+                ng.nodes(),
+                100.0 * static_cast<double>(ng.num_cross_arcs()) /
+                    static_cast<double>(std::max<eid_t>(1, g.num_arcs())));
+    json.add(jkey + ".flat.pr_push_s", t_push);
+    json.add(jkey + ".numa.pr_push_s", t_numa);
+    json.add(jkey + ".numa.nodes", static_cast<long long>(ng.nodes()));
+    json.add(jkey + ".numa.cross_arcs",
+             static_cast<long long>(ng.num_cross_arcs()));
+
+    if (verify) {
+      const std::vector<double> pr_seq = pagerank_seq(g, pr_opt);
+      const double d = max_abs_diff(pr_numa, pr_seq);
+      if (!(d <= 1e-9)) {
+        ok = false;
+        std::printf("  !! numa push drifts %g from the sequential reference\n",
+                    d);
+      }
+    }
+  }
+
+  if (!largest_name.empty()) {
+    json.add_string("headline.largest_graph", largest_name);
+    json.add("headline.blocked_best_vs_flat", largest_ratio);
+  }
+  if (verify) {
+    std::printf("\nverify: %s\n",
+                ok ? "blocked runs bitwise-match flat, pulls are sync-free, "
+                     "numa push matches the reference"
+                   : "FAILED");
+    json.add_string("verify", ok ? "ok" : "failed");
+  }
+  bench::add_machine_stanza(json);
+  json.write(json_path);
+  return ok ? 0 : 1;
+}

@@ -71,6 +71,7 @@ int main(int argc, char** argv) {
   std::printf("\nPaper (Table 3): PR push/pull orc 572/557, pok 129/103, ljn 264/240,\n"
               "am 4.62/2.46, rca 6.68/5.42 [ms]; TC push/pull orc 11780/11370,\n"
               "pok 139.9/135.3, ljn 803.5/769.9, am 0.092/0.083, rca 0.014/0.014 [s].\n");
+  bench::add_machine_stanza(json);
   json.write(json_path);
   return 0;
 }

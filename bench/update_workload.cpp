@@ -309,6 +309,7 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry::global().write_to(json);
 
   json.add_string("update.verify", ok ? "pass" : "FAIL");
+  bench::add_machine_stanza(json);
   json.write(json_path);
   std::printf("\nverification: %s\n", ok ? "pass" : "FAIL");
   if (!trace.finish()) return 2;

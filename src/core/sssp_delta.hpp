@@ -72,8 +72,9 @@ inline std::int64_t next_bucket(const std::vector<weight_t>& d, weight_t delta,
 // target: the kernel routes same-bucket winners back into the running epoch
 // and enqueues future-bucket winners into the BucketedVertexSet (positive
 // weights make earlier-bucket landings impossible — nd > dv ≥ b·Δ).
+template <CsrLike G>
 struct SsspPushRelax {
-  const Csr* g;
+  const G* g;
   weight_t* dist;
   weight_t delta;
   std::int64_t b;
@@ -95,9 +96,12 @@ struct SsspPushRelax {
 };
 
 // Pull relaxation: an unsettled vertex relaxes itself against bucket-b
-// neighbors (only those that changed last round, after round 0).
+// neighbors (only those that changed last round, after round 0). Arc ids stay
+// global under every representation that reaches here (BlockedView blocks are
+// cuts into the parent arrays), so indexing the weight array by e is safe.
+template <CsrLike G>
 struct SsspPullRelax {
-  const Csr* g;
+  const G* g;
   weight_t* dist;
   const DenseFrontier* changed_last;  // null on the epoch's first round
   weight_t delta;
@@ -120,8 +124,8 @@ struct SsspPullRelax {
 
 }  // namespace detail
 
-template <class Instr = NullInstr>
-DeltaSteppingResult sssp_delta_push(const Csr& g, vid_t src, weight_t delta,
+template <CsrLike G, class Instr = NullInstr>
+DeltaSteppingResult sssp_delta_push(const G& g, vid_t src, weight_t delta,
                                     Instr instr = {}) {
   PP_CHECK(g.has_weights());
   PP_CHECK(src >= 0 && src < g.n());
@@ -158,7 +162,7 @@ DeltaSteppingResult sssp_delta_push(const Csr& g, vid_t src, weight_t delta,
       ++r.inner_iterations;
       engine::VertexSet out = engine::dense_push(
           g, ws, &active,
-          detail::SsspPushRelax{&g, r.dist.data(), delta, b}, emo, instr);
+          detail::SsspPushRelax<G>{&g, r.dist.data(), delta, b}, emo, instr);
       // Split the improved targets: same-bucket winners re-activate within
       // this epoch (Algorithm 4's active_next), later-bucket winners enqueue
       // lazily — stale entries from further improvements are filtered at pop.
@@ -180,8 +184,8 @@ DeltaSteppingResult sssp_delta_push(const Csr& g, vid_t src, weight_t delta,
   return r;
 }
 
-template <class Instr = NullInstr>
-DeltaSteppingResult sssp_delta_pull(const Csr& g, vid_t src, weight_t delta,
+template <CsrLike G, class Instr = NullInstr>
+DeltaSteppingResult sssp_delta_pull(const G& g, vid_t src, weight_t delta,
                                     Instr instr = {}) {
   PP_CHECK(g.has_weights());
   PP_CHECK(src >= 0 && src < g.n());
@@ -204,9 +208,9 @@ DeltaSteppingResult sssp_delta_pull(const Csr& g, vid_t src, weight_t delta,
       ++r.inner_iterations;
       engine::VertexSet out = engine::dense_pull(
           g, ws,
-          detail::SsspPullRelax{&g, r.dist.data(),
-                                first_round ? nullptr : &changed.dense(), delta,
-                                b},
+          detail::SsspPullRelax<G>{&g, r.dist.data(),
+                                   first_round ? nullptr : &changed.dense(),
+                                   delta, b},
           emo, instr);
       first_round = false;
       if (out.empty()) break;
@@ -220,8 +224,8 @@ DeltaSteppingResult sssp_delta_pull(const Csr& g, vid_t src, weight_t delta,
 }
 
 // Convenience dispatcher.
-template <class Instr = NullInstr>
-DeltaSteppingResult sssp_delta(const Csr& g, vid_t src, weight_t delta,
+template <CsrLike G, class Instr = NullInstr>
+DeltaSteppingResult sssp_delta(const G& g, vid_t src, weight_t delta,
                                Direction dir, Instr instr = {}) {
   return dir == Direction::Push ? sssp_delta_push(g, src, delta, instr)
                                 : sssp_delta_pull(g, src, delta, instr);

@@ -176,8 +176,7 @@ class DistFrontier {
     // Csr graphs, where #out-sources == #in-sinks and the scale factor is
     // exactly 1 — the seam is threaded so an asymmetric dist graph inherits
     // the skewed pair the moment one exists.
-    std::int64_t nonzero = 0;
-    for (vid_t v = 0; v < g.n(); ++v) nonzero += g.degree(v) > 0 ? 1 : 0;
+    const std::int64_t nonzero = g.num_nonempty();
     const SwitchThresholds t = per_direction_thresholds(
         static_cast<double>(g.num_arcs()), static_cast<double>(nonzero),
         static_cast<double>(nonzero), h.alpha, h.beta);

@@ -1,0 +1,167 @@
+// Cache-blocked pull view (DESIGN.md §2 "Locality-aware views").
+//
+// Dense/frontier pull streams every in-arc of every destination per round;
+// the per-arc *source* reads (pr[u], dist[u], comp[u]) are random accesses
+// over the whole n-sized state array, which thrashes the LLC once the state
+// outgrows it. BlockedView re-materializes the in-CSR as K contiguous
+// source-range column blocks: block b holds exactly the arcs whose source id
+// falls in [block_begin(b), block_end(b)), so a block-by-block sweep touches
+// a source window of n/K vertices at a time — sized by construction to fit a
+// configurable LLC budget (Gemini/GraphIt-style CSR segmenting; Grossman &
+// Kozyrakis's locality argument applied to pull's random side).
+//
+// Because adjacency rows are sorted ascending, each block's share of a row is
+// one contiguous *segment* of that row. The column blocks therefore
+// materialize as per-(block, row) cut offsets into the parent arrays
+// (graph/builder.hpp build_source_range_cuts) rather than copied adjacency:
+// (K+1)·n extra cells buy the blocked traversal while arcs keep their global
+// ids — edge_weight(e) and instr reads against the parent CSR stay correct
+// under blocked execution, and no 2m-cell copy is paid.
+//
+// K selection: K = ceil(n · bytes_per_vertex / llc_budget), clamped to
+// [1, max_blocks] — each block's live source-state slice fits the budget.
+// The default budget is half the machine's detected LLC (util/numa.hpp).
+//
+// BlockedView satisfies the GraphView concept (out()/in()/degrees forward to
+// the base view), so it slots into every view-templated kernel; edge_map.hpp
+// overloads dense_pull/frontier_pull on it to run block-by-block — same
+// functor, same PlainCtx zero-sync guarantee, bit-identical results — and
+// forwards the push/sparse modes to the flat base CSRs unchanged. It also
+// exposes the *pull-side* (in-CSR) CsrLike facade, so CsrLike-templated
+// kernels (connected_components, pagerank_pull, sssp_delta) accept a
+// BlockedView directly; on digraphs the facade is the in-CSR — use the
+// GraphView-templated directed kernels there.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "engine/graph_view.hpp"
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+#include "util/check.hpp"
+#include "util/numa.hpp"
+
+namespace pushpull::engine {
+
+struct BlockedOptions {
+  // LLC budget one block's source-state slice must fit; 0 = half the
+  // detected last-level cache (numa::default_llc_budget).
+  std::size_t llc_budget_bytes = 0;
+  // Width of the per-vertex state the pull round reads per source (PageRank
+  // reads a double; BFS/CC read 4-byte labels — the default is conservative).
+  std::size_t bytes_per_vertex = sizeof(double);
+  // Upper bound on K: each extra block costs one O(n) destination sweep, so
+  // past a point more blocks add overhead faster than locality.
+  int max_blocks = 64;
+  // >0: force K directly, ignoring the budget model (tests and sweeps).
+  int num_blocks = 0;
+};
+
+template <GraphView Base>
+class BlockedView {
+ public:
+  explicit BlockedView(const Base& base, BlockedOptions opt = {})
+      : base_(base), out_(&base_.out()), in_(&base_.in()) {
+    const vid_t n = in_->n();
+    int k = opt.num_blocks;
+    if (k <= 0) {
+      std::size_t budget = opt.llc_budget_bytes != 0 ? opt.llc_budget_bytes
+                                                     : numa::default_llc_budget();
+      if (budget == 0) budget = 1;
+      const std::size_t state =
+          static_cast<std::size_t>(n) * opt.bytes_per_vertex;
+      k = static_cast<int>((state + budget - 1) / budget);
+    }
+    k = std::clamp(k, 1, std::max(1, opt.max_blocks));
+    // Even source ranges; when n < K the trailing blocks are empty (their
+    // cut rows alias the row ends), which the executors handle like any
+    // other empty segment.
+    block_starts_.resize(static_cast<std::size_t>(k) + 1);
+    const vid_t chunk = k > 0 ? (n + k - 1) / k : n;
+    for (int b = 0; b <= k; ++b) {
+      block_starts_[static_cast<std::size_t>(b)] =
+          std::min<vid_t>(n, static_cast<vid_t>(b) * std::max<vid_t>(chunk, 1));
+    }
+    block_starts_.back() = n;
+    cuts_ = build_source_range_cuts(*in_, block_starts_);
+  }
+
+  // --- GraphView surface (forwards to the base view) -------------------------
+  const Csr& out() const noexcept { return *out_; }
+  const Csr& in() const noexcept { return *in_; }
+  vid_t n() const noexcept { return in_->n(); }
+  eid_t num_arcs() const noexcept { return in_->num_arcs(); }
+  vid_t out_degree(vid_t v) const noexcept { return base_.out_degree(v); }
+  vid_t in_degree(vid_t v) const noexcept { return base_.in_degree(v); }
+  static constexpr bool is_symmetric() noexcept { return Base::is_symmetric(); }
+  const Base& base() const noexcept { return base_; }
+
+  // --- block structure -------------------------------------------------------
+  int num_blocks() const noexcept {
+    return static_cast<int>(block_starts_.size()) - 1;
+  }
+  vid_t block_begin(int b) const noexcept {
+    return block_starts_[static_cast<std::size_t>(b)];
+  }
+  vid_t block_end(int b) const noexcept {
+    return block_starts_[static_cast<std::size_t>(b) + 1];
+  }
+  // Cut row b: per-destination first arc with source >= block_begin(b).
+  // Block b scans [cut_row(b)[d], cut_row(b+1)[d]) of the in-CSR.
+  const eid_t* cut_row(int b) const noexcept {
+    return cuts_.data() + static_cast<std::size_t>(b) * static_cast<std::size_t>(n());
+  }
+  // Cut-array overhead: (K+1)·n cells on top of the parent CSR (the blocks
+  // are cuts into the parent arrays, not copies).
+  std::size_t representation_cells() const noexcept { return cuts_.size(); }
+  // Arcs materialized in block b (for benches/tests).
+  eid_t block_arcs(int b) const {
+    const eid_t* lo = cut_row(b);
+    const eid_t* hi = cut_row(b + 1);
+    eid_t arcs = 0;
+    for (vid_t d = 0; d < n(); ++d) {
+      arcs += hi[static_cast<std::size_t>(d)] - lo[static_cast<std::size_t>(d)];
+    }
+    return arcs;
+  }
+
+  // --- pull-side CsrLike facade (the in-CSR) ---------------------------------
+  vid_t degree(vid_t v) const noexcept { return in_->degree(v); }
+  std::span<const vid_t> neighbors(vid_t v) const noexcept {
+    return in_->neighbors(v);
+  }
+  eid_t edge_begin(vid_t v) const noexcept { return in_->edge_begin(v); }
+  eid_t edge_end(vid_t v) const noexcept { return in_->edge_end(v); }
+  vid_t edge_target(eid_t e) const noexcept { return in_->edge_target(e); }
+  weight_t edge_weight(eid_t e) const noexcept { return in_->edge_weight(e); }
+  bool has_weights() const noexcept { return in_->has_weights(); }
+  const std::vector<eid_t>& offsets() const noexcept { return in_->offsets(); }
+  const std::vector<weight_t>& weight_array() const noexcept {
+    return in_->weight_array();
+  }
+
+ private:
+  Base base_;  // by value: the base views are pointer-sized wrappers
+  const Csr* out_;
+  const Csr* in_;
+  std::vector<vid_t> block_starts_;  // K+1 boundaries over the source space
+  std::vector<eid_t> cuts_;          // (K+1)·n per-(block, row) segment cuts
+};
+
+static_assert(GraphView<BlockedView<SymmetricView>>);
+static_assert(GraphView<BlockedView<DigraphView>>);
+static_assert(CsrLike<BlockedView<SymmetricView>>);
+
+inline BlockedView<SymmetricView> blocked_view_of(const Csr& g,
+                                                  BlockedOptions opt = {}) {
+  return BlockedView<SymmetricView>(SymmetricView(g), opt);
+}
+
+inline BlockedView<DigraphView> blocked_view_of(const Digraph& g,
+                                                BlockedOptions opt = {}) {
+  return BlockedView<DigraphView>(DigraphView(g), opt);
+}
+
+}  // namespace pushpull::engine

@@ -41,6 +41,10 @@ enum class Mode {
                  // frontier index: whole 64-source blocks with no active
                  // member are skipped, the rest filtered per-arc (Grossman &
                  // Kozyrakis's frontier-indexed pull). Still PlainCtx.
+  BlockedPull,   // dense/frontier pull over a BlockedView: the in-CSR is
+                 // walked as K source-range column blocks so the scanned
+                 // source window stays LLC-resident (engine/blocked_view.hpp).
+                 // Same functor, same PlainCtx, bit-identical results.
 };
 
 inline const char* to_string(Mode m) {
@@ -50,6 +54,7 @@ inline const char* to_string(Mode m) {
     case Mode::SparsePull: return "sparse-pull";
     case Mode::DensePush: return "dense-push";
     case Mode::FrontierPull: return "frontier-pull";
+    case Mode::BlockedPull: return "blocked-pull";
   }
   return "?";
 }
@@ -70,6 +75,10 @@ enum class Sync {
 enum class PartitionPolicy {
   Flat,            // one CSR, every update pays the sync policy
   PartitionAware,  // Algorithm 8: local half plain, remote half synced
+  NumaAware,       // Algorithm 8 at socket granularity: per-node first-touch
+                   // segments (graph/partition_aware.hpp NumaAwareCsr), one
+                   // pinned lane per node, node-local writes plain and
+                   // cross-node writes synced (engine::dense_push_numa)
 };
 
 // Named policy bundles for benches and tests: the §5 strategy set as it
@@ -132,12 +141,25 @@ template <class View>
 SwitchThresholds per_direction_thresholds(const View& view,
                                           double alpha = kSwitchAlpha,
                                           double beta = kSwitchBeta) {
-  const vid_t n = view.n();
+  // Fast path: views whose CSRs cache their nonzero-degree census (Csr does —
+  // the count is a property of the adjacency structure, computed once per
+  // graph) answer in O(1), hoisting the per-call O(n) reduction out of every
+  // directed-BFS run. Views over CsrLikes without the cache (snapshot
+  // overlays) keep the scan.
   std::int64_t out_sources = 0, in_sinks = 0;
+  if constexpr (requires {
+                  view.out().num_nonempty();
+                  view.in().num_nonempty();
+                }) {
+    out_sources = view.out().num_nonempty();
+    in_sinks = view.in().num_nonempty();
+  } else {
+    const vid_t n = view.n();
 #pragma omp parallel for reduction(+ : out_sources, in_sinks) schedule(static)
-  for (vid_t v = 0; v < n; ++v) {
-    out_sources += view.out_degree(v) > 0 ? 1 : 0;
-    in_sinks += view.in_degree(v) > 0 ? 1 : 0;
+    for (vid_t v = 0; v < n; ++v) {
+      out_sources += view.out_degree(v) > 0 ? 1 : 0;
+      in_sinks += view.in_degree(v) > 0 ? 1 : 0;
+    }
   }
   return pushpull::per_direction_thresholds(
       static_cast<double>(view.num_arcs()), static_cast<double>(out_sources),

@@ -18,6 +18,15 @@ vid_t Csr::max_degree() const noexcept {
   return max_degree_cache_;
 }
 
+vid_t Csr::num_nonempty() const noexcept {
+  if (num_nonempty_cache_ < 0) {
+    vid_t count = 0;
+    for (vid_t v = 0; v < n(); ++v) count += degree(v) > 0 ? 1 : 0;
+    num_nonempty_cache_ = count;
+  }
+  return num_nonempty_cache_;
+}
+
 Csr transpose(const Csr& g) {
   const vid_t n = g.n();
   std::vector<eid_t> offsets(static_cast<std::size_t>(n) + 1, 0);

@@ -97,6 +97,14 @@ class Csr {
   // Maximum degree d̂ (computed once, cached).
   vid_t max_degree() const noexcept;
 
+  // Number of vertices with degree > 0 (computed once, cached). For an
+  // out-CSR this counts the push *sources*, for an in-CSR the pull *sinks* —
+  // the two inputs of the per-direction (α_out, β_in) refinement
+  // (switch_defaults.hpp). Caching here hoists what used to be an O(n)
+  // reduction out of every directed-BFS run (engine::per_direction_thresholds
+  // consumes the cache through a requires-gated fast path).
+  vid_t num_nonempty() const noexcept;
+
   // Average degree d̄ = num_arcs / n.
   double avg_degree() const noexcept {
     return n() == 0 ? 0.0 : static_cast<double>(num_arcs()) / n();
@@ -107,6 +115,7 @@ class Csr {
   std::vector<vid_t> adj_;
   std::vector<weight_t> weights_;
   mutable vid_t max_degree_cache_ = -1;
+  mutable vid_t num_nonempty_cache_ = -1;
 };
 
 // Reverses all arcs: the in-CSR of a directed graph. For symmetric

@@ -1,0 +1,268 @@
+// Differential tests for the cache-blocked pull view (engine/blocked_view.hpp):
+// every pull-capable kernel must produce *bit-identical* results through a
+// BlockedView — blocking moves arcs between loop iterations while preserving
+// each destination's ascending-source scan order, so even float folds (PR)
+// match exactly. Runs the zoo × block counts × {1, 4} threads, plus block-
+// boundary edge cases (empty trailing blocks when n < K, a giant-degree hub
+// row spanning every block) and the NumaAwareCsr structure/kernel checks.
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/bfs.hpp"
+#include "core/connected_components.hpp"
+#include "core/directed.hpp"
+#include "core/pagerank.hpp"
+#include "core/sssp_delta.hpp"
+#include "digraph_zoo.hpp"
+#include "engine/blocked_view.hpp"
+#include "engine/edge_map.hpp"
+#include "graph/partition_aware.hpp"
+#include "graph_zoo.hpp"
+
+namespace pushpull {
+namespace {
+
+// Block counts that exercise K == 1 (must degenerate to the flat sweep), a
+// small K, a K that does not divide typical zoo sizes, and K > n for the
+// smallest zoo graphs (trailing empty blocks).
+const int kBlockCounts[] = {1, 3, 7, 64};
+
+engine::BlockedView<engine::SymmetricView> blocked(const Csr& g, int k) {
+  engine::BlockedOptions opt;
+  opt.num_blocks = k;
+  return engine::BlockedView<engine::SymmetricView>(engine::SymmetricView(g),
+                                                    opt);
+}
+
+class BlockedViewDifferential : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    saved_threads_ = omp_get_max_threads();
+    omp_set_num_threads(GetParam());
+  }
+  void TearDown() override { omp_set_num_threads(saved_threads_); }
+
+  int saved_threads_ = 1;
+};
+
+// Structural invariants of the cut representation: row 0 == edge_begin, row K
+// == edge_end, cuts monotone per destination, every block's arcs fall inside
+// its source range, and the blocks partition the arc set exactly.
+TEST(BlockedViewStructure, CutsPartitionTheArcSet) {
+  for (const auto& [name, g] : testing::unweighted_zoo()) {
+    for (const int k : kBlockCounts) {
+      const auto bv = blocked(g, k);
+      ASSERT_EQ(bv.num_blocks(), k) << name;
+      ASSERT_EQ(bv.block_begin(0), 0) << name;
+      ASSERT_EQ(bv.block_end(bv.num_blocks() - 1), g.n()) << name;
+      eid_t total = 0;
+      for (int b = 0; b < bv.num_blocks(); ++b) {
+        ASSERT_LE(bv.block_begin(b), bv.block_end(b)) << name;
+        const eid_t* lo = bv.cut_row(b);
+        const eid_t* hi = bv.cut_row(b + 1);
+        for (vid_t d = 0; d < g.n(); ++d) {
+          ASSERT_LE(lo[d], hi[d]) << name << " block " << b << " dest " << d;
+          for (eid_t e = lo[d]; e < hi[d]; ++e) {
+            const vid_t s = g.edge_target(e);
+            ASSERT_GE(s, bv.block_begin(b)) << name;
+            ASSERT_LT(s, bv.block_end(b)) << name;
+          }
+        }
+        total += bv.block_arcs(b);
+      }
+      ASSERT_EQ(total, g.num_arcs()) << name << " K=" << k;
+      for (vid_t d = 0; d < g.n(); ++d) {
+        ASSERT_EQ(bv.cut_row(0)[d], g.edge_begin(d)) << name;
+        ASSERT_EQ(bv.cut_row(bv.num_blocks())[d], g.edge_end(d)) << name;
+      }
+    }
+  }
+}
+
+// The budget model: K grows as the budget shrinks, clamped to max_blocks,
+// and a zero budget falls back to the machine default (K >= 1).
+TEST(BlockedViewStructure, BudgetModelSelectsK) {
+  const Csr& g = testing::unweighted_zoo().front().graph;  // path50
+  engine::BlockedOptions tiny;
+  tiny.llc_budget_bytes = 8;  // one vertex per block -> clamped to max_blocks
+  tiny.max_blocks = 16;
+  EXPECT_EQ(blocked(g, 0).num_blocks() >= 1, true);
+  const engine::BlockedView<engine::SymmetricView> bt(engine::SymmetricView(g),
+                                                      tiny);
+  EXPECT_EQ(bt.num_blocks(), 16);
+  engine::BlockedOptions huge;
+  huge.llc_budget_bytes = 1u << 30;
+  const engine::BlockedView<engine::SymmetricView> bh(engine::SymmetricView(g),
+                                                      huge);
+  EXPECT_EQ(bh.num_blocks(), 1);
+}
+
+TEST_P(BlockedViewDifferential, PagerankPullBitIdenticalOnZoo) {
+  PageRankOptions opt;
+  opt.iterations = 10;
+  for (const auto& [name, g] : testing::unweighted_zoo()) {
+    const std::vector<double> flat = pagerank_pull(g, opt);
+    for (const int k : kBlockCounts) {
+      const std::vector<double> got = pagerank_pull(blocked(g, k), opt);
+      ASSERT_EQ(got.size(), flat.size());
+      for (std::size_t i = 0; i < flat.size(); ++i) {
+        // Bit-identical: same per-destination fold order, same arithmetic.
+        ASSERT_EQ(got[i], flat[i]) << name << " K=" << k << " v=" << i;
+      }
+    }
+  }
+}
+
+TEST_P(BlockedViewDifferential, BfsPullBitIdenticalOnZoo) {
+  for (const auto& [name, g] : testing::unweighted_zoo()) {
+    const BfsResult flat = bfs_pull(g, 0);
+    for (const int k : kBlockCounts) {
+      const BfsResult got = bfs_pull(blocked(g, k), 0);
+      ASSERT_EQ(got.dist, flat.dist) << name << " K=" << k;
+      // kBreakOnUpdate determinism: the adopted parent is the first live
+      // in-neighbor in ascending source order, blocks or not.
+      ASSERT_EQ(got.parent, flat.parent) << name << " K=" << k;
+    }
+  }
+}
+
+TEST_P(BlockedViewDifferential, ConnectedComponentsBitIdenticalOnZoo) {
+  for (const auto& [name, g] : testing::unweighted_zoo()) {
+    for (const auto strategy : {engine::StrategyKind::StaticPull,
+                                engine::StrategyKind::GenericSwitch}) {
+      CcOptions opt;
+      opt.strategy = strategy;
+      const CcResult flat = connected_components(g, opt);
+      for (const int k : kBlockCounts) {
+        const CcResult got = connected_components(blocked(g, k), opt);
+        ASSERT_EQ(got.comp, flat.comp)
+            << name << " K=" << k << " strategy=" << static_cast<int>(strategy);
+      }
+    }
+  }
+}
+
+// SSSP pull through a BlockedView validates the global-arc-id contract: the
+// functor indexes the weight array by the engine-passed e, which only works
+// because blocks are cuts into the parent arrays, not copies.
+TEST_P(BlockedViewDifferential, SsspPullBitIdenticalOnWeightedZoo) {
+  for (const auto& [name, g] : testing::weighted_zoo()) {
+    const DeltaSteppingResult flat = sssp_delta_pull(g, 0, 4.0f);
+    for (const int k : kBlockCounts) {
+      const DeltaSteppingResult got = sssp_delta_pull(blocked(g, k), 0, 4.0f);
+      ASSERT_EQ(got.dist, flat.dist) << name << " K=" << k;
+    }
+  }
+}
+
+// Digraph pull sweeps block the *in*-CSR while push keeps the flat out-CSR;
+// the direction-optimizing BFS must agree level-for-level with the flat view.
+TEST_P(BlockedViewDifferential, DigraphBfsStrategyBitIdenticalOnZoo) {
+  for (const auto& [name, dg] : testing::digraph_zoo()) {
+    const engine::DigraphView flat(dg);
+    for (const auto strategy : {engine::StrategyKind::StaticPull,
+                                engine::StrategyKind::GenericSwitch}) {
+      DigraphBfsOptions opt;
+      opt.strategy = strategy;
+      const DigraphBfsResult want = bfs_digraph_strategy(flat, 0, opt);
+      for (const int k : kBlockCounts) {
+        engine::BlockedOptions bo;
+        bo.num_blocks = k;
+        const engine::BlockedView<engine::DigraphView> bv(flat, bo);
+        const DigraphBfsResult got = bfs_digraph_strategy(bv, 0, opt);
+        ASSERT_EQ(got.dist, want.dist) << name << " K=" << k;
+        ASSERT_EQ(got.levels, want.levels) << name << " K=" << k;
+      }
+    }
+  }
+}
+
+// Block-boundary edge cases the zoo sweep hits only incidentally, pinned
+// explicitly: K > n (trailing empty blocks), and a hub whose row spans every
+// block (star center adjacent to all of [1, n)).
+TEST_P(BlockedViewDifferential, EdgeCasesSpanningAndEmptyBlocks) {
+  // isolated: n = 8 with K = 64 -> 56 empty trailing blocks.
+  const Csr tiny = make_undirected(8, EdgeList{Edge{0, 1, 1.0f}, Edge{2, 3, 1.0f}});
+  const auto tiny_bv = blocked(tiny, 64);
+  EXPECT_EQ(tiny_bv.num_blocks(), 64);
+  const BfsResult tiny_flat = bfs_pull(tiny, 0);
+  const BfsResult tiny_got = bfs_pull(tiny_bv, 0);
+  EXPECT_EQ(tiny_got.dist, tiny_flat.dist);
+
+  // star65: the center's 64-arc row is cut into 64 single-ish segments.
+  const Csr star = make_undirected(65, star_edges(65));
+  const auto star_bv = blocked(star, 64);
+  vid_t center_segments = 0;
+  for (int b = 0; b < star_bv.num_blocks(); ++b) {
+    if (star_bv.cut_row(b + 1)[0] > star_bv.cut_row(b)[0]) ++center_segments;
+  }
+  EXPECT_GT(center_segments, 1);  // the hub row really does span blocks
+  PageRankOptions opt;
+  opt.iterations = 10;
+  const std::vector<double> star_flat = pagerank_pull(star, opt);
+  const std::vector<double> star_got = pagerank_pull(star_bv, opt);
+  for (std::size_t i = 0; i < star_flat.size(); ++i) {
+    ASSERT_EQ(star_got[i], star_flat[i]) << "star v=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, BlockedViewDifferential,
+                         ::testing::Values(1, 4));
+
+// --- NumaAwareCsr ------------------------------------------------------------
+
+TEST(NumaAwareCsr, SplitStructureMatchesFlatGraph) {
+  for (const auto& [name, g] : testing::unweighted_zoo()) {
+    const NumaAwareCsr ng(g, /*nodes=*/4);
+    ASSERT_EQ(ng.n(), g.n()) << name;
+    ASSERT_EQ(ng.nodes(), 4) << name;
+    ASSERT_EQ(ng.num_local_arcs() + ng.num_cross_arcs(), g.num_arcs()) << name;
+    const Partition1D& part = ng.partition();
+    for (vid_t v = 0; v < g.n(); ++v) {
+      ASSERT_EQ(ng.degree(v), g.degree(v)) << name << " v=" << v;
+      const int owner = part.owner(v);
+      for (vid_t u : ng.local_neighbors(v)) {
+        ASSERT_EQ(part.owner(u), owner) << name;
+      }
+      for (vid_t u : ng.cross_neighbors(v)) {
+        ASSERT_NE(part.owner(u), owner) << name;
+      }
+    }
+  }
+}
+
+// Detected-topology construction must work whatever the machine looks like
+// (1 node in CI): the partition covers the vertex space and the split is
+// total. With one node every arc is local — the PA degenerate case.
+TEST(NumaAwareCsr, DetectedTopologyConstructionIsTotal) {
+  const Csr& g = testing::unweighted_zoo().back().graph;
+  const NumaAwareCsr ng(g);
+  EXPECT_GE(ng.nodes(), 1);
+  EXPECT_EQ(ng.num_local_arcs() + ng.num_cross_arcs(), g.num_arcs());
+  if (ng.nodes() == 1) {
+    EXPECT_EQ(ng.num_cross_arcs(), 0);
+  }
+}
+
+TEST(NumaAwareCsr, PagerankPushNumaMatchesSeq) {
+  PageRankOptions opt;
+  opt.iterations = 20;
+  for (const auto& [name, g] : testing::unweighted_zoo()) {
+    if (g.num_arcs() == 0) continue;
+    const NumaAwareCsr ng(g, /*nodes=*/4);
+    const std::vector<double> want = pagerank_seq(g, opt);
+    const std::vector<double> got = pagerank_push_numa(g, ng, opt);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      // Racy float accumulation across lanes: tolerance, like push/PA.
+      ASSERT_NEAR(got[i], want[i], 1e-9) << name << " v=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pushpull
