@@ -1,0 +1,347 @@
+// serve_workload: closed-loop + open-loop load generator for the serving
+// layer (DESIGN.md §7) — the "millions of users" axis measured.
+//
+// A resident weighted DeltaGraph takes a continuous commit stream from a
+// writer thread while GraphService answers a BFS/SSSP/PR/CC query mix from
+// concurrent clients. Closed loop: C clients issue-and-wait, measuring
+// per-query latency under self-limiting load. Open loop: a dispatcher
+// submits at a fixed offered rate and latencies include queueing. Every
+// completed query carries the epoch it was pinned to; --verify recomputes
+// each payload with the standalone executor kernels on a fresh
+// snapshot(epoch) and demands bit identity — batched or not, cached or not,
+// with the writer committing throughout.
+//
+// Emits BENCH_serve.json: serve.closed.* / serve.open.* (p50/p99 latency,
+// QPS), serve.batch_merge_ratio, cache/reject totals, and the full
+// MetricsRegistry dump (serve.<algo>.latency percentiles, queue depth).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/delta_graph.hpp"
+#include "serve/executor.hpp"
+#include "serve/service.hpp"
+
+using namespace pushpull;
+using serve::Algo;
+
+namespace {
+
+struct WorkloadCounts {
+  std::uint64_t queries = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t cached = 0;
+  std::uint64_t verify_failures = 0;
+  std::vector<double> latencies_s;
+};
+
+double percentile_ms(std::vector<double>& lat_s, double p) {
+  if (lat_s.empty()) return 0.0;
+  std::sort(lat_s.begin(), lat_s.end());
+  const auto idx = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(lat_s.size() - 1) + 0.5);
+  return lat_s[std::min(idx, lat_s.size() - 1)] * 1e3;
+}
+
+// The client-side query mix: mostly single-source traversals (the batchable
+// classes), a sprinkle of whole-graph analytics. A slice of the BFS queries
+// pins the service-start epoch so staleness and cache reuse are exercised
+// against an epoch the writer has long since passed.
+serve::QueryRequest make_request(std::mt19937_64& rng, vid_t n,
+                                 epoch_t pin_e0) {
+  serve::QueryRequest req;
+  const std::uint64_t roll = rng() % 100;
+  if (roll < 45) {
+    req.algo = Algo::Bfs;
+  } else if (roll < 85) {
+    req.algo = Algo::Sssp;
+  } else if (roll < 92) {
+    req.algo = Algo::PageRank;
+  } else {
+    req.algo = Algo::Cc;
+  }
+  // Sources from a small pool so the (epoch, algo, source, policy) cache key
+  // repeats while the writer is between commits.
+  req.source = static_cast<vid_t>(rng() % std::min<vid_t>(n, 64));
+  if (req.algo == Algo::Bfs && roll % 5 == 0) req.pin_epoch = pin_e0;
+  return req;
+}
+
+// Standalone recomputation of one served payload on a fresh snapshot of the
+// pinned epoch, through the same executor functions the service dispatches
+// to. Bit identity required: BFS/CC payloads are integral and exact; SSSP
+// settles the unique float relaxation fixpoint in every direction and lane
+// count; PR reruns the identical convergence loop on identical input.
+bool verify_result(const DeltaGraph& dg, const serve::QueryRequest& req,
+                   const serve::QueryResult& r, weight_t sssp_delta) {
+  const SnapshotView snap = dg.snapshot(r.epoch);
+  switch (r.algo) {
+    case Algo::Bfs:
+      return r.levels == serve::run_bfs(snap, req.source, req.policy);
+    case Algo::Sssp: {
+      const std::vector<weight_t> want =
+          serve::run_sssp(snap, req.source, sssp_delta, req.policy);
+      if (r.dist.size() != want.size()) return false;
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        if (r.dist[i] != want[i]) return false;  // bitwise: inf == inf holds
+      }
+      return true;
+    }
+    case Algo::PageRank:
+      return r.ranks == serve::run_pagerank(snap);
+    case Algo::Cc:
+      return r.comp == serve::run_cc(snap);
+  }
+  return false;
+}
+
+void note_outcome(const DeltaGraph& dg, const serve::QueryRequest& req,
+                  const serve::QueryResult& r, bool verify, weight_t delta,
+                  WorkloadCounts& wc, std::mutex& mu) {
+  bool bad = false;
+  if (r.ok && verify && !verify_result(dg, req, r, delta)) {
+    bad = true;
+    std::fprintf(stderr, "VERIFY FAIL: %s source=%d epoch=%lld lanes=%d%s\n",
+                 to_string(r.algo), static_cast<int>(req.source),
+                 static_cast<long long>(r.epoch), r.batch_lanes,
+                 r.from_cache ? " (cached)" : "");
+  }
+  std::lock_guard<std::mutex> lk(mu);
+  ++wc.queries;
+  if (r.ok) {
+    ++wc.ok;
+    wc.latencies_s.push_back(r.latency_s);
+    if (r.from_cache) ++wc.cached;
+  } else {
+    ++wc.rejected;
+  }
+  if (bad) ++wc.verify_failures;
+}
+
+// C clients, each issuing `per_client` queries back-to-back (issue, wait,
+// verify, repeat): latency under self-limiting load.
+WorkloadCounts closed_loop(serve::GraphService& svc, const DeltaGraph& dg,
+                           int clients, int per_client, bool verify,
+                           weight_t delta, std::uint64_t seed) {
+  WorkloadCounts wc;
+  std::mutex mu;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  const epoch_t e0 = dg.epoch();
+  const vid_t n = dg.n();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::mt19937_64 rng(seed + static_cast<std::uint64_t>(c) * 7919);
+      for (int q = 0; q < per_client; ++q) {
+        serve::QueryRequest req = make_request(rng, n, e0);
+        serve::QueryResult r = svc.submit(req).get();
+        note_outcome(dg, req, r, verify, delta, wc, mu);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return wc;
+}
+
+// One dispatcher submitting at a fixed offered rate; futures resolve behind
+// it, so latencies include queueing delay (the open-loop tail the paper's
+// serving story cares about).
+WorkloadCounts open_loop(serve::GraphService& svc, const DeltaGraph& dg,
+                         int queries, double rate_qps, bool verify,
+                         weight_t delta, std::uint64_t seed) {
+  using clock = std::chrono::steady_clock;
+  WorkloadCounts wc;
+  std::mutex mu;
+  std::mt19937_64 rng(seed ^ 0x9E3779B97F4A7C15ULL);
+  const epoch_t e0 = dg.epoch();
+  const vid_t n = dg.n();
+  const auto interval = std::chrono::nanoseconds(
+      static_cast<std::int64_t>(1e9 / std::max(1.0, rate_qps)));
+  std::vector<std::pair<serve::QueryRequest, std::future<serve::QueryResult>>>
+      inflight;
+  inflight.reserve(static_cast<std::size_t>(queries));
+  auto next_t = clock::now();
+  for (int q = 0; q < queries; ++q) {
+    std::this_thread::sleep_until(next_t);
+    next_t += interval;
+    serve::QueryRequest req = make_request(rng, n, e0);
+    inflight.emplace_back(req, svc.submit(req));
+  }
+  for (auto& [req, fut] : inflight) {
+    serve::QueryResult r = fut.get();
+    note_outcome(dg, req, r, verify, delta, wc, mu);
+  }
+  return wc;
+}
+
+void emit_phase(bench::JsonWriter& json, const char* phase, WorkloadCounts& wc,
+                double wall_s) {
+  const std::string p = std::string("serve.") + phase + ".";
+  json.add(p + "queries", static_cast<long long>(wc.queries));
+  json.add(p + "rejected", static_cast<long long>(wc.rejected));
+  json.add(p + "cache_hits", static_cast<long long>(wc.cached));
+  json.add(p + "p50_ms", percentile_ms(wc.latencies_s, 50.0));
+  json.add(p + "p99_ms", percentile_ms(wc.latencies_s, 99.0));
+  json.add(p + "qps", wall_s > 0.0 ? static_cast<double>(wc.ok) / wall_s : 0.0);
+  std::printf("  %-7s %5llu queries  %4llu cached  %3llu rejected  "
+              "p50 %.3f ms  p99 %.3f ms  %.0f qps\n",
+              phase, static_cast<unsigned long long>(wc.queries),
+              static_cast<unsigned long long>(wc.cached),
+              static_cast<unsigned long long>(wc.rejected),
+              percentile_ms(wc.latencies_s, 50.0),
+              percentile_ms(wc.latencies_s, 99.0),
+              wall_s > 0.0 ? static_cast<double>(wc.ok) / wall_s : 0.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  bench::SmCli sm = bench::parse_sm_cli(cli, /*default_scale=*/-2, "all");
+  const int clients = static_cast<int>(cli.get_int("clients", 4));
+  const int per_client = static_cast<int>(cli.get_int("queries", 24));
+  const int open_queries = static_cast<int>(cli.get_int("open-queries", 96));
+  const double rate = static_cast<double>(cli.get_int("rate", 150));
+  const int workers = static_cast<int>(cli.get_int("workers", 2));
+  const int window_us = static_cast<int>(cli.get_int("window-us", 500));
+  const std::string json_path = cli.get_string("json", "");
+  const bool verify = cli.get_bool("verify");
+  cli.check();
+
+  bench::print_banner(
+      "serve_workload: snapshot-pinned concurrent queries under a live writer",
+      "batched multi-source passes + epoch-keyed caching keep tail latency "
+      "flat while commits land (HPDC'17 engine as a service)");
+
+  Csr base = bench::sm_load_graph(sm, "pok", /*weighted=*/true);
+  bench::print_graph_line("pok", base);
+  DeltaGraph dg(std::move(base));
+  const vid_t n = dg.n();
+  const std::uint64_t seed = sm.seed == 0 ? 0xC0FFEEULL : sm.seed;
+
+  bench::TraceSession trace(sm.trace_path);
+  serve::ServiceOptions sopt;
+  sopt.workers = workers;
+  sopt.batch_window_us = static_cast<std::uint64_t>(window_us);
+  sopt.cache_entries = 512;
+  sopt.tracer = trace.tracer();
+  // Generous global capacity — the loop's pressure valve is the queue, not
+  // ops; per-query budgets are exercised explicitly below.
+  sopt.admission.capacity_ops = 0;
+  serve::GraphService svc(dg, sopt);
+
+  // Writer: one committer staging small weighted insert batches for the
+  // whole run. No compact() — pinned epochs must stay snapshottable.
+  std::atomic<bool> stop_writer{false};
+  std::atomic<std::uint64_t> commits{0};
+  std::thread writer([&] {
+    std::mt19937_64 rng(seed ^ 0xD1CEULL);
+    std::uniform_real_distribution<float> wdist(0.1f, 2.0f);
+    while (!stop_writer.load(std::memory_order_relaxed)) {
+      for (int i = 0; i < 16; ++i) {
+        const vid_t u = static_cast<vid_t>(rng() % static_cast<std::uint64_t>(n));
+        const vid_t v = static_cast<vid_t>(rng() % static_cast<std::uint64_t>(n));
+        if (u != v) dg.add_edge(u, v, wdist(rng));
+      }
+      dg.commit();
+      commits.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+
+  bench::JsonWriter json;
+  json.add("serve.clients", static_cast<long long>(clients));
+  json.add("serve.workers", static_cast<long long>(workers));
+  json.add("serve.window_us", static_cast<long long>(window_us));
+  json.add("serve.seed", static_cast<long long>(seed));
+
+  bool ok = true;
+  std::printf("\n");
+
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    WorkloadCounts wc = closed_loop(svc, dg, clients, per_client, verify,
+                                    sopt.sssp_delta, seed);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    ok = ok && wc.verify_failures == 0;
+    emit_phase(json, "closed", wc, wall_s);
+  }
+
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    WorkloadCounts wc = open_loop(svc, dg, open_queries, rate, verify,
+                                  sopt.sssp_delta, seed);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    ok = ok && wc.verify_failures == 0;
+    json.add("serve.open.offered_qps", rate);
+    emit_phase(json, "open", wc, wall_s);
+  }
+
+  // Per-query budgets through the admission controller: a one-op budget and
+  // a one-nanosecond time budget must both reject-with-reason (these fund
+  // the serve.<algo>.degraded counters next to update_workload's).
+  {
+    serve::QueryRequest tiny;
+    tiny.algo = Algo::Bfs;
+    tiny.op_budget = 1;
+    const serve::QueryResult r1 = svc.submit(tiny).get();
+    serve::QueryRequest rushed;
+    rushed.algo = Algo::Cc;
+    rushed.time_budget_s = 1e-9;
+    const serve::QueryResult r2 = svc.submit(rushed).get();
+    const bool budgets_ok = !r1.ok && r1.reject == serve::Reject::OverOpBudget &&
+                            !r2.ok && r2.reject == serve::Reject::OverTimeBudget;
+    ok = ok && budgets_ok;
+    json.add_string("serve.budget_rejects",
+                    budgets_ok ? "pass" : "FAIL");
+  }
+
+  stop_writer.store(true, std::memory_order_relaxed);
+  writer.join();
+
+  const serve::ServiceStats st = svc.stats();
+  svc.stop();
+
+  // Merge ratio: queries served per executed pass — 1.0 means batching never
+  // fired, k means every pass carried k lanes.
+  const std::uint64_t executed = st.completed - st.cache_hits;
+  const double merge_ratio =
+      st.batches > 0 ? static_cast<double>(executed) /
+                           static_cast<double>(st.batches)
+                     : 0.0;
+  json.add("serve.batch_merge_ratio", merge_ratio);
+  json.add("serve.batches", static_cast<long long>(st.batches));
+  json.add("serve.batched_queries", static_cast<long long>(st.batched_queries));
+  json.add("serve.cache_hits", static_cast<long long>(st.cache_hits));
+  json.add("serve.cache_misses", static_cast<long long>(st.cache_misses));
+  json.add("serve.rejected", static_cast<long long>(st.rejected));
+  json.add("serve.writer_commits",
+           static_cast<long long>(commits.load(std::memory_order_relaxed)));
+  std::printf("  merge ratio %.2f queries/pass over %llu passes, "
+              "%llu cache hits, %llu writer commits\n",
+              merge_ratio, static_cast<unsigned long long>(st.batches),
+              static_cast<unsigned long long>(st.cache_hits),
+              static_cast<unsigned long long>(commits.load()));
+
+  // Registry dump: serve.<algo>.latency percentiles, queue depth, admission
+  // counters — the operator scrape surface, in the artifact.
+  obs::MetricsRegistry::global().write_to(json);
+
+  json.add_string("serve.verify", ok ? "pass" : "FAIL");
+  bench::add_machine_stanza(json);
+  json.write(json_path);
+  std::printf("\nverification: %s\n", ok ? "pass" : "FAIL");
+  if (!trace.finish()) return 2;
+  return ok ? 0 : 1;
+}

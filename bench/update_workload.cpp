@@ -89,14 +89,12 @@ double linf(const std::vector<double>& a, const std::vector<double>& b) {
   return d;
 }
 
-// Records one kernel's incremental latency + fallback into the process-wide
-// metrics registry, so the serving-path percentiles (p50/p99 repair latency,
-// fallback counter) land in the --json artifact next to the raw timings.
+// Per-batch budget accounting through the shared serving vocabulary
+// (bench::account_budget): `update.<kernel>.latency` percentiles and
+// `update.<kernel>.degraded` fallback counts land in the --json artifact
+// next to the raw timings, shaped like serve_workload's serve.* keys.
 void note_inc_metrics(const char* kernel, double inc_s, bool fell_back) {
-  auto& m = obs::MetricsRegistry::global();
-  m.histogram(std::string("update.") + kernel + ".inc_latency")
-      .record(static_cast<std::uint64_t>(inc_s * 1e9));
-  if (fell_back) m.counter(std::string("update.") + kernel + ".fallbacks").inc();
+  bench::account_budget("update", kernel, inc_s, fell_back);
 }
 
 // Runs the batch loop against one DeltaGraph (symmetric or digraph).

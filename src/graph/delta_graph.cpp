@@ -378,6 +378,15 @@ std::vector<UpdateBatch> DeltaGraph::batches_since(epoch_t since) const {
   return out;
 }
 
+std::size_t DeltaGraph::num_batches_since(epoch_t since) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t count = 0;
+  for (const UpdateBatch& b : history_) {
+    if (b.epoch > since) ++count;
+  }
+  return count;
+}
+
 eid_t DeltaGraph::num_arcs() const {
   std::lock_guard<std::mutex> lk(mu_);
   return materialize_side(out_, epoch_)->num_arcs();

@@ -277,6 +277,12 @@ class DeltaGraph {
   // beyond epoch() yields an empty vector.
   std::vector<UpdateBatch> batches_since(epoch_t since) const;
 
+  // How many commits landed after `since` — the serving layer's staleness
+  // gauge: a query pinned to epoch e reports num_batches_since(e) as how far
+  // behind the live graph its answer is. Cheaper than batches_since (no
+  // update copies).
+  std::size_t num_batches_since(epoch_t since) const;
+
   // Visible arc count at the latest committed epoch (symmetric graphs count
   // each edge twice, as Csr does).
   eid_t num_arcs() const;

@@ -1,0 +1,117 @@
+// LRU result cache keyed on (epoch, algorithm, source, policy).
+//
+// Epoch in the key is what makes caching sound under a live writer: a hit is
+// only possible for the exact snapshot the cached run observed, so a cached
+// answer is bit-identical to recomputing on snapshot(epoch) — the --verify
+// gate covers cache hits with the same comparator as fresh runs. Whole-graph
+// algorithms normalize source to -1 so every PR/CC request against one epoch
+// shares an entry.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "serve/request.hpp"
+
+namespace pushpull::serve {
+
+struct CacheKey {
+  epoch_t epoch = -1;
+  Algo algo = Algo::Bfs;
+  vid_t source = -1;  // -1 for PageRank/CC
+  engine::StrategyKind policy = engine::StrategyKind::GenericSwitch;
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+// Source vertex normalized out of whole-graph keys (policy too: PR/CC runs
+// ignore the direction override).
+inline CacheKey make_cache_key(const QueryRequest& req, epoch_t epoch) {
+  CacheKey k;
+  k.epoch = epoch;
+  k.algo = req.algo;
+  const bool whole_graph =
+      req.algo == Algo::PageRank || req.algo == Algo::Cc;
+  k.source = whole_graph ? vid_t{-1} : req.source;
+  k.policy = whole_graph ? engine::StrategyKind::GenericSwitch : req.policy;
+  return k;
+}
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const noexcept {
+    std::size_t h = std::hash<std::int64_t>{}(k.epoch);
+    h = h * 1315423911u ^ static_cast<std::size_t>(k.algo);
+    h = h * 1315423911u ^ std::hash<std::int64_t>{}(k.source);
+    h = h * 1315423911u ^ static_cast<std::size_t>(k.policy);
+    return h;
+  }
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  // nullptr on miss; a hit bumps the entry to most-recently-used.
+  std::shared_ptr<const QueryResult> find(const CacheKey& key) {
+    if (capacity_ == 0) return nullptr;
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    ++hits_;
+    return it->second.result;
+  }
+
+  void insert(const CacheKey& key, std::shared_ptr<const QueryResult> result) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second.result = std::move(result);
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return;
+    }
+    lru_.push_front(key);
+    map_.emplace(key, Entry{std::move(result), lru_.begin()});
+    if (map_.size() > capacity_) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+    }
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return map_.size();
+  }
+  std::uint64_t hits() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return hits_;
+  }
+  std::uint64_t misses() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return misses_;
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const QueryResult> result;
+    std::list<CacheKey>::iterator lru_it;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<CacheKey> lru_;  // front = most recently used
+  std::unordered_map<CacheKey, Entry, CacheKeyHash> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace pushpull::serve
